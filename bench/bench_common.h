@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "advisor/advisor.h"
+#include "baselines/heuristics.h"
+#include "baselines/optimizer_designer.h"
+#include "costmodel/noisy_model.h"
+#include "engine/cluster.h"
+#include "schema/catalogs.h"
+#include "util/table_printer.h"
+#include "workload/benchmarks.h"
+
+namespace lpa::bench {
+
+/// \brief Global effort divisor: LPA_BENCH_SCALE=4 quarters every episode
+/// count for quick smoke runs; 1 (default) runs the tuned configuration.
+inline int BenchScale() {
+  const char* env = std::getenv("LPA_BENCH_SCALE");
+  if (env == nullptr) return 1;
+  int scale = std::atoi(env);
+  return scale >= 1 ? scale : 1;
+}
+
+inline int Scaled(int episodes) { return std::max(4, episodes / BenchScale()); }
+
+/// \brief Which DBMS the simulated cluster mimics (Sec 7.1's two systems).
+enum class EngineKind {
+  kDiskBased,  ///< Postgres-XL-like
+  kInMemory,   ///< System-X-like
+};
+
+inline const char* EngineName(EngineKind kind) {
+  return kind == EngineKind::kDiskBased ? "disk-based (Postgres-XL-like)"
+                                        : "in-memory (System-X-like)";
+}
+
+inline costmodel::HardwareProfile ProfileFor(EngineKind kind) {
+  return kind == EngineKind::kDiskBased
+             ? costmodel::HardwareProfile::DiskBased10G()
+             : costmodel::HardwareProfile::InMemory10G();
+}
+
+/// \brief One fully wired evaluation testbed: schema, workload, candidate
+/// edges, the exact cost model (offline rewards), the noisy optimizer (the
+/// engine's planner and the Minimum-Optimizer baseline's estimator), and a
+/// materialized cluster.
+struct Testbed {
+  std::unique_ptr<schema::Schema> schema;
+  std::unique_ptr<workload::Workload> workload;
+  std::unique_ptr<partition::EdgeSet> edges;
+  std::unique_ptr<costmodel::CostModel> exact_model;
+  /// The Minimum-Optimizer baseline's estimator: independence-assumption
+  /// composite-join estimates plus strong depth noise.
+  std::unique_ptr<costmodel::NoisyOptimizerModel> noisy_model;
+  /// The engine's runtime planner: mildly noisy (borderline plan choices can
+  /// flip, e.g. after an ANALYZE following bulk updates), but never absurd.
+  std::unique_ptr<costmodel::NoisyOptimizerModel> planner_model;
+  std::unique_ptr<engine::ClusterDatabase> cluster;
+
+  partition::PartitioningState Initial() const {
+    return partition::PartitioningState::Initial(schema.get(), edges.get());
+  }
+
+  /// \brief Deploy `design` and measure the frequency-weighted workload
+  /// runtime on the cluster (simulated seconds).
+  double Measure(const partition::PartitioningState& design) const {
+    cluster->ApplyDesign(design);
+    return cluster->ExecuteWorkload(*workload);
+  }
+};
+
+/// \brief Build a testbed for one benchmark schema.
+/// \param name "ssb", "tpcds", "tpcch", or "micro".
+inline Testbed MakeTestbed(const std::string& name, EngineKind kind,
+                           double fraction, uint64_t seed = 42,
+                           double noise_stddev = 0.02) {
+  Testbed tb;
+  if (name == "ssb") {
+    tb.schema = std::make_unique<schema::Schema>(schema::MakeSsbSchema());
+    tb.workload = std::make_unique<workload::Workload>(
+        workload::MakeSsbWorkload(*tb.schema));
+  } else if (name == "tpcds") {
+    tb.schema = std::make_unique<schema::Schema>(schema::MakeTpcdsSchema());
+    tb.workload = std::make_unique<workload::Workload>(
+        workload::MakeTpcdsWorkload(*tb.schema));
+  } else if (name == "tpcch") {
+    tb.schema = std::make_unique<schema::Schema>(schema::MakeTpcchSchema());
+    tb.workload = std::make_unique<workload::Workload>(
+        workload::MakeTpcchWorkload(*tb.schema));
+  } else {
+    tb.schema = std::make_unique<schema::Schema>(schema::MakeMicroSchema());
+    tb.workload = std::make_unique<workload::Workload>(
+        workload::MakeMicroWorkload(*tb.schema));
+  }
+  tb.edges = std::make_unique<partition::EdgeSet>(
+      partition::EdgeSet::Extract(*tb.schema, *tb.workload));
+  auto profile = ProfileFor(kind);
+  tb.exact_model =
+      std::make_unique<costmodel::CostModel>(tb.schema.get(), profile);
+  tb.noisy_model = std::make_unique<costmodel::NoisyOptimizerModel>(
+      tb.schema.get(), profile);
+  tb.planner_model = std::make_unique<costmodel::NoisyOptimizerModel>(
+      tb.schema.get(), profile, /*depth_sigma=*/0.05, /*seed=*/seed + 1,
+      /*use_independence_assumption=*/false);
+
+  storage::GenerationConfig gen;
+  gen.fraction = fraction;
+  gen.small_table_threshold = 64;
+  gen.seed = seed;
+  engine::EngineConfig engine_config;
+  engine_config.hardware = profile;
+  engine_config.noise_stddev = noise_stddev;
+  engine_config.seed = seed;
+  tb.cluster = std::make_unique<engine::ClusterDatabase>(
+      storage::Database::Generate(*tb.schema, *tb.workload, gen),
+      engine_config, tb.planner_model.get());
+  return tb;
+}
+
+/// \brief Default materialization fraction per schema, chosen so each
+/// testbed holds a few hundred thousand rows.
+inline double DefaultFraction(const std::string& name) {
+  if (name == "ssb") return 1e-3;
+  if (name == "tpcds") return 2e-4;
+  if (name == "tpcch") return 2e-3;
+  return 1e-4;  // micro
+}
+
+/// \brief Offline-train an advisor on the testbed's exact cost model.
+inline std::unique_ptr<advisor::PartitioningAdvisor> TrainOfflineAdvisor(
+    const Testbed& tb, int episodes, int tmax, uint64_t seed = 42) {
+  advisor::AdvisorConfig config;
+  config.offline_episodes = Scaled(episodes);
+  config.dqn.tmax = tmax;
+  config.dqn.FitEpsilonSchedule(config.offline_episodes);
+  config.seed = seed;
+  auto adv = std::make_unique<advisor::PartitioningAdvisor>(
+      tb.schema.get(), *tb.workload, config);
+  adv->TrainOffline(tb.exact_model.get());
+  return adv;
+}
+
+/// \brief Format simulated seconds for table cells.
+inline std::string Secs(double s) { return FormatDouble(s, 3) + "s"; }
+
+}  // namespace lpa::bench

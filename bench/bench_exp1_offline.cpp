@@ -1,0 +1,71 @@
+// Exp 1 (Fig 3 a-f): workload runtime of the partitionings suggested by
+// Heuristic (a), Heuristic (b), the Minimum-Optimizer designer, and the
+// offline-trained DRL advisor, on SSB / TPC-DS / TPC-CH for both engine
+// profiles. Absolute seconds are simulated on the scaled-down testbed; the
+// paper-relevant signal is the ordering and the relative factors.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace lpa::bench {
+namespace {
+
+struct Scenario {
+  const char* name;
+  int episodes;  // 600 for SSB, 1200 for TPC-DS / TPC-CH (Table 1)
+  int tmax;
+};
+
+void RunScenario(const Scenario& scenario, EngineKind kind,
+                 TablePrinter* summary) {
+  Testbed tb = MakeTestbed(scenario.name, kind, DefaultFraction(scenario.name));
+  tb.workload->SetUniformFrequencies();
+
+  auto heuristic_a = baselines::HeuristicA(*tb.schema, *tb.workload, *tb.edges);
+  auto heuristic_b = baselines::HeuristicB(*tb.schema, *tb.workload, *tb.edges);
+  baselines::OptimizerDesignerConfig designer;
+  designer.random_restarts = 2;
+  auto min_optimizer = baselines::MinimizeOptimizerCost(
+      *tb.schema, *tb.workload, *tb.edges, *tb.noisy_model, designer);
+
+  auto advisor = TrainOfflineAdvisor(tb, scenario.episodes, scenario.tmax);
+  std::vector<double> uniform(
+      static_cast<size_t>(tb.workload->num_queries()), 1.0);
+  auto rl = advisor->Suggest(uniform);
+
+  double t_a = tb.Measure(heuristic_a);
+  double t_b = tb.Measure(heuristic_b);
+  double t_opt = tb.Measure(min_optimizer);
+  double t_rl = tb.Measure(rl.best_state);
+
+  summary->AddRow({scenario.name, EngineName(kind), Secs(t_a), Secs(t_b),
+                   Secs(t_opt), Secs(t_rl),
+                   FormatDouble(std::min({t_a, t_b, t_opt}) / t_rl, 2) + "x"});
+
+  std::cout << "[" << scenario.name << " / " << EngineName(kind)
+            << "] RL design: " << rl.best_state.PhysicalDesignKey() << "\n";
+}
+
+void Main() {
+  const Scenario kScenarios[] = {
+      {"ssb", 600, 20},
+      {"tpcds", 1200, 48},
+      {"tpcch", 1200, 36},
+  };
+  TablePrinter summary({"schema", "engine", "Heuristic (a)", "Heuristic (b)",
+                        "Minimum Optimizer", "RL (offline)",
+                        "best-baseline / RL"});
+  for (const auto& scenario : kScenarios) {
+    RunScenario(scenario, EngineKind::kDiskBased, &summary);
+    RunScenario(scenario, EngineKind::kInMemory, &summary);
+  }
+  std::cout << "\nExp 1 / Fig 3: offline RL vs baselines (workload runtime, "
+               "simulated seconds; scaled-down testbed)\n";
+  summary.Print();
+}
+
+}  // namespace
+}  // namespace lpa::bench
+
+int main() { lpa::bench::Main(); }

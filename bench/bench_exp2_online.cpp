@@ -1,0 +1,157 @@
+// Exp 2 (Fig 4a + Table 2): online refinement on TPC-CH / disk-based engine.
+//
+// Fig 4a: workload runtime of Heuristic (a)/(b), Minimum-Optimizer, the
+// offline-trained agent, and the agent after online refinement on a sampled
+// copy of the database.
+//
+// Table 2: (simulated) cluster time the online phase consumes under
+// increasing sets of optimizations: none -> +runtime cache -> +lazy
+// repartitioning -> +timeouts -> +offline bootstrap (Sec 4.2). Because our
+// cluster clock is simulated, every configuration is actually run rather
+// than counterfactually estimated.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "rl/online_env.h"
+
+namespace lpa::bench {
+namespace {
+
+struct OnlineSetup {
+  Testbed tb;
+  std::unique_ptr<engine::ClusterDatabase> sample_cluster;
+  std::vector<double> scale_factors;
+};
+
+OnlineSetup MakeOnlineSetup(const partition::PartitioningState& p_offline) {
+  OnlineSetup setup{MakeTestbed("tpcch", EngineKind::kDiskBased,
+                                DefaultFraction("tpcch")),
+                    nullptr,
+                    {}};
+  setup.tb.workload->SetUniformFrequencies();
+  // The sampled database of Sec 4.2: 20% of rows, minimum 64 per table.
+  storage::GenerationConfig gen;
+  gen.fraction = DefaultFraction("tpcch");
+  gen.small_table_threshold = 64;
+  gen.seed = 42;
+  auto full_db = storage::Database::Generate(*setup.tb.schema,
+                                             *setup.tb.workload, gen);
+  engine::EngineConfig config;
+  config.hardware = ProfileFor(EngineKind::kDiskBased);
+  config.noise_stddev = 0.02;
+  config.seed = 43;
+  setup.sample_cluster = std::make_unique<engine::ClusterDatabase>(
+      full_db.Sample(0.2, 64, 7), config, setup.tb.planner_model.get());
+  setup.scale_factors =
+      rl::ComputeScaleFactors(setup.tb.cluster.get(), setup.sample_cluster.get(),
+                              *setup.tb.workload, p_offline);
+  return setup;
+}
+
+void Main() {
+  // --- Offline phase ----------------------------------------------------
+  Testbed tb =
+      MakeTestbed("tpcch", EngineKind::kDiskBased, DefaultFraction("tpcch"));
+  tb.workload->SetUniformFrequencies();
+  auto advisor = TrainOfflineAdvisor(tb, 1200, 36);
+  std::vector<double> uniform(static_cast<size_t>(tb.workload->num_queries()),
+                              1.0);
+  auto offline_result = advisor->Suggest(uniform);
+
+  // --- Online phase -----------------------------------------------------
+  OnlineSetup setup = MakeOnlineSetup(offline_result.best_state);
+  rl::OnlineEnv online_env(setup.sample_cluster.get(), &advisor->workload(),
+                           setup.scale_factors, rl::OnlineEnvOptions{});
+  advisor->mutable_workload().SetUniformFrequencies();
+  advisor->set_online_episodes(Scaled(600));
+  advisor->TrainOnline(&online_env);
+  auto online_result = advisor->Suggest(uniform, &online_env);
+
+  auto heuristic_a = baselines::HeuristicA(*tb.schema, *tb.workload, *tb.edges);
+  auto heuristic_b = baselines::HeuristicB(*tb.schema, *tb.workload, *tb.edges);
+  baselines::OptimizerDesignerConfig designer;
+  designer.random_restarts = 4;
+  auto min_optimizer = baselines::MinimizeOptimizerCost(
+      *tb.schema, *tb.workload, *tb.edges, *tb.noisy_model, designer);
+
+  TablePrinter fig4a({"approach", "workload runtime", "vs RL online"});
+  double t_online = tb.Measure(online_result.best_state);
+  auto add = [&](const char* name, double t) {
+    fig4a.AddRow({name, Secs(t), FormatDouble(t / t_online, 2) + "x"});
+  };
+  add("Heuristic (a)", tb.Measure(heuristic_a));
+  add("Heuristic (b)", tb.Measure(heuristic_b));
+  add("Minimum Optimizer", tb.Measure(min_optimizer));
+  add("RL offline", tb.Measure(offline_result.best_state));
+  add("RL online", t_online);
+  std::cout << "\nExp 2 / Fig 4a: online RL vs baselines (TPC-CH, disk-based "
+               "engine)\n";
+  fig4a.Print();
+  std::cout << "RL offline design: "
+            << offline_result.best_state.PhysicalDesignKey() << "\n";
+  std::cout << "RL online  design: "
+            << online_result.best_state.PhysicalDesignKey() << "\n";
+
+  // --- Table 2: training-time reduction of the optimizations -------------
+  struct Variant {
+    const char* name;
+    rl::OnlineEnvOptions options;
+    bool bootstrapped;
+  };
+  const Variant kVariants[] = {
+      {"None", {false, false, false}, false},
+      {"+ Runtime Cache", {true, false, false}, false},
+      {"+ Lazy Repartitioning", {true, true, false}, false},
+      {"+ Timeouts", {true, true, true}, false},
+      {"+ Offline Phase", {true, true, true}, true},
+  };
+
+  TablePrinter table2({"Optimizations", "Training Time (sim. hours)",
+                       "Speedup", "queries run", "cache hits"});
+  double previous = 0.0;
+  for (const auto& variant : kVariants) {
+    OnlineSetup vsetup = MakeOnlineSetup(offline_result.best_state);
+    rl::OnlineEnv env(vsetup.sample_cluster.get(), vsetup.tb.workload.get(),
+                      vsetup.scale_factors, variant.options);
+    advisor::AdvisorConfig config;
+    config.dqn.tmax = 36;
+    // A cold agent needs the full schedule; the bootstrapped one refines.
+    config.offline_episodes = Scaled(1200);
+    config.online_episodes = variant.bootstrapped ? Scaled(300) : Scaled(600);
+    config.dqn.FitEpsilonSchedule(config.online_episodes +
+                                  (variant.bootstrapped ? config.offline_episodes : 0));
+    config.seed = 77;
+    advisor::PartitioningAdvisor agent(vsetup.tb.schema.get(),
+                                       *vsetup.tb.workload, config);
+    if (variant.bootstrapped) {
+      agent.TrainOffline(vsetup.tb.exact_model.get());
+      agent.TrainOnline(&env);
+    } else {
+      // Cold start: online training from scratch with full exploration.
+      agent.agent()->set_epsilon(1.0);
+      rl::FrequencySampler sampler = [&](Rng* rng) {
+        return workload::SampleUniformFrequencies(
+            vsetup.tb.workload->num_queries(), rng);
+      };
+      Rng rng(5);
+      agent.trainer().Train(agent.agent(), &env, sampler,
+                            config.online_episodes, &rng);
+    }
+    const auto& acc = env.accounting();
+    double hours = acc.total_seconds() / 3600.0;
+    table2.AddRow({variant.name, FormatDouble(hours, 4),
+                   previous > 0.0 ? FormatDouble(previous / hours, 1) + "x" : "-",
+                   std::to_string(acc.queries_executed),
+                   std::to_string(acc.cache_hits)});
+    previous = hours;
+  }
+  std::cout << "\nExp 2 / Table 2: online training time under cumulative "
+               "optimizations\n";
+  table2.Print();
+}
+
+}  // namespace
+}  // namespace lpa::bench
+
+int main() { lpa::bench::Main(); }

@@ -1,0 +1,144 @@
+// Exp 4 (Fig 7a/7b): DRL vs the learned-neural-cost-model alternative.
+// Both are bootstrapped offline on the simple cost model and refined online
+// with the SAME (simulated) cluster-time budget; the cost-model baseline
+// comes in an exploitation-driven and an exploration-driven variant.
+// (TPC-CH, disk-based engine.)
+
+#include <iostream>
+
+#include "baselines/learned_cost.h"
+#include "bench/bench_common.h"
+#include "rl/online_env.h"
+
+namespace lpa::bench {
+namespace {
+
+std::unique_ptr<engine::ClusterDatabase> MakeSample(const Testbed& tb) {
+  storage::GenerationConfig gen;
+  gen.fraction = DefaultFraction("tpcch");
+  gen.small_table_threshold = 64;
+  gen.seed = 42;
+  engine::EngineConfig config;
+  config.hardware = ProfileFor(EngineKind::kDiskBased);
+  config.seed = 43;
+  return std::make_unique<engine::ClusterDatabase>(
+      storage::Database::Generate(*tb.schema, *tb.workload, gen)
+          .Sample(0.2, 64, 7),
+      config, tb.planner_model.get());
+}
+
+void Main() {
+  Testbed tb =
+      MakeTestbed("tpcch", EngineKind::kDiskBased, DefaultFraction("tpcch"));
+  tb.workload->SetUniformFrequencies();
+  const int m = tb.workload->num_queries();
+  std::vector<double> uniform(static_cast<size_t>(m), 1.0);
+
+  // --- RL: offline + online -------------------------------------------
+  auto rl = TrainOfflineAdvisor(tb, 1200, 36);
+  auto rl_offline_design = rl->Suggest(uniform).best_state;
+  auto rl_sample = MakeSample(tb);
+  rl::OnlineEnv rl_env(rl_sample.get(), &rl->workload(), {},
+                       rl::OnlineEnvOptions{});
+  rl->set_online_episodes(Scaled(600));
+  rl->TrainOnline(&rl_env);
+  auto rl_online_design = rl->Suggest(uniform, &rl_env).best_state;
+  const double budget = rl_env.accounting().total_seconds();
+
+  // --- Learned cost model, same online budget ---------------------------
+  // Both variants are trained once and reused for Fig 7a and Fig 7b.
+  partition::Featurizer featurizer(tb.schema.get(), tb.edges.get(), m);
+  auto make_learned = [&](bool explore) {
+    baselines::LearnedCostConfig config;
+    // Match the RL agent's offline data volume: episodes x tmax pairs.
+    config.offline_minibatches =
+        std::max(100, Scaled(1200) * 36 / config.batch_size);
+    config.seed = explore ? 11 : 12;
+    auto learned = std::make_unique<baselines::LearnedCostAdvisor>(
+        tb.schema.get(), tb.edges.get(), tb.workload.get(), &featurizer,
+        config);
+    Rng rng(config.seed);
+    learned->TrainOffline(*tb.exact_model, &rng);
+    auto sample = MakeSample(tb);
+    rl::OnlineEnv env(sample.get(), tb.workload.get(), {},
+                      rl::OnlineEnvOptions{});
+    int iterations = learned->TrainOnline(&env, budget, explore, &rng);
+    std::cout << (explore ? "explore" : "exploit") << " variant: " << iterations
+              << " online iterations, "
+              << learned->distinct_partitionings_observed()
+              << " distinct partitionings measured\n";
+    return learned;
+  };
+  auto exploit = make_learned(false);
+  auto explore = make_learned(true);
+  auto learned_exploit_design = exploit->Suggest(uniform);
+  auto learned_explore_design = explore->Suggest(uniform);
+  std::cout << "RL online: " << rl_env.accounting().queries_executed
+            << " query executions across training\n";
+
+  // --- Fig 7a ------------------------------------------------------------
+  TablePrinter fig7a({"approach", "workload runtime", "vs RL online"});
+  double t_rl_online = tb.Measure(rl_online_design);
+  auto add = [&](const char* name, const partition::PartitioningState& d) {
+    double t = tb.Measure(d);
+    fig7a.AddRow({name, Secs(t), FormatDouble(t / t_rl_online, 2) + "x"});
+  };
+  add("RL (offline)", rl_offline_design);
+  fig7a.AddRow({"RL online", Secs(t_rl_online), "1.00x"});
+  add("Learned Costs (Exploit)", learned_exploit_design);
+  add("Learned Costs (Explore)", learned_explore_design);
+  std::cout << "\nExp 4 / Fig 7a: RL vs learned neural cost models (TPC-CH)\n";
+  fig7a.Print();
+
+  // --- Fig 7b: adaptivity accuracy over workload clusters A and B --------
+  std::vector<int> boosted;
+  {
+    schema::TableId stock = tb.schema->TableIndex("stock");
+    schema::TableId item = tb.schema->TableIndex("item");
+    for (int i = 0; i < m; ++i) {
+      const auto& q = tb.workload->query(i);
+      if (q.References(stock) && q.References(item)) boosted.push_back(i);
+    }
+  }
+  const int kTrials = std::max(6, 24 / BenchScale());
+  TablePrinter fig7b({"approach", "Workload A", "Workload B"});
+  std::vector<std::vector<int>> correct(3, std::vector<int>(2, 0));
+  for (int cluster = 0; cluster < 2; ++cluster) {
+    Rng rng(700 + static_cast<uint64_t>(cluster));
+    for (int trial = 0; trial < kTrials; ++trial) {
+      auto freqs = cluster == 0
+                       ? workload::SampleUniformFrequencies(m, &rng)
+                       : workload::SampleBoostedFrequencies(m, boosted, &rng);
+      std::vector<partition::PartitioningState> designs{
+          rl->Suggest(freqs, &rl_env).best_state, exploit->Suggest(freqs),
+          explore->Suggest(freqs)};
+      LPA_CHECK(tb.workload->SetFrequencies(freqs).ok());
+      double best = 1e300;
+      std::vector<double> runtime;
+      for (const auto& d : designs) {
+        runtime.push_back(tb.Measure(d));
+        best = std::min(best, runtime.back());
+      }
+      for (size_t a = 0; a < designs.size(); ++a) {
+        if (runtime[a] <= best * 1.02) ++correct[a][static_cast<size_t>(cluster)];
+      }
+    }
+  }
+  const char* kNames[] = {"RL (online)", "Learned Costs (Exploit)",
+                          "Learned Costs (Explore)"};
+  for (int a = 0; a < 3; ++a) {
+    fig7b.AddRow({kNames[a],
+                  FormatDouble(100.0 * correct[static_cast<size_t>(a)][0] /
+                                   kTrials, 0) + "%",
+                  FormatDouble(100.0 * correct[static_cast<size_t>(a)][1] /
+                                   kTrials, 0) + "%"});
+  }
+  std::cout << "\nExp 4 / Fig 7b: adaptivity to unseen mixes (share of mixes "
+               "with the best partitioning found)\n";
+  fig7b.Print();
+}
+
+}  // namespace
+}  // namespace lpa::bench
+
+int main() { lpa::bench::Main(); }

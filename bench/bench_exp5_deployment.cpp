@@ -1,0 +1,99 @@
+// Exp 5 (Fig 8a/8b): adaptivity to the deployment. On the microbenchmark
+// schema (fact A, dimensions B and C with C >> B), the question is whether
+// to replicate or partition B. With a 10 Gbps interconnect, partitioning
+// wins (the scan of B is distributed); at 0.6 Gbps, replication wins (no
+// shuffle). On weaker compute nodes the benefit of replication shrinks.
+// A DRL agent retrained per deployment should pick the winner every time.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace lpa::bench {
+namespace {
+
+struct Deployment {
+  const char* label;
+  costmodel::HardwareProfile profile;
+};
+
+void RunPanel(const char* title, const std::vector<Deployment>& deployments) {
+  TablePrinter panel({"deployment", "B replicated", "B partitioned",
+                      "RL (retrained)", "RL matches winner?"});
+  for (const auto& deployment : deployments) {
+    // Build a dedicated testbed on this hardware.
+    Testbed tb = MakeTestbed("micro", EngineKind::kInMemory,
+                             DefaultFraction("micro"));
+    // Swap in the deployment's profile everywhere.
+    tb.exact_model = std::make_unique<costmodel::CostModel>(
+        tb.schema.get(), deployment.profile);
+    tb.planner_model = std::make_unique<costmodel::NoisyOptimizerModel>(
+        tb.schema.get(), deployment.profile, 0.05, 43, false);
+    storage::GenerationConfig gen;
+    gen.fraction = DefaultFraction("micro");
+    gen.small_table_threshold = 64;
+    gen.seed = 42;
+    engine::EngineConfig engine_config;
+    engine_config.hardware = deployment.profile;
+    engine_config.seed = 42;
+    tb.cluster = std::make_unique<engine::ClusterDatabase>(
+        storage::Database::Generate(*tb.schema, *tb.workload, gen),
+        engine_config, tb.planner_model.get());
+    tb.workload->SetUniformFrequencies();
+
+    // The two hand-built designs of Fig 8: A co-partitioned with C always.
+    schema::TableId a = tb.schema->TableIndex("A");
+    schema::TableId b = tb.schema->TableIndex("B");
+    schema::TableId c = tb.schema->TableIndex("C");
+    auto base = tb.Initial();
+    LPA_CHECK(base.PartitionBy(a, tb.schema->table(a).ColumnIndex("a_c_id")).ok());
+    LPA_CHECK(base.PartitionBy(c, tb.schema->table(c).ColumnIndex("c_id")).ok());
+    auto b_replicated = base;
+    LPA_CHECK(b_replicated.Replicate(b).ok());
+    auto b_partitioned = base;
+    LPA_CHECK(
+        b_partitioned.PartitionBy(b, tb.schema->table(b).ColumnIndex("b_id")).ok());
+
+    // Retrain the advisor for this deployment (Sec 7.6).
+    auto advisor = TrainOfflineAdvisor(tb, 400, 8, /*seed=*/7);
+    std::vector<double> uniform(2, 1.0);
+    auto rl = advisor->Suggest(uniform);
+
+    // Fig 8 reports the query affected by the B decision (A join B).
+    const auto& q_ab = tb.workload->query(0);
+    auto measure = [&](const partition::PartitioningState& d) {
+      tb.cluster->ApplyDesign(d);
+      return tb.cluster->ExecuteQuery(q_ab).seconds;
+    };
+    double t_rep = measure(b_replicated);
+    double t_part = measure(b_partitioned);
+    double t_rl = measure(rl.best_state);
+    // Fig 8 reports speedups over the slowest approach.
+    double slowest = std::max({t_rep, t_part, t_rl});
+    bool matches = t_rl <= std::min(t_rep, t_part) * 1.03;
+    panel.AddRow({deployment.label,
+                  FormatDouble(slowest / t_rep, 2) + "x",
+                  FormatDouble(slowest / t_part, 2) + "x",
+                  FormatDouble(slowest / t_rl, 2) + "x",
+                  matches ? "yes" : "no"});
+  }
+  std::cout << "\n" << title << " (speedup over the slowest approach; higher "
+            << "is better)\n";
+  panel.Print();
+}
+
+void Main() {
+  using costmodel::HardwareProfile;
+  RunPanel("Exp 5 / Fig 8a: standard hardware",
+           {{"10 Gbps", HardwareProfile::InMemory10G()},
+            {"0.6 Gbps", HardwareProfile::InMemory06G()}});
+  RunPanel("Exp 5 / Fig 8b: slower compute nodes",
+           {{"10 Gbps", HardwareProfile::SlowerCompute10G()},
+            {"0.6 Gbps",
+             HardwareProfile::SlowerCompute10G().WithBandwidthGbps(0.6)}});
+}
+
+}  // namespace
+}  // namespace lpa::bench
+
+int main() { lpa::bench::Main(); }

@@ -1,0 +1,208 @@
+// Component microbenchmarks (google-benchmark): throughput guardrails for
+// the library's hot paths — cost-model planning, featurization, NN forward/
+// train, engine execution, and data generation.
+
+#include <benchmark/benchmark.h>
+
+#include "advisor/workload_monitor.h"
+#include "costmodel/cost_model.h"
+#include "sql/ddl.h"
+#include "sql/parser.h"
+#include "engine/cluster.h"
+#include "nn/mlp.h"
+#include "partition/featurizer.h"
+#include "rl/dqn.h"
+#include "schema/catalogs.h"
+#include "storage/database.h"
+#include "workload/benchmarks.h"
+
+namespace lpa {
+namespace {
+
+struct SsbFixture {
+  SsbFixture()
+      : schema(schema::MakeSsbSchema()),
+        wl(workload::MakeSsbWorkload(schema)),
+        edges(partition::EdgeSet::Extract(schema, wl)),
+        model(&schema, costmodel::HardwareProfile::DiskBased10G()),
+        state(partition::PartitioningState::Initial(&schema, &edges)) {}
+
+  schema::Schema schema;
+  workload::Workload wl;
+  partition::EdgeSet edges;
+  costmodel::CostModel model;
+  partition::PartitioningState state;
+};
+
+SsbFixture& Ssb() {
+  static SsbFixture fixture;
+  return fixture;
+}
+
+void BM_CostModelPlanSsbQuery(benchmark::State& s) {
+  auto& f = Ssb();
+  const auto& q = f.wl.query(10);  // q4.1: all five tables
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(f.model.QueryCost(q, f.state));
+  }
+}
+BENCHMARK(BM_CostModelPlanSsbQuery);
+
+void BM_CostModelPlanTpcdsQuery(benchmark::State& s) {
+  static schema::Schema schema = schema::MakeTpcdsSchema();
+  static workload::Workload wl = workload::MakeTpcdsWorkload(schema);
+  static partition::EdgeSet edges = partition::EdgeSet::Extract(schema, wl);
+  static costmodel::CostModel model(&schema,
+                                    costmodel::HardwareProfile::DiskBased10G());
+  static auto state = partition::PartitioningState::Initial(&schema, &edges);
+  const auto& q = wl.query(53);  // 6-table demographic query
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(model.QueryCost(q, state));
+  }
+}
+BENCHMARK(BM_CostModelPlanTpcdsQuery);
+
+void BM_FeaturizerEncodeState(benchmark::State& s) {
+  auto& f = Ssb();
+  partition::Featurizer featurizer(&f.schema, &f.edges, f.wl.num_queries());
+  std::vector<double> freqs(static_cast<size_t>(f.wl.num_queries()), 1.0);
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(featurizer.EncodeState(f.state, freqs));
+  }
+}
+BENCHMARK(BM_FeaturizerEncodeState);
+
+void BM_LegalActions(benchmark::State& s) {
+  auto& f = Ssb();
+  partition::ActionSpace actions(&f.schema, &f.edges);
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(actions.LegalActions(f.state));
+  }
+}
+BENCHMARK(BM_LegalActions);
+
+void BM_MlpForward128x64(benchmark::State& s) {
+  nn::MlpConfig config;
+  config.input_dim = 64;
+  config.hidden = {128, 64};
+  config.output_dim = 32;
+  nn::Mlp mlp(config);
+  nn::Matrix x(32, 64, 0.1);
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(mlp.Forward(x));
+  }
+}
+BENCHMARK(BM_MlpForward128x64);
+
+void BM_DqnTrainStep(benchmark::State& s) {
+  auto& f = Ssb();
+  partition::ActionSpace actions(&f.schema, &f.edges);
+  partition::Featurizer featurizer(&f.schema, &f.edges, f.wl.num_queries());
+  rl::DqnConfig config;
+  config.tmax = 16;
+  rl::DqnAgent agent(&featurizer, &actions, config);
+  std::vector<double> freqs(static_cast<size_t>(f.wl.num_queries()), 1.0);
+  auto enc = featurizer.EncodeState(f.state, freqs);
+  auto legal = actions.LegalActions(f.state);
+  for (int i = 0; i < 64; ++i) {
+    agent.Observe(rl::Transition{enc, legal[0], -1.0, enc, legal});
+  }
+  Rng rng(3);
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(agent.TrainStep(&rng));
+  }
+}
+BENCHMARK(BM_DqnTrainStep);
+
+void BM_EngineExecuteQuery(benchmark::State& s) {
+  auto& f = Ssb();
+  storage::GenerationConfig gen;
+  gen.fraction = 2e-4;
+  gen.seed = 5;
+  static engine::ClusterDatabase cluster(
+      storage::Database::Generate(f.schema, f.wl, gen),
+      engine::EngineConfig{costmodel::HardwareProfile::DiskBased10G(), 0.0, 5},
+      &f.model);
+  cluster.ApplyDesign(f.state);
+  const auto& q = f.wl.query(6);  // q3.1
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(cluster.ExecuteQuery(q));
+  }
+}
+BENCHMARK(BM_EngineExecuteQuery);
+
+void BM_GenerateSsbDatabase(benchmark::State& s) {
+  auto& f = Ssb();
+  storage::GenerationConfig gen;
+  gen.fraction = 1e-4;
+  gen.seed = 5;
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(storage::Database::Generate(f.schema, f.wl, gen));
+  }
+}
+BENCHMARK(BM_GenerateSsbDatabase);
+
+void BM_RepartitionFactTable(benchmark::State& s) {
+  auto& f = Ssb();
+  storage::GenerationConfig gen;
+  gen.fraction = 2e-4;
+  gen.seed = 5;
+  engine::ClusterDatabase cluster(
+      storage::Database::Generate(f.schema, f.wl, gen),
+      engine::EngineConfig{costmodel::HardwareProfile::DiskBased10G(), 0.0, 5},
+      &f.model);
+  auto a = partition::PartitioningState::Initial(&f.schema, &f.edges);
+  auto b = a;
+  schema::TableId lo = f.schema.TableIndex("lineorder");
+  LPA_CHECK(b.PartitionBy(lo, f.schema.table(lo).ColumnIndex("lo_custkey")).ok());
+  bool flip = false;
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(cluster.ApplyDesign(flip ? a : b));
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_RepartitionFactTable);
+
+void BM_SqlParseQuery(benchmark::State& s) {
+  auto& f = Ssb();
+  const std::string sql =
+      "SELECT SUM(lo_payload) FROM lineorder l, customer c, supplier su, date d "
+      "WHERE l.lo_custkey = c.c_custkey AND l.lo_suppkey = su.s_suppkey "
+      "AND l.lo_orderdate = d.d_datekey AND c.c_region = 1 AND su.s_nation = 7 "
+      "GROUP BY d.d_year ORDER BY d.d_year LIMIT 100";
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(sql::ParseQuery(sql, f.schema, "bench"));
+  }
+}
+BENCHMARK(BM_SqlParseQuery);
+
+void BM_DdlParseSchema(benchmark::State& s) {
+  const std::string ddl =
+      "CREATE TABLE region (r_id INT PRIMARY KEY, r_name VARCHAR(32)) ROWS 50;"
+      "CREATE TABLE product (p_id INT PRIMARY KEY, "
+      "p_region INT REFERENCES region(r_id), p_category INT DISTINCT 40, "
+      "p_name VARCHAR(80)) ROWS 2000000;"
+      "CREATE TABLE sales (s_id BIGINT PRIMARY KEY, "
+      "s_product INT REFERENCES product(p_id), s_amount DECIMAL(10,2)) "
+      "FACT ROWS 400000000;";
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(sql::ParseDdl(ddl));
+  }
+}
+BENCHMARK(BM_DdlParseSchema);
+
+void BM_ClassifyQueryInstance(benchmark::State& s) {
+  auto& f = Ssb();
+  advisor::QueryClassifier classifier(&f.wl);
+  Rng rng(3);
+  auto instance = workload::MakeParameterizedSsbInstance(f.wl, 6, 0.3, &rng);
+  for (auto _ : s) {
+    benchmark::DoNotOptimize(classifier.Classify(instance));
+  }
+}
+BENCHMARK(BM_ClassifyQueryInstance);
+
+}  // namespace
+}  // namespace lpa
+
+BENCHMARK_MAIN();

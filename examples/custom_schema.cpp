@@ -1,0 +1,138 @@
+// Using the advisor on YOUR schema and workload: define tables through the
+// Schema API, hand the workload over as plain SQL text, train, and get a
+// partitioning back. This is the integration path a cloud partitioning
+// advisor service would expose to customers (Fig 1).
+//
+//   $ ./build/examples/custom_schema
+
+#include <iostream>
+
+#include "advisor/advisor.h"
+#include "sql/parser.h"
+
+int main() {
+  using namespace lpa;
+
+  // --- 1. Describe the schema (a small web-shop warehouse) --------------
+  schema::Schema schema("webshop");
+  {
+    schema::Table t;
+    t.name = "sales";
+    t.row_count = 80'000'000;
+    t.is_fact = true;
+    t.columns = {schema::MakeColumn("sale_id", 80'000'000, 8, true),
+                 schema::MakeColumn("product_id", 500'000, 8, true),
+                 schema::MakeColumn("user_id", 4'000'000, 8, true),
+                 schema::MakeColumn("day_id", 1'460, 8, true),
+                 schema::MakeColumn("amount", 10'000, 8, false)};
+    t.primary_key = 0;
+    schema.AddTable(std::move(t));
+  }
+  {
+    schema::Table t;
+    t.name = "products";
+    t.row_count = 500'000;
+    t.columns = {schema::MakeColumn("product_id", 500'000, 8, true),
+                 schema::MakeColumn("category", 40, 8, false),
+                 schema::MakeColumn("details", 500'000, 180, false)};
+    t.primary_key = 0;
+    schema.AddTable(std::move(t));
+  }
+  {
+    schema::Table t;
+    t.name = "users";
+    t.row_count = 4'000'000;
+    t.columns = {schema::MakeColumn("user_id", 4'000'000, 8, true),
+                 schema::MakeColumn("country", 60, 8, false),
+                 schema::MakeColumn("profile", 4'000'000, 120, false)};
+    t.primary_key = 0;
+    schema.AddTable(std::move(t));
+  }
+  {
+    schema::Table t;
+    t.name = "days";
+    t.row_count = 1'460;
+    t.columns = {schema::MakeColumn("day_id", 1'460, 8, true),
+                 schema::MakeColumn("month", 48, 8, false)};
+    t.primary_key = 0;
+    schema.AddTable(std::move(t));
+  }
+  if (auto st = schema.AddForeignKey("sales", "product_id", "products", "product_id");
+      !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  (void)schema.AddForeignKey("sales", "user_id", "users", "user_id");
+  (void)schema.AddForeignKey("sales", "day_id", "days", "day_id");
+
+  // --- 2. The workload, as SQL ------------------------------------------
+  const char* kWorkloadSql = R"sql(
+    SELECT p.category, SUM(s.amount)
+    FROM sales s, products p, days d
+    WHERE s.product_id = p.product_id AND s.day_id = d.day_id
+      AND d.month = 7
+    GROUP BY p.category;
+
+    SELECT u.country, COUNT(s.sale_id)
+    FROM sales s, users u
+    WHERE s.user_id = u.user_id AND u.country = 14
+    GROUP BY u.country;
+
+    SELECT d.month, SUM(s.amount)
+    FROM sales s, days d
+    WHERE s.day_id = d.day_id AND d.month BETWEEN 1 AND 6
+    GROUP BY d.month;
+
+    SELECT p.category, u.country, SUM(s.amount)
+    FROM sales s, products p, users u
+    WHERE s.product_id = p.product_id AND s.user_id = u.user_id
+      AND p.category IN (3, 7, 12)
+    GROUP BY p.category, u.country;
+  )sql";
+
+  auto queries = sql::ParseScript(kWorkloadSql, schema, "webshop_q");
+  if (!queries.ok()) {
+    std::cerr << "workload parse error: " << queries.status().ToString() << "\n";
+    return 1;
+  }
+  workload::Workload workload(std::move(*queries));
+  workload.SetUniformFrequencies();
+  std::cout << "parsed " << workload.num_queries() << " SQL queries\n";
+
+  // --- 3. Train and suggest ----------------------------------------------
+  costmodel::CostModel cost_model(&schema,
+                                  costmodel::HardwareProfile::InMemory10G());
+  advisor::AdvisorConfig config;
+  config.offline_episodes = 250;
+  config.dqn.tmax = 12;
+  config.dqn.FitEpsilonSchedule(config.offline_episodes);
+  // Reserve room for queries the business adds next quarter (Sec 5).
+  config.reserve_query_slots = 4;
+  advisor::PartitioningAdvisor advisor(&schema, workload, config);
+  advisor.TrainOffline(&cost_model);
+
+  std::vector<double> mix(static_cast<size_t>(workload.num_queries()), 1.0);
+  auto suggestion = advisor.Suggest(mix);
+  std::cout << "\nsuggested design: "
+            << suggestion.best_state.PhysicalDesignKey() << "\n";
+
+  // --- 4. Later: a new query shows up ------------------------------------
+  auto extra = sql::ParseQuery(
+      "SELECT COUNT(s.sale_id) FROM sales s, products p "
+      "WHERE s.product_id = p.product_id AND p.category = 9 "
+      "GROUP BY p.category",
+      schema, "webshop_new");
+  if (!extra.ok()) {
+    std::cerr << extra.status().ToString() << "\n";
+    return 1;
+  }
+  auto indices = advisor.AddQueries({*extra});
+  advisor.TrainIncremental(advisor.offline_env(), indices, 40);
+  std::vector<double> new_mix(static_cast<size_t>(advisor.workload().num_queries()),
+                              0.3);
+  new_mix.back() = 1.0;  // the new query dominates
+  auto updated = advisor.Suggest(new_mix);
+  std::cout << "after incremental training for the new query: "
+            << updated.best_state.PhysicalDesignKey() << "\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: train a partitioning advisor for the Star Schema Benchmark
+// and ask it for a partitioning, end to end in ~a minute.
+//
+//   $ ./build/examples/quickstart
+
+#include <iostream>
+
+#include "advisor/advisor.h"
+#include "schema/catalogs.h"
+#include "workload/benchmarks.h"
+
+int main() {
+  using namespace lpa;
+
+  // 1. The database: schema metadata (table sizes, candidate partitioning
+  //    columns) and a representative workload.
+  schema::Schema schema = schema::MakeSsbSchema();
+  workload::Workload workload = workload::MakeSsbWorkload(schema);
+  std::cout << "schema '" << schema.name() << "': " << schema.num_tables()
+            << " tables, workload: " << workload.num_queries() << " queries\n";
+
+  // 2. The offline training substrate: the network-centric cost model for a
+  //    6-node disk-based cluster (Postgres-XL-like).
+  costmodel::CostModel cost_model(&schema,
+                                  costmodel::HardwareProfile::DiskBased10G());
+
+  // 3. Train the DRL advisor offline (Sec 4.1). Table 1 hyperparameters are
+  //    the defaults; we shorten the schedule for a quick demo.
+  advisor::AdvisorConfig config;
+  config.offline_episodes = 300;
+  config.dqn.tmax = 16;
+  config.dqn.FitEpsilonSchedule(config.offline_episodes);
+  advisor::PartitioningAdvisor advisor(&schema, workload, config);
+  std::cout << "training offline (" << config.offline_episodes
+            << " episodes)...\n";
+  advisor.TrainOffline(&cost_model);
+
+  // 4. Ask for a partitioning for the current workload mix.
+  std::vector<double> uniform(static_cast<size_t>(workload.num_queries()), 1.0);
+  auto suggestion = advisor.Suggest(uniform);
+
+  std::cout << "\nsuggested partitioning:\n";
+  for (schema::TableId t = 0; t < schema.num_tables(); ++t) {
+    const auto& tp = suggestion.best_state.table_partition(t);
+    std::cout << "  ALTER TABLE " << schema.table(t).name;
+    if (tp.replicated) {
+      std::cout << " REPLICATE;\n";
+    } else {
+      std::cout << " DISTRIBUTE BY HASH("
+                << schema.table(t).columns[static_cast<size_t>(tp.column)].name
+                << ");\n";
+    }
+  }
+
+  auto s0 = partition::PartitioningState::Initial(&schema, &advisor.edges());
+  workload.SetUniformFrequencies();
+  double before = cost_model.WorkloadCost(workload, s0);
+  double after = cost_model.WorkloadCost(workload, suggestion.best_state);
+  std::cout << "\nestimated workload cost: " << before << "s -> " << after
+            << "s (" << static_cast<int>(100.0 * (1.0 - after / before))
+            << "% better than hash-by-primary-key)\n";
+  return 0;
+}

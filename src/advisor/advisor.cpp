@@ -1,0 +1,133 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace lpa::advisor {
+
+PartitioningAdvisor::PartitioningAdvisor(const schema::Schema* schema,
+                                         workload::Workload workload,
+                                         AdvisorConfig config)
+    : schema_(schema),
+      workload_(std::move(workload)),
+      config_(std::move(config)),
+      edges_(partition::EdgeSet::Extract(*schema, workload_)),
+      actions_(schema, &edges_),
+      rng_(HashCombine(config_.seed, 0xad7150ULL)) {
+  featurizers_.push_back(std::make_unique<partition::Featurizer>(
+      schema, &edges_,
+      workload_.num_queries() + config_.reserve_query_slots));
+  rl::DqnConfig dqn = config_.dqn;
+  dqn.seed = config_.seed;
+  dqn.tmax = std::max(dqn.tmax, schema->num_tables());
+  agent_ = std::make_unique<rl::DqnAgent>(featurizers_.back().get(), &actions_,
+                                          dqn);
+  trainer_ = std::make_unique<rl::EpisodeTrainer>(schema, &edges_, &actions_,
+                                                  featurizers_.back().get());
+}
+
+rl::FrequencySampler PartitioningAdvisor::DefaultSampler() const {
+  int m = workload_.num_queries();
+  return [m](Rng* rng) { return workload::SampleUniformFrequencies(m, rng); };
+}
+
+double PartitioningAdvisor::EpsilonAfter(int episodes) const {
+  double eps = config_.dqn.epsilon_start *
+               std::pow(config_.dqn.epsilon_decay, episodes);
+  return std::max(eps, config_.dqn.epsilon_min);
+}
+
+rl::TrainingResult PartitioningAdvisor::TrainOffline(
+    const costmodel::CostModel* model, rl::FrequencySampler sampler) {
+  offline_env_ = std::make_unique<rl::OfflineEnv>(model, &workload_);
+  if (!sampler) sampler = DefaultSampler();
+  return trainer_->Train(agent_.get(), offline_env_.get(), sampler,
+                         config_.offline_episodes, &rng_);
+}
+
+rl::TrainingResult PartitioningAdvisor::TrainOnline(
+    rl::OnlineEnv* env, rl::FrequencySampler sampler) {
+  // Warm exploration restart (Sec 4.2): the ε the offline schedule reaches
+  // after half the usual number of episodes.
+  agent_->set_epsilon(EpsilonAfter(config_.offline_episodes / 2));
+  // Seed the timeout rule with r_offline (Sec 4.2): measure the offline
+  // solution once so obviously inferior partitionings get cut early.
+  if (offline_env_ != nullptr && env->best_known_cost() < 0.0 &&
+      env->options().use_timeouts) {
+    std::vector<double> uniform(
+        static_cast<size_t>(workload_.num_queries()), 1.0);
+    auto p_offline = Suggest(uniform);
+    env->WorkloadCost(p_offline.best_state, uniform);
+  }
+  if (!sampler) sampler = DefaultSampler();
+  return trainer_->Train(agent_.get(), env, sampler, config_.online_episodes,
+                         &rng_);
+}
+
+rl::InferenceResult PartitioningAdvisor::Suggest(
+    const std::vector<double>& frequencies) {
+  LPA_CHECK(offline_env_ != nullptr);  // inference reuses the simulation
+  return Suggest(frequencies, offline_env_.get());
+}
+
+rl::InferenceResult PartitioningAdvisor::Suggest(
+    const std::vector<double>& frequencies, rl::PartitioningEnv* env) {
+  if (config_.inference_extra_rollouts <= 0) {
+    return trainer_->Infer(*agent_, env, frequencies);
+  }
+  return trainer_->InferBest(*agent_, env, frequencies,
+                             config_.inference_extra_rollouts,
+                             config_.inference_epsilon, &rng_);
+}
+
+rl::InferenceResult PartitioningAdvisor::SuggestWithTransitionCost(
+    const std::vector<double>& frequencies,
+    const partition::PartitioningState& current_design, double weight,
+    const costmodel::CostModel* model) {
+  LPA_CHECK(offline_env_ != nullptr);
+  auto objective = [this, &frequencies, &current_design, weight,
+                    model](const partition::PartitioningState& s) {
+    return offline_env_->WorkloadCost(s, frequencies) +
+           weight * model->RepartitioningCost(current_design, s);
+  };
+  return trainer_->InferObjective(*agent_, frequencies, objective,
+                                  config_.inference_extra_rollouts,
+                                  config_.inference_epsilon, &rng_);
+}
+
+std::vector<int> PartitioningAdvisor::AddQueries(
+    std::vector<workload::QuerySpec> queries) {
+  std::vector<int> indices;
+  for (auto& q : queries) {
+    indices.push_back(workload_.AddQuery(std::move(q)));
+  }
+  int slots = featurizers_.back()->num_query_slots();
+  if (workload_.num_queries() > slots) {
+    int extra = workload_.num_queries() - slots;
+    featurizers_.push_back(std::make_unique<partition::Featurizer>(
+        schema_, &edges_, workload_.num_queries()));
+    agent_->ExtendStateInputs(extra, featurizers_.back().get());
+    trainer_ = std::make_unique<rl::EpisodeTrainer>(
+        schema_, &edges_, &actions_, featurizers_.back().get());
+  }
+  return indices;
+}
+
+rl::TrainingResult PartitioningAdvisor::TrainIncremental(
+    rl::PartitioningEnv* env, const std::vector<int>& new_queries,
+    int episodes) {
+  // Incremental training explores little: start from the ε of a mostly
+  // trained agent, and only sample mixes where the new queries occur.
+  agent_->set_epsilon(EpsilonAfter(config_.offline_episodes / 2));
+  int m = workload_.num_queries();
+  std::vector<int> boosted = new_queries;
+  rl::FrequencySampler sampler = [m, boosted](Rng* rng) {
+    return workload::SampleBoostedFrequencies(m, boosted, rng);
+  };
+  return trainer_->Train(agent_.get(), env, sampler, episodes, &rng_);
+}
+
+}  // namespace lpa::advisor

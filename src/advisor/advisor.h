@@ -1,0 +1,123 @@
+#pragma once
+
+#include <memory>
+
+#include "baselines/heuristics.h"
+#include "costmodel/cost_model.h"
+#include "rl/offline_env.h"
+#include "rl/online_env.h"
+#include "rl/trainer.h"
+
+namespace lpa::advisor {
+
+/// \brief End-to-end configuration of the learned partitioning advisor.
+struct AdvisorConfig {
+  rl::DqnConfig dqn;
+  /// Offline (cost-model) episodes; the paper uses 600 for SSB and 1200 for
+  /// TPC-DS / TPC-CH.
+  int offline_episodes = 600;
+  /// Online (measured-runtime) refinement episodes.
+  int online_episodes = 300;
+  /// Extra zero-initialized workload-state slots reserved for queries that
+  /// appear later (Sec 3.2 / Sec 5).
+  int reserve_query_slots = 0;
+  /// Additional ε-randomized inference rollouts beyond the paper's single
+  /// greedy one (0 reproduces Sec 6 exactly). They are priced by the
+  /// simulation, never the cluster, and smooth policy oscillation.
+  int inference_extra_rollouts = 4;
+  double inference_epsilon = 0.1;
+  uint64_t seed = 42;
+};
+
+/// \brief The learned partitioning advisor: the paper's primary contribution
+/// wrapped behind one facade (Fig 1).
+///
+/// Usage:
+///   PartitioningAdvisor advisor(&schema, workload, config);
+///   advisor.TrainOffline(&cost_model);            // step 1, simulation
+///   advisor.TrainOnline(&online_env);             // step 2, sampled cluster
+///   auto result = advisor.Suggest(frequencies);   // step 3, inference
+///   cluster.ApplyDesign(result.best_state);
+class PartitioningAdvisor {
+ public:
+  PartitioningAdvisor(const schema::Schema* schema,
+                      workload::Workload workload, AdvisorConfig config);
+
+  const schema::Schema& schema() const { return *schema_; }
+  const workload::Workload& workload() const { return workload_; }
+  workload::Workload& mutable_workload() { return workload_; }
+  const partition::EdgeSet& edges() const { return edges_; }
+  const partition::ActionSpace& actions() const { return actions_; }
+  const partition::Featurizer& featurizer() const { return *featurizers_.back(); }
+  const rl::EpisodeTrainer& trainer() const { return *trainer_; }
+  rl::DqnAgent* agent() { return agent_.get(); }
+  const AdvisorConfig& config() const { return config_; }
+  /// \brief Adjust the online-phase episode budget before TrainOnline.
+  void set_online_episodes(int episodes) { config_.online_episodes = episodes; }
+
+  /// \brief Phase 1 (Sec 4.1): bootstrap against the cost-model simulation.
+  /// `sampler` defaults to uniformly sampled workload mixes.
+  rl::TrainingResult TrainOffline(const costmodel::CostModel* model,
+                                  rl::FrequencySampler sampler = nullptr);
+
+  /// \brief Phase 2 (Sec 4.2): refine against measured runtimes. ε restarts
+  /// at the value the offline schedule reaches after half its episodes.
+  rl::TrainingResult TrainOnline(rl::OnlineEnv* env,
+                                 rl::FrequencySampler sampler = nullptr);
+
+  /// \brief Inference (Sec 6) against the offline simulation — requires
+  /// TrainOffline to have run.
+  rl::InferenceResult Suggest(const std::vector<double>& frequencies);
+
+  /// \brief Inference against an explicit environment (e.g. the online env,
+  /// whose Query Runtime Cache prices candidate states).
+  rl::InferenceResult Suggest(const std::vector<double>& frequencies,
+                              rl::PartitioningEnv* env);
+
+  /// \brief Repartitioning-cost-aware inference (the reward extension the
+  /// paper sketches at the end of Sec 3.2, for setups where repartitionings
+  /// are frequent): ranks candidate states by
+  ///   workload_cost + weight * repartitioning_cost(current_design -> state)
+  /// so the advisor prefers designs reachable cheaply from what is deployed.
+  /// `model` prices the data movement (typically the offline cost model).
+  rl::InferenceResult SuggestWithTransitionCost(
+      const std::vector<double>& frequencies,
+      const partition::PartitioningState& current_design, double weight,
+      const costmodel::CostModel* model);
+
+  /// \brief Incremental support for new queries (Sec 5): appends them to the
+  /// workload (frequency 0). Uses reserved state slots when available,
+  /// otherwise grows the Q-network input (zero-initialized, so behaviour on
+  /// the old workload is unchanged). Returns the new queries' indices.
+  std::vector<int> AddQueries(std::vector<workload::QuerySpec> queries);
+
+  /// \brief Incremental retraining: train for `episodes` episodes on mixes
+  /// where the given (new) queries occur, starting from a low ε.
+  rl::TrainingResult TrainIncremental(rl::PartitioningEnv* env,
+                                      const std::vector<int>& new_queries,
+                                      int episodes);
+
+  /// \brief The offline-simulation environment (valid after TrainOffline).
+  rl::OfflineEnv* offline_env() { return offline_env_.get(); }
+
+  /// \brief The ε value the offline schedule reaches after `episodes`.
+  double EpsilonAfter(int episodes) const;
+
+ private:
+  rl::FrequencySampler DefaultSampler() const;
+
+  const schema::Schema* schema_;
+  workload::Workload workload_;
+  AdvisorConfig config_;
+  partition::EdgeSet edges_;
+  partition::ActionSpace actions_;
+  /// All featurizers ever used; the agent points at the latest (earlier ones
+  /// stay alive because stored transitions may reference them).
+  std::vector<std::unique_ptr<partition::Featurizer>> featurizers_;
+  std::unique_ptr<rl::DqnAgent> agent_;
+  std::unique_ptr<rl::EpisodeTrainer> trainer_;
+  std::unique_ptr<rl::OfflineEnv> offline_env_;
+  Rng rng_;
+};
+
+}  // namespace lpa::advisor

@@ -1,0 +1,129 @@
+#include "advisor/committee.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace lpa::advisor {
+
+SubspaceCommittee::SubspaceCommittee(PartitioningAdvisor* naive,
+                                     rl::PartitioningEnv* env,
+                                     CommitteeConfig config)
+    : naive_(naive),
+      config_(std::move(config)),
+      rng_(HashCombine(config_.seed, 0xc0ff33ULL)) {
+  references_ = DeriveReferences(env);
+  for (int k = 0; k < static_cast<int>(references_.size()); ++k) {
+    experts_.push_back(TrainExpert(k, env, config_.expert_episodes));
+  }
+}
+
+std::vector<partition::PartitioningState> SubspaceCommittee::DeriveReferences(
+    rl::PartitioningEnv* env) const {
+  // Probe the naive model with per-query over-represented mixes; many
+  // queries share (cost-equivalent) answers, so the set stays small. A
+  // candidate becomes a new reference only when no existing reference serves
+  // its probe mix within 1% — textual design differences on tables the mix
+  // never touches do not create spurious experts.
+  std::vector<partition::PartitioningState> refs = references_;
+  int m = naive_->workload().num_queries();
+  for (int hot = 0; hot < m; ++hot) {
+    auto freqs = workload::OverRepresentedFrequencies(
+        m, hot, config_.low_frequency, config_.high_frequency);
+    auto result = naive_->Suggest(freqs, env);
+    double candidate_cost = env->WorkloadCost(result.best_state, freqs);
+    bool covered = false;
+    for (const auto& ref : refs) {
+      if (env->WorkloadCost(ref, freqs) <= candidate_cost * 1.01) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) refs.push_back(result.best_state);
+  }
+  return refs;
+}
+
+int SubspaceCommittee::AssignSubspace(const std::vector<double>& frequencies,
+                                      rl::PartitioningEnv* env) const {
+  LPA_CHECK(!references_.empty());
+  int best = 0;
+  double best_cost = env->WorkloadCost(references_[0], frequencies);
+  for (int k = 1; k < static_cast<int>(references_.size()); ++k) {
+    double cost = env->WorkloadCost(references_[static_cast<size_t>(k)],
+                                    frequencies);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = k;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<rl::DqnAgent> SubspaceCommittee::TrainExpert(
+    int subspace, rl::PartitioningEnv* env, int episodes) {
+  rl::DqnConfig config = naive_->config().dqn;
+  config.seed = HashCombine(config_.seed, static_cast<uint64_t>(subspace));
+  config.tmax = std::max(config.tmax, naive_->schema().num_tables());
+  auto expert = std::make_unique<rl::DqnAgent>(&naive_->featurizer(),
+                                               &naive_->actions(), config);
+  // Experts start from the trained naive model's weights and a low ε: the
+  // committee specialises an already-capable policy rather than exploring
+  // from scratch, and the runtime cache prices most designs already.
+  expert->CopyWeightsFrom(*naive_->agent());
+  expert->set_epsilon(
+      naive_->EpsilonAfter(naive_->config().offline_episodes / 2));
+
+  int m = naive_->workload().num_queries();
+  int attempts = config_.max_sampling_attempts;
+  rl::FrequencySampler sampler = [this, env, subspace, m,
+                                  attempts](Rng* rng) {
+    // Rejection-sample mixes belonging to this expert's subspace.
+    for (int i = 0; i < attempts; ++i) {
+      auto freqs = workload::SampleUniformFrequencies(m, rng);
+      if (AssignSubspace(freqs, env) == subspace) return freqs;
+    }
+    return workload::SampleUniformFrequencies(m, rng);
+  };
+  naive_->trainer().Train(expert.get(), env, sampler, episodes, &rng_);
+  return expert;
+}
+
+rl::InferenceResult SubspaceCommittee::Suggest(
+    const std::vector<double>& frequencies, rl::PartitioningEnv* env) const {
+  int k = AssignSubspace(frequencies, env);
+  const auto& config = naive_->config();
+  if (config.inference_extra_rollouts <= 0) {
+    return naive_->trainer().Infer(*experts_[static_cast<size_t>(k)], env,
+                                   frequencies);
+  }
+  return naive_->trainer().InferBest(
+      *experts_[static_cast<size_t>(k)], env, frequencies,
+      config.inference_extra_rollouts, config.inference_epsilon, &rng_);
+}
+
+int SubspaceCommittee::UpdateForNewQueries(rl::PartitioningEnv* env) {
+  auto fresh = DeriveReferences(env);
+  int new_experts = 0;
+  for (auto& ref : fresh) {
+    std::string key = ref.PhysicalDesignKey();
+    bool known = false;
+    for (const auto& existing : references_) {
+      if (existing.PhysicalDesignKey() == key) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    references_.push_back(ref);
+    // New subspaces get a shorter training run: the runtime cache already
+    // prices most designs (Sec 5).
+    experts_.push_back(TrainExpert(static_cast<int>(references_.size()) - 1,
+                                   env, config_.expert_episodes / 2));
+    ++new_experts;
+  }
+  return new_experts;
+}
+
+}  // namespace lpa::advisor

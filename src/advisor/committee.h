@@ -1,0 +1,74 @@
+#pragma once
+
+#include <memory>
+
+#include "advisor/advisor.h"
+
+namespace lpa::advisor {
+
+/// \brief Configuration of the DRL-subspace-experts committee (Sec 5).
+struct CommitteeConfig {
+  /// Frequencies used for the over-represented probe vectors that derive
+  /// the reference partitionings.
+  double low_frequency = 0.1;
+  double high_frequency = 1.0;
+  /// Training episodes per subspace expert.
+  int expert_episodes = 200;
+  /// Rejection-sampling attempts when drawing mixes from one subspace.
+  int max_sampling_attempts = 50;
+  uint64_t seed = 99;
+};
+
+/// \brief Committee of DRL subspace experts (Sec 5).
+///
+/// Built on top of a trained naive advisor: probing it with per-query
+/// over-represented frequency vectors yields a small set of *reference
+/// partitionings*; the workload (frequency) space is split by which
+/// reference design serves a mix best, and one expert agent is trained per
+/// subspace. Training reuses the environment's Query Runtime Cache, so it
+/// typically requires few (often no) additional cluster executions.
+class SubspaceCommittee {
+ public:
+  /// \brief Derive references and train the experts. `env` prices designs
+  /// (online env with cache, or the offline simulation).
+  SubspaceCommittee(PartitioningAdvisor* naive, rl::PartitioningEnv* env,
+                    CommitteeConfig config);
+
+  int num_experts() const { return static_cast<int>(experts_.size()); }
+  const std::vector<partition::PartitioningState>& reference_partitionings()
+      const {
+    return references_;
+  }
+
+  /// \brief Subspace of a frequency vector: the reference partitioning with
+  /// the lowest environment cost for that mix.
+  int AssignSubspace(const std::vector<double>& frequencies,
+                     rl::PartitioningEnv* env) const;
+
+  /// \brief Committee inference (Sec 6): route to the expert of the mix's
+  /// subspace and run its greedy rollout.
+  rl::InferenceResult Suggest(const std::vector<double>& frequencies,
+                              rl::PartitioningEnv* env) const;
+
+  /// \brief Incremental update after new queries were added to the naive
+  /// advisor and it was incrementally retrained (Sec 5): re-derive the
+  /// references; train experts only for genuinely new reference
+  /// partitionings. Returns the number of newly trained experts.
+  int UpdateForNewQueries(rl::PartitioningEnv* env);
+
+ private:
+  /// Derive references from the naive agent; returns deduplicated states.
+  std::vector<partition::PartitioningState> DeriveReferences(
+      rl::PartitioningEnv* env) const;
+  std::unique_ptr<rl::DqnAgent> TrainExpert(int subspace,
+                                            rl::PartitioningEnv* env,
+                                            int episodes);
+
+  PartitioningAdvisor* naive_;
+  CommitteeConfig config_;
+  std::vector<partition::PartitioningState> references_;
+  std::vector<std::unique_ptr<rl::DqnAgent>> experts_;
+  mutable Rng rng_;
+};
+
+}  // namespace lpa::advisor

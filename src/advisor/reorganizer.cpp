@@ -1,0 +1,115 @@
+#include "advisor/reorganizer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lpa::advisor {
+
+ReorganizationPlan ReorganizationPlanner::Plan(
+    const partition::PartitioningState& deployed,
+    const std::vector<std::vector<double>>& forecast, double weight) {
+  ReorganizationPlan plan;
+  if (forecast.empty()) return plan;
+  const int periods = static_cast<int>(forecast.size());
+
+  // Candidate designs: the deployed one plus the advisor's per-period
+  // suggestions (deduplicated by physical design).
+  std::vector<partition::PartitioningState> candidates{deployed};
+  for (const auto& mix : forecast) {
+    auto suggestion = advisor_->Suggest(mix, env_);
+    bool known = false;
+    for (const auto& c : candidates) {
+      if (c.SameDesign(suggestion.best_state)) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) candidates.push_back(suggestion.best_state);
+  }
+  const int k = static_cast<int>(candidates.size());
+
+  // Price every (period, candidate) pair and every movement pair.
+  std::vector<std::vector<double>> period_cost(
+      static_cast<size_t>(periods), std::vector<double>(static_cast<size_t>(k)));
+  for (int t = 0; t < periods; ++t) {
+    for (int d = 0; d < k; ++d) {
+      period_cost[static_cast<size_t>(t)][static_cast<size_t>(d)] =
+          env_->WorkloadCost(candidates[static_cast<size_t>(d)],
+                             forecast[static_cast<size_t>(t)]);
+    }
+  }
+  std::vector<std::vector<double>> move(
+      static_cast<size_t>(k), std::vector<double>(static_cast<size_t>(k), 0.0));
+  for (int a = 0; a < k; ++a) {
+    for (int b = 0; b < k; ++b) {
+      if (a != b) {
+        move[static_cast<size_t>(a)][static_cast<size_t>(b)] =
+            weight * model_->RepartitioningCost(candidates[static_cast<size_t>(a)],
+                                                candidates[static_cast<size_t>(b)]);
+      }
+    }
+  }
+
+  // Backward DP: best[t][d] = cost of periods t..end given design d is
+  // deployed at the start of period t (movement into d already paid).
+  std::vector<std::vector<double>> best(
+      static_cast<size_t>(periods + 1),
+      std::vector<double>(static_cast<size_t>(k), 0.0));
+  std::vector<std::vector<int>> next(
+      static_cast<size_t>(periods), std::vector<int>(static_cast<size_t>(k), 0));
+  for (int t = periods - 1; t >= 0; --t) {
+    for (int d = 0; d < k; ++d) {
+      double run = period_cost[static_cast<size_t>(t)][static_cast<size_t>(d)];
+      double bext = 1e300;
+      int barg = d;
+      for (int d2 = 0; d2 < k; ++d2) {
+        double ext = move[static_cast<size_t>(d)][static_cast<size_t>(d2)] +
+                     best[static_cast<size_t>(t + 1)][static_cast<size_t>(d2)];
+        if (ext < bext) {
+          bext = ext;
+          barg = d2;
+        }
+      }
+      if (t == periods - 1) {
+        bext = 0.0;  // nothing after the horizon
+        barg = d;
+      }
+      best[static_cast<size_t>(t)][static_cast<size_t>(d)] = run + bext;
+      next[static_cast<size_t>(t)][static_cast<size_t>(d)] = barg;
+    }
+  }
+
+  // The deployed design is candidate 0; the first period may also start with
+  // a repartition.
+  int current = 0;
+  {
+    double bstart = 1e300;
+    int barg = 0;
+    for (int d = 0; d < k; ++d) {
+      double total = move[0][static_cast<size_t>(d)] +
+                     best[0][static_cast<size_t>(d)];
+      if (total < bstart) {
+        bstart = total;
+        barg = d;
+      }
+    }
+    current = barg;
+    plan.total_cost = bstart;
+    plan.steps.push_back(ReorganizationStep{
+        0, current != 0, candidates[static_cast<size_t>(current)],
+        period_cost[0][static_cast<size_t>(current)],
+        move[0][static_cast<size_t>(current)]});
+  }
+  for (int t = 0; t + 1 < periods; ++t) {
+    int following = next[static_cast<size_t>(t)][static_cast<size_t>(current)];
+    plan.steps.push_back(ReorganizationStep{
+        t + 1, following != current, candidates[static_cast<size_t>(following)],
+        period_cost[static_cast<size_t>(t + 1)][static_cast<size_t>(following)],
+        move[static_cast<size_t>(current)][static_cast<size_t>(following)]});
+    current = following;
+  }
+  return plan;
+}
+
+}  // namespace lpa::advisor

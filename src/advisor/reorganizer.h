@@ -1,0 +1,66 @@
+#pragma once
+
+#include "advisor/advisor.h"
+
+namespace lpa::advisor {
+
+/// \brief One planned step: which design to run during a period.
+struct ReorganizationStep {
+  /// Index into the forecast the plan was built for.
+  int period;
+  /// True if the design changes at the start of this period.
+  bool repartition;
+  partition::PartitioningState design;
+  /// Predicted workload cost of this period under `design`.
+  double period_cost;
+  /// Data-movement cost paid at the start of this period (0 if none).
+  double move_cost;
+};
+
+/// \brief A full plan over the forecast horizon.
+struct ReorganizationPlan {
+  std::vector<ReorganizationStep> steps;
+  double total_cost = 0.0;  ///< sum of period costs + movement costs
+
+  int num_repartitions() const {
+    int n = 0;
+    for (const auto& s : steps) n += s.repartition ? 1 : 0;
+    return n;
+  }
+};
+
+/// \brief Proactive re-partitioning (the paper's future-work direction):
+/// given a *forecast* of workload mixes (e.g. the day/night or weekday/
+/// weekend cycle a workload-prediction system emits), decide when switching
+/// designs pays for its own data movement over the remaining horizon.
+///
+/// The planner asks the trained advisor for one candidate design per
+/// forecast period (plus the currently deployed design) and then solves the
+/// switching problem exactly by dynamic programming over (period, design):
+///   cost(t, d) = period_cost(t, d) + min over d' of
+///                [ cost(t+1, d') + move_cost(d -> d') ]
+/// Costs are priced by the environment (offline simulation or runtime
+/// cache); movement by the cost model's RepartitioningCost.
+class ReorganizationPlanner {
+ public:
+  /// \param advisor A trained advisor (used for candidate generation).
+  /// \param env Prices workload costs for the forecast mixes.
+  /// \param model Prices data movement between designs.
+  ReorganizationPlanner(PartitioningAdvisor* advisor, rl::PartitioningEnv* env,
+                        const costmodel::CostModel* model)
+      : advisor_(advisor), env_(env), model_(model) {}
+
+  /// \brief Plan over `forecast` (one frequency vector per period), starting
+  /// from `deployed`. `weight` scales movement costs (1 = movement counts
+  /// like workload time; larger = more reluctant to move).
+  ReorganizationPlan Plan(const partition::PartitioningState& deployed,
+                          const std::vector<std::vector<double>>& forecast,
+                          double weight = 1.0);
+
+ private:
+  PartitioningAdvisor* advisor_;
+  rl::PartitioningEnv* env_;
+  const costmodel::CostModel* model_;
+};
+
+}  // namespace lpa::advisor

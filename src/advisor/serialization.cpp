@@ -1,0 +1,13 @@
+#include "advisor/serialization.h"
+
+namespace lpa::advisor {
+
+Status SaveAgentSnapshot(const rl::DqnAgent& agent, std::ostream& os) {
+  return agent.Save(os);
+}
+
+Status LoadAgentSnapshot(std::istream& is, rl::DqnAgent* agent) {
+  return agent->Load(is);
+}
+
+}  // namespace lpa::advisor

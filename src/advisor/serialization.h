@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iostream>
+
+#include "advisor/advisor.h"
+
+namespace lpa::advisor {
+
+/// \brief Persist a trained agent's Q-networks and exploration state so an
+/// advisor can be rebuilt without retraining (the cloud-service deployment
+/// path of Fig 1: train once, then serve suggestions).
+///
+/// The stream stores the two networks plus the ε value; schema and workload
+/// are NOT stored — the caller reconstructs the advisor with the same schema
+/// and workload (the snapshot aborts loading if the network shapes disagree,
+/// which catches schema/workload mismatches).
+Status SaveAgentSnapshot(const rl::DqnAgent& agent, std::ostream& os);
+
+/// \brief Restore a snapshot into a freshly constructed agent. Fails if the
+/// architecture (featurizer dims / action space) does not match.
+Status LoadAgentSnapshot(std::istream& is, rl::DqnAgent* agent);
+
+}  // namespace lpa::advisor

@@ -1,0 +1,108 @@
+#include "advisor/workload_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lpa::advisor {
+
+QueryClassifier::QueryClassifier(const workload::Workload* workload)
+    : workload_(workload) {
+  signatures_.reserve(static_cast<size_t>(workload->num_queries()));
+  for (const auto& q : workload->queries()) {
+    signatures_.push_back(Signature(q));
+  }
+}
+
+std::string QueryClassifier::Signature(const workload::QuerySpec& query) {
+  std::vector<schema::TableId> tables = query.tables();
+  std::sort(tables.begin(), tables.end());
+  std::string sig = "T:";
+  for (auto t : tables) sig += std::to_string(t) + ",";
+  // Joined pairs as unordered (min,max) table ids, sorted.
+  std::vector<std::pair<int, int>> pairs;
+  for (const auto& join : query.joins) {
+    int a = join.left_table(), b = join.right_table();
+    pairs.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  sig += "J:";
+  for (const auto& [a, b] : pairs) {
+    sig += std::to_string(a) + "-" + std::to_string(b) + ",";
+  }
+  return sig;
+}
+
+double QueryClassifier::SelectivityDistance(const workload::QuerySpec& a,
+                                            const workload::QuerySpec& b) {
+  double distance = 0.0;
+  for (const auto& scan : a.scans) {
+    double sa = std::max(scan.selectivity, 1e-9);
+    double sb = std::max(b.SelectivityOf(scan.table), 1e-9);
+    distance += std::abs(std::log(sa) - std::log(sb));
+  }
+  return distance;
+}
+
+int QueryClassifier::Classify(const workload::QuerySpec& query) const {
+  std::string sig = Signature(query);
+  int best = -1;
+  double best_distance = 0.0;
+  for (int i = 0; i < workload_->num_queries(); ++i) {
+    if (signatures_[static_cast<size_t>(i)] != sig) continue;
+    double d = SelectivityDistance(query, workload_->query(i));
+    if (best < 0 || d < best_distance) {
+      best = i;
+      best_distance = d;
+    }
+  }
+  return best;
+}
+
+WorkloadMonitor::WorkloadMonitor(const workload::Workload* workload,
+                                 MonitorConfig config)
+    : workload_(workload),
+      config_(config),
+      classifier_(workload),
+      counts_(static_cast<size_t>(workload->num_queries()), 0.0) {}
+
+int WorkloadMonitor::Observe(const workload::QuerySpec& query) {
+  int slot = classifier_.Classify(query);
+  if (slot < 0) {
+    ++unknown_;
+    ++observations_;
+    return -1;
+  }
+  ObserveSlot(slot);
+  return slot;
+}
+
+void WorkloadMonitor::ObserveSlot(int slot) {
+  LPA_CHECK(slot >= 0 && slot < static_cast<int>(counts_.size()));
+  for (double& c : counts_) c *= config_.decay;
+  counts_[static_cast<size_t>(slot)] += 1.0;
+  ++observations_;
+}
+
+std::vector<double> WorkloadMonitor::CurrentFrequencies() const {
+  return workload::NormalizeFrequencies(counts_);
+}
+
+bool WorkloadMonitor::SuggestionStale() const {
+  if (observations_ == unknown_) return false;  // nothing classifiable yet
+  if (!has_suggestion_) return true;
+  auto current = CurrentFrequencies();
+  double distance = 0.0;
+  for (size_t i = 0; i < current.size(); ++i) {
+    distance += std::abs(current[i] - suggested_mix_[i]);
+  }
+  return distance > config_.retrigger_threshold;
+}
+
+void WorkloadMonitor::MarkSuggested() {
+  suggested_mix_ = CurrentFrequencies();
+  has_suggestion_ = true;
+}
+
+}  // namespace lpa::advisor

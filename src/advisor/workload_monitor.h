@@ -1,0 +1,89 @@
+#pragma once
+
+#include <vector>
+
+#include "workload/workload.h"
+
+namespace lpa::advisor {
+
+/// \brief Maps observed query instances to the representative-query slots of
+/// the trained workload (the bucketization of Sec 3.2): a parameterized
+/// query re-appearing with new parameter values lands in the representative
+/// slot whose selectivity profile is closest; structurally unknown queries
+/// are reported so incremental training (Sec 5) can pick them up.
+class QueryClassifier {
+ public:
+  explicit QueryClassifier(const workload::Workload* workload);
+
+  /// \brief Slot of the representative query matching `query` (same table
+  /// set, same joined table pairs; nearest selectivity profile among
+  /// matching templates), or -1 if no template matches structurally.
+  int Classify(const workload::QuerySpec& query) const;
+
+ private:
+  /// Structural signature: sorted tables + sorted joined pairs.
+  static std::string Signature(const workload::QuerySpec& query);
+  /// Log-scale distance between the selectivity profiles of two queries
+  /// over the same table set.
+  static double SelectivityDistance(const workload::QuerySpec& a,
+                                    const workload::QuerySpec& b);
+
+  const workload::Workload* workload_;
+  std::vector<std::string> signatures_;
+};
+
+/// \brief Monitoring configuration.
+struct MonitorConfig {
+  /// Exponential decay applied to all counters per observation; recent
+  /// queries dominate the mix.
+  double decay = 0.995;
+  /// L1 distance (of max-normalized frequency vectors) beyond which the
+  /// deployed partitioning's mix is considered stale.
+  double retrigger_threshold = 0.25;
+};
+
+/// \brief The production-side loop of Fig 1: watch the observed workload,
+/// maintain the frequency vector the advisor consumes, and flag when the
+/// mix has drifted far enough from the last suggestion to warrant asking
+/// the (already trained) advisor again.
+class WorkloadMonitor {
+ public:
+  WorkloadMonitor(const workload::Workload* workload, MonitorConfig config);
+
+  /// \brief Record one executed query instance. Returns its slot, or -1 for
+  /// structurally unknown queries (counted separately).
+  int Observe(const workload::QuerySpec& query);
+
+  /// \brief Record by slot directly (when the application routes by id).
+  void ObserveSlot(int slot);
+
+  /// \brief Current mix, normalized so the hottest slot is 1 (all zeros
+  /// before the first observation).
+  std::vector<double> CurrentFrequencies() const;
+
+  /// \brief Observations that matched no representative query. A growing
+  /// share here is the paper's cue for incremental retraining.
+  size_t unknown_queries() const { return unknown_; }
+  size_t observations() const { return observations_; }
+
+  /// \brief True if the mix drifted beyond the threshold since the last
+  /// MarkSuggested() (always true before the first suggestion once any
+  /// query was observed).
+  bool SuggestionStale() const;
+
+  /// \brief Remember the current mix as the one the deployed partitioning
+  /// was chosen for.
+  void MarkSuggested();
+
+ private:
+  const workload::Workload* workload_;
+  MonitorConfig config_;
+  QueryClassifier classifier_;
+  std::vector<double> counts_;
+  std::vector<double> suggested_mix_;
+  bool has_suggestion_ = false;
+  size_t unknown_ = 0;
+  size_t observations_ = 0;
+};
+
+}  // namespace lpa::advisor

@@ -1,0 +1,181 @@
+#include "baselines/heuristics.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "util/logging.h"
+
+namespace lpa::baselines {
+
+namespace {
+
+using partition::PartitioningState;
+using schema::Schema;
+using schema::TableId;
+using workload::Workload;
+
+bool IsStarSchema(const Schema& schema) {
+  for (const auto& t : schema.tables()) {
+    if (t.is_fact) return true;
+  }
+  return false;
+}
+
+/// Baseline design: tiny tables replicated, the rest hashed by primary key.
+PartitioningState DefaultDesign(const Schema& schema,
+                                const partition::EdgeSet& edges) {
+  auto state = PartitioningState::Initial(&schema, &edges);
+  for (TableId t = 0; t < schema.num_tables(); ++t) {
+    if (schema.table(t).total_bytes() < kReplicateBytesThreshold &&
+        !state.table_partition(t).replicated) {
+      LPA_CHECK(state.Replicate(t).ok());
+    }
+  }
+  return state;
+}
+
+/// The (fact column, dim column) pair used to co-partition `fact` with
+/// `dim`, taken from the workload's join predicates (preferring equalities
+/// on the dimension's primary key). Returns false if none exists.
+bool CoPartitionColumns(const Schema& schema, const Workload& workload,
+                        TableId fact, TableId dim, schema::ColumnId* fact_col,
+                        schema::ColumnId* dim_col) {
+  bool found = false;
+  for (const auto& q : workload.queries()) {
+    for (const auto& join : q.joins) {
+      if (!join.Connects(fact, dim)) continue;
+      for (const auto& eq : join.equalities) {
+        auto fc = eq.left.table == fact ? eq.left : eq.right;
+        auto dc = eq.left.table == dim ? eq.left : eq.right;
+        if (fc.table != fact || dc.table != dim) continue;
+        if (!schema.column(fc).partitionable || !schema.column(dc).partitionable) {
+          continue;
+        }
+        bool is_pk = dc.column == schema.table(dim).primary_key;
+        if (!found || is_pk) {
+          *fact_col = fc.column;
+          *dim_col = dc.column;
+          found = true;
+        }
+        if (is_pk) return true;
+      }
+    }
+  }
+  return found;
+}
+
+/// Star-schema heuristic shared skeleton: pick a dimension per fact table by
+/// `score`, co-partition, default everything else.
+PartitioningState StarHeuristic(
+    const Schema& schema, const Workload& workload,
+    const partition::EdgeSet& edges,
+    const std::function<double(TableId fact, TableId dim)>& score) {
+  auto state = DefaultDesign(schema, edges);
+  for (TableId fact = 0; fact < schema.num_tables(); ++fact) {
+    if (!schema.table(fact).is_fact) continue;
+    TableId best_dim = -1;
+    double best_score = 0.0;
+    for (TableId dim = 0; dim < schema.num_tables(); ++dim) {
+      if (dim == fact || schema.table(dim).is_fact) continue;
+      schema::ColumnId fc, dc;
+      if (!CoPartitionColumns(schema, workload, fact, dim, &fc, &dc)) continue;
+      double s = score(fact, dim);
+      if (s > best_score) {
+        best_score = s;
+        best_dim = dim;
+      }
+    }
+    if (best_dim < 0) continue;
+    schema::ColumnId fc, dc;
+    LPA_CHECK(CoPartitionColumns(schema, workload, fact, best_dim, &fc, &dc));
+    LPA_CHECK(state.PartitionBy(fact, fc).ok());
+    // The chosen dimension may already carry a compatible partitioning from
+    // another fact table; first assignment wins.
+    const auto& current = state.table_partition(best_dim);
+    if (current.replicated || current.column != dc) {
+      if (state.PartitionBy(best_dim, dc).ok()) {
+        // re-partitioned for co-location
+      }
+    }
+  }
+  return state;
+}
+
+/// Number of workload queries joining `fact` with `dim`.
+double JoinFrequency(const Workload& workload, TableId fact, TableId dim) {
+  double count = 0;
+  for (int i = 0; i < workload.num_queries(); ++i) {
+    const auto& q = workload.query(i);
+    for (const auto& join : q.joins) {
+      if (join.Connects(fact, dim)) {
+        count += 1.0;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+/// Non-star heuristic (b): greedily co-partition the largest joined pairs.
+PartitioningState GreedyPairHeuristic(const Schema& schema,
+                                      const Workload& workload,
+                                      const partition::EdgeSet& edges) {
+  (void)workload;
+  auto state = DefaultDesign(schema, edges);
+  // Order candidate edges by the size of the smaller endpoint, descending.
+  std::vector<int> order(static_cast<size_t>(edges.size()));
+  for (int e = 0; e < edges.size(); ++e) order[static_cast<size_t>(e)] = e;
+  auto pair_size = [&](int e) {
+    const auto& edge = edges.edge(e);
+    return std::min(schema.table(edge.left.table).total_bytes(),
+                    schema.table(edge.right.table).total_bytes());
+  };
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return pair_size(a) > pair_size(b); });
+
+  std::vector<bool> assigned(static_cast<size_t>(schema.num_tables()), false);
+  for (int e : order) {
+    const auto& edge = edges.edge(e);
+    TableId l = edge.left.table, r = edge.right.table;
+    if (assigned[static_cast<size_t>(l)] || assigned[static_cast<size_t>(r)]) {
+      continue;
+    }
+    // Skip pairs involving replicated (small) tables.
+    if (state.table_partition(l).replicated || state.table_partition(r).replicated) {
+      continue;
+    }
+    LPA_CHECK(state.PartitionBy(l, edge.left.column).ok());
+    LPA_CHECK(state.PartitionBy(r, edge.right.column).ok());
+    assigned[static_cast<size_t>(l)] = assigned[static_cast<size_t>(r)] = true;
+  }
+  return state;
+}
+
+}  // namespace
+
+PartitioningState HeuristicA(const Schema& schema, const Workload& workload,
+                             const partition::EdgeSet& edges) {
+  if (IsStarSchema(schema)) {
+    return StarHeuristic(schema, workload, edges,
+                         [&](TableId fact, TableId dim) {
+                           return JoinFrequency(workload, fact, dim);
+                         });
+  }
+  // Non-star (a): replicate small, partition large by primary key.
+  return DefaultDesign(schema, edges);
+}
+
+PartitioningState HeuristicB(const Schema& schema, const Workload& workload,
+                             const partition::EdgeSet& edges) {
+  if (IsStarSchema(schema)) {
+    return StarHeuristic(schema, workload, edges,
+                         [&](TableId, TableId dim) {
+                           return static_cast<double>(
+                               schema.table(dim).total_bytes());
+                         });
+  }
+  return GreedyPairHeuristic(schema, workload, edges);
+}
+
+}  // namespace lpa::baselines

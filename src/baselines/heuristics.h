@@ -1,0 +1,35 @@
+#pragma once
+
+#include "partition/partition_state.h"
+#include "workload/workload.h"
+
+namespace lpa::baselines {
+
+/// \brief The DBA rules of thumb the paper compares against (Sec 7.1).
+///
+/// Star schemas (schemas with fact tables):
+///  * Heuristic (a): co-partition every fact table with the dimension it is
+///    joined with most frequently in the workload;
+///  * Heuristic (b): co-partition every fact table with the largest
+///    dimension table it joins.
+/// In both, the chosen dimension is partitioned by its join key, other
+/// tables are hash-partitioned by primary key, and tiny tables are
+/// replicated.
+///
+/// Non-star schemas (no fact tables, e.g. TPC-CH):
+///  * Heuristic (a): replicate small tables, partition large ones by primary
+///    key;
+///  * Heuristic (b): greedily co-partition the largest joined table pairs,
+///    replicating the small tables.
+partition::PartitioningState HeuristicA(const schema::Schema& schema,
+                                        const workload::Workload& workload,
+                                        const partition::EdgeSet& edges);
+
+partition::PartitioningState HeuristicB(const schema::Schema& schema,
+                                        const workload::Workload& workload,
+                                        const partition::EdgeSet& edges);
+
+/// \brief Replication size threshold (bytes) shared by both heuristics.
+inline constexpr int64_t kReplicateBytesThreshold = 64LL << 20;  // 64 MiB
+
+}  // namespace lpa::baselines

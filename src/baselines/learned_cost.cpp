@@ -1,0 +1,176 @@
+#include "baselines/learned_cost.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace lpa::baselines {
+
+namespace {
+
+using partition::PartitioningState;
+using partition::TablePartition;
+
+std::vector<TablePartition> AllOptions(const schema::Schema& schema,
+                                       schema::TableId t) {
+  std::vector<TablePartition> options;
+  const auto& table = schema.table(t);
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    if (table.columns[c].partitionable) {
+      options.push_back(TablePartition{false, static_cast<schema::ColumnId>(c)});
+    }
+  }
+  options.push_back(TablePartition{true, -1});
+  return options;
+}
+
+}  // namespace
+
+LearnedCostAdvisor::LearnedCostAdvisor(const schema::Schema* schema,
+                                       const partition::EdgeSet* edges,
+                                       const workload::Workload* workload,
+                                       const partition::Featurizer* featurizer,
+                                       LearnedCostConfig config)
+    : schema_(schema),
+      edges_(edges),
+      workload_(workload),
+      featurizer_(featurizer),
+      config_(std::move(config)),
+      scratch_rng_(HashCombine(config_.seed, 0xc057ULL)) {
+  nn::MlpConfig net;
+  net.input_dim = featurizer->state_dim();
+  net.hidden = config_.hidden;
+  net.output_dim = 1;
+  net.seed = config_.seed;
+  net_ = std::make_unique<nn::Mlp>(net);
+}
+
+PartitioningState LearnedCostAdvisor::RandomDesign(Rng* rng) const {
+  std::vector<TablePartition> design;
+  design.reserve(static_cast<size_t>(schema_->num_tables()));
+  for (schema::TableId t = 0; t < schema_->num_tables(); ++t) {
+    auto options = AllOptions(*schema_, t);
+    design.push_back(options[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(options.size()) - 1))]);
+  }
+  return PartitioningState::FromDesign(schema_, edges_, design);
+}
+
+void LearnedCostAdvisor::AddSample(const PartitioningState& state,
+                                   const std::vector<double>& frequencies,
+                                   double cost) {
+  inputs_.push_back(featurizer_->EncodeState(state, frequencies));
+  targets_.push_back(cost / normalization_);
+}
+
+void LearnedCostAdvisor::FitMinibatches(int updates, Rng* rng) {
+  if (inputs_.empty()) return;
+  const size_t b = static_cast<size_t>(config_.batch_size);
+  for (int u = 0; u < updates; ++u) {
+    nn::Matrix x(b, static_cast<size_t>(featurizer_->state_dim()));
+    nn::Matrix y(b, 1);
+    for (size_t r = 0; r < b; ++r) {
+      size_t idx = static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(inputs_.size()) - 1));
+      std::copy(inputs_[idx].begin(), inputs_[idx].end(), x.row(r));
+      y.at(r, 0) = targets_[idx];
+    }
+    net_->TrainMse(x, y, config_.learning_rate);
+  }
+}
+
+void LearnedCostAdvisor::TrainOffline(const costmodel::CostModel& model,
+                                      Rng* rng) {
+  // Normalize by the initial design's uniform-mix cost.
+  auto s0 = PartitioningState::Initial(schema_, edges_);
+  workload::Workload scratch = *workload_;
+  scratch.SetUniformFrequencies();
+  normalization_ = model.WorkloadCost(scratch, s0);
+  LPA_CHECK(normalization_ > 0.0);
+
+  // One fresh (partitioning, mix) sample per minibatch row keeps the data
+  // stream equivalent to `offline_minibatches * batch_size` pairs.
+  const size_t b = static_cast<size_t>(config_.batch_size);
+  for (int u = 0; u < config_.offline_minibatches; ++u) {
+    nn::Matrix x(b, static_cast<size_t>(featurizer_->state_dim()));
+    nn::Matrix y(b, 1);
+    for (size_t r = 0; r < b; ++r) {
+      PartitioningState design = RandomDesign(rng);
+      auto freqs = workload::SampleUniformFrequencies(workload_->num_queries(), rng);
+      LPA_CHECK(scratch.SetFrequencies(freqs).ok());
+      double cost = model.WorkloadCost(scratch, design);
+      auto enc = featurizer_->EncodeState(design, freqs);
+      std::copy(enc.begin(), enc.end(), x.row(r));
+      y.at(r, 0) = cost / normalization_;
+    }
+    net_->TrainMse(x, y, config_.learning_rate);
+  }
+}
+
+double LearnedCostAdvisor::Predict(const PartitioningState& state,
+                                   const std::vector<double>& frequencies) const {
+  auto enc = featurizer_->EncodeState(state, frequencies);
+  return net_->Forward(enc)[0] * normalization_;
+}
+
+PartitioningState LearnedCostAdvisor::Suggest(
+    const std::vector<double>& frequencies) const {
+  PartitioningState state = PartitioningState::Initial(schema_, edges_);
+  auto design = state.table_partitions();
+  double best = Predict(state, frequencies);
+  for (int iter = 0; iter < config_.minimize_iterations; ++iter) {
+    double round_best = best;
+    schema::TableId round_table = -1;
+    TablePartition round_option;
+    for (schema::TableId t = 0; t < schema_->num_tables(); ++t) {
+      TablePartition original = design[static_cast<size_t>(t)];
+      for (const auto& option : AllOptions(*schema_, t)) {
+        if (option == original) continue;
+        design[static_cast<size_t>(t)] = option;
+        double pred = Predict(
+            PartitioningState::FromDesign(schema_, edges_, design), frequencies);
+        if (pred < round_best) {
+          round_best = pred;
+          round_table = t;
+          round_option = option;
+        }
+      }
+      design[static_cast<size_t>(t)] = original;
+    }
+    if (round_table < 0) break;
+    design[static_cast<size_t>(round_table)] = round_option;
+    best = round_best;
+  }
+  return PartitioningState::FromDesign(schema_, edges_, design);
+}
+
+int LearnedCostAdvisor::TrainOnline(rl::OnlineEnv* env, double budget_seconds,
+                                    bool explore, Rng* rng) {
+  int iterations = 0;
+  int stalled = 0;
+  double start = env->accounting().total_seconds();
+  double last_spent = start;
+  while (env->accounting().total_seconds() - start < budget_seconds &&
+         iterations < config_.max_online_iterations) {
+    auto freqs =
+        workload::SampleUniformFrequencies(workload_->num_queries(), rng);
+    PartitioningState design =
+        explore ? RandomDesign(rng) : Suggest(freqs);
+    double measured = env->WorkloadCost(design, freqs);
+    AddSample(design, freqs, measured);
+    observed_.insert(design.PhysicalDesignKey());
+    FitMinibatches(config_.online_updates, rng);
+    ++iterations;
+    // The exploitation-driven variant eventually proposes only designs whose
+    // runtimes are fully cached: it spends no further cluster time and will
+    // never exhaust the budget. Stop once it stalls.
+    double spent = env->accounting().total_seconds();
+    stalled = spent > last_spent ? 0 : stalled + 1;
+    last_spent = spent;
+    if (stalled >= config_.stall_iterations) break;
+  }
+  return iterations;
+}
+
+}  // namespace lpa::baselines

@@ -1,0 +1,34 @@
+#pragma once
+
+#include "costmodel/cost_model.h"
+#include "partition/partition_state.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace lpa::baselines {
+
+/// \brief Search budget of the Minimum-Optimizer designer.
+struct OptimizerDesignerConfig {
+  /// Random restarts in addition to the deterministic start points
+  /// (primary-key hashing and both heuristics).
+  int random_restarts = 3;
+  /// Maximum steepest-descent iterations per start point.
+  int max_iterations = 64;
+  uint64_t seed = 7;
+};
+
+/// \brief The classical automated-design baseline (Sec 7.1): enumerate
+/// candidate physical designs and return the one with minimal *optimizer*
+/// cost estimate — i.e. whatever `estimator` believes, errors included.
+/// Steepest-descent hill climbing over single-table design changes from
+/// several start points, with per-query estimate caching.
+///
+/// Feed it a NoisyOptimizerModel to reproduce the paper's baseline, or the
+/// exact CostModel for the "even if accurate estimates were available"
+/// comparison.
+partition::PartitioningState MinimizeOptimizerCost(
+    const schema::Schema& schema, const workload::Workload& workload,
+    const partition::EdgeSet& edges, const costmodel::CostModel& estimator,
+    const OptimizerDesignerConfig& config = {});
+
+}  // namespace lpa::baselines

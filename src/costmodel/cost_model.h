@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "costmodel/hardware.h"
+#include "partition/partition_state.h"
+#include "schema/schema.h"
+#include "workload/workload.h"
+
+namespace lpa::costmodel {
+
+/// \brief Per-join physical strategy the model (and the engine's planner)
+/// can choose from (Sec 4.1).
+enum class JoinStrategy {
+  kCoLocated = 0,        ///< both sides already aligned on the join key
+  kBroadcastLeft = 1,    ///< ship the full left input to every node
+  kBroadcastRight = 2,   ///< ship the full right input to every node
+  kRepartitionLeft = 3,  ///< hash-redistribute the left input only
+  kRepartitionRight = 4, ///< hash-redistribute the right input only
+  kRepartitionBoth = 5,  ///< symmetric repartitioning of both inputs
+};
+
+const char* JoinStrategyName(JoinStrategy s);
+
+/// \brief Node of a physical plan tree: a base-table scan or a binary join.
+struct PlanNode {
+  /// Base table (valid iff leaf).
+  schema::TableId table = -1;
+  /// Index into QuerySpec::joins (valid iff inner node).
+  int predicate = -1;
+  JoinStrategy strategy = JoinStrategy::kCoLocated;
+  /// When repartitioning or co-locating, the equality (index into the
+  /// predicate's equalities) whose columns carry the output partitioning.
+  int align_equality = 0;
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+  /// Model-estimated output cardinality of this node.
+  double est_card = 0.0;
+
+  bool is_scan() const { return table >= 0; }
+};
+
+/// \brief A physical plan with its cost breakdown (seconds).
+struct QueryPlan {
+  std::unique_ptr<PlanNode> root;
+  double scan_seconds = 0.0;
+  double net_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double output_seconds = 0.0;
+
+  double total_seconds() const {
+    return scan_seconds + net_seconds + cpu_seconds + output_seconds;
+  }
+
+  /// \brief Strategies in execution (bottom-up, left-deep-first) order —
+  /// handy for tests and logs.
+  std::vector<JoinStrategy> JoinStrategies() const;
+
+  /// \brief Render the plan tree as an indented string.
+  std::string ToString(const schema::Schema& schema,
+                       const workload::QuerySpec& query) const;
+};
+
+/// \brief The simple network-centric cost model of Sec 4.1.
+///
+/// Like an optimizer it enumerates join orders (dynamic programming over
+/// connected subgraphs, tracking the partitioning property of intermediates
+/// as equivalence classes of join columns) and picks, per join, the cheapest
+/// of co-located / broadcast / repartitioning strategies. The resulting
+/// estimate `cm(P, q)` is the reward signal of the offline training phase.
+///
+/// The `CardinalityScale` hook lets subclasses perturb join selectivities —
+/// the NoisyOptimizerModel baseline (baselines/optimizer_designer.h) uses it
+/// to reproduce the error structure of DBMS optimizer estimates.
+class CostModel {
+ public:
+  CostModel(const schema::Schema* schema, HardwareProfile hardware);
+  virtual ~CostModel() = default;
+
+  const HardwareProfile& hardware() const { return hardware_; }
+  const schema::Schema& schema() const { return *schema_; }
+
+  /// \brief Estimated runtime (seconds) of one query under a partitioning.
+  double QueryCost(const workload::QuerySpec& query,
+                   const partition::PartitioningState& state) const;
+
+  /// \brief Full plan (join order, strategies, cost breakdown).
+  QueryPlan PlanQuery(const workload::QuerySpec& query,
+                      const partition::PartitioningState& state) const;
+
+  /// \brief Frequency-weighted workload cost `sum_j f_j * cm(P, q_j)`.
+  double WorkloadCost(const workload::Workload& workload,
+                      const partition::PartitioningState& state) const;
+
+  /// \brief Estimated seconds to change the physical design from `from` to
+  /// `to`: every differing table is re-shuffled (or broadcast, when it
+  /// becomes replicated) across the cluster.
+  double RepartitioningCost(const partition::PartitioningState& from,
+                            const partition::PartitioningState& to) const;
+
+  /// \brief Multiplicative factor applied to the estimated selectivity of
+  /// join `join_index` of `query` when the joined subplan spans `num_joined`
+  /// base tables. The base model is exact (returns 1); noisy subclasses
+  /// override to model optimizer estimation errors.
+  virtual double CardinalityScale(const workload::QuerySpec& query,
+                                  int join_index, int num_joined) const;
+
+  /// \brief Multiplicative factor applied to the final cost estimate of
+  /// `query` under `state`. The base model returns 1; the noisy optimizer
+  /// model uses it to realize per-(query, design) estimation errors — a
+  /// design advisor minimizing such estimates suffers the winner's curse
+  /// (Sec 7.2's "erroneous cost estimates"). Plan *shape* selection
+  /// (PlanQuery) is unaffected.
+  virtual double DesignCostScale(const workload::QuerySpec& query,
+                                 const partition::PartitioningState& state) const;
+
+ protected:
+  const schema::Schema* schema_;
+  HardwareProfile hardware_;
+};
+
+/// \brief Expected max-shard / average-shard imbalance when hashing a column
+/// with `distinct` values onto `nodes` nodes (balls-into-bins estimate,
+/// capped at `nodes`). Partitioning TPC-CH tables by the 10-valued district
+/// id on a 6-node cluster yields roughly 2x imbalance; high-cardinality keys
+/// approach 1.
+double SkewFactor(int64_t distinct, int nodes);
+
+}  // namespace lpa::costmodel

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <algorithm>
+
+namespace lpa::costmodel {
+
+/// \brief Hardware / deployment characteristics of the database cluster.
+///
+/// The same profile parameterizes both the analytic cost model (offline
+/// training) and the execution engine's simulated clock (online training),
+/// so "migrating the cluster" (Exp 5) is a pure parameter change.
+struct HardwareProfile {
+  /// Number of database nodes (the paper provisions 4-6 node clusters).
+  int num_nodes = 6;
+  /// Point-to-point network bandwidth per node, bytes/second.
+  double network_bytes_per_sec = 1.25e9;  // 10 Gbps
+  /// Per-node throughput of exchange operators (serialization +
+  /// row-shipping). Disk-based row stores like Postgres-XL ship rows in a
+  /// textual wire format through slow paths, so their exchanges are
+  /// processing-bound long before the wire saturates.
+  double shuffle_bytes_per_sec = 0.5e9;
+  /// Sequential scan speed per node, bytes/second.
+  double scan_bytes_per_sec = 4.0e9;
+  /// Hash-join processing rate per node, tuples/second (build+probe).
+  double join_tuples_per_sec = 4.0e7;
+  /// Multiplier on scan costs for disk-based engines (>= 1).
+  double disk_scan_factor = 1.0;
+  /// Whether the engine pushes local predicates below exchange operators.
+  /// Postgres-XL frequently ships unfiltered base tables when a join is not
+  /// co-located; in-memory engines filter first.
+  bool pushdown_filters = true;
+
+  /// \brief Effective per-node exchange throughput.
+  double exchange_bytes_per_sec() const {
+    return std::min(network_bytes_per_sec, shuffle_bytes_per_sec);
+  }
+
+  /// \brief System-X-like: distributed in-memory DBMS, 10 Gbps interconnect.
+  static HardwareProfile InMemory10G() { return HardwareProfile{}; }
+
+  /// \brief Same cluster with the 0.6 Gbps interconnect of a basic cloud
+  /// deployment (Exp 5).
+  static HardwareProfile InMemory06G() {
+    return InMemory10G().WithBandwidthGbps(0.6);
+  }
+
+  /// \brief Postgres-XL-like: disk-based scans, row-shipping exchanges that
+  /// are far slower than the wire, and no predicate pushdown below
+  /// exchanges.
+  static HardwareProfile DiskBased10G() {
+    HardwareProfile p;
+    p.scan_bytes_per_sec = 1.5e9;
+    p.disk_scan_factor = 1.2;
+    p.join_tuples_per_sec = 2.0e7;
+    p.shuffle_bytes_per_sec = 0.04e9;
+    p.pushdown_filters = false;
+    return p;
+  }
+
+  /// \brief Exp 5's less powerful compute nodes (slower scans and joins),
+  /// 10 Gbps variant; combine with `WithBandwidthGbps(0.6)` for the slow net.
+  static HardwareProfile SlowerCompute10G() {
+    HardwareProfile p;
+    p.scan_bytes_per_sec = 2.6e9;
+    p.join_tuples_per_sec = 2.0e7;
+    return p;
+  }
+
+  /// \brief Copy of this profile with the given interconnect bandwidth.
+  HardwareProfile WithBandwidthGbps(double gbps) const {
+    HardwareProfile p = *this;
+    p.network_bytes_per_sec = gbps * 1e9 / 8.0;
+    return p;
+  }
+
+  /// \brief Copy with a different node count.
+  HardwareProfile WithNodes(int n) const {
+    HardwareProfile p = *this;
+    p.num_nodes = n;
+    return p;
+  }
+};
+
+}  // namespace lpa::costmodel

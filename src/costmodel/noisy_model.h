@@ -1,0 +1,59 @@
+#pragma once
+
+#include "costmodel/cost_model.h"
+
+namespace lpa::costmodel {
+
+/// \brief Cost model with DBMS-optimizer-like estimation errors, used as
+/// (a) the estimator behind the Minimum-Optimizer design baseline and
+/// (b) the planner of the disk-based (Postgres-XL-like) engine profile.
+///
+/// Two error mechanisms, both faithful to how real optimizers misestimate
+/// (Leis et al., "How good are query optimizers, really?"):
+///  * the *independence assumption* on composite join keys — the selectivity
+///   of a conjunctive predicate is taken as the product of its equalities'
+///   selectivities, which grossly underestimates correlated composite joins
+///   (e.g. TPC-DS sales-returns on (ticket, item), TPC-CH order-orderline on
+///   (order, warehouse, district));
+///  * multiplicative lognormal noise whose deviation grows with the number
+///   of already-joined tables — errors compound through deep join trees.
+///
+/// The noise is deterministic per (query, predicate, depth, statistics
+/// epoch): re-planning the same query yields the same plan, but refreshing
+/// statistics after bulk updates (Exp 3a) flips some plans — exactly the
+/// behaviour the paper observed on Postgres-XL.
+class NoisyOptimizerModel : public CostModel {
+ public:
+  NoisyOptimizerModel(const schema::Schema* schema, HardwareProfile hardware,
+                      double depth_sigma = 0.5, uint64_t seed = 4242,
+                      bool use_independence_assumption = true,
+                      double design_sigma = 0.8);
+
+  /// \brief Bump after bulk updates: models an ANALYZE refresh that changes
+  /// the statistics the estimates are drawn from.
+  void set_stats_epoch(int epoch) { stats_epoch_ = epoch; }
+  int stats_epoch() const { return stats_epoch_; }
+
+  double CardinalityScale(const workload::QuerySpec& query, int join_index,
+                          int num_joined) const override;
+
+  /// \brief Per-(query, design) lognormal estimate error whose deviation
+  /// grows with the query's table count — complex queries are estimated
+  /// (much) worse, per Leis et al. Disabled together with the independence
+  /// assumption (the engine-planner configuration).
+  double DesignCostScale(const workload::QuerySpec& query,
+                         const partition::PartitioningState& state) const override;
+
+ private:
+  double depth_sigma_;
+  uint64_t seed_;
+  /// When false, composite keys are estimated exactly (like the base model)
+  /// and only the lognormal depth noise remains — the configuration used for
+  /// the engine's runtime planner, whose plan choices should only flip at
+  /// the margins.
+  bool use_independence_assumption_;
+  double design_sigma_;
+  int stats_epoch_ = 0;
+};
+
+}  // namespace lpa::costmodel

@@ -1,0 +1,515 @@
+#include "engine/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace lpa::engine {
+
+namespace {
+
+using costmodel::JoinStrategy;
+using costmodel::PlanNode;
+using schema::ColumnRef;
+
+/// A distributed intermediate result: per-node column chunks for the join
+/// columns still needed upstream, plus logical row-width accounting.
+struct DistRelation {
+  bool replicated = false;
+  std::vector<ColumnRef> cols;                          // slot -> column
+  std::vector<std::vector<std::vector<int64_t>>> data;  // [node][slot][row]
+  std::vector<size_t> rows;                             // [node] row counts
+  double width = 0.0;                                   // logical bytes/row
+  /// Bytes multiplier when this relation crosses an exchange. Engines
+  /// without predicate pushdown below exchanges (Postgres-XL-like) ship the
+  /// unfiltered base table even though only the filtered rows join.
+  double byte_inflation = 1.0;
+
+  int SlotOf(const ColumnRef& ref) const {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (cols[i] == ref) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  size_t TotalRows() const {
+    size_t total = 0;
+    for (size_t r : rows) total += r;
+    return total;
+  }
+};
+
+/// Concatenate all node chunks (gather); used for broadcasts.
+void Gather(const DistRelation& rel, std::vector<std::vector<int64_t>>* out,
+            size_t* out_rows) {
+  out->assign(rel.cols.size(), {});
+  *out_rows = 0;
+  size_t nodes = rel.data.size();
+  for (size_t node = 0; node < nodes; ++node) {
+    for (size_t s = 0; s < rel.cols.size(); ++s) {
+      (*out)[s].insert((*out)[s].end(), rel.data[node][s].begin(),
+                       rel.data[node][s].end());
+    }
+    *out_rows += rel.rows[node];
+  }
+}
+
+/// Hash of the composite key of row `r` over the given slots.
+uint64_t KeyHash(const std::vector<std::vector<int64_t>>& cols,
+                 const std::vector<int>& slots, size_t r) {
+  uint64_t h = 0x12345678ULL;
+  for (int s : slots) {
+    h = HashCombine(h, Hash64(static_cast<uint64_t>(cols[static_cast<size_t>(s)][r])));
+  }
+  return h;
+}
+
+}  // namespace
+
+ClusterDatabase::ClusterDatabase(storage::Database data, EngineConfig config,
+                                 const costmodel::CostModel* planner)
+    : data_(std::move(data)), config_(config), planner_(planner) {
+  placements_.resize(static_cast<size_t>(schema().num_tables()));
+}
+
+int ClusterDatabase::RouteRow(const storage::TableData& data,
+                              schema::ColumnId column, size_t row) const {
+  uint64_t h = Hash64(
+      static_cast<uint64_t>(data.column(column)[row]));
+  return static_cast<int>(h % static_cast<uint64_t>(num_nodes()));
+}
+
+void ClusterDatabase::PlaceTable(schema::TableId t,
+                                 const partition::TablePartition& target,
+                                 double* move_seconds) {
+  Placement& placement = placements_[static_cast<size_t>(t)];
+  const storage::TableData& master = data_.table(t);
+  const auto& hw = config_.hardware;
+  const double width = schema().table(t).row_width_bytes();
+  const int n = num_nodes();
+
+  if (target.replicated) {
+    if (!placement.replicated) {
+      // Every node must receive the shards it lacks. Each node pushes its
+      // shard to n-1 peers in parallel; elapsed is the largest shard.
+      double max_shard_bytes = 0.0;
+      for (const auto& shard : placement.shards) {
+        max_shard_bytes = std::max(
+            max_shard_bytes, static_cast<double>(shard.num_rows()) * width);
+      }
+      *move_seconds += max_shard_bytes * (n - 1) / hw.exchange_bytes_per_sec();
+      *move_seconds += static_cast<double>(master.num_rows()) * width *
+                       hw.disk_scan_factor / hw.scan_bytes_per_sec;
+    }
+    placement.replicated = true;
+    placement.column = -1;
+    placement.shards.clear();
+    return;
+  }
+
+  // Hash-partition by target.column, counting actual row movement.
+  std::vector<storage::TableData> shards(
+      static_cast<size_t>(n),
+      storage::TableData(master.num_columns()));
+  std::vector<double> out_bytes(static_cast<size_t>(n), 0.0);
+  bool was_partitioned = !placement.replicated && placement.column >= 0;
+  for (size_t r = 0; r < master.num_rows(); ++r) {
+    int dst = RouteRow(master, target.column, r);
+    shards[static_cast<size_t>(dst)].AppendRowFrom(master, r);
+    if (was_partitioned) {
+      int src = RouteRow(master, placement.column, r);
+      if (src != dst) out_bytes[static_cast<size_t>(src)] += width;
+    }
+    // From a replicated state every node already holds every row: the new
+    // shards can be carved out locally with zero network traffic.
+  }
+  double max_out = *std::max_element(out_bytes.begin(), out_bytes.end());
+  *move_seconds += max_out / hw.exchange_bytes_per_sec();
+  *move_seconds += static_cast<double>(master.num_rows()) * width *
+                   hw.disk_scan_factor / (n * hw.scan_bytes_per_sec);
+  placement.replicated = false;
+  placement.column = target.column;
+  placement.shards = std::move(shards);
+}
+
+double ClusterDatabase::ApplyDesign(const partition::PartitioningState& design) {
+  double move_seconds = 0.0;
+  for (schema::TableId t = 0; t < schema().num_tables(); ++t) {
+    const auto& target = design.table_partition(t);
+    Placement& placement = placements_[static_cast<size_t>(t)];
+    bool unchanged =
+        deployed_.has_value() && placement.replicated == target.replicated &&
+        (target.replicated || placement.column == target.column);
+    if (unchanged) continue;
+    PlaceTable(t, target, &move_seconds);
+  }
+  deployed_ = design;
+  return move_seconds;
+}
+
+void ClusterDatabase::BulkAppend(double fraction, uint64_t seed) {
+  LPA_CHECK(deployed_.has_value());
+  data_.BulkAppend(fraction, seed);
+  // Redistribute from scratch according to the deployed design (the update
+  // path itself is not part of any measured experiment).
+  for (schema::TableId t = 0; t < schema().num_tables(); ++t) {
+    Placement& placement = placements_[static_cast<size_t>(t)];
+    if (placement.replicated) continue;
+    double ignored = 0.0;
+    partition::TablePartition target{false, placement.column};
+    placement.shards.clear();
+    placement.replicated = true;  // force rebuild without movement accounting
+    PlaceTable(t, target, &ignored);
+  }
+}
+
+size_t ClusterDatabase::TableRows(schema::TableId t) const {
+  return data_.table(t).num_rows();
+}
+
+// Implementation note: execution walks the plan tree bottom-up. Each
+// operator accounts its own simulated elapsed time as max-over-nodes of the
+// per-node work (CPU: tuples / rate; network: bytes sent / bandwidth) and
+// adds it to the stats, mirroring how a pipeline of exchange-separated
+// fragments behaves on a real cluster.
+QueryRunStats ClusterDatabase::ExecuteQuery(
+    const workload::QuerySpec& query) const {
+  LPA_CHECK(deployed_.has_value());
+  const auto& hw = config_.hardware;
+  const int n = num_nodes();
+  QueryRunStats stats;
+
+  // Columns each table must carry: everything referenced by a join equality.
+  auto needed_columns = [&query](schema::TableId t) {
+    std::vector<ColumnRef> cols;
+    for (const auto& join : query.joins) {
+      for (const auto& eq : join.equalities) {
+        for (const auto& ref : {eq.left, eq.right}) {
+          if (ref.table == t &&
+              std::find(cols.begin(), cols.end(), ref) == cols.end()) {
+            cols.push_back(ref);
+          }
+        }
+      }
+    }
+    return cols;
+  };
+
+  // Recursive plan execution.
+  std::function<DistRelation(const PlanNode*)> exec =
+      [&](const PlanNode* node) -> DistRelation {
+    if (node->is_scan()) {
+      schema::TableId t = node->table;
+      const auto& placement = placements_[static_cast<size_t>(t)];
+      const auto& table_meta = schema().table(t);
+      double width = table_meta.row_width_bytes();
+      double sel = query.SelectivityOf(t);
+      uint64_t threshold = sel >= 1.0
+                               ? UINT64_MAX
+                               : static_cast<uint64_t>(
+                                     sel * static_cast<double>(UINT64_MAX));
+      uint64_t qseed = HashCombine(HashString(query.name),
+                                   HashString(table_meta.name));
+      DistRelation rel;
+      rel.cols = needed_columns(t);
+      rel.width = width;
+
+      auto scan_chunk = [&](const storage::TableData& src,
+                            std::vector<std::vector<int64_t>>* out,
+                            size_t* out_rows) {
+        out->assign(rel.cols.size(), {});
+        *out_rows = 0;
+        for (size_t r = 0; r < src.num_rows(); ++r) {
+          if (threshold != UINT64_MAX &&
+              Hash64(static_cast<uint64_t>(src.rids()[r]) ^ qseed) > threshold) {
+            continue;
+          }
+          for (size_t s = 0; s < rel.cols.size(); ++s) {
+            (*out)[s].push_back(src.column(rel.cols[s].column)[r]);
+          }
+          ++*out_rows;
+        }
+      };
+
+      if (!hw.pushdown_filters && sel < 1.0) {
+        rel.byte_inflation = 1.0 / sel;
+      }
+      if (placement.replicated) {
+        rel.replicated = true;
+        rel.data.resize(1);
+        rel.rows.resize(1);
+        scan_chunk(data_.table(t), &rel.data[0], &rel.rows[0]);
+        // Each node scans its full replica; elapsed equals one full scan.
+        stats.scan_seconds += static_cast<double>(data_.table(t).num_rows()) *
+                              width * hw.disk_scan_factor /
+                              hw.scan_bytes_per_sec;
+      } else {
+        rel.data.resize(static_cast<size_t>(n));
+        rel.rows.resize(static_cast<size_t>(n));
+        double max_bytes = 0.0;
+        for (int node = 0; node < n; ++node) {
+          const auto& shard = placement.shards[static_cast<size_t>(node)];
+          scan_chunk(shard, &rel.data[static_cast<size_t>(node)],
+                     &rel.rows[static_cast<size_t>(node)]);
+          max_bytes = std::max(max_bytes,
+                               static_cast<double>(shard.num_rows()) * width);
+        }
+        stats.scan_seconds +=
+            max_bytes * hw.disk_scan_factor / hw.scan_bytes_per_sec;
+      }
+      return rel;
+    }
+
+    DistRelation left = exec(node->left.get());
+    DistRelation right = exec(node->right.get());
+    const auto& pred = query.joins[static_cast<size_t>(node->predicate)];
+
+    // Key slots per side, one per equality (oriented by membership).
+    std::vector<int> lslots, rslots;
+    for (const auto& eq : pred.equalities) {
+      int ll = left.SlotOf(eq.left), lr = left.SlotOf(eq.right);
+      int rl = right.SlotOf(eq.left), rr = right.SlotOf(eq.right);
+      if (ll >= 0 && rr >= 0) {
+        lslots.push_back(ll);
+        rslots.push_back(rr);
+      } else if (lr >= 0 && rl >= 0) {
+        lslots.push_back(lr);
+        rslots.push_back(rl);
+      } else {
+        LPA_LOG(Error) << "join equality columns missing from inputs";
+        std::abort();
+      }
+    }
+
+    // Reshuffle a partitioned side by the hash of its align-equality column.
+    auto reshuffle = [&](DistRelation* rel, int align_slot) {
+      LPA_CHECK(!rel->replicated);
+      std::vector<std::vector<std::vector<int64_t>>> fresh(
+          static_cast<size_t>(n),
+          std::vector<std::vector<int64_t>>(rel->cols.size()));
+      std::vector<size_t> fresh_rows(static_cast<size_t>(n), 0);
+      std::vector<double> out_bytes(static_cast<size_t>(n), 0.0);
+      for (int node = 0; node < n; ++node) {
+        const auto& chunk = rel->data[static_cast<size_t>(node)];
+        for (size_t r = 0; r < rel->rows[static_cast<size_t>(node)]; ++r) {
+          int dst = static_cast<int>(
+              Hash64(static_cast<uint64_t>(
+                  chunk[static_cast<size_t>(align_slot)][r])) %
+              static_cast<uint64_t>(n));
+          for (size_t s = 0; s < rel->cols.size(); ++s) {
+            fresh[static_cast<size_t>(dst)][s].push_back(chunk[s][r]);
+          }
+          ++fresh_rows[static_cast<size_t>(dst)];
+          if (dst != node) {
+            out_bytes[static_cast<size_t>(node)] +=
+                rel->width * rel->byte_inflation;
+          }
+        }
+      }
+      double max_out = *std::max_element(out_bytes.begin(), out_bytes.end());
+      stats.net_seconds += max_out / hw.exchange_bytes_per_sec();
+      double total_out = 0.0;
+      for (double b : out_bytes) total_out += b;
+      stats.bytes_shuffled += static_cast<uint64_t>(total_out);
+      rel->data = std::move(fresh);
+      rel->rows = std::move(fresh_rows);
+    };
+
+    // Broadcast a side: gather everything, count per-node sends.
+    auto broadcast = [&](const DistRelation& rel,
+                         std::vector<std::vector<int64_t>>* full,
+                         size_t* full_rows) {
+      Gather(rel, full, full_rows);
+      if (!rel.replicated) {
+        double max_chunk = 0.0, total = 0.0;
+        for (size_t node = 0; node < rel.data.size(); ++node) {
+          double bytes = static_cast<double>(rel.rows[node]) * rel.width *
+                         rel.byte_inflation;
+          max_chunk = std::max(max_chunk, bytes);
+          total += bytes;
+        }
+        stats.net_seconds += max_chunk * (n - 1) / hw.exchange_bytes_per_sec();
+        stats.bytes_shuffled += static_cast<uint64_t>(total * (n - 1));
+      }
+    };
+
+    int align = node->align_equality;
+    switch (node->strategy) {
+      case JoinStrategy::kRepartitionLeft:
+        reshuffle(&left, lslots[static_cast<size_t>(align)]);
+        break;
+      case JoinStrategy::kRepartitionRight:
+        reshuffle(&right, rslots[static_cast<size_t>(align)]);
+        break;
+      case JoinStrategy::kRepartitionBoth:
+        reshuffle(&left, lslots[static_cast<size_t>(align)]);
+        reshuffle(&right, rslots[static_cast<size_t>(align)]);
+        break;
+      default:
+        break;
+    }
+
+    // Assemble the local-join inputs per node.
+    DistRelation out;
+    out.cols = left.cols;
+    for (const auto& c : right.cols) {
+      if (out.SlotOf(c) < 0) out.cols.push_back(c);
+    }
+    out.width = left.width + right.width;
+
+    // Local hash join of one (build, probe) chunk pair.
+    auto local_join = [&](const std::vector<std::vector<int64_t>>& bcols,
+                          size_t brows, const std::vector<int>& bslots,
+                          const std::vector<std::vector<int64_t>>& pcols,
+                          size_t prows, const std::vector<int>& pslots,
+                          bool build_is_left,
+                          std::vector<std::vector<int64_t>>* ocols,
+                          size_t* orows) {
+      std::unordered_multimap<uint64_t, size_t> ht;
+      ht.reserve(brows * 2);
+      for (size_t r = 0; r < brows; ++r) {
+        ht.emplace(KeyHash(bcols, bslots, r), r);
+      }
+      ocols->assign(out.cols.size(), {});
+      *orows = 0;
+      // Slot mapping from inputs to output.
+      const auto& lcols_ref = build_is_left ? bcols : pcols;
+      const auto& rcols_ref = build_is_left ? pcols : bcols;
+      for (size_t r = 0; r < prows; ++r) {
+        uint64_t key = KeyHash(pcols, pslots, r);
+        auto range = ht.equal_range(key);
+        for (auto it = range.first; it != range.second; ++it) {
+          size_t lrow = build_is_left ? it->second : r;
+          size_t rrow = build_is_left ? r : it->second;
+          size_t slot = 0;
+          for (; slot < left.cols.size(); ++slot) {
+            (*ocols)[slot].push_back(lcols_ref[slot][lrow]);
+          }
+          for (size_t rs = 0; rs < right.cols.size(); ++rs) {
+            int os = out.SlotOf(right.cols[rs]);
+            if (os >= static_cast<int>(left.cols.size())) {
+              (*ocols)[static_cast<size_t>(os)].push_back(rcols_ref[rs][rrow]);
+            }
+          }
+          ++*orows;
+          LPA_CHECK(*orows < 50'000'000);  // guard against plan pathologies
+        }
+      }
+    };
+
+    double max_tuples = 0.0;
+    if (left.replicated && right.replicated) {
+      out.replicated = true;
+      out.data.resize(1);
+      out.rows.resize(1);
+      local_join(left.data[0], left.rows[0], lslots, right.data[0],
+                 right.rows[0], rslots, /*build_is_left=*/true, &out.data[0],
+                 &out.rows[0]);
+      max_tuples = static_cast<double>(left.rows[0] + right.rows[0] + out.rows[0]);
+      stats.cpu_seconds += max_tuples / hw.join_tuples_per_sec;
+    } else {
+      // Build side: a replicated input, a broadcast input, or the co-located
+      // left chunk.
+      std::vector<std::vector<int64_t>> full;
+      size_t full_rows = 0;
+      bool build_full_left = false, build_full_right = false;
+      if (node->strategy == JoinStrategy::kBroadcastLeft) {
+        broadcast(left, &full, &full_rows);
+        build_full_left = true;
+      } else if (node->strategy == JoinStrategy::kBroadcastRight) {
+        broadcast(right, &full, &full_rows);
+        build_full_right = true;
+      } else if (left.replicated) {
+        full = left.data[0];
+        full_rows = left.rows[0];
+        build_full_left = true;
+      } else if (right.replicated) {
+        full = right.data[0];
+        full_rows = right.rows[0];
+        build_full_right = true;
+      }
+
+      out.data.resize(static_cast<size_t>(n));
+      out.rows.resize(static_cast<size_t>(n));
+      for (int node_id = 0; node_id < n; ++node_id) {
+        size_t i = static_cast<size_t>(node_id);
+        size_t orows = 0;
+        if (build_full_left) {
+          local_join(full, full_rows, lslots, right.data[i], right.rows[i],
+                     rslots, /*build_is_left=*/true, &out.data[i], &orows);
+          max_tuples = std::max(
+              max_tuples,
+              static_cast<double>(full_rows + right.rows[i] + orows));
+        } else if (build_full_right) {
+          local_join(full, full_rows, rslots, left.data[i], left.rows[i],
+                     lslots, /*build_is_left=*/false, &out.data[i], &orows);
+          max_tuples = std::max(
+              max_tuples, static_cast<double>(full_rows + left.rows[i] + orows));
+        } else {
+          local_join(left.data[i], left.rows[i], lslots, right.data[i],
+                     right.rows[i], rslots, /*build_is_left=*/true,
+                     &out.data[i], &orows);
+          max_tuples = std::max(max_tuples,
+                                static_cast<double>(left.rows[i] +
+                                                    right.rows[i] + orows));
+        }
+        out.rows[i] = orows;
+      }
+      stats.cpu_seconds += max_tuples / hw.join_tuples_per_sec;
+    }
+    return out;
+  };
+
+  DistRelation result = exec(planner_->PlanQuery(query, *deployed_).root.get());
+
+  stats.rows_out = result.TotalRows();
+  double out_bytes = static_cast<double>(stats.rows_out) *
+                     query.output_fraction * result.width;
+  stats.output_seconds = out_bytes / hw.network_bytes_per_sec +
+                         static_cast<double>(stats.rows_out) /
+                             (n * hw.join_tuples_per_sec);
+
+  double total = stats.scan_seconds + stats.net_seconds + stats.cpu_seconds +
+                 stats.output_seconds;
+  // Deterministic measurement noise per (query, deployed design).
+  uint64_t noise_seed = HashCombine(
+      HashCombine(config_.seed, HashString(query.name)),
+      HashString(deployed_->PhysicalDesignKey()));
+  Rng noise_rng(noise_seed);
+  double factor = 1.0 + config_.noise_stddev * noise_rng.Gaussian();
+  factor = std::clamp(factor, 0.5, 1.5);
+  stats.seconds = total * factor;
+  return stats;
+}
+
+std::string ClusterDatabase::Explain(const workload::QuerySpec& query) const {
+  LPA_CHECK(deployed_.has_value());
+  auto plan = planner_->PlanQuery(query, *deployed_);
+  auto stats = ExecuteQuery(query);
+  std::ostringstream os;
+  os << "EXPLAIN " << query.name << " (deployed: "
+     << deployed_->PhysicalDesignKey() << ")\n";
+  os << plan.ToString(schema(), query);
+  os << "measured: " << stats.seconds << "s total (scan " << stats.scan_seconds
+     << "s, net " << stats.net_seconds << "s, cpu " << stats.cpu_seconds
+     << "s, output " << stats.output_seconds << "s), " << stats.rows_out
+     << " result rows, " << stats.bytes_shuffled << " bytes shuffled\n";
+  return os.str();
+}
+
+double ClusterDatabase::ExecuteWorkload(const workload::Workload& workload) const {
+  double total = 0.0;
+  for (int i = 0; i < workload.num_queries(); ++i) {
+    double f = workload.frequencies()[static_cast<size_t>(i)];
+    if (f <= 0.0) continue;
+    total += f * ExecuteQuery(workload.query(i)).seconds;
+  }
+  return total;
+}
+
+}  // namespace lpa::engine

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "costmodel/cost_model.h"
+#include "partition/partition_state.h"
+#include "storage/database.h"
+
+namespace lpa::engine {
+
+/// \brief Engine configuration: hardware profile driving the simulated
+/// clock, plus measurement-noise controls.
+struct EngineConfig {
+  costmodel::HardwareProfile hardware;
+  /// Relative stddev of the multiplicative runtime noise (real measurements
+  /// jitter; the noise is deterministic per (query, physical design)).
+  double noise_stddev = 0.02;
+  uint64_t seed = 42;
+};
+
+/// \brief Cost/measurement breakdown of one executed query.
+struct QueryRunStats {
+  double seconds = 0.0;  ///< total simulated wall-clock (with noise)
+  double scan_seconds = 0.0;
+  double net_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double output_seconds = 0.0;
+  /// Actual (not estimated) cardinality of the final join result.
+  uint64_t rows_out = 0;
+  /// Actual bytes that crossed the interconnect.
+  uint64_t bytes_shuffled = 0;
+};
+
+/// \brief A simulated shared-nothing database cluster.
+///
+/// This is the repo's stand-in for the paper's Postgres-XL / System-X
+/// testbeds (see DESIGN.md): real columnar data, real hash partitioning and
+/// replication across `num_nodes` simulated nodes, real scan / hash-join /
+/// shuffle / broadcast execution that counts every tuple and byte — with
+/// wall-clock *derived* from those counters and the HardwareProfile
+/// (max-over-nodes per pipeline phase), so deployments are reproducible and
+/// parametric. Plans come from an injected CostModel acting as the engine's
+/// optimizer; injecting a NoisyOptimizerModel reproduces optimizer-quality
+/// plan choices (and their sensitivity to data updates, Exp 3a).
+class ClusterDatabase {
+ public:
+  /// \param data The materialized database (consumed).
+  /// \param planner The engine's internal optimizer; must outlive this.
+  ClusterDatabase(storage::Database data, EngineConfig config,
+                  const costmodel::CostModel* planner);
+
+  const schema::Schema& schema() const { return data_.schema(); }
+  const EngineConfig& config() const { return config_; }
+  int num_nodes() const { return config_.hardware.num_nodes; }
+
+  /// \brief Deploy a physical design. Only tables whose design changed are
+  /// actually moved (the engine-level half of lazy repartitioning). Returns
+  /// the simulated seconds the data movement took.
+  double ApplyDesign(const partition::PartitioningState& design);
+
+  /// \brief Currently deployed design (empty before the first ApplyDesign).
+  const std::optional<partition::PartitioningState>& deployed_design() const {
+    return deployed_;
+  }
+
+  /// \brief Plan (via the injected optimizer) and execute one query against
+  /// the deployed design. Aborts if no design is deployed.
+  QueryRunStats ExecuteQuery(const workload::QuerySpec& query) const;
+
+  /// \brief Frequency-weighted workload runtime `sum_j f_j * seconds(q_j)`.
+  double ExecuteWorkload(const workload::Workload& workload) const;
+
+  /// \brief EXPLAIN ANALYZE: the plan the engine's optimizer chooses for
+  /// `query` under the deployed design, plus the measured execution
+  /// breakdown. Aborts if no design is deployed.
+  std::string Explain(const workload::QuerySpec& query) const;
+
+  /// \brief Exp 3a: bulk-load `fraction` additional rows into every table
+  /// and redistribute them according to the deployed design.
+  void BulkAppend(double fraction, uint64_t seed);
+
+  /// \brief Rows currently materialized in a table (across shards).
+  size_t TableRows(schema::TableId t) const;
+
+ private:
+  /// Physical placement of one table.
+  struct Placement {
+    bool replicated = false;
+    schema::ColumnId column = -1;
+    /// One shard per node when partitioned; ignored when replicated (the
+    /// master copy in data_ serves as every node's replica).
+    std::vector<storage::TableData> shards;
+  };
+
+  void PlaceTable(schema::TableId t, const partition::TablePartition& target,
+                  double* move_seconds);
+  int RouteRow(const storage::TableData& data, schema::ColumnId column,
+               size_t row) const;
+
+  storage::Database data_;
+  EngineConfig config_;
+  const costmodel::CostModel* planner_;
+  std::vector<Placement> placements_;
+  std::optional<partition::PartitioningState> deployed_;
+};
+
+}  // namespace lpa::engine

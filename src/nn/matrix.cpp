@@ -1,0 +1,65 @@
+#include "nn/matrix.h"
+
+namespace lpa::nn {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  assert(!rows.empty());
+  Matrix m(rows.size(), rows.front().size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols());
+    std::copy(rows[r].begin(), rows[r].end(), m.row(r));
+  }
+  return m;
+}
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(a.cols() == b.rows());
+  assert(c->rows() == a.rows() && c->cols() == b.cols());
+  c->Fill(0.0);
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a.row(i);
+    double* crow = c->row(i);
+    for (size_t p = 0; p < k; ++p) {
+      double av = arow[p];
+      if (av == 0.0) continue;  // one-hot inputs are mostly zero
+      const double* brow = b.row(p);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(a.rows() == b.rows());
+  assert(c->rows() == a.cols() && c->cols() == b.cols());
+  c->Fill(0.0);
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const double* arow = a.row(p);
+    const double* brow = b.row(p);
+    for (size_t i = 0; i < m; ++i) {
+      double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c->row(i);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* c) {
+  assert(a.cols() == b.cols());
+  assert(c->rows() == a.rows() && c->cols() == b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const double* arow = a.row(i);
+    double* crow = c->row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const double* brow = b.row(j);
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace lpa::nn

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace lpa::nn {
+
+/// \brief Dense row-major double matrix used by the neural network layers.
+///
+/// Deliberately minimal: the Q-networks of the paper are two small hidden
+/// layers (128-64), so a cache-friendly naive GEMM is plenty.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double* row(size_t r) { return data_.data() + r * cols_; }
+  const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// \brief Construct a 1 x n matrix from a vector (one input row).
+  static Matrix FromRow(const std::vector<double>& v) {
+    Matrix m(1, v.size());
+    std::copy(v.begin(), v.end(), m.data_.begin());
+    return m;
+  }
+
+  /// \brief Construct a b x n matrix from b rows of equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  bool operator==(const Matrix&) const = default;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// \brief C = A * B (A: m x k, B: k x n). C must be pre-sized m x n.
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// \brief C = A^T * B (A: k x m, B: k x n). C must be pre-sized m x n.
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// \brief C = A * B^T (A: m x k, B: n x k). C must be pre-sized m x n.
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* c);
+
+}  // namespace lpa::nn

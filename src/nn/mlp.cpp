@@ -1,0 +1,237 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lpa::nn {
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
+  LPA_CHECK(config_.input_dim > 0 && config_.output_dim > 0);
+  Rng rng(config_.seed);
+  std::vector<int> dims;
+  dims.push_back(config_.input_dim);
+  for (int h : config_.hidden) dims.push_back(h);
+  dims.push_back(config_.output_dim);
+  for (size_t l = 0; l + 1 < dims.size(); ++l) {
+    Layer layer;
+    size_t in = static_cast<size_t>(dims[l]);
+    size_t out = static_cast<size_t>(dims[l + 1]);
+    layer.w = Matrix(in, out);
+    layer.b = Matrix(1, out);
+    // Xavier/Glorot uniform initialisation.
+    double limit = std::sqrt(6.0 / static_cast<double>(in + out));
+    for (double& v : layer.w.data()) v = rng.Uniform(-limit, limit);
+    layer.mw = Matrix(in, out);
+    layer.vw = Matrix(in, out);
+    layer.mb = Matrix(1, out);
+    layer.vb = Matrix(1, out);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+Matrix Mlp::ForwardTape(const Matrix& x, Tape* tape) const {
+  LPA_CHECK(static_cast<int>(x.cols()) == config_.input_dim);
+  Matrix a = x;
+  if (tape != nullptr) tape->activations.push_back(a);
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    Matrix z(a.rows(), layer.w.cols());
+    Gemm(a, layer.w, &z);
+    for (size_t r = 0; r < z.rows(); ++r) {
+      for (size_t c = 0; c < z.cols(); ++c) z.at(r, c) += layer.b.at(0, c);
+    }
+    if (l + 1 < layers_.size()) {  // ReLU on hidden layers, linear output
+      for (double& v : z.data()) v = v > 0.0 ? v : 0.0;
+    }
+    a = std::move(z);
+    if (tape != nullptr) tape->activations.push_back(a);
+  }
+  return a;
+}
+
+Matrix Mlp::Forward(const Matrix& x) const { return ForwardTape(x, nullptr); }
+
+std::vector<double> Mlp::Forward(const std::vector<double>& x) const {
+  Matrix out = Forward(Matrix::FromRow(x));
+  return out.data();
+}
+
+void Mlp::AdamStep(Matrix* param, Matrix* m, Matrix* v, const Matrix& grad,
+                   double lr) {
+  const double b1 = config_.beta1, b2 = config_.beta2, eps = config_.epsilon;
+  double bias1 = 1.0 - std::pow(b1, static_cast<double>(adam_t_));
+  double bias2 = 1.0 - std::pow(b2, static_cast<double>(adam_t_));
+  for (size_t i = 0; i < param->data().size(); ++i) {
+    double g = grad.data()[i];
+    double& mi = m->data()[i];
+    double& vi = v->data()[i];
+    mi = b1 * mi + (1.0 - b1) * g;
+    vi = b2 * vi + (1.0 - b2) * g * g;
+    double mhat = mi / bias1;
+    double vhat = vi / bias2;
+    param->data()[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+void Mlp::Backward(const Tape& tape, const Matrix& dloss, double lr) {
+  ++adam_t_;
+  Matrix delta = dloss;  // gradient w.r.t. the current layer's output
+  for (size_t l = layers_.size(); l-- > 0;) {
+    Layer& layer = layers_[l];
+    const Matrix& input = tape.activations[l];
+    // ReLU derivative for hidden layers (output layer is linear).
+    if (l + 1 < layers_.size()) {
+      const Matrix& out = tape.activations[l + 1];
+      for (size_t i = 0; i < delta.data().size(); ++i) {
+        if (out.data()[i] <= 0.0) delta.data()[i] = 0.0;
+      }
+    }
+    Matrix dw(layer.w.rows(), layer.w.cols());
+    GemmTransA(input, delta, &dw);
+    Matrix db(1, layer.b.cols());
+    for (size_t r = 0; r < delta.rows(); ++r) {
+      for (size_t c = 0; c < delta.cols(); ++c) db.at(0, c) += delta.at(r, c);
+    }
+    Matrix dprev;
+    if (l > 0) {
+      dprev = Matrix(delta.rows(), layer.w.rows());
+      GemmTransB(delta, layer.w, &dprev);
+    }
+    AdamStep(&layer.w, &layer.mw, &layer.vw, dw, lr);
+    AdamStep(&layer.b, &layer.mb, &layer.vb, db, lr);
+    delta = std::move(dprev);
+  }
+}
+
+double Mlp::TrainMaskedMse(const Matrix& x, const std::vector<int>& head,
+                           const std::vector<double>& target, double lr) {
+  LPA_CHECK(x.rows() == head.size() && x.rows() == target.size());
+  Tape tape;
+  Matrix pred = ForwardTape(x, &tape);
+  Matrix dloss(pred.rows(), pred.cols());
+  double loss = 0.0;
+  double inv_batch = 1.0 / static_cast<double>(x.rows());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    int h = head[r];
+    LPA_CHECK(h >= 0 && h < static_cast<int>(pred.cols()));
+    double err = pred.at(r, static_cast<size_t>(h)) - target[r];
+    loss += err * err * inv_batch;
+    dloss.at(r, static_cast<size_t>(h)) = 2.0 * err * inv_batch;
+  }
+  Backward(tape, dloss, lr);
+  return loss;
+}
+
+double Mlp::TrainMse(const Matrix& x, const Matrix& target, double lr) {
+  LPA_CHECK(x.rows() == target.rows());
+  Tape tape;
+  Matrix pred = ForwardTape(x, &tape);
+  LPA_CHECK(pred.cols() == target.cols());
+  Matrix dloss(pred.rows(), pred.cols());
+  double loss = 0.0;
+  double inv = 1.0 / static_cast<double>(pred.size());
+  for (size_t i = 0; i < pred.data().size(); ++i) {
+    double err = pred.data()[i] - target.data()[i];
+    loss += err * err * inv;
+    dloss.data()[i] = 2.0 * err * inv;
+  }
+  Backward(tape, dloss, lr);
+  return loss;
+}
+
+void Mlp::SoftUpdateFrom(const Mlp& src, double tau) {
+  LPA_CHECK(layers_.size() == src.layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    LPA_CHECK(layers_[l].w.size() == src.layers_[l].w.size());
+    for (size_t i = 0; i < layers_[l].w.data().size(); ++i) {
+      layers_[l].w.data()[i] =
+          (1.0 - tau) * layers_[l].w.data()[i] + tau * src.layers_[l].w.data()[i];
+    }
+    for (size_t i = 0; i < layers_[l].b.data().size(); ++i) {
+      layers_[l].b.data()[i] =
+          (1.0 - tau) * layers_[l].b.data()[i] + tau * src.layers_[l].b.data()[i];
+    }
+  }
+}
+
+void Mlp::CopyFrom(const Mlp& src) { SoftUpdateFrom(src, 1.0); }
+
+size_t Mlp::num_parameters() const {
+  size_t n = 0;
+  for (const auto& layer : layers_) n += layer.w.size() + layer.b.size();
+  return n;
+}
+
+Mlp Mlp::WithExtendedInput(int extra) const {
+  LPA_CHECK(extra >= 0);
+  MlpConfig config = config_;
+  config.input_dim += extra;
+  Mlp grown(config);
+  // Copy every layer; the first layer's new weight rows become zero.
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& src = layers_[l];
+    Layer& dst = grown.layers_[l];
+    if (l == 0) {
+      dst.w.Fill(0.0);
+      for (size_t r = 0; r < src.w.rows(); ++r) {
+        for (size_t c = 0; c < src.w.cols(); ++c) {
+          dst.w.at(r, c) = src.w.at(r, c);
+        }
+      }
+      dst.mw.Fill(0.0);
+      dst.vw.Fill(0.0);
+      for (size_t r = 0; r < src.w.rows(); ++r) {
+        for (size_t c = 0; c < src.w.cols(); ++c) {
+          dst.mw.at(r, c) = src.mw.at(r, c);
+          dst.vw.at(r, c) = src.vw.at(r, c);
+        }
+      }
+    } else {
+      dst.w = src.w;
+      dst.mw = src.mw;
+      dst.vw = src.vw;
+    }
+    dst.b = src.b;
+    dst.mb = src.mb;
+    dst.vb = src.vb;
+  }
+  grown.adam_t_ = adam_t_;
+  return grown;
+}
+
+Status Mlp::Save(std::ostream& os) const {
+  os << "mlp " << config_.input_dim << ' ' << config_.hidden.size();
+  for (int h : config_.hidden) os << ' ' << h;
+  os << ' ' << config_.output_dim << ' ' << config_.seed << '\n';
+  os.precision(17);
+  for (const auto& layer : layers_) {
+    for (double v : layer.w.data()) os << v << ' ';
+    for (double v : layer.b.data()) os << v << ' ';
+    os << '\n';
+  }
+  if (!os.good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Result<Mlp> Mlp::Load(std::istream& is) {
+  std::string magic;
+  is >> magic;
+  if (magic != "mlp") return Status::InvalidArgument("not an mlp stream");
+  MlpConfig config;
+  size_t num_hidden = 0;
+  is >> config.input_dim >> num_hidden;
+  config.hidden.resize(num_hidden);
+  for (auto& h : config.hidden) is >> h;
+  is >> config.output_dim >> config.seed;
+  if (!is.good()) return Status::InvalidArgument("truncated mlp header");
+  Mlp mlp(config);
+  for (auto& layer : mlp.layers_) {
+    for (double& v : layer.w.data()) is >> v;
+    for (double& v : layer.b.data()) is >> v;
+  }
+  if (is.fail()) return Status::InvalidArgument("truncated mlp weights");
+  return mlp;
+}
+
+}  // namespace lpa::nn

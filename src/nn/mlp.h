@@ -1,0 +1,100 @@
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace lpa::nn {
+
+/// \brief Architecture + training hyperparameters of a ReLU MLP.
+///
+/// Defaults follow the paper's Table 1: two hidden layers (128, 64), ReLU
+/// activations, a linear output, and Adam.
+struct MlpConfig {
+  int input_dim = 1;
+  std::vector<int> hidden = {128, 64};
+  int output_dim = 1;
+  uint64_t seed = 42;
+  // Adam parameters.
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// \brief Feed-forward ReLU network with a linear output layer, trained by
+/// minibatch SGD (Adam) on (possibly head-masked) squared error.
+///
+/// Used as the DQN Q-network / target network and as the learned-cost-model
+/// baseline's regressor. Head-masked training supports the multi-head DQN
+/// formulation where each output unit is the Q-value of one global action.
+class Mlp {
+ public:
+  explicit Mlp(MlpConfig config);
+
+  const MlpConfig& config() const { return config_; }
+  int input_dim() const { return config_.input_dim; }
+  int output_dim() const { return config_.output_dim; }
+
+  /// \brief Batched forward pass: x is [batch x input_dim], result is
+  /// [batch x output_dim].
+  Matrix Forward(const Matrix& x) const;
+
+  /// \brief Forward pass for a single input row.
+  std::vector<double> Forward(const std::vector<double>& x) const;
+
+  /// \brief One Adam step on masked squared error: for each row i only the
+  /// output unit `head[i]` receives gradient `2*(pred - target[i])/batch`.
+  /// Returns the minibatch loss before the step.
+  double TrainMaskedMse(const Matrix& x, const std::vector<int>& head,
+                        const std::vector<double>& target, double lr);
+
+  /// \brief One Adam step on full-output squared error. Returns the loss.
+  double TrainMse(const Matrix& x, const Matrix& target, double lr);
+
+  /// \brief Polyak averaging toward `src`: w = (1 - tau) * w + tau * w_src.
+  /// Both networks must share the architecture. (Table 1's target update.)
+  void SoftUpdateFrom(const Mlp& src, double tau);
+
+  /// \brief Copy all weights from `src` (same architecture required).
+  void CopyFrom(const Mlp& src);
+
+  /// \brief Copy of this network with `extra` additional inputs appended.
+  /// The new first-layer weight rows start at zero, so the network computes
+  /// the same function whenever the extra inputs are zero — the warm-start
+  /// behind the paper's incremental training (Sec 5).
+  Mlp WithExtendedInput(int extra) const;
+
+  /// \brief Serialize architecture + weights.
+  Status Save(std::ostream& os) const;
+  static Result<Mlp> Load(std::istream& is);
+
+  /// \brief Total parameter count (for tests / reporting).
+  size_t num_parameters() const;
+
+ private:
+  struct Layer {
+    Matrix w;  // [in x out]
+    Matrix b;  // [1 x out]
+    // Adam moments.
+    Matrix mw, vw, mb, vb;
+  };
+
+  /// Activations of a forward pass kept for backprop.
+  struct Tape {
+    std::vector<Matrix> activations;  // per layer input, plus final output
+  };
+
+  Matrix ForwardTape(const Matrix& x, Tape* tape) const;
+  void Backward(const Tape& tape, const Matrix& dloss, double lr);
+  void AdamStep(Matrix* param, Matrix* m, Matrix* v, const Matrix& grad,
+                double lr);
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+  int64_t adam_t_ = 0;
+};
+
+}  // namespace lpa::nn

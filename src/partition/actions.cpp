@@ -1,0 +1,103 @@
+#include "partition/actions.h"
+
+namespace lpa::partition {
+
+ActionSpace::ActionSpace(const schema::Schema* schema, const EdgeSet* edges)
+    : schema_(schema), edges_(edges) {
+  // Stable enumeration: all partition actions, then replicate actions, then
+  // edge activations, then edge deactivations.
+  for (schema::TableId t = 0; t < schema->num_tables(); ++t) {
+    const auto& table = schema->table(t);
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      if (table.columns[c].partitionable) {
+        actions_.push_back(Action{ActionKind::kPartitionTable, t,
+                                  static_cast<schema::ColumnId>(c), -1});
+      }
+    }
+  }
+  for (schema::TableId t = 0; t < schema->num_tables(); ++t) {
+    actions_.push_back(Action{ActionKind::kReplicateTable, t, -1, -1});
+  }
+  for (int e = 0; e < edges->size(); ++e) {
+    actions_.push_back(Action{ActionKind::kActivateEdge, -1, -1, e});
+  }
+  for (int e = 0; e < edges->size(); ++e) {
+    actions_.push_back(Action{ActionKind::kDeactivateEdge, -1, -1, e});
+  }
+}
+
+std::vector<int> ActionSpace::LegalActions(const PartitioningState& state) const {
+  std::vector<int> legal;
+  legal.reserve(actions_.size());
+  for (int id = 0; id < size(); ++id) {
+    const Action& a = actions_[static_cast<size_t>(id)];
+    switch (a.kind) {
+      case ActionKind::kPartitionTable: {
+        const auto& tp = state.table_partition(a.table);
+        bool noop = !tp.replicated && tp.column == a.column;
+        if (!noop && !state.TablePinned(a.table)) legal.push_back(id);
+        break;
+      }
+      case ActionKind::kReplicateTable: {
+        const auto& tp = state.table_partition(a.table);
+        if (!tp.replicated && !state.TablePinned(a.table)) legal.push_back(id);
+        break;
+      }
+      case ActionKind::kActivateEdge:
+        if (!state.edge_active(a.edge) && !state.EdgeConflicts(a.edge)) {
+          legal.push_back(id);
+        }
+        break;
+      case ActionKind::kDeactivateEdge:
+        if (state.edge_active(a.edge)) legal.push_back(id);
+        break;
+    }
+  }
+  return legal;
+}
+
+Status ActionSpace::Apply(int id, PartitioningState* state) const {
+  if (id < 0 || id >= size()) return Status::InvalidArgument("bad action id");
+  const Action& a = actions_[static_cast<size_t>(id)];
+  switch (a.kind) {
+    case ActionKind::kPartitionTable:
+      return state->PartitionBy(a.table, a.column);
+    case ActionKind::kReplicateTable:
+      return state->Replicate(a.table);
+    case ActionKind::kActivateEdge:
+      return state->ActivateEdge(a.edge);
+    case ActionKind::kDeactivateEdge:
+      return state->DeactivateEdge(a.edge);
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string ActionSpace::Describe(int id) const {
+  const Action& a = actions_.at(static_cast<size_t>(id));
+  switch (a.kind) {
+    case ActionKind::kPartitionTable: {
+      const auto& t = schema_->table(a.table);
+      return "partition(" + t.name + " by " +
+             t.columns[static_cast<size_t>(a.column)].name + ")";
+    }
+    case ActionKind::kReplicateTable:
+      return "replicate(" + schema_->table(a.table).name + ")";
+    case ActionKind::kActivateEdge: {
+      const Edge& e = edges_->edge(a.edge);
+      return "activate(" + schema_->table(e.left.table).name + "." +
+             schema_->column(e.left).name + "=" +
+             schema_->table(e.right.table).name + "." +
+             schema_->column(e.right).name + ")";
+    }
+    case ActionKind::kDeactivateEdge: {
+      const Edge& e = edges_->edge(a.edge);
+      return "deactivate(" + schema_->table(e.left.table).name + "." +
+             schema_->column(e.left).name + "=" +
+             schema_->table(e.right.table).name + "." +
+             schema_->column(e.right).name + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace lpa::partition

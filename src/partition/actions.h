@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "partition/partition_state.h"
+
+namespace lpa::partition {
+
+/// \brief Kinds of agent actions (Sec 3.2): each affects at most one table's
+/// partitioning (or toggles one co-partitioning edge).
+enum class ActionKind {
+  kPartitionTable = 0,
+  kReplicateTable = 1,
+  kActivateEdge = 2,
+  kDeactivateEdge = 3,
+};
+
+/// \brief One action in the global (fixed) action enumeration.
+struct Action {
+  ActionKind kind = ActionKind::kPartitionTable;
+  schema::TableId table = -1;    // kPartitionTable / kReplicateTable
+  schema::ColumnId column = -1;  // kPartitionTable
+  int edge = -1;                 // kActivateEdge / kDeactivateEdge
+
+  bool operator==(const Action&) const = default;
+};
+
+/// \brief The global action space: a fixed enumeration of all actions the
+/// agent can ever take against a given schema + edge set, with per-state
+/// legality filtering.
+///
+/// The enumeration order is stable, so action ids double as Q-network output
+/// heads and as the action one-hot positions in the featurizer.
+class ActionSpace {
+ public:
+  ActionSpace(const schema::Schema* schema, const EdgeSet* edges);
+
+  int size() const { return static_cast<int>(actions_.size()); }
+  const Action& action(int id) const { return actions_.at(static_cast<size_t>(id)); }
+  const std::vector<Action>& actions() const { return actions_; }
+
+  /// \brief Ids of the actions legal in `state`: partition/replicate actions
+  /// on unpinned tables that actually change the design, conflict-free edge
+  /// activations, and deactivations of active edges. Never empty for any
+  /// reachable state (deactivations or design changes always exist).
+  std::vector<int> LegalActions(const PartitioningState& state) const;
+
+  /// \brief Apply action `id` to the state. Fails if illegal.
+  Status Apply(int id, PartitioningState* state) const;
+
+  /// \brief Human-readable form, e.g. "partition(customer by c_id)".
+  std::string Describe(int id) const;
+
+ private:
+  const schema::Schema* schema_;
+  const EdgeSet* edges_;
+  std::vector<Action> actions_;
+};
+
+}  // namespace lpa::partition

@@ -1,0 +1,227 @@
+#include "partition/partition_state.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lpa::partition {
+
+namespace {
+
+/// Unordered column-pair equality for edge deduplication.
+bool SamePair(const Edge& a, const schema::ColumnRef& l,
+              const schema::ColumnRef& r) {
+  return (a.left == l && a.right == r) || (a.left == r && a.right == l);
+}
+
+}  // namespace
+
+EdgeSet EdgeSet::Extract(const schema::Schema& schema,
+                         const workload::Workload& workload) {
+  EdgeSet set;
+  auto add = [&schema, &set](const schema::ColumnRef& l, const schema::ColumnRef& r) {
+    if (l.table == r.table) return;
+    if (!schema.column(l).partitionable || !schema.column(r).partitionable) return;
+    for (const auto& e : set.edges_) {
+      if (SamePair(e, l, r)) return;
+    }
+    set.edges_.push_back(Edge{l, r});
+  };
+  for (const auto& fk : schema.foreign_keys()) add(fk.from, fk.to);
+  for (const auto& q : workload.queries()) {
+    for (const auto& join : q.joins) {
+      for (const auto& eq : join.equalities) add(eq.left, eq.right);
+    }
+  }
+  return set;
+}
+
+std::vector<int> EdgeSet::EdgesOf(schema::TableId table) const {
+  std::vector<int> result;
+  for (int i = 0; i < size(); ++i) {
+    if (edges_[static_cast<size_t>(i)].Touches(table)) result.push_back(i);
+  }
+  return result;
+}
+
+PartitioningState::PartitioningState(const schema::Schema* schema,
+                                     const EdgeSet* edges)
+    : schema_(schema),
+      edges_(edges),
+      tables_(static_cast<size_t>(schema->num_tables())),
+      edge_active_(static_cast<size_t>(edges->size()), false) {}
+
+PartitioningState PartitioningState::Initial(const schema::Schema* schema,
+                                             const EdgeSet* edges) {
+  PartitioningState state(schema, edges);
+  for (schema::TableId t = 0; t < schema->num_tables(); ++t) {
+    const auto& table = schema->table(t);
+    schema::ColumnId first = -1;
+    // Prefer the primary key when it is partitionable; otherwise the first
+    // partitionable column; otherwise replicate (no hash candidate exists).
+    if (table.primary_key >= 0 &&
+        table.columns[static_cast<size_t>(table.primary_key)].partitionable) {
+      first = table.primary_key;
+    } else {
+      for (size_t c = 0; c < table.columns.size(); ++c) {
+        if (table.columns[c].partitionable) {
+          first = static_cast<schema::ColumnId>(c);
+          break;
+        }
+      }
+    }
+    if (first >= 0) {
+      state.tables_[static_cast<size_t>(t)] = TablePartition{false, first};
+    } else {
+      state.tables_[static_cast<size_t>(t)] = TablePartition{true, -1};
+    }
+  }
+  return state;
+}
+
+PartitioningState PartitioningState::FromDesign(
+    const schema::Schema* schema, const EdgeSet* edges,
+    const std::vector<TablePartition>& design) {
+  PartitioningState state(schema, edges);
+  LPA_CHECK(design.size() == static_cast<size_t>(schema->num_tables()));
+  for (schema::TableId t = 0; t < schema->num_tables(); ++t) {
+    const auto& tp = design[static_cast<size_t>(t)];
+    if (tp.replicated) {
+      state.tables_[static_cast<size_t>(t)] = TablePartition{true, -1};
+    } else {
+      const auto& table = schema->table(t);
+      LPA_CHECK(tp.column >= 0 &&
+                tp.column < static_cast<schema::ColumnId>(table.columns.size()));
+      LPA_CHECK(table.columns[static_cast<size_t>(tp.column)].partitionable);
+      state.tables_[static_cast<size_t>(t)] = tp;
+    }
+  }
+  return state;
+}
+
+bool PartitioningState::TablePinned(schema::TableId t) const {
+  for (int e = 0; e < edges_->size(); ++e) {
+    if (edge_active_[static_cast<size_t>(e)] && edges_->edge(e).Touches(t)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status PartitioningState::PartitionBy(schema::TableId t, schema::ColumnId column) {
+  if (t < 0 || t >= schema_->num_tables()) {
+    return Status::InvalidArgument("bad table id");
+  }
+  const auto& table = schema_->table(t);
+  if (column < 0 || column >= static_cast<schema::ColumnId>(table.columns.size())) {
+    return Status::InvalidArgument("bad column id");
+  }
+  if (!table.columns[static_cast<size_t>(column)].partitionable) {
+    return Status::FailedPrecondition(table.name + "." +
+                                      table.columns[static_cast<size_t>(column)].name +
+                                      " is not a partitioning candidate");
+  }
+  if (TablePinned(t)) {
+    return Status::FailedPrecondition(table.name +
+                                      " is pinned by an active edge; deactivate first");
+  }
+  tables_[static_cast<size_t>(t)] = TablePartition{false, column};
+  return Status::OK();
+}
+
+Status PartitioningState::Replicate(schema::TableId t) {
+  if (t < 0 || t >= schema_->num_tables()) {
+    return Status::InvalidArgument("bad table id");
+  }
+  if (tables_[static_cast<size_t>(t)].replicated) {
+    return Status::FailedPrecondition(schema_->table(t).name +
+                                      " is already replicated");
+  }
+  if (TablePinned(t)) {
+    return Status::FailedPrecondition(schema_->table(t).name +
+                                      " is pinned by an active edge; deactivate first");
+  }
+  tables_[static_cast<size_t>(t)] = TablePartition{true, -1};
+  return Status::OK();
+}
+
+bool PartitioningState::EdgeConflicts(int e) const {
+  const Edge& cand = edges_->edge(e);
+  for (int other = 0; other < edges_->size(); ++other) {
+    if (other == e || !edge_active_[static_cast<size_t>(other)]) continue;
+    const Edge& act = edges_->edge(other);
+    // Two edges conflict if they demand different partition columns on a
+    // shared table.
+    for (const auto& cref : {cand.left, cand.right}) {
+      for (const auto& aref : {act.left, act.right}) {
+        if (cref.table == aref.table && cref.column != aref.column) return true;
+      }
+    }
+  }
+  return false;
+}
+
+Status PartitioningState::ActivateEdge(int e) {
+  if (e < 0 || e >= edges_->size()) return Status::InvalidArgument("bad edge id");
+  if (edge_active_[static_cast<size_t>(e)]) {
+    return Status::FailedPrecondition("edge already active");
+  }
+  if (EdgeConflicts(e)) {
+    return Status::FailedPrecondition("conflicting edge active; deactivate first");
+  }
+  const Edge& edge = edges_->edge(e);
+  tables_[static_cast<size_t>(edge.left.table)] = TablePartition{false, edge.left.column};
+  tables_[static_cast<size_t>(edge.right.table)] = TablePartition{false, edge.right.column};
+  edge_active_[static_cast<size_t>(e)] = true;
+  return Status::OK();
+}
+
+Status PartitioningState::DeactivateEdge(int e) {
+  if (e < 0 || e >= edges_->size()) return Status::InvalidArgument("bad edge id");
+  if (!edge_active_[static_cast<size_t>(e)]) {
+    return Status::FailedPrecondition("edge not active");
+  }
+  edge_active_[static_cast<size_t>(e)] = false;
+  return Status::OK();
+}
+
+std::vector<schema::TableId> PartitioningState::DiffTables(
+    const PartitioningState& other) const {
+  std::vector<schema::TableId> diff;
+  for (schema::TableId t = 0; t < schema_->num_tables(); ++t) {
+    if (!(tables_[static_cast<size_t>(t)] == other.tables_[static_cast<size_t>(t)])) {
+      diff.push_back(t);
+    }
+  }
+  return diff;
+}
+
+std::string PartitioningState::PhysicalDesignKey() const {
+  std::vector<schema::TableId> all(static_cast<size_t>(schema_->num_tables()));
+  for (schema::TableId t = 0; t < schema_->num_tables(); ++t) {
+    all[static_cast<size_t>(t)] = t;
+  }
+  return PhysicalDesignKey(all);
+}
+
+std::string PartitioningState::PhysicalDesignKey(
+    const std::vector<schema::TableId>& tables) const {
+  std::string key;
+  for (schema::TableId t : tables) {
+    const auto& tp = tables_[static_cast<size_t>(t)];
+    const auto& table = schema_->table(t);
+    key += table.name;
+    if (tp.replicated) {
+      key += ":R ";
+    } else {
+      key += ":H(" + table.columns[static_cast<size_t>(tp.column)].name + ") ";
+    }
+  }
+  return key;
+}
+
+bool PartitioningState::SameDesign(const PartitioningState& other) const {
+  return tables_ == other.tables_;
+}
+
+}  // namespace lpa::partition

@@ -1,0 +1,133 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace lpa::partition {
+
+/// \brief Physical design of one table: replicated to all nodes, or
+/// hash-partitioned by one of its partitionable columns.
+struct TablePartition {
+  bool replicated = false;
+  /// Partitioning column (valid iff !replicated).
+  schema::ColumnId column = -1;
+
+  bool operator==(const TablePartition&) const = default;
+};
+
+/// \brief A co-partitioning edge between two join-compatible columns
+/// (Sec 3.2): while active, it pins both tables to be hash-partitioned by
+/// the edge's columns so the corresponding join is local.
+struct Edge {
+  schema::ColumnRef left;
+  schema::ColumnRef right;
+
+  bool Touches(schema::TableId t) const {
+    return left.table == t || right.table == t;
+  }
+};
+
+/// \brief The fixed set of possible edges, extracted from schema + workload.
+class EdgeSet {
+ public:
+  /// \brief Extract all candidate edges: every foreign key and every workload
+  /// join equality whose two columns are both partitionable, deduplicated as
+  /// unordered column pairs.
+  static EdgeSet Extract(const schema::Schema& schema,
+                         const workload::Workload& workload);
+
+  int size() const { return static_cast<int>(edges_.size()); }
+  const Edge& edge(int i) const { return edges_.at(static_cast<size_t>(i)); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// \brief Indices of edges touching the given table.
+  std::vector<int> EdgesOf(schema::TableId table) const;
+
+ private:
+  std::vector<Edge> edges_;
+};
+
+/// \brief Full partitioning state of the database: per-table design plus
+/// active-edge bits, with conflict-freedom maintained as an invariant —
+/// an active edge always agrees with the partitioning of both its tables,
+/// and no two active edges demand different columns on the same table.
+class PartitioningState {
+ public:
+  PartitioningState(const schema::Schema* schema, const EdgeSet* edges);
+
+  /// \brief The training initial state s0: every table hash-partitioned by
+  /// its first partitionable column (its primary key where partitionable),
+  /// no active edges.
+  static PartitioningState Initial(const schema::Schema* schema,
+                                   const EdgeSet* edges);
+
+  /// \brief Build a state directly from per-table designs (no active edges).
+  /// Used by the online environment to assemble lazy hybrid designs and by
+  /// the baselines' design enumerators. Aborts on invalid designs.
+  static PartitioningState FromDesign(const schema::Schema* schema,
+                                      const EdgeSet* edges,
+                                      const std::vector<TablePartition>& design);
+
+  /// \brief Per-table designs in table order.
+  const std::vector<TablePartition>& table_partitions() const { return tables_; }
+
+  const schema::Schema& schema() const { return *schema_; }
+  const EdgeSet& edges() const { return *edges_; }
+
+  const TablePartition& table_partition(schema::TableId t) const {
+    return tables_.at(static_cast<size_t>(t));
+  }
+  bool edge_active(int e) const { return edge_active_.at(static_cast<size_t>(e)); }
+
+  /// \brief True if any active edge pins this table's partitioning.
+  bool TablePinned(schema::TableId t) const;
+
+  /// \brief Hash-partition table `t` by `column`. Fails if the column is not
+  /// partitionable or the table is pinned by an active edge.
+  Status PartitionBy(schema::TableId t, schema::ColumnId column);
+
+  /// \brief Replicate table `t`. Fails if pinned by an active edge.
+  Status Replicate(schema::TableId t);
+
+  /// \brief Activate edge `e`: co-partitions both tables by the edge columns.
+  /// Fails if a conflicting edge is active (Sec 3.2).
+  Status ActivateEdge(int e);
+
+  /// \brief Deactivate edge `e`; the tables keep their current partitioning.
+  Status DeactivateEdge(int e);
+
+  /// \brief True if activating `e` would conflict with an active edge.
+  bool EdgeConflicts(int e) const;
+
+  /// \brief Tables whose physical design differs from `other` — the tables
+  /// lazy repartitioning must actually move (Sec 4.2).
+  std::vector<schema::TableId> DiffTables(const PartitioningState& other) const;
+
+  /// \brief Canonical text form, e.g. "customer:H(c_id) part:R", for caching
+  /// keys and log output. Edge bits are not part of the physical design and
+  /// are excluded.
+  std::string PhysicalDesignKey() const;
+
+  /// \brief Key restricted to the given tables — the runtime-cache key of a
+  /// query touching exactly those tables (Sec 4.2).
+  std::string PhysicalDesignKey(const std::vector<schema::TableId>& tables) const;
+
+  /// \brief Physical designs equal (ignoring edge bits)?
+  bool SameDesign(const PartitioningState& other) const;
+
+  bool operator==(const PartitioningState& other) const {
+    return tables_ == other.tables_ && edge_active_ == other.edge_active_;
+  }
+
+ private:
+  const schema::Schema* schema_;
+  const EdgeSet* edges_;
+  std::vector<TablePartition> tables_;
+  std::vector<bool> edge_active_;
+};
+
+}  // namespace lpa::partition

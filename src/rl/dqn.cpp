@@ -1,0 +1,219 @@
+#include "rl/dqn.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace lpa::rl {
+
+void ReplayBuffer::Add(Transition t) {
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(std::move(t));
+  } else {
+    buffer_[next_] = std::move(t);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<const Transition*> ReplayBuffer::Sample(size_t count,
+                                                    Rng* rng) const {
+  LPA_CHECK(!buffer_.empty());
+  std::vector<const Transition*> result;
+  result.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t idx = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(buffer_.size()) - 1));
+    result.push_back(&buffer_[idx]);
+  }
+  return result;
+}
+
+DqnAgent::DqnAgent(const partition::Featurizer* featurizer,
+                   const partition::ActionSpace* actions, DqnConfig config)
+    : featurizer_(featurizer),
+      actions_(actions),
+      config_(std::move(config)),
+      replay_(static_cast<size_t>(config_.replay_capacity)),
+      epsilon_(config_.epsilon_start),
+      select_rng_(HashCombine(config_.seed, 0x5e1ec7ULL)) {
+  nn::MlpConfig net;
+  net.input_dim = InputDim();
+  net.hidden = config_.hidden;
+  net.output_dim =
+      config_.mode == QNetworkMode::kMultiHead ? actions_->size() : 1;
+  net.seed = config_.seed;
+  q_ = std::make_unique<nn::Mlp>(net);
+  net.seed = config_.seed + 1;  // "randomly initialize target network"
+  target_ = std::make_unique<nn::Mlp>(net);
+}
+
+int DqnAgent::InputDim() const {
+  int dim = featurizer_->state_dim();
+  if (config_.mode == QNetworkMode::kStateActionInput) {
+    dim += featurizer_->action_dim();
+  }
+  return dim;
+}
+
+std::vector<double> DqnAgent::ConcatAction(const std::vector<double>& state_enc,
+                                           int action_id) const {
+  std::vector<double> input = state_enc;
+  auto a = featurizer_->EncodeAction(actions_->action(action_id));
+  input.insert(input.end(), a.begin(), a.end());
+  return input;
+}
+
+std::vector<double> DqnAgent::QValues(const std::vector<double>& state_enc,
+                                      const std::vector<int>& legal) const {
+  std::vector<double> q(legal.size());
+  if (config_.mode == QNetworkMode::kMultiHead) {
+    auto all = q_->Forward(state_enc);
+    for (size_t i = 0; i < legal.size(); ++i) {
+      q[i] = all[static_cast<size_t>(legal[i])];
+    }
+  } else {
+    nn::Matrix batch(legal.size(), static_cast<size_t>(InputDim()));
+    for (size_t i = 0; i < legal.size(); ++i) {
+      auto row = ConcatAction(state_enc, legal[i]);
+      std::copy(row.begin(), row.end(), batch.row(i));
+    }
+    nn::Matrix out = q_->Forward(batch);
+    for (size_t i = 0; i < legal.size(); ++i) q[i] = out.at(i, 0);
+  }
+  return q;
+}
+
+int DqnAgent::SelectAction(const std::vector<double>& state_enc,
+                           const std::vector<int>& legal, Rng* rng) const {
+  LPA_CHECK(!legal.empty());
+  if (rng->Uniform() < epsilon_) {
+    return legal[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(legal.size()) - 1))];
+  }
+  return GreedyAction(state_enc, legal);
+}
+
+int DqnAgent::GreedyAction(const std::vector<double>& state_enc,
+                           const std::vector<int>& legal) const {
+  auto q = QValues(state_enc, legal);
+  size_t best = 0;
+  for (size_t i = 1; i < q.size(); ++i) {
+    if (q[i] > q[best]) best = i;
+  }
+  return legal[best];
+}
+
+void DqnAgent::DecayEpsilon() {
+  epsilon_ = std::max(epsilon_ * config_.epsilon_decay, config_.epsilon_min);
+}
+
+void DqnAgent::Observe(Transition t) { replay_.Add(std::move(t)); }
+
+double DqnAgent::TrainStep(Rng* rng) {
+  if (replay_.size() < static_cast<size_t>(config_.batch_size)) return 0.0;
+  auto batch = replay_.Sample(static_cast<size_t>(config_.batch_size), rng);
+
+  // Compute TD targets r + gamma * max_a' Q_target(s', a').
+  std::vector<double> targets(batch.size());
+  if (config_.mode == QNetworkMode::kMultiHead) {
+    nn::Matrix next(batch.size(), static_cast<size_t>(featurizer_->state_dim()));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      std::copy(batch[i]->next_enc.begin(), batch[i]->next_enc.end(),
+                next.row(i));
+    }
+    nn::Matrix next_q = target_->Forward(next);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      double best = -1e30;
+      for (int a : batch[i]->next_legal) {
+        best = std::max(best, next_q.at(i, static_cast<size_t>(a)));
+      }
+      targets[i] = batch[i]->reward + config_.gamma * best;
+    }
+  } else {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const auto& legal = batch[i]->next_legal;
+      nn::Matrix rows(legal.size(), static_cast<size_t>(InputDim()));
+      for (size_t j = 0; j < legal.size(); ++j) {
+        auto row = ConcatAction(batch[i]->next_enc, legal[j]);
+        std::copy(row.begin(), row.end(), rows.row(j));
+      }
+      nn::Matrix out = target_->Forward(rows);
+      double best = -1e30;
+      for (size_t j = 0; j < legal.size(); ++j) best = std::max(best, out.at(j, 0));
+      targets[i] = batch[i]->reward + config_.gamma * best;
+    }
+  }
+
+  double loss = 0.0;
+  if (config_.mode == QNetworkMode::kMultiHead) {
+    nn::Matrix x(batch.size(), static_cast<size_t>(featurizer_->state_dim()));
+    std::vector<int> heads(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      std::copy(batch[i]->state_enc.begin(), batch[i]->state_enc.end(), x.row(i));
+      heads[i] = batch[i]->action_id;
+    }
+    loss = q_->TrainMaskedMse(x, heads, targets, config_.learning_rate);
+  } else {
+    nn::Matrix x(batch.size(), static_cast<size_t>(InputDim()));
+    nn::Matrix y(batch.size(), 1);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      auto row = ConcatAction(batch[i]->state_enc, batch[i]->action_id);
+      std::copy(row.begin(), row.end(), x.row(i));
+      y.at(i, 0) = targets[i];
+    }
+    loss = q_->TrainMse(x, y, config_.learning_rate);
+  }
+  target_->SoftUpdateFrom(*q_, config_.tau);
+  return loss;
+}
+
+Status DqnAgent::Save(std::ostream& os) const {
+  os << "dqn-agent " << epsilon_ << '\n';
+  LPA_RETURN_NOT_OK(q_->Save(os));
+  LPA_RETURN_NOT_OK(target_->Save(os));
+  return Status::OK();
+}
+
+Status DqnAgent::Load(std::istream& is) {
+  std::string magic;
+  double epsilon = 0.0;
+  is >> magic >> epsilon;
+  if (magic != "dqn-agent" || !is.good()) {
+    return Status::InvalidArgument("not a dqn-agent snapshot");
+  }
+  auto q = nn::Mlp::Load(is);
+  if (!q.ok()) return q.status();
+  auto target = nn::Mlp::Load(is);
+  if (!target.ok()) return target.status();
+  if (q->input_dim() != InputDim() ||
+      q->output_dim() != q_->output_dim()) {
+    return Status::FailedPrecondition(
+        "snapshot shape does not match this agent's featurizer/action space");
+  }
+  epsilon_ = epsilon;
+  *q_ = std::move(*q);
+  *target_ = std::move(*target);
+  return Status::OK();
+}
+
+void DqnAgent::CopyWeightsFrom(const DqnAgent& other) {
+  q_->CopyFrom(*other.q_);
+  target_->CopyFrom(*other.target_);
+}
+
+void DqnAgent::ExtendStateInputs(int extra,
+                                 const partition::Featurizer* new_featurizer) {
+  LPA_CHECK(extra >= 0);
+  LPA_CHECK(new_featurizer->state_dim() == featurizer_->state_dim() + extra);
+  // The grown inputs are appended at the tail, which is where the featurizer
+  // puts frequency slots; the state-action layout would shift instead.
+  LPA_CHECK(config_.mode == QNetworkMode::kMultiHead);
+  *q_ = q_->WithExtendedInput(extra);
+  *target_ = target_->WithExtendedInput(extra);
+  featurizer_ = new_featurizer;
+  // Old replay entries encode the smaller state; drop them.
+  replay_ = ReplayBuffer(static_cast<size_t>(config_.replay_capacity));
+}
+
+}  // namespace lpa::rl

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "partition/partition_state.h"
+#include "workload/workload.h"
+
+namespace lpa::rl {
+
+/// \brief Reward source for the DQN agent: something that can price a query
+/// under a partitioning (the cost-model simulation offline, the sampled
+/// cluster online).
+class PartitioningEnv {
+ public:
+  virtual ~PartitioningEnv() = default;
+
+  virtual const workload::Workload& workload() const = 0;
+
+  /// \brief Cost (seconds, full-database scale) of query `query_index` under
+  /// `state`. `frequency` is the query's current workload frequency — the
+  /// online environment needs it for the timeout optimization (Sec 4.2).
+  virtual double QueryCost(int query_index,
+                           const partition::PartitioningState& state,
+                           double frequency) = 0;
+
+  /// \brief Frequency-weighted workload cost `sum_j f_j * c(P, q_j)`.
+  /// Entries with zero frequency are skipped (and never executed).
+  virtual double WorkloadCost(const partition::PartitioningState& state,
+                              const std::vector<double>& frequencies);
+};
+
+}  // namespace lpa::rl

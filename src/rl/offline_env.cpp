@@ -1,0 +1,46 @@
+#include "rl/offline_env.h"
+
+namespace lpa::rl {
+
+double PartitioningEnv::WorkloadCost(const partition::PartitioningState& state,
+                                     const std::vector<double>& frequencies) {
+  double total = 0.0;
+  for (int j = 0; j < workload().num_queries(); ++j) {
+    double f = j < static_cast<int>(frequencies.size())
+                   ? frequencies[static_cast<size_t>(j)]
+                   : 0.0;
+    if (f <= 0.0) continue;
+    total += f * QueryCost(j, state, f);
+  }
+  return total;
+}
+
+OfflineEnv::OfflineEnv(const costmodel::CostModel* model,
+                       const workload::Workload* workload)
+    : model_(model), workload_(workload) {}
+
+const std::vector<schema::TableId>& OfflineEnv::QueryTables(int query_index) {
+  while (static_cast<int>(query_tables_.size()) <= query_index) {
+    query_tables_.push_back(
+        workload_->query(static_cast<int>(query_tables_.size())).tables());
+  }
+  return query_tables_[static_cast<size_t>(query_index)];
+}
+
+double OfflineEnv::QueryCost(int query_index,
+                             const partition::PartitioningState& state,
+                             double /*frequency*/) {
+  ++evaluations_;
+  std::string key = std::to_string(query_index) + "|" +
+                    state.PhysicalDesignKey(QueryTables(query_index));
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  double cost = model_->QueryCost(workload_->query(query_index), state);
+  cache_.emplace(std::move(key), cost);
+  return cost;
+}
+
+}  // namespace lpa::rl

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "costmodel/cost_model.h"
+#include "rl/environment.h"
+
+namespace lpa::rl {
+
+/// \brief Offline-training environment (Sec 4.1): rewards come from the
+/// network-centric cost model `cm(P, q)`; no database is touched.
+///
+/// Query costs are cached by (query, physical design restricted to the
+/// query's tables) — the same key structure as the online Query Runtime
+/// Cache, exploiting that a query's cost only depends on the states of the
+/// tables it references.
+class OfflineEnv : public PartitioningEnv {
+ public:
+  OfflineEnv(const costmodel::CostModel* model,
+             const workload::Workload* workload);
+
+  const workload::Workload& workload() const override { return *workload_; }
+
+  double QueryCost(int query_index, const partition::PartitioningState& state,
+                   double frequency) override;
+
+  size_t cache_size() const { return cache_.size(); }
+  size_t cache_hits() const { return hits_; }
+  size_t evaluations() const { return evaluations_; }
+
+ private:
+  /// Tables referenced per query (cache-key scope); grown lazily so the
+  /// workload may gain queries after construction (incremental training).
+  const std::vector<schema::TableId>& QueryTables(int query_index);
+
+  const costmodel::CostModel* model_;
+  const workload::Workload* workload_;
+  std::vector<std::vector<schema::TableId>> query_tables_;
+  std::unordered_map<std::string, double> cache_;
+  size_t hits_ = 0;
+  size_t evaluations_ = 0;
+};
+
+}  // namespace lpa::rl

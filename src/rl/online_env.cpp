@@ -1,0 +1,119 @@
+#include "rl/online_env.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lpa::rl {
+
+OnlineEnv::OnlineEnv(engine::ClusterDatabase* cluster,
+                     const workload::Workload* workload,
+                     std::vector<double> scale_factors,
+                     OnlineEnvOptions options)
+    : cluster_(cluster),
+      workload_(workload),
+      scale_(std::move(scale_factors)),
+      options_(options) {
+  if (scale_.empty()) {
+    scale_.assign(static_cast<size_t>(workload->num_queries()), 1.0);
+  }
+  LPA_CHECK(scale_.size() == static_cast<size_t>(workload->num_queries()));
+}
+
+const std::vector<schema::TableId>& OnlineEnv::QueryTables(int query_index) {
+  while (static_cast<int>(query_tables_.size()) <= query_index) {
+    query_tables_.push_back(
+        workload_->query(static_cast<int>(query_tables_.size())).tables());
+  }
+  while (query_tables_.size() > scale_.size()) scale_.push_back(1.0);
+  return query_tables_[static_cast<size_t>(query_index)];
+}
+
+void OnlineEnv::DeployFor(int query_index,
+                          const partition::PartitioningState& state) {
+  const auto& deployed = cluster_->deployed_design();
+  std::vector<partition::TablePartition> design;
+  if (deployed.has_value()) {
+    design = deployed->table_partitions();
+  } else {
+    design = state.table_partitions();
+  }
+  // Override only the tables the query touches (lazy repartitioning).
+  for (schema::TableId t : QueryTables(query_index)) {
+    design[static_cast<size_t>(t)] = state.table_partition(t);
+  }
+  auto hybrid = partition::PartitioningState::FromDesign(
+      &state.schema(), &state.edges(), design);
+  accounting_.repartition_seconds += cluster_->ApplyDesign(hybrid);
+}
+
+double OnlineEnv::QueryCost(int query_index,
+                            const partition::PartitioningState& state,
+                            double frequency) {
+  std::string key = std::to_string(query_index) + "|" +
+                    state.PhysicalDesignKey(QueryTables(query_index));
+  if (options_.use_runtime_cache) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++accounting_.cache_hits;
+      return it->second;
+    }
+  }
+
+  if (options_.use_lazy_repartitioning) {
+    DeployFor(query_index, state);
+  } else {
+    accounting_.repartition_seconds += cluster_->ApplyDesign(state);
+  }
+
+  double sample_seconds =
+      cluster_->ExecuteQuery(workload_->query(query_index)).seconds;
+  ++accounting_.queries_executed;
+  double scaled = scale_[static_cast<size_t>(query_index)] * sample_seconds;
+
+  // Timeout rule: a single query whose weighted share exceeds the best known
+  // workload cost proves the partitioning inferior; cut execution there.
+  if (options_.use_timeouts && best_cost_ > 0.0 && frequency > 0.0) {
+    double budget_scaled = best_cost_ / frequency;
+    if (scaled > budget_scaled) {
+      double budget_sample =
+          budget_scaled / scale_[static_cast<size_t>(query_index)];
+      accounting_.timeout_saved_seconds += sample_seconds - budget_sample;
+      accounting_.query_seconds += budget_sample;
+      // The true (uncut) cost still enters the cache so later mixes reuse it.
+      cache_.emplace(std::move(key), scaled);
+      return scaled;
+    }
+  }
+  accounting_.query_seconds += sample_seconds;
+  cache_.emplace(std::move(key), scaled);
+  return scaled;
+}
+
+double OnlineEnv::WorkloadCost(const partition::PartitioningState& state,
+                               const std::vector<double>& frequencies) {
+  if (!options_.use_lazy_repartitioning) {
+    accounting_.repartition_seconds += cluster_->ApplyDesign(state);
+  }
+  double total = PartitioningEnv::WorkloadCost(state, frequencies);
+  if (best_cost_ < 0.0 || total < best_cost_) best_cost_ = total;
+  return total;
+}
+
+std::vector<double> ComputeScaleFactors(
+    engine::ClusterDatabase* full, engine::ClusterDatabase* sample,
+    const workload::Workload& workload,
+    const partition::PartitioningState& p_offline) {
+  full->ApplyDesign(p_offline);
+  sample->ApplyDesign(p_offline);
+  std::vector<double> scale;
+  scale.reserve(static_cast<size_t>(workload.num_queries()));
+  for (const auto& q : workload.queries()) {
+    double c_full = full->ExecuteQuery(q).seconds;
+    double c_sample = sample->ExecuteQuery(q).seconds;
+    scale.push_back(c_sample > 0.0 ? c_full / c_sample : 1.0);
+  }
+  return scale;
+}
+
+}  // namespace lpa::rl

@@ -1,0 +1,141 @@
+#include "rl/trainer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lpa::rl {
+
+EpisodeTrainer::EpisodeTrainer(const schema::Schema* schema,
+                               const partition::EdgeSet* edges,
+                               const partition::ActionSpace* actions,
+                               const partition::Featurizer* featurizer)
+    : schema_(schema),
+      edges_(edges),
+      actions_(actions),
+      featurizer_(featurizer) {}
+
+double EpisodeTrainer::Normalization(PartitioningEnv* env) const {
+  std::vector<double> uniform(
+      static_cast<size_t>(env->workload().num_queries()), 1.0);
+  double norm = env->WorkloadCost(InitialState(), uniform);
+  LPA_CHECK(norm > 0.0);
+  return norm;
+}
+
+TrainingResult EpisodeTrainer::Train(DqnAgent* agent, PartitioningEnv* env,
+                                     const FrequencySampler& sampler,
+                                     int episodes, Rng* rng) const {
+  TrainingResult result;
+  result.normalization = Normalization(env);
+  const int tmax = agent->config().tmax;
+  LPA_CHECK(tmax >= schema_->num_tables());
+
+  for (int e = 0; e < episodes; ++e) {
+    std::vector<double> freqs = sampler(rng);
+    partition::PartitioningState state = InitialState();  // line 4: reset
+    std::vector<double> enc = featurizer_->EncodeState(state, freqs);
+    std::vector<int> legal = actions_->LegalActions(state);
+    double episode_best = -1e30;
+
+    for (int t = 0; t < tmax; ++t) {
+      int action = agent->SelectAction(enc, legal, rng);  // line 6
+      LPA_CHECK(actions_->Apply(action, &state).ok());    // line 7
+      double cost = env->WorkloadCost(state, freqs);      // line 8
+      double reward = 1.0 - cost / result.normalization;
+      episode_best = std::max(episode_best, reward);
+
+      std::vector<double> next_enc = featurizer_->EncodeState(state, freqs);
+      std::vector<int> next_legal = actions_->LegalActions(state);
+      agent->Observe(
+          Transition{std::move(enc), action, reward, next_enc, next_legal});
+      agent->TrainStep(rng);  // lines 10-11 (+ soft target update, line 13)
+      enc = std::move(next_enc);
+      legal = std::move(next_legal);
+      ++result.steps;
+    }
+    agent->DecayEpsilon();  // line 12
+    result.episode_best_rewards.push_back(episode_best);
+  }
+  return result;
+}
+
+namespace {
+
+/// One rollout with exploration probability `epsilon` (0 = greedy),
+/// accumulating the objective-best state into `result`.
+void Rollout(const DqnAgent& agent,
+             const EpisodeTrainer::StateObjective& objective,
+             const std::vector<double>& frequencies,
+             const partition::Featurizer& featurizer,
+             const partition::ActionSpace& actions, double epsilon, Rng* rng,
+             bool record_actions, InferenceResult* result,
+             partition::PartitioningState state) {
+  const int tmax = agent.config().tmax;
+  for (int t = 0; t < tmax; ++t) {
+    std::vector<double> enc = featurizer.EncodeState(state, frequencies);
+    std::vector<int> legal = actions.LegalActions(state);
+    int action;
+    if (epsilon > 0.0 && rng != nullptr && rng->Uniform() < epsilon) {
+      action = legal[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(legal.size()) - 1))];
+    } else {
+      action = agent.GreedyAction(enc, legal);
+    }
+    LPA_CHECK(actions.Apply(action, &state).ok());
+    if (record_actions) result->actions.push_back(action);
+    double cost = objective(state);
+    if (cost < result->best_cost) {
+      result->best_cost = cost;
+      result->best_state = state;
+    }
+  }
+}
+
+}  // namespace
+
+InferenceResult EpisodeTrainer::Infer(
+    const DqnAgent& agent, PartitioningEnv* env,
+    const std::vector<double>& frequencies) const {
+  auto objective = [env, &frequencies](const partition::PartitioningState& s) {
+    return env->WorkloadCost(s, frequencies);
+  };
+  partition::PartitioningState state = InitialState();
+  InferenceResult result{state, objective(state), {}};
+  Rollout(agent, objective, frequencies, *featurizer_, *actions_, 0.0, nullptr,
+          /*record_actions=*/true, &result, state);
+  return result;
+}
+
+InferenceResult EpisodeTrainer::InferBest(
+    const DqnAgent& agent, PartitioningEnv* env,
+    const std::vector<double>& frequencies, int extra_rollouts, double epsilon,
+    Rng* rng) const {
+  auto objective = [env, &frequencies](const partition::PartitioningState& s) {
+    return env->WorkloadCost(s, frequencies);
+  };
+  InferenceResult result = Infer(agent, env, frequencies);
+  partition::PartitioningState s0 = InitialState();
+  for (int i = 0; i < extra_rollouts; ++i) {
+    Rollout(agent, objective, frequencies, *featurizer_, *actions_, epsilon,
+            rng, /*record_actions=*/false, &result, s0);
+  }
+  return result;
+}
+
+InferenceResult EpisodeTrainer::InferObjective(
+    const DqnAgent& agent, const std::vector<double>& frequencies,
+    const StateObjective& objective, int extra_rollouts, double epsilon,
+    Rng* rng) const {
+  partition::PartitioningState state = InitialState();
+  InferenceResult result{state, objective(state), {}};
+  Rollout(agent, objective, frequencies, *featurizer_, *actions_, 0.0, nullptr,
+          /*record_actions=*/true, &result, state);
+  for (int i = 0; i < extra_rollouts; ++i) {
+    Rollout(agent, objective, frequencies, *featurizer_, *actions_, epsilon,
+            rng, /*record_actions=*/false, &result, InitialState());
+  }
+  return result;
+}
+
+}  // namespace lpa::rl

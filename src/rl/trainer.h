@@ -1,0 +1,92 @@
+#pragma once
+
+#include <functional>
+
+#include "rl/dqn.h"
+#include "rl/environment.h"
+
+namespace lpa::rl {
+
+/// \brief Draws a workload frequency vector for the next episode. The naive
+/// model trains over uniformly sampled mixes; subspace experts restrict the
+/// sampler to their subspace (Sec 5).
+using FrequencySampler = std::function<std::vector<double>(Rng*)>;
+
+/// \brief Per-run training telemetry.
+struct TrainingResult {
+  /// Best (maximum) reward observed in each episode.
+  std::vector<double> episode_best_rewards;
+  /// Cost used to normalize rewards (workload cost of s0, uniform mix).
+  double normalization = 1.0;
+  /// Total environment evaluations.
+  size_t steps = 0;
+};
+
+/// \brief Result of the greedy inference rollout (Sec 6).
+struct InferenceResult {
+  partition::PartitioningState best_state;
+  /// Environment workload cost at the best state.
+  double best_cost = 0.0;
+  /// Action ids of the full rollout.
+  std::vector<int> actions;
+};
+
+/// \brief Runs Algorithm 1 (and its online refinement variant) against any
+/// PartitioningEnv, and the Sec 6 inference rollout.
+class EpisodeTrainer {
+ public:
+  EpisodeTrainer(const schema::Schema* schema, const partition::EdgeSet* edges,
+                 const partition::ActionSpace* actions,
+                 const partition::Featurizer* featurizer);
+
+  /// \brief Train `agent` for `episodes` episodes of `agent->config().tmax`
+  /// steps each. Rewards are `1 - cost/normalization`, an affine (and thus
+  /// policy-preserving) transform of the paper's negative-cost reward.
+  TrainingResult Train(DqnAgent* agent, PartitioningEnv* env,
+                       const FrequencySampler& sampler, int episodes,
+                       Rng* rng) const;
+
+  /// \brief Greedy rollout from s0; returns the best-reward state on the
+  /// trajectory, not the final state (the agent oscillates around the
+  /// optimum, Sec 6).
+  InferenceResult Infer(const DqnAgent& agent, PartitioningEnv* env,
+                        const std::vector<double>& frequencies) const;
+
+  /// \brief Extension of Sec 6's inference: one greedy rollout plus
+  /// `extra_rollouts` lightly randomized (ε = `epsilon`) rollouts, returning
+  /// the best state visited by any of them. All rollouts are priced by the
+  /// environment (the offline simulation / the runtime cache), so the extra
+  /// rollouts cost no cluster time; they merely smooth over the greedy
+  /// policy's oscillation on large schemas.
+  InferenceResult InferBest(const DqnAgent& agent, PartitioningEnv* env,
+                            const std::vector<double>& frequencies,
+                            int extra_rollouts, double epsilon,
+                            Rng* rng) const;
+
+  /// \brief Like InferBest, but states are ranked by a caller-supplied
+  /// objective instead of the plain environment cost — e.g. workload cost
+  /// plus a weighted repartitioning cost from the currently deployed design
+  /// (the reward extension discussed at the end of Sec 3.2).
+  using StateObjective = std::function<double(const partition::PartitioningState&)>;
+  InferenceResult InferObjective(const DqnAgent& agent,
+                                 const std::vector<double>& frequencies,
+                                 const StateObjective& objective,
+                                 int extra_rollouts, double epsilon,
+                                 Rng* rng) const;
+
+  /// \brief Workload cost of the initial state under a uniform mix — the
+  /// reward normalizer.
+  double Normalization(PartitioningEnv* env) const;
+
+  partition::PartitioningState InitialState() const {
+    return partition::PartitioningState::Initial(schema_, edges_);
+  }
+
+ private:
+  const schema::Schema* schema_;
+  const partition::EdgeSet* edges_;
+  const partition::ActionSpace* actions_;
+  const partition::Featurizer* featurizer_;
+};
+
+}  // namespace lpa::rl

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "schema/schema.h"
+
+namespace lpa::schema {
+
+/// \brief Star Schema Benchmark, SF=100 (5 tables: 1 fact + 4 dimensions).
+Schema MakeSsbSchema();
+
+/// \brief TPC-DS, SF=100 (24 tables: 7 fact + 17 dimensions).
+Schema MakeTpcdsSchema();
+
+/// \brief TPC-CH (CH-benCHmark), 100 warehouses (12 tables, non-star).
+///
+/// \param restrict_warehouse_partitioning When true (the paper's setting,
+/// Sec 7.1), plain warehouse-id columns are not partitioning candidates, so
+/// the trivial "co-partition everything by warehouse-id" solution is
+/// unavailable; compound (warehouse, district) keys remain candidates.
+Schema MakeTpcchSchema(bool restrict_warehouse_partitioning = true);
+
+/// \brief Microbenchmark schema of Exp 5: fact A plus dimensions B and C,
+/// sized after TPC-H Lineitem / Partsupp / Orders (C much larger than B).
+Schema MakeMicroSchema();
+
+}  // namespace lpa::schema

@@ -1,0 +1,82 @@
+#include "schema/schema.h"
+
+namespace lpa::schema {
+
+ColumnId Table::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<ColumnId>(i);
+  }
+  return -1;
+}
+
+TableId Schema::AddTable(Table table) {
+  tables_.push_back(std::move(table));
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+Status Schema::AddForeignKey(const std::string& from_table,
+                             const std::string& from_column,
+                             const std::string& to_table,
+                             const std::string& to_column) {
+  auto from = Resolve(from_table, from_column);
+  if (!from.ok()) return from.status();
+  auto to = Resolve(to_table, to_column);
+  if (!to.ok()) return to.status();
+  foreign_keys_.push_back(ForeignKey{*from, *to});
+  return Status::OK();
+}
+
+TableId Schema::TableIndex(const std::string& table_name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name == table_name) return static_cast<TableId>(i);
+  }
+  return -1;
+}
+
+Result<ColumnRef> Schema::Resolve(const std::string& table_name,
+                                  const std::string& column_name) const {
+  TableId t = TableIndex(table_name);
+  if (t < 0) return Status::NotFound("no table named '" + table_name + "'");
+  ColumnId c = tables_[static_cast<size_t>(t)].ColumnIndex(column_name);
+  if (c < 0) {
+    return Status::NotFound("no column '" + column_name + "' in table '" +
+                            table_name + "'");
+  }
+  return ColumnRef{t, c};
+}
+
+int Schema::NumPartitionCandidates(TableId id) const {
+  int n = 0;
+  for (const auto& c : table(id).columns) {
+    if (c.partitionable) ++n;
+  }
+  return n;
+}
+
+bool Schema::IsForeignKeyJoin(const ColumnRef& a, const ColumnRef& b) const {
+  for (const auto& fk : foreign_keys_) {
+    if ((fk.from == a && fk.to == b) || (fk.from == b && fk.to == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int64_t Schema::total_bytes() const {
+  int64_t total = 0;
+  for (const auto& t : tables_) total += t.total_bytes();
+  return total;
+}
+
+Column MakeColumn(std::string name, int64_t distinct, int width_bytes,
+                  bool partitionable, double zipf_theta) {
+  Column c;
+  c.name = std::move(name);
+  c.distinct_count = distinct;
+  c.width_bytes = width_bytes;
+  c.partitionable = partitionable;
+  c.zipf_theta = zipf_theta;
+  return c;
+}
+
+}  // namespace lpa::schema

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lpa::schema {
+
+/// \brief Identifier of a table within a Schema (index into Schema::tables()).
+using TableId = int;
+/// \brief Identifier of a column within its Table (index into Table::columns()).
+using ColumnId = int;
+
+/// \brief A fully qualified column reference.
+struct ColumnRef {
+  TableId table = -1;
+  ColumnId column = -1;
+
+  bool operator==(const ColumnRef&) const = default;
+};
+
+/// \brief Column metadata used by the cost model and the data generators.
+///
+/// All synthetic columns carry int64 values; `width_bytes` models the width
+/// of the original benchmark column (so tuple sizes and therefore network /
+/// scan volumes match the benchmark, even though we store int64 surrogates).
+struct Column {
+  std::string name;
+  /// Number of distinct values at the schema's stated scale.
+  int64_t distinct_count = 1;
+  /// Zipf exponent of the value distribution; 0 = uniform.
+  double zipf_theta = 0.0;
+  /// Width contribution to the row in bytes.
+  int width_bytes = 8;
+  /// Whether this column is a legal hash-partitioning candidate. The paper
+  /// restricts candidates, e.g. TPC-CH forbids partitioning by warehouse-id
+  /// alone (Sec 7.1); catalogs express that by clearing this flag.
+  bool partitionable = false;
+};
+
+/// \brief Table metadata: cardinality at the stated scale plus its columns.
+struct Table {
+  std::string name;
+  int64_t row_count = 0;
+  std::vector<Column> columns;
+  /// Index of the primary-key column, -1 if none is modeled.
+  ColumnId primary_key = -1;
+  /// True for fact tables (used by the star-schema heuristics).
+  bool is_fact = false;
+
+  /// \brief Sum of column widths: the modeled tuple width in bytes.
+  int row_width_bytes() const {
+    int w = 0;
+    for (const auto& c : columns) w += c.width_bytes;
+    return w;
+  }
+
+  /// \brief Total modeled size in bytes.
+  int64_t total_bytes() const {
+    return row_count * static_cast<int64_t>(row_width_bytes());
+  }
+
+  /// \brief Column index by name, -1 if absent.
+  ColumnId ColumnIndex(const std::string& column_name) const;
+};
+
+/// \brief A foreign-key relationship `from` (child) -> `to` (parent).
+struct ForeignKey {
+  ColumnRef from;
+  ColumnRef to;
+};
+
+/// \brief A database schema: tables, foreign keys, and a display name.
+///
+/// Schemas are immutable once built by a catalog function (see ssb.h etc.)
+/// or assembled through AddTable/AddForeignKey by library users.
+class Schema {
+ public:
+  explicit Schema(std::string name = "schema") : name_(std::move(name)) {}
+
+  /// \brief Append a table; returns its TableId.
+  TableId AddTable(Table table);
+
+  /// \brief Register a foreign key; both endpoints must exist.
+  Status AddForeignKey(const std::string& from_table,
+                       const std::string& from_column,
+                       const std::string& to_table,
+                       const std::string& to_column);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Table>& tables() const { return tables_; }
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const Table& table(TableId id) const { return tables_.at(static_cast<size_t>(id)); }
+  Table& mutable_table(TableId id) { return tables_.at(static_cast<size_t>(id)); }
+  const Column& column(const ColumnRef& ref) const {
+    return table(ref.table).columns.at(static_cast<size_t>(ref.column));
+  }
+
+  /// \brief Table index by name, -1 if absent.
+  TableId TableIndex(const std::string& table_name) const;
+
+  /// \brief Resolve "table"."column" into a ColumnRef.
+  Result<ColumnRef> Resolve(const std::string& table_name,
+                            const std::string& column_name) const;
+
+  /// \brief Number of partitionable columns of a table.
+  int NumPartitionCandidates(TableId id) const;
+
+  /// \brief True if `fk` (in either direction) links the two column refs.
+  bool IsForeignKeyJoin(const ColumnRef& a, const ColumnRef& b) const;
+
+  /// \brief Total modeled database size in bytes.
+  int64_t total_bytes() const;
+
+ private:
+  std::string name_;
+  std::vector<Table> tables_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+/// \brief Convenience builder for catalog code: constructs a Column.
+Column MakeColumn(std::string name, int64_t distinct, int width_bytes,
+                  bool partitionable, double zipf_theta = 0.0);
+
+}  // namespace lpa::schema

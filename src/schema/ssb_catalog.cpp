@@ -1,0 +1,94 @@
+#include "schema/catalogs.h"
+
+#include "util/logging.h"
+
+namespace lpa::schema {
+
+// Row counts follow the SSB specification at SF=100:
+// lineorder = 6,000,000 * SF; customer = 30,000 * SF; supplier = 2,000 * SF;
+// part = 200,000 * floor(1 + log2(SF)); date = 2,556 (7 years of days).
+Schema MakeSsbSchema() {
+  Schema s("ssb");
+
+  {
+    Table t;
+    t.name = "lineorder";
+    t.row_count = 600'000'000;
+    t.is_fact = true;
+    t.columns = {
+        MakeColumn("lo_orderkey", 150'000'000, 8, true),
+        MakeColumn("lo_custkey", 3'000'000, 8, true),
+        MakeColumn("lo_partkey", 1'400'000, 8, true),
+        MakeColumn("lo_suppkey", 200'000, 8, true),
+        MakeColumn("lo_orderdate", 2'556, 8, true),
+        // Measures + remaining attributes folded into one payload column.
+        MakeColumn("lo_payload", 1'000'000, 60, false),
+    };
+    t.primary_key = 0;
+    s.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "customer";
+    t.row_count = 3'000'000;
+    t.columns = {
+        MakeColumn("c_custkey", 3'000'000, 8, true),
+        MakeColumn("c_region", 5, 8, false),
+        MakeColumn("c_nation", 25, 8, false),
+        MakeColumn("c_city", 250, 8, false),
+        MakeColumn("c_payload", 1'000'000, 80, false),
+    };
+    t.primary_key = 0;
+    s.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "supplier";
+    t.row_count = 200'000;
+    t.columns = {
+        MakeColumn("s_suppkey", 200'000, 8, true),
+        MakeColumn("s_region", 5, 8, false),
+        MakeColumn("s_nation", 25, 8, false),
+        MakeColumn("s_city", 250, 8, false),
+        MakeColumn("s_payload", 100'000, 70, false),
+    };
+    t.primary_key = 0;
+    s.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "part";
+    t.row_count = 1'400'000;
+    t.columns = {
+        MakeColumn("p_partkey", 1'400'000, 8, true),
+        MakeColumn("p_mfgr", 5, 8, false),
+        MakeColumn("p_category", 25, 8, false),
+        MakeColumn("p_brand", 1'000, 8, false),
+        MakeColumn("p_payload", 500'000, 70, false),
+    };
+    t.primary_key = 0;
+    s.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "date";
+    t.row_count = 2'556;
+    t.columns = {
+        MakeColumn("d_datekey", 2'556, 8, true),
+        MakeColumn("d_year", 7, 8, false),
+        MakeColumn("d_yearmonth", 84, 8, false),
+        MakeColumn("d_weeknuminyear", 53, 8, false),
+        MakeColumn("d_payload", 2'556, 70, false),
+    };
+    t.primary_key = 0;
+    s.AddTable(std::move(t));
+  }
+
+  LPA_CHECK(s.AddForeignKey("lineorder", "lo_custkey", "customer", "c_custkey").ok());
+  LPA_CHECK(s.AddForeignKey("lineorder", "lo_partkey", "part", "p_partkey").ok());
+  LPA_CHECK(s.AddForeignKey("lineorder", "lo_suppkey", "supplier", "s_suppkey").ok());
+  LPA_CHECK(s.AddForeignKey("lineorder", "lo_orderdate", "date", "d_datekey").ok());
+  return s;
+}
+
+}  // namespace lpa::schema

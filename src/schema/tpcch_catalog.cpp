@@ -1,0 +1,141 @@
+#include "schema/catalogs.h"
+
+#include "util/logging.h"
+
+namespace lpa::schema {
+
+namespace {
+
+Column Key(std::string name, int64_t distinct, bool partitionable = true,
+           double zipf = 0.0) {
+  return MakeColumn(std::move(name), distinct, 8, partitionable, zipf);
+}
+
+Column Payload(std::string name, int64_t distinct, int width) {
+  return MakeColumn(std::move(name), distinct, width, false);
+}
+
+}  // namespace
+
+// TPC-CH (CH-benCHmark) with 100 warehouses (the paper's SF=100 analogue).
+// Non-star schema: TPC-C's 9 tables plus TPC-H's nation/region/supplier.
+//
+// Two modeling notes (see DESIGN.md):
+//  * Compound keys are modeled as explicit surrogate columns: `*_wd_id`
+//    (warehouse*10+district, 1000 distinct values, evenly distributed) and
+//    `*_iw_id` (item x supply-warehouse, used by the orderline-stock join).
+//    The paper's System-X agent chose exactly this (warehouse, district)
+//    compound to mitigate the skew of partitioning by district alone.
+//  * `d_id`-style district columns carry only 10 distinct values, so
+//    hash-partitioning by them yields skewed shard sizes, which the
+//    in-memory engine profile penalises (max-over-nodes execution).
+Schema MakeTpcchSchema(bool restrict_warehouse_partitioning) {
+  Schema s("tpcch");
+  const bool w_ok = !restrict_warehouse_partitioning;
+
+  auto add = [&s](const char* name, int64_t rows, std::vector<Column> cols) {
+    Table t;
+    t.name = name;
+    t.row_count = rows;
+    t.is_fact = false;  // Non-star schema: heuristics use size-based rules.
+    t.columns = std::move(cols);
+    t.primary_key = 0;
+    s.AddTable(std::move(t));
+  };
+
+  add("warehouse", 100,
+      {Key("w_id", 100, w_ok), Payload("w_payload", 100, 80)});
+  add("district", 1'000,
+      {Key("d_wd_id", 1'000), Key("d_w_id", 100, w_ok), Key("d_id", 10),
+       Payload("d_payload", 1'000, 90)});
+  add("customer", 3'000'000,
+      {Key("c_id", 3'000'000), Key("c_wd_id", 1'000), Key("c_w_id", 100, w_ok),
+       Key("c_d_id", 10), Payload("c_n_id", 62, 8),
+       Payload("c_payload", 3'000'000, 500)});
+  add("history", 3'000'000,
+      {Key("h_c_id", 3'000'000), Key("h_wd_id", 1'000),
+       Payload("h_payload", 3'000'000, 40)});
+  add("neworder", 900'000,
+      {Key("no_o_id", 3'000'000), Key("no_wd_id", 1'000), Key("no_d_id", 10),
+       Payload("no_payload", 900'000, 8)});
+  add("order", 3'000'000,
+      {Key("o_id", 3'000'000), Key("o_c_id", 3'000'000), Key("o_wd_id", 1'000),
+       Key("o_d_id", 10), Payload("o_payload", 3'000'000, 24)});
+  add("orderline", 30'000'000,
+      {Key("ol_o_id", 3'000'000), Key("ol_wd_id", 1'000), Key("ol_d_id", 10),
+       Key("ol_i_id", 100'000), Key("ol_iw_id", 10'000'000),
+       Key("ol_supply_w_id", 100, w_ok), Payload("ol_payload", 30'000'000, 40)});
+  add("item", 100'000,
+      {Key("i_id", 100'000), Payload("i_category", 50, 8),
+       Payload("i_payload", 100'000, 70)});
+  add("stock", 10'000'000,
+      {Key("s_i_id", 100'000), Key("s_w_id", 100, w_ok),
+       Key("s_iw_id", 10'000'000), Key("s_su_id", 10'000),
+       Payload("s_payload", 10'000'000, 300)});
+  add("nation", 62,
+      {Key("n_id", 62), Payload("n_r_id", 5, 8), Payload("n_payload", 62, 100)});
+  add("region", 5, {Key("r_id", 5), Payload("r_payload", 5, 100)});
+  add("supplier", 10'000,
+      {Key("su_id", 10'000), Payload("su_n_id", 62, 8),
+       Payload("su_payload", 10'000, 150)});
+
+  auto fk = [&s](const char* ft, const char* fc, const char* tt, const char* tc) {
+    LPA_CHECK(s.AddForeignKey(ft, fc, tt, tc).ok());
+  };
+  fk("district", "d_w_id", "warehouse", "w_id");
+  fk("customer", "c_wd_id", "district", "d_wd_id");
+  fk("history", "h_c_id", "customer", "c_id");
+  fk("order", "o_c_id", "customer", "c_id");
+  fk("neworder", "no_o_id", "order", "o_id");
+  fk("orderline", "ol_o_id", "order", "o_id");
+  fk("orderline", "ol_i_id", "item", "i_id");
+  fk("orderline", "ol_iw_id", "stock", "s_iw_id");
+  fk("stock", "s_i_id", "item", "i_id");
+  fk("stock", "s_su_id", "supplier", "su_id");
+  fk("supplier", "su_n_id", "nation", "n_id");
+  fk("nation", "n_r_id", "region", "r_id");
+  return s;
+}
+
+// Microbenchmark of Exp 5: fact table A plus dimensions B and C with
+// relation sizes inspired by TPC-H Lineitem (A), Partsupp (B), Orders (C);
+// C is significantly larger than B, so A must be co-partitioned with C,
+// and the interesting decision is whether to replicate or partition B.
+Schema MakeMicroSchema() {
+  Schema s("micro");
+
+  {
+    Table t;
+    t.name = "A";
+    t.row_count = 150'000'000;
+    t.is_fact = true;
+    t.columns = {Key("a_id", 150'000'000), Key("a_b_id", 30'000'000),
+                 Key("a_c_id", 80'000'000), Payload("a_payload", 1'000'000, 36)};
+    t.primary_key = 0;
+    s.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "B";
+    t.row_count = 30'000'000;
+    t.columns = {Key("b_id", 30'000'000), Payload("b_filter", 50, 8),
+                 Payload("b_payload", 1'000'000, 134)};
+    t.primary_key = 0;
+    s.AddTable(std::move(t));
+  }
+  {
+    Table t;
+    t.name = "C";
+    t.row_count = 80'000'000;
+    t.columns = {Key("c_id", 80'000'000), Payload("c_filter", 50, 8),
+                 Payload("c_payload", 1'000'000, 84)};
+    t.primary_key = 0;
+    s.AddTable(std::move(t));
+  }
+
+  LPA_CHECK(s.AddForeignKey("A", "a_b_id", "B", "b_id").ok());
+  LPA_CHECK(s.AddForeignKey("A", "a_c_id", "C", "c_id").ok());
+  return s;
+}
+
+}  // namespace lpa::schema

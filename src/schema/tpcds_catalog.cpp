@@ -1,0 +1,175 @@
+#include "schema/catalogs.h"
+
+#include "util/logging.h"
+
+namespace lpa::schema {
+
+namespace {
+
+/// Shorthand: partitionable surrogate-key column (8 bytes).
+Column Key(std::string name, int64_t distinct) {
+  return MakeColumn(std::move(name), distinct, 8, true);
+}
+
+/// Shorthand: non-partitionable attribute column.
+Column Attr(std::string name, int64_t distinct, int width = 8) {
+  return MakeColumn(std::move(name), distinct, width, false);
+}
+
+}  // namespace
+
+// Row counts follow the TPC-DS specification at SF=100. The 7 fact tables
+// are store_sales / store_returns / catalog_sales / catalog_returns /
+// web_sales / web_returns / inventory; the other 17 are dimensions.
+Schema MakeTpcdsSchema() {
+  Schema s("tpcds");
+
+  auto add = [&s](const char* name, int64_t rows, bool fact,
+                  std::vector<Column> cols) {
+    Table t;
+    t.name = name;
+    t.row_count = rows;
+    t.is_fact = fact;
+    t.columns = std::move(cols);
+    t.primary_key = 0;
+    s.AddTable(std::move(t));
+  };
+
+  // --- Dimension tables -----------------------------------------------
+  add("date_dim", 73'049, false,
+      {Key("d_date_sk", 73'049), Attr("d_year", 200), Attr("d_moy", 12),
+       Attr("d_dom", 31), Attr("d_payload", 73'049, 100)});
+  add("time_dim", 86'400, false,
+      {Key("t_time_sk", 86'400), Attr("t_hour", 24), Attr("t_payload", 86'400, 50)});
+  add("item", 204'000, false,
+      {Key("i_item_sk", 204'000), Attr("i_category", 10), Attr("i_brand", 1'000),
+       Attr("i_class", 100), Attr("i_manufact_id", 1'000),
+       Attr("i_payload", 204'000, 200)});
+  add("customer", 2'000'000, false,
+      {Key("c_customer_sk", 2'000'000), Key("c_current_addr_sk", 1'000'000),
+       Attr("c_current_cdemo_sk", 1'920'800), Attr("c_current_hdemo_sk", 7'200),
+       Attr("c_birth_year", 70), Attr("c_payload", 2'000'000, 100)});
+  add("customer_address", 1'000'000, false,
+      {Key("ca_address_sk", 1'000'000), Attr("ca_state", 51),
+       Attr("ca_country", 1), Attr("ca_payload", 1'000'000, 100)});
+  add("customer_demographics", 1'920'800, false,
+      {Key("cd_demo_sk", 1'920'800), Attr("cd_gender", 2),
+       Attr("cd_marital_status", 5), Attr("cd_payload", 1'920'800, 30)});
+  add("household_demographics", 7'200, false,
+      {Key("hd_demo_sk", 7'200), Attr("hd_income_band_sk", 20),
+       Attr("hd_payload", 7'200, 20)});
+  add("store", 402, false,
+      {Key("s_store_sk", 402), Attr("s_state", 20), Attr("s_payload", 402, 250)});
+  add("call_center", 30, false,
+      {Key("cc_call_center_sk", 30), Attr("cc_payload", 30, 250)});
+  add("catalog_page", 20'400, false,
+      {Key("cp_catalog_page_sk", 20'400), Attr("cp_payload", 20'400, 120)});
+  add("web_site", 24, false,
+      {Key("web_site_sk", 24), Attr("web_payload", 24, 250)});
+  add("web_page", 2'040, false,
+      {Key("wp_web_page_sk", 2'040), Attr("wp_payload", 2'040, 90)});
+  add("warehouse", 15, false,
+      {Key("w_warehouse_sk", 15), Attr("w_payload", 15, 110)});
+  add("ship_mode", 20, false,
+      {Key("sm_ship_mode_sk", 20), Attr("sm_payload", 20, 50)});
+  add("reason", 55, false,
+      {Key("r_reason_sk", 55), Attr("r_payload", 55, 30)});
+  add("income_band", 20, false,
+      {Key("ib_income_band_sk", 20), Attr("ib_payload", 20, 16)});
+  add("promotion", 1'000, false,
+      {Key("p_promo_sk", 1'000), Attr("p_channel", 10), Attr("p_payload", 1'000, 120)});
+
+  // --- Fact tables ------------------------------------------------------
+  add("store_sales", 287'997'024, true,
+      {Key("ss_ticket_number", 24'000'000), Key("ss_item_sk", 204'000),
+       Key("ss_sold_date_sk", 73'049), Key("ss_customer_sk", 2'000'000),
+       Key("ss_cdemo_sk", 1'920'800), Key("ss_hdemo_sk", 7'200),
+       Key("ss_addr_sk", 1'000'000), Key("ss_store_sk", 402),
+       Key("ss_promo_sk", 1'000), Attr("ss_payload", 1'000'000, 40)});
+  add("store_returns", 28'795'080, true,
+      {Key("sr_ticket_number", 24'000'000), Key("sr_item_sk", 204'000),
+       Key("sr_returned_date_sk", 73'049), Key("sr_customer_sk", 2'000'000),
+       Key("sr_store_sk", 402), Key("sr_reason_sk", 55),
+       Attr("sr_payload", 1'000'000, 50)});
+  add("catalog_sales", 143'997'065, true,
+      {Key("cs_order_number", 16'000'000), Key("cs_item_sk", 204'000),
+       Key("cs_sold_date_sk", 73'049), Key("cs_bill_customer_sk", 2'000'000),
+       Key("cs_call_center_sk", 30), Key("cs_catalog_page_sk", 20'400),
+       Key("cs_ship_mode_sk", 20), Key("cs_warehouse_sk", 15),
+       Key("cs_promo_sk", 1'000), Attr("cs_payload", 1'000'000, 60)});
+  add("catalog_returns", 14'404'374, true,
+      {Key("cr_order_number", 16'000'000), Key("cr_item_sk", 204'000),
+       Key("cr_returned_date_sk", 73'049), Key("cr_refunded_customer_sk", 2'000'000),
+       Key("cr_call_center_sk", 30), Key("cr_reason_sk", 55),
+       Attr("cr_payload", 1'000'000, 70)});
+  add("web_sales", 72'001'237, true,
+      {Key("ws_order_number", 6'000'000), Key("ws_item_sk", 204'000),
+       Key("ws_sold_date_sk", 73'049), Key("ws_bill_customer_sk", 2'000'000),
+       Key("ws_web_site_sk", 24), Key("ws_web_page_sk", 2'040),
+       Key("ws_warehouse_sk", 15), Key("ws_promo_sk", 1'000),
+       Attr("ws_payload", 1'000'000, 60)});
+  add("web_returns", 7'197'670, true,
+      {Key("wr_order_number", 6'000'000), Key("wr_item_sk", 204'000),
+       Key("wr_returned_date_sk", 73'049), Key("wr_refunded_customer_sk", 2'000'000),
+       Key("wr_web_page_sk", 2'040), Key("wr_reason_sk", 55),
+       Attr("wr_payload", 1'000'000, 60)});
+  add("inventory", 399'330'000, true,
+      {Key("inv_item_sk", 204'000), Key("inv_date_sk", 73'049),
+       Key("inv_warehouse_sk", 15), Attr("inv_quantity", 1'000, 8)});
+
+  auto fk = [&s](const char* ft, const char* fc, const char* tt, const char* tc) {
+    LPA_CHECK(s.AddForeignKey(ft, fc, tt, tc).ok());
+  };
+
+  // Store channel.
+  fk("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk");
+  fk("store_sales", "ss_item_sk", "item", "i_item_sk");
+  fk("store_sales", "ss_customer_sk", "customer", "c_customer_sk");
+  fk("store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk");
+  fk("store_sales", "ss_hdemo_sk", "household_demographics", "hd_demo_sk");
+  fk("store_sales", "ss_addr_sk", "customer_address", "ca_address_sk");
+  fk("store_sales", "ss_store_sk", "store", "s_store_sk");
+  fk("store_sales", "ss_promo_sk", "promotion", "p_promo_sk");
+  fk("store_returns", "sr_returned_date_sk", "date_dim", "d_date_sk");
+  fk("store_returns", "sr_item_sk", "item", "i_item_sk");
+  fk("store_returns", "sr_customer_sk", "customer", "c_customer_sk");
+  fk("store_returns", "sr_store_sk", "store", "s_store_sk");
+  fk("store_returns", "sr_reason_sk", "reason", "r_reason_sk");
+  // Catalog channel.
+  fk("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk");
+  fk("catalog_sales", "cs_item_sk", "item", "i_item_sk");
+  fk("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk");
+  fk("catalog_sales", "cs_call_center_sk", "call_center", "cc_call_center_sk");
+  fk("catalog_sales", "cs_catalog_page_sk", "catalog_page", "cp_catalog_page_sk");
+  fk("catalog_sales", "cs_ship_mode_sk", "ship_mode", "sm_ship_mode_sk");
+  fk("catalog_sales", "cs_warehouse_sk", "warehouse", "w_warehouse_sk");
+  fk("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk");
+  fk("catalog_returns", "cr_returned_date_sk", "date_dim", "d_date_sk");
+  fk("catalog_returns", "cr_item_sk", "item", "i_item_sk");
+  fk("catalog_returns", "cr_refunded_customer_sk", "customer", "c_customer_sk");
+  fk("catalog_returns", "cr_call_center_sk", "call_center", "cc_call_center_sk");
+  fk("catalog_returns", "cr_reason_sk", "reason", "r_reason_sk");
+  // Web channel.
+  fk("web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk");
+  fk("web_sales", "ws_item_sk", "item", "i_item_sk");
+  fk("web_sales", "ws_bill_customer_sk", "customer", "c_customer_sk");
+  fk("web_sales", "ws_web_site_sk", "web_site", "web_site_sk");
+  fk("web_sales", "ws_web_page_sk", "web_page", "wp_web_page_sk");
+  fk("web_sales", "ws_warehouse_sk", "warehouse", "w_warehouse_sk");
+  fk("web_sales", "ws_promo_sk", "promotion", "p_promo_sk");
+  fk("web_returns", "wr_returned_date_sk", "date_dim", "d_date_sk");
+  fk("web_returns", "wr_item_sk", "item", "i_item_sk");
+  fk("web_returns", "wr_refunded_customer_sk", "customer", "c_customer_sk");
+  fk("web_returns", "wr_web_page_sk", "web_page", "wp_web_page_sk");
+  fk("web_returns", "wr_reason_sk", "reason", "r_reason_sk");
+  // Inventory.
+  fk("inventory", "inv_item_sk", "item", "i_item_sk");
+  fk("inventory", "inv_date_sk", "date_dim", "d_date_sk");
+  fk("inventory", "inv_warehouse_sk", "warehouse", "w_warehouse_sk");
+  // Snowflake edges.
+  fk("customer", "c_current_addr_sk", "customer_address", "ca_address_sk");
+
+  return s;
+}
+
+}  // namespace lpa::schema

@@ -1,0 +1,275 @@
+#include "sql/ddl.h"
+
+#include <algorithm>
+
+#include "sql/lexer.h"
+
+namespace lpa::sql {
+
+namespace {
+
+/// DDL keywords are matched textually (case-insensitive) instead of being
+/// lexer keywords: names like `date` or `key` remain usable as identifiers.
+class DdlParser {
+ public:
+  DdlParser(std::vector<Token> tokens, std::string schema_name)
+      : tokens_(std::move(tokens)), schema_(std::move(schema_name)) {}
+
+  Result<schema::Schema> Parse() {
+    while (Peek().type != TokenType::kEnd) {
+      Status st = ParseCreateTable();
+      if (!st.ok()) return st;
+      (void)Accept(TokenType::kSemicolon);
+    }
+    if (schema_.num_tables() == 0) {
+      return Status::InvalidArgument("no CREATE TABLE statements found");
+    }
+    return std::move(schema_);
+  }
+
+ private:
+  struct PendingFk {
+    std::string from_table, from_column, to_table, to_column;
+  };
+
+  const Token& Peek(size_t ahead = 0) const {
+    return tokens_[std::min(pos_ + ahead, tokens_.size() - 1)];
+  }
+  bool Accept(TokenType type) {
+    if (Peek().type == type) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static std::string Lower(std::string s) {
+    std::transform(s.begin(), s.end(), s.begin(), ::tolower);
+    return s;
+  }
+
+  /// Case-insensitive word match against identifiers AND lexer keywords.
+  bool AcceptWord(const char* word) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier && t.type != TokenType::kKeyword) {
+      return false;
+    }
+    if (Lower(t.text) != word) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " (near position " +
+                                   std::to_string(Peek().position) + ")");
+  }
+
+  Result<std::string> ExpectName(const char* what) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier && t.type != TokenType::kKeyword) {
+      return Error(std::string("expected ") + what);
+    }
+    ++pos_;
+    return Lower(t.text);
+  }
+
+  Result<int64_t> ExpectCount(const char* what) {
+    if (Peek().type != TokenType::kNumber) {
+      return Error(std::string("expected ") + what);
+    }
+    int64_t v = static_cast<int64_t>(Peek().number);
+    ++pos_;
+    if (v <= 0) return Error(std::string(what) + " must be positive");
+    return v;
+  }
+
+  /// Maps a type name to (width bytes, hash-partitionable).
+  Status ParseType(int* width, bool* partitionable) {
+    auto name = ExpectName("column type");
+    if (!name.ok()) return name.status();
+    const std::string& t = *name;
+    *partitionable = true;
+    if (t == "int" || t == "integer" || t == "bigint" || t == "date" ||
+        t == "smallint") {
+      *width = 8;
+    } else if (t == "decimal" || t == "numeric" || t == "double" ||
+               t == "float" || t == "real") {
+      *width = 8;
+      *partitionable = false;  // floating keys are not hash candidates
+      if (Accept(TokenType::kLParen)) {  // DECIMAL(p, s)
+        LPA_RETURN_NOT_OK(SkipParenArgs());
+      }
+    } else if (t == "char" || t == "varchar") {
+      *partitionable = false;
+      *width = 16;
+      if (Accept(TokenType::kLParen)) {
+        auto n = ExpectCount("string length");
+        if (!n.ok()) return n.status();
+        *width = static_cast<int>(*n);
+        if (!Accept(TokenType::kRParen)) return Error("expected )");
+      }
+    } else if (t == "text") {
+      *partitionable = false;
+      *width = 64;
+    } else {
+      return Error("unsupported column type '" + t + "'");
+    }
+    return Status::OK();
+  }
+
+  Status SkipParenArgs() {
+    while (!Accept(TokenType::kRParen)) {
+      if (Peek().type == TokenType::kEnd) return Error("unterminated (");
+      ++pos_;
+    }
+    return Status::OK();
+  }
+
+  Status ParseCreateTable() {
+    if (!AcceptWord("create")) return Error("expected CREATE");
+    if (!AcceptWord("table")) return Error("expected TABLE");
+    auto table_name = ExpectName("table name");
+    if (!table_name.ok()) return table_name.status();
+    if (schema_.TableIndex(*table_name) >= 0) {
+      return Status::AlreadyExists("table '" + *table_name + "' defined twice");
+    }
+    if (!Accept(TokenType::kLParen)) return Error("expected (");
+
+    schema::Table table;
+    table.name = *table_name;
+    std::vector<PendingFk> fks;
+    std::vector<std::pair<int, int64_t>> explicit_distinct;  // (col, n)
+    std::vector<int> reference_cols;  // columns with inline REFERENCES
+
+    while (true) {
+      if (AcceptWord("foreign")) {
+        if (!AcceptWord("key")) return Error("expected KEY");
+        if (!Accept(TokenType::kLParen)) return Error("expected (");
+        auto col = ExpectName("column");
+        if (!col.ok()) return col.status();
+        if (!Accept(TokenType::kRParen)) return Error("expected )");
+        if (!AcceptWord("references")) return Error("expected REFERENCES");
+        PendingFk fk;
+        fk.from_table = *table_name;
+        fk.from_column = *col;
+        LPA_RETURN_NOT_OK(ParseReferenceTarget(&fk));
+        fks.push_back(std::move(fk));
+      } else {
+        auto col_name = ExpectName("column name");
+        if (!col_name.ok()) return col_name.status();
+        int width = 8;
+        bool partitionable = true;
+        LPA_RETURN_NOT_OK(ParseType(&width, &partitionable));
+        schema::Column column;
+        column.name = *col_name;
+        column.width_bytes = width;
+        column.partitionable = partitionable;
+        column.distinct_count = 0;  // resolved after ROWS is known
+        int col_index = static_cast<int>(table.columns.size());
+        // Column options in any order.
+        while (true) {
+          if (AcceptWord("primary")) {
+            if (!AcceptWord("key")) return Error("expected KEY");
+            table.primary_key = col_index;
+          } else if (AcceptWord("references")) {
+            PendingFk fk;
+            fk.from_table = *table_name;
+            fk.from_column = *col_name;
+            LPA_RETURN_NOT_OK(ParseReferenceTarget(&fk));
+            fks.push_back(std::move(fk));
+            reference_cols.push_back(col_index);
+          } else if (Peek().IsKeyword("DISTINCT")) {
+            ++pos_;
+            auto n = ExpectCount("distinct count");
+            if (!n.ok()) return n.status();
+            explicit_distinct.emplace_back(col_index, *n);
+          } else if (AcceptWord("not")) {
+            if (!AcceptWord("null")) return Error("expected NULL");
+          } else {
+            break;
+          }
+        }
+        table.columns.push_back(std::move(column));
+      }
+      if (Accept(TokenType::kComma)) continue;
+      if (Accept(TokenType::kRParen)) break;
+      return Error("expected , or )");
+    }
+
+    if (AcceptWord("fact")) table.is_fact = true;
+    if (!AcceptWord("rows")) {
+      return Error("expected ROWS <count> after the column list");
+    }
+    auto rows = ExpectCount("row count");
+    if (!rows.ok()) return rows.status();
+    table.row_count = *rows;
+
+    // Resolve distinct counts: explicit > PRIMARY KEY (= rows) >
+    // REFERENCES (= parent rows) > default rows/10.
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      table.columns[c].distinct_count =
+          std::max<int64_t>(1, table.row_count / 10);
+    }
+    if (table.primary_key >= 0) {
+      table.columns[static_cast<size_t>(table.primary_key)].distinct_count =
+          table.row_count;
+    }
+    for (const auto& fk : fks) {
+      schema::TableId parent = schema_.TableIndex(fk.to_table);
+      if (parent < 0) {
+        return Status::NotFound("referenced table '" + fk.to_table +
+                                "' must be created before '" + *table_name +
+                                "'");
+      }
+      int col = -1;
+      for (size_t c = 0; c < table.columns.size(); ++c) {
+        if (table.columns[c].name == fk.from_column) col = static_cast<int>(c);
+      }
+      if (col < 0) {
+        return Status::NotFound("FOREIGN KEY column '" + fk.from_column +
+                                "' not declared");
+      }
+      table.columns[static_cast<size_t>(col)].distinct_count =
+          schema_.table(parent).row_count;
+    }
+    for (const auto& [col, n] : explicit_distinct) {
+      table.columns[static_cast<size_t>(col)].distinct_count =
+          std::min<int64_t>(n, std::max<int64_t>(table.row_count, 1));
+    }
+
+    schema_.AddTable(std::move(table));
+    for (const auto& fk : fks) {
+      LPA_RETURN_NOT_OK(schema_.AddForeignKey(fk.from_table, fk.from_column,
+                                              fk.to_table, fk.to_column));
+    }
+    return Status::OK();
+  }
+
+  Status ParseReferenceTarget(PendingFk* fk) {
+    auto parent = ExpectName("referenced table");
+    if (!parent.ok()) return parent.status();
+    fk->to_table = *parent;
+    if (!Accept(TokenType::kLParen)) return Error("expected (");
+    auto col = ExpectName("referenced column");
+    if (!col.ok()) return col.status();
+    fk->to_column = *col;
+    if (!Accept(TokenType::kRParen)) return Error("expected )");
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  schema::Schema schema_;
+};
+
+}  // namespace
+
+Result<schema::Schema> ParseDdl(const std::string& ddl,
+                                const std::string& schema_name) {
+  auto tokens = Tokenize(ddl);
+  if (!tokens.ok()) return tokens.status();
+  DdlParser parser(std::move(*tokens), schema_name);
+  return parser.Parse();
+}
+
+}  // namespace lpa::sql

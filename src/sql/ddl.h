@@ -1,0 +1,38 @@
+#pragma once
+
+#include "schema/schema.h"
+#include "util/status.h"
+
+namespace lpa::sql {
+
+/// \brief Build a Schema from `CREATE TABLE` statements.
+///
+/// Dialect (a practical subset plus two extensions the advisor needs —
+/// row counts and distinct counts, which a live deployment would read from
+/// catalog statistics):
+///
+///   CREATE TABLE lineorder (
+///     lo_orderkey BIGINT PRIMARY KEY,
+///     lo_custkey  BIGINT REFERENCES customer(c_custkey),
+///     lo_orderdate INT DISTINCT 2556,
+///     lo_comment  VARCHAR(44)
+///   ) ROWS 600000000;
+///
+/// Rules:
+///  * column types map to modeled byte widths: INT/INTEGER/DATE -> 8 (all
+///    values are int64 surrogates), BIGINT/DECIMAL/DOUBLE -> 8,
+///    CHAR(n)/VARCHAR(n) -> n, TEXT -> 64;
+///  * integer-typed columns are partitioning candidates; string-typed ones
+///    are not (matching the hash-partitioning support of the paper's DBMSs);
+///  * PRIMARY KEY marks the table's key (distinct = rows unless given);
+///  * inline `REFERENCES parent(col)` or table-level
+///    `FOREIGN KEY (col) REFERENCES parent(col)` register FKs; referenced
+///    tables must be created first;
+///  * DISTINCT n sets a column's distinct count (defaults: PRIMARY KEY and
+///    REFERENCES columns inherit sensible values; other columns rows/10);
+///  * ROWS n (after the closing parenthesis) sets the table cardinality;
+///  * a table is treated as a fact table if FACT appears before ROWS.
+Result<schema::Schema> ParseDdl(const std::string& ddl,
+                                const std::string& schema_name = "schema");
+
+}  // namespace lpa::sql

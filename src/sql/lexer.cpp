@@ -1,0 +1,111 @@
+#include "sql/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace lpa::sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "FROM",  "WHERE",  "AND",   "OR",     "GROUP", "BY",
+      "ORDER",  "LIMIT", "AS",     "JOIN",  "INNER",  "ON",    "IN",
+      "EXISTS", "NOT",   "BETWEEN", "LIKE", "HAVING", "ASC",   "DESC",
+      "COUNT",  "SUM",   "AVG",    "MIN",   "MAX",    "DISTINCT"};
+  return kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = word;
+      std::transform(upper.begin(), upper.end(), upper.begin(), ::toupper);
+      if (Keywords().count(upper)) {
+        token.type = TokenType::kKeyword;
+        token.text = upper;
+      } else {
+        token.type = TokenType::kIdentifier;
+        std::transform(word.begin(), word.end(), word.begin(), ::tolower);
+        token.text = word;
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        ++i;
+      }
+      token.type = TokenType::kNumber;
+      token.text = sql.substr(start, i - start);
+      token.number = std::stod(token.text);
+    } else if (c == '\'') {
+      size_t start = ++i;
+      while (i < n && sql[i] != '\'') ++i;
+      if (i >= n) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(start));
+      }
+      token.type = TokenType::kString;
+      token.text = sql.substr(start, i - start);
+      ++i;  // closing quote
+    } else {
+      switch (c) {
+        case ',': token.type = TokenType::kComma; token.text = ","; ++i; break;
+        case '.': token.type = TokenType::kDot; token.text = "."; ++i; break;
+        case '(': token.type = TokenType::kLParen; token.text = "("; ++i; break;
+        case ')': token.type = TokenType::kRParen; token.text = ")"; ++i; break;
+        case '*': token.type = TokenType::kStar; token.text = "*"; ++i; break;
+        case ';': token.type = TokenType::kSemicolon; token.text = ";"; ++i; break;
+        case '=':
+          token.type = TokenType::kOperator;
+          token.text = "=";
+          ++i;
+          break;
+        case '<':
+        case '>': {
+          token.type = TokenType::kOperator;
+          token.text = std::string(1, c);
+          ++i;
+          if (i < n && (sql[i] == '=' || (c == '<' && sql[i] == '>'))) {
+            token.text += sql[i];
+            ++i;
+          }
+          break;
+        }
+        default:
+          return Status::InvalidArgument(std::string("unexpected character '") +
+                                         c + "' at position " +
+                                         std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace lpa::sql

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lpa::sql {
+
+/// \brief Token kinds of the SQL subset.
+enum class TokenType {
+  kIdentifier,
+  kKeyword,
+  kNumber,
+  kString,
+  kOperator,   // = < > <= >= <>
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // keywords upper-cased, identifiers lower-cased
+  double number = 0;  // valid for kNumber
+  size_t position = 0;
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+};
+
+/// \brief Tokenize SQL text. Keywords are recognized case-insensitively;
+/// identifiers are folded to lower case (no quoted identifiers).
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace lpa::sql

@@ -1,0 +1,548 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sql/lexer.h"
+
+namespace lpa::sql {
+
+namespace {
+
+using schema::ColumnRef;
+using workload::QuerySpec;
+
+// Propagate errors from Status-returning parse steps inside Result methods.
+#define LPA_RETURN_NOT_OK_RESULT(expr)          \
+  do {                                          \
+    ::lpa::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const schema::Schema& schema)
+      : tokens_(std::move(tokens)), schema_(schema) {}
+
+  Result<QuerySpec> Parse(const std::string& name) {
+    LPA_RETURN_NOT_OK_RESULT(ParseSelect(/*top_level=*/true));
+    if (!Peek().IsKeyword("SELECT") && Peek().type != TokenType::kEnd &&
+        Peek().type != TokenType::kSemicolon) {
+      return Error("unexpected trailing input");
+    }
+    return Assemble(name);
+  }
+
+ private:
+  struct BoundScan {
+    schema::TableId table;
+    double selectivity = 1.0;
+  };
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Accept(TokenType type) {
+    if (Peek().type == type) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " (near position " +
+                                   std::to_string(Peek().position) + ")");
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (!Accept(type)) return Error(std::string("expected ") + what);
+    return Status::OK();
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) return Error(std::string("expected ") + kw);
+    return Status::OK();
+  }
+
+  // --- grammar -----------------------------------------------------------
+
+  Status ParseSelect(bool top_level) {
+    LPA_RETURN_NOT_OK_RESULT(ExpectKeyword("SELECT"));
+    LPA_RETURN_NOT_OK_RESULT(ParseSelectList());
+    LPA_RETURN_NOT_OK_RESULT(ExpectKeyword("FROM"));
+    LPA_RETURN_NOT_OK_RESULT(ParseFromList());
+    if (AcceptKeyword("WHERE")) {
+      LPA_RETURN_NOT_OK_RESULT(ParseConjunction());
+    }
+    if (top_level) {
+      LPA_RETURN_NOT_OK_RESULT(ParseTrailingClauses());
+    }
+    return Status::OK();
+  }
+
+  Status ParseSelectList() {
+    // Scan forward to FROM, detecting aggregates; the select list itself
+    // does not influence the structural QuerySpec beyond output sizing.
+    int depth = 0;
+    while (true) {
+      const Token& t = Peek();
+      if (t.type == TokenType::kEnd) return Error("unterminated select list");
+      if (depth == 0 && t.IsKeyword("FROM")) return Status::OK();
+      if (t.type == TokenType::kLParen) ++depth;
+      if (t.type == TokenType::kRParen) --depth;
+      if (t.type == TokenType::kKeyword &&
+          (t.text == "COUNT" || t.text == "SUM" || t.text == "AVG" ||
+           t.text == "MIN" || t.text == "MAX")) {
+        has_aggregates_ = true;
+      }
+      ++pos_;
+    }
+  }
+
+  Status ParseFromList() {
+    while (true) {
+      std::string table_name;
+      if (Peek().type == TokenType::kIdentifier) {
+        table_name = Next().text;
+      } else if (Peek().type == TokenType::kKeyword) {
+        // Keywords double as table names when the schema has such a table
+        // (TPC-CH's `order` is the prominent case).
+        std::string lowered = Peek().text;
+        std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                       ::tolower);
+        if (schema_.TableIndex(lowered) < 0) return Error("expected table name");
+        table_name = lowered;
+        ++pos_;
+      } else {
+        return Error("expected table name");
+      }
+      schema::TableId table = schema_.TableIndex(table_name);
+      if (table < 0) {
+        return Status::NotFound("unknown table '" + table_name + "'");
+      }
+      std::string alias = table_name;
+      if (AcceptKeyword("AS")) {
+        if (Peek().type != TokenType::kIdentifier) return Error("expected alias");
+        alias = Next().text;
+      } else if (Peek().type == TokenType::kIdentifier) {
+        alias = Next().text;
+      }
+      if (alias_to_scan_.count(alias)) {
+        return Status::Unimplemented(
+            "duplicate table alias '" + alias +
+            "' (self joins are outside the supported subset)");
+      }
+      for (const auto& scan : scans_) {
+        if (scan.table == table) {
+          return Status::Unimplemented(
+              "table '" + table_name +
+              "' referenced twice (self joins are outside the subset)");
+        }
+      }
+      alias_to_scan_[alias] = static_cast<int>(scans_.size());
+      scans_.push_back(BoundScan{table, 1.0});
+      if (!Accept(TokenType::kComma)) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseTrailingClauses() {
+    while (true) {
+      if (AcceptKeyword("GROUP")) {
+        LPA_RETURN_NOT_OK_RESULT(ExpectKeyword("BY"));
+        has_group_by_ = true;
+        LPA_RETURN_NOT_OK_RESULT(SkipColumnList());
+      } else if (AcceptKeyword("HAVING")) {
+        // HAVING filters aggregated rows; structurally irrelevant.
+        LPA_RETURN_NOT_OK_RESULT(SkipUntilClauseBoundary());
+      } else if (AcceptKeyword("ORDER")) {
+        LPA_RETURN_NOT_OK_RESULT(ExpectKeyword("BY"));
+        LPA_RETURN_NOT_OK_RESULT(SkipColumnList());
+      } else if (AcceptKeyword("LIMIT")) {
+        if (Peek().type != TokenType::kNumber) return Error("expected limit");
+        has_limit_ = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status SkipColumnList() {
+    // Consume identifiers / dots / commas / ASC / DESC until a clause
+    // keyword or end.
+    while (true) {
+      const Token& t = Peek();
+      if (t.type == TokenType::kIdentifier || t.type == TokenType::kDot ||
+          t.type == TokenType::kComma || t.type == TokenType::kNumber ||
+          t.IsKeyword("ASC") || t.IsKeyword("DESC")) {
+        ++pos_;
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  Status SkipUntilClauseBoundary() {
+    int depth = 0;
+    while (true) {
+      const Token& t = Peek();
+      if (t.type == TokenType::kEnd || t.type == TokenType::kSemicolon) {
+        return Status::OK();
+      }
+      if (depth == 0 && (t.IsKeyword("ORDER") || t.IsKeyword("LIMIT") ||
+                         t.IsKeyword("GROUP"))) {
+        return Status::OK();
+      }
+      if (t.type == TokenType::kLParen) ++depth;
+      if (t.type == TokenType::kRParen) --depth;
+      ++pos_;
+    }
+  }
+
+  Status ParseConjunction() {
+    LPA_RETURN_NOT_OK_RESULT(ParseCondition());
+    while (AcceptKeyword("AND")) {
+      LPA_RETURN_NOT_OK_RESULT(ParseCondition());
+    }
+    return Status::OK();
+  }
+
+  Status ParseCondition() {
+    if (Peek().type == TokenType::kLParen &&
+        !Peek(1).IsKeyword("SELECT")) {
+      ++pos_;  // '('
+      LPA_RETURN_NOT_OK_RESULT(ParseDisjunction());
+      return Expect(TokenType::kRParen, ")");
+    }
+    if (AcceptKeyword("NOT")) {
+      // NOT EXISTS (...) — structurally an (anti-)join; same flattening.
+      if (Peek().IsKeyword("EXISTS")) return ParseCondition();
+      return Error("NOT is only supported before EXISTS");
+    }
+    if (AcceptKeyword("EXISTS")) {
+      LPA_RETURN_NOT_OK_RESULT(Expect(TokenType::kLParen, "("));
+      LPA_RETURN_NOT_OK_RESULT(ParseSelect(/*top_level=*/false));
+      return Expect(TokenType::kRParen, ")");
+    }
+    return ParseSimplePredicate();
+  }
+
+  Status ParseDisjunction() {
+    // OR-group: every member must filter the same scan; selectivities add.
+    int scan = -1;
+    double total = 0.0;
+    while (true) {
+      int member_scan = -1;
+      double member_sel = 1.0;
+      LPA_RETURN_NOT_OK_RESULT(
+          ParseFilterPredicate(&member_scan, &member_sel));
+      if (scan < 0) scan = member_scan;
+      if (member_scan != scan) {
+        return Status::Unimplemented(
+            "OR across different tables is outside the supported subset");
+      }
+      total += member_sel;
+      if (!AcceptKeyword("OR")) break;
+    }
+    ApplySelectivity(scan, std::min(total, 1.0));
+    return Status::OK();
+  }
+
+  /// Parse a predicate that must be a local filter (used inside OR groups);
+  /// reports the affected scan and its selectivity instead of applying it.
+  Status ParseFilterPredicate(int* scan, double* selectivity) {
+    int lhs_scan;
+    schema::ColumnRef lhs;
+    LPA_RETURN_NOT_OK_RESULT(ParseColumnRef(&lhs_scan, &lhs));
+    return ParsePredicateTail(lhs_scan, lhs, /*allow_join=*/false, scan,
+                              selectivity);
+  }
+
+  Status ParseSimplePredicate() {
+    int lhs_scan;
+    schema::ColumnRef lhs;
+    LPA_RETURN_NOT_OK_RESULT(ParseColumnRef(&lhs_scan, &lhs));
+    int scan = -1;
+    double sel = 1.0;
+    LPA_RETURN_NOT_OK_RESULT(
+        ParsePredicateTail(lhs_scan, lhs, /*allow_join=*/true, &scan, &sel));
+    if (scan >= 0) ApplySelectivity(scan, sel);
+    return Status::OK();
+  }
+
+  /// Everything after the left-hand column of a predicate. When the result
+  /// is a filter, `*scan`/`*selectivity` describe it; a join sets *scan=-1.
+  Status ParsePredicateTail(int lhs_scan, const ColumnRef& lhs,
+                            bool allow_join, int* scan, double* selectivity) {
+    *scan = lhs_scan;
+    *selectivity = 1.0;
+    double distinct =
+        static_cast<double>(schema_.column(lhs).distinct_count);
+    if (AcceptKeyword("BETWEEN")) {
+      LPA_RETURN_NOT_OK_RESULT(ExpectLiteral());
+      LPA_RETURN_NOT_OK_RESULT(ExpectKeyword("AND"));
+      LPA_RETURN_NOT_OK_RESULT(ExpectLiteral());
+      *selectivity = 0.25;
+      return Status::OK();
+    }
+    if (AcceptKeyword("LIKE")) {
+      if (Peek().type != TokenType::kString) return Error("expected pattern");
+      ++pos_;
+      *selectivity = 0.1;
+      return Status::OK();
+    }
+    if (AcceptKeyword("NOT")) {
+      LPA_RETURN_NOT_OK_RESULT(ExpectKeyword("IN"));
+      return ParseInTail(lhs_scan, lhs, scan, selectivity, /*negated=*/true);
+    }
+    if (AcceptKeyword("IN")) {
+      return ParseInTail(lhs_scan, lhs, scan, selectivity, /*negated=*/false);
+    }
+    if (Peek().type != TokenType::kOperator) return Error("expected operator");
+    std::string op = Next().text;
+    // Right-hand side: column (join) or literal (filter).
+    if (Peek().type == TokenType::kIdentifier) {
+      int rhs_scan;
+      ColumnRef rhs;
+      LPA_RETURN_NOT_OK_RESULT(ParseColumnRef(&rhs_scan, &rhs));
+      if (rhs_scan == lhs_scan) {
+        // Same-table column comparison: treat as a mild filter.
+        *selectivity = 0.3;
+        return Status::OK();
+      }
+      if (!allow_join) {
+        return Status::Unimplemented("join predicates inside OR groups");
+      }
+      if (op != "=") return Error("non-equi joins are outside the subset");
+      equalities_.push_back({lhs, rhs});
+      *scan = -1;
+      return Status::OK();
+    }
+    if (Peek().type == TokenType::kNumber || Peek().type == TokenType::kString) {
+      ++pos_;
+      if (op == "=") {
+        *selectivity = std::min(1.0, 1.0 / std::max(distinct, 1.0));
+      } else if (op == "<>") {
+        *selectivity = 1.0 - std::min(1.0, 1.0 / std::max(distinct, 1.0));
+      } else {
+        *selectivity = 1.0 / 3.0;  // range predicate default
+      }
+      return Status::OK();
+    }
+    return Error("expected column or literal after operator");
+  }
+
+  Status ParseInTail(int lhs_scan, const ColumnRef& lhs, int* scan,
+                     double* selectivity, bool negated) {
+    LPA_RETURN_NOT_OK_RESULT(Expect(TokenType::kLParen, "("));
+    if (Peek().IsKeyword("SELECT")) {
+      // IN-subquery: flatten. The subquery's first select column joins the
+      // outer column.
+      size_t select_pos = pos_;
+      LPA_RETURN_NOT_OK_RESULT(ExpectKeyword("SELECT"));
+      // Bind the subquery's output column after FROM is parsed: remember the
+      // tokens of the select list.
+      size_t list_begin = pos_;
+      int depth = 0;
+      while (!(depth == 0 && Peek().IsKeyword("FROM"))) {
+        if (Peek().type == TokenType::kEnd) return Error("unterminated subquery");
+        if (Peek().type == TokenType::kLParen) ++depth;
+        if (Peek().type == TokenType::kRParen) --depth;
+        ++pos_;
+      }
+      size_t list_end = pos_;
+      LPA_RETURN_NOT_OK_RESULT(ExpectKeyword("FROM"));
+      LPA_RETURN_NOT_OK_RESULT(ParseFromList());
+      if (AcceptKeyword("WHERE")) {
+        LPA_RETURN_NOT_OK_RESULT(ParseConjunction());
+      }
+      LPA_RETURN_NOT_OK_RESULT(Expect(TokenType::kRParen, ")"));
+      // Now bind the remembered select-list column.
+      size_t saved = pos_;
+      pos_ = list_begin;
+      int rhs_scan;
+      ColumnRef rhs;
+      Status bind = ParseColumnRef(&rhs_scan, &rhs);
+      if (!bind.ok() || pos_ != list_end) {
+        return Status::Unimplemented(
+            "IN-subqueries must select a single plain column");
+      }
+      pos_ = saved;
+      (void)select_pos;
+      equalities_.push_back({lhs, rhs});
+      *scan = -1;
+      (void)negated;
+      return Status::OK();
+    }
+    // Literal list.
+    int count = 0;
+    while (true) {
+      if (Peek().type != TokenType::kNumber && Peek().type != TokenType::kString) {
+        return Error("expected literal in IN list");
+      }
+      ++pos_;
+      ++count;
+      if (!Accept(TokenType::kComma)) break;
+    }
+    LPA_RETURN_NOT_OK_RESULT(Expect(TokenType::kRParen, ")"));
+    double distinct = static_cast<double>(schema_.column(lhs).distinct_count);
+    double sel = std::min(1.0, count / std::max(distinct, 1.0));
+    *scan = lhs_scan;
+    *selectivity = negated ? 1.0 - sel : sel;
+    return Status::OK();
+  }
+
+  Status ExpectLiteral() {
+    if (Peek().type == TokenType::kNumber || Peek().type == TokenType::kString) {
+      ++pos_;
+      return Status::OK();
+    }
+    return Error("expected literal");
+  }
+
+  /// Parse `alias.column` or a bare `column` (resolved if unambiguous).
+  Status ParseColumnRef(int* scan, ColumnRef* ref) {
+    if (Peek().type != TokenType::kIdentifier) return Error("expected column");
+    std::string first = Next().text;
+    if (Accept(TokenType::kDot)) {
+      if (Peek().type != TokenType::kIdentifier) return Error("expected column");
+      std::string column = Next().text;
+      auto it = alias_to_scan_.find(first);
+      if (it == alias_to_scan_.end()) {
+        return Status::NotFound("unknown table alias '" + first + "'");
+      }
+      *scan = it->second;
+      schema::TableId table = scans_[static_cast<size_t>(*scan)].table;
+      schema::ColumnId c = schema_.table(table).ColumnIndex(column);
+      if (c < 0) {
+        return Status::NotFound("no column '" + column + "' in '" + first + "'");
+      }
+      *ref = ColumnRef{table, c};
+      return Status::OK();
+    }
+    // Bare column: must be unique across the bound tables.
+    int found_scan = -1;
+    ColumnRef found{};
+    for (const auto& [alias, scan_idx] : alias_to_scan_) {
+      schema::TableId table = scans_[static_cast<size_t>(scan_idx)].table;
+      schema::ColumnId c = schema_.table(table).ColumnIndex(first);
+      if (c < 0) continue;
+      if (found_scan >= 0 && found.table != table) {
+        return Status::InvalidArgument("ambiguous column '" + first + "'");
+      }
+      found_scan = scan_idx;
+      found = ColumnRef{table, c};
+    }
+    if (found_scan < 0) {
+      return Status::NotFound("unknown column '" + first + "'");
+    }
+    *scan = found_scan;
+    *ref = found;
+    return Status::OK();
+  }
+
+  void ApplySelectivity(int scan, double selectivity) {
+    if (scan < 0) return;
+    auto& s = scans_[static_cast<size_t>(scan)];
+    s.selectivity = std::max(s.selectivity * selectivity, 1e-6);
+  }
+
+  Result<QuerySpec> Assemble(const std::string& name) const {
+    QuerySpec spec;
+    spec.name = name;
+    for (const auto& scan : scans_) {
+      spec.scans.push_back(workload::TableScan{scan.table, scan.selectivity});
+    }
+    // Group equalities by unordered table pair into composite predicates.
+    for (const auto& [lhs, rhs] : equalities_) {
+      workload::JoinPredicate* target = nullptr;
+      for (auto& join : spec.joins) {
+        if (join.Connects(lhs.table, rhs.table)) {
+          target = &join;
+          break;
+        }
+      }
+      if (target == nullptr) {
+        spec.joins.emplace_back();
+        target = &spec.joins.back();
+      }
+      // Orient consistently with the predicate's first equality.
+      if (!target->equalities.empty() &&
+          target->equalities.front().left.table == rhs.table) {
+        target->equalities.push_back(workload::JoinEquality{rhs, lhs});
+      } else {
+        target->equalities.push_back(workload::JoinEquality{lhs, rhs});
+      }
+    }
+    spec.output_fraction =
+        (has_group_by_ || has_aggregates_) ? 0.001 : (has_limit_ ? 0.01 : 1.0);
+    Status st = spec.Validate(schema_);
+    if (!st.ok()) {
+      if (spec.num_tables() > 1 && spec.joins.empty()) {
+        return Status::Unimplemented(
+            "cartesian products are outside the supported subset (" +
+            st.ToString() + ")");
+      }
+      return st;
+    }
+    return spec;
+  }
+
+#undef LPA_RETURN_NOT_OK_RESULT
+
+  std::vector<Token> tokens_;
+  const schema::Schema& schema_;
+  size_t pos_ = 0;
+  std::vector<BoundScan> scans_;
+  std::map<std::string, int> alias_to_scan_;
+  std::vector<std::pair<ColumnRef, ColumnRef>> equalities_;
+  bool has_group_by_ = false;
+  bool has_aggregates_ = false;
+  bool has_limit_ = false;
+};
+
+}  // namespace
+
+Result<QuerySpec> ParseQuery(const std::string& sql,
+                             const schema::Schema& schema,
+                             const std::string& name) {
+  auto tokens = Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens), schema);
+  return parser.Parse(name);
+}
+
+Result<std::vector<QuerySpec>> ParseScript(const std::string& sql,
+                                           const schema::Schema& schema,
+                                           const std::string& name_prefix) {
+  std::vector<QuerySpec> result;
+  size_t start = 0;
+  int index = 0;
+  while (start < sql.size()) {
+    size_t end = sql.find(';', start);
+    std::string statement = sql.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    start = end == std::string::npos ? sql.size() : end + 1;
+    // Skip empty fragments.
+    if (statement.find_first_not_of(" \t\r\n") == std::string::npos) continue;
+    auto spec =
+        ParseQuery(statement, schema, name_prefix + std::to_string(++index));
+    if (!spec.ok()) return spec.status();
+    result.push_back(std::move(*spec));
+  }
+  if (result.empty()) return Status::InvalidArgument("no queries in script");
+  return result;
+}
+
+}  // namespace lpa::sql

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "util/status.h"
+#include "workload/query.h"
+
+namespace lpa::sql {
+
+/// \brief Parse one SQL query of the supported subset against `schema` and
+/// bind it into the structural QuerySpec the advisor consumes.
+///
+/// Supported grammar (enough for typical OLAP workloads):
+///   SELECT select_list
+///   FROM table [alias] [, table [alias]]...
+///   [WHERE predicate [AND predicate]...]
+///   [GROUP BY columns] [HAVING ...] [ORDER BY ...] [LIMIT n] [;]
+///
+/// Predicates:
+///   a.x = b.y                  -- join equality (adjacent equalities on the
+///                                 same table pair merge into one composite
+///                                 predicate)
+///   a.x = literal | a.x <op> literal | a.x BETWEEN l AND u |
+///   a.x IN (v1, v2, ...) | a.x LIKE 'pattern'   -- local filters, converted
+///                                 into per-table selectivities using the
+///                                 schema's distinct counts
+///   EXISTS (SELECT ... FROM t WHERE t.c = outer.c [AND ...])
+///   a.x IN (SELECT b.y FROM ...)               -- flattened into joins
+///
+/// Disjunctions (OR) are supported within one table's filters (selectivities
+/// add, capped at 1); OR across tables is rejected.
+///
+/// \param name Name recorded in the QuerySpec (used as cache/noise seed).
+Result<workload::QuerySpec> ParseQuery(const std::string& sql,
+                                       const schema::Schema& schema,
+                                       const std::string& name);
+
+/// \brief Parse a ';'-separated script of queries into a workload-ready
+/// vector. Queries are named `<prefix>1`, `<prefix>2`, ...
+Result<std::vector<workload::QuerySpec>> ParseScript(
+    const std::string& sql, const schema::Schema& schema,
+    const std::string& name_prefix = "q");
+
+}  // namespace lpa::sql

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace lpa::storage {
+
+/// \brief Columnar in-memory data of one table.
+///
+/// All values are int64 surrogates (see schema::Column::width_bytes for the
+/// modeled byte widths). Every row additionally carries a hidden, unique,
+/// stable row id (`rid`) used for deterministic pseudo-filters and sampling.
+class TableData {
+ public:
+  TableData() = default;
+  explicit TableData(int num_columns)
+      : columns_(static_cast<size_t>(num_columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  size_t num_rows() const { return rids_.size(); }
+
+  std::vector<int64_t>& column(int c) { return columns_.at(static_cast<size_t>(c)); }
+  const std::vector<int64_t>& column(int c) const {
+    return columns_.at(static_cast<size_t>(c));
+  }
+  std::vector<int64_t>& rids() { return rids_; }
+  const std::vector<int64_t>& rids() const { return rids_; }
+
+  void Reserve(size_t n) {
+    for (auto& col : columns_) col.reserve(n);
+    rids_.reserve(n);
+  }
+
+  /// \brief Append one row; `values` must have one entry per column.
+  void AppendRow(const std::vector<int64_t>& values, int64_t rid) {
+    LPA_CHECK(values.size() == columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) columns_[c].push_back(values[c]);
+    rids_.push_back(rid);
+  }
+
+  /// \brief Copy row `row` of `src` into this table (same column count).
+  void AppendRowFrom(const TableData& src, size_t row) {
+    LPA_CHECK(src.columns_.size() == columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].push_back(src.columns_[c][row]);
+    }
+    rids_.push_back(src.rids_[row]);
+  }
+
+ private:
+  std::vector<std::vector<int64_t>> columns_;
+  std::vector<int64_t> rids_;
+};
+
+}  // namespace lpa::storage

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lpa {
+
+/// \brief Severity levels for the library logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// \brief One log statement; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace lpa
+
+#define LPA_LOG(level) \
+  ::lpa::internal::LogMessage(::lpa::LogLevel::k##level, __FILE__, __LINE__)
+
+/// \brief Fatal precondition check: logs and aborts when `cond` is false.
+#define LPA_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      LPA_LOG(Error) << "Check failed: " #cond;                       \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lpa {
+
+/// \brief Deterministic random source used throughout the library.
+///
+/// Every stochastic component (data generators, ε-greedy exploration, replay
+/// sampling, weight init) draws from an explicitly seeded Rng so that whole
+/// experiments replay bit-identically under the same seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// \brief Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  /// \brief Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// \brief Standard normal scaled by `stddev` around `mean`.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// \brief Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(gen_);
+  }
+
+  /// \brief Index in [0, weights.size()) drawn proportionally to weights.
+  size_t Categorical(const std::vector<double>& weights) {
+    assert(!weights.empty());
+    std::discrete_distribution<size_t> dist(weights.begin(), weights.end());
+    return dist(gen_);
+  }
+
+  /// \brief Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// \brief Derive an independent child generator (for parallel components).
+  Rng Fork() { return Rng(gen_()); }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+/// \brief Zipf-distributed integer sampler over [1, n] with exponent `theta`.
+///
+/// Used by the data generators to produce skewed key columns (e.g. popular
+/// parts / customers) so that partitioning on a skewed attribute yields
+/// uneven shard sizes, which the in-memory engine profile penalises.
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t n, double theta) : n_(n), theta_(theta) {
+    assert(n >= 1);
+    // Precompute the normalisation constant and a coarse CDF for inversion.
+    double sum = 0.0;
+    cdf_.reserve(static_cast<size_t>(n));
+    for (int64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+      cdf_.push_back(sum);
+    }
+    for (double& c : cdf_) c /= sum;
+  }
+
+  /// \brief Draw one value in [1, n].
+  int64_t Sample(Rng* rng) const {
+    double u = rng->Uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int64_t>(it - cdf_.begin()) + 1;
+  }
+
+  int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  int64_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace lpa

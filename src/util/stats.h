@@ -1,0 +1,56 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace lpa {
+
+/// \brief Streaming mean / variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Quantile of a sample via linear interpolation; q in [0, 1].
+inline double Quantile(std::vector<double> values, double q) {
+  assert(!values.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+inline double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+}  // namespace lpa

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace lpa {
+
+/// \brief Lightweight error-code + message carrier used across module
+/// boundaries instead of exceptions.
+///
+/// Mirrors the Status idiom of Arrow / RocksDB: fallible public APIs return
+/// a Status (or Result<T>); callers must check ok() before proceeding.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kAlreadyExists,
+    kOutOfRange,
+    kFailedPrecondition,
+    kUnimplemented,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \brief Construct a success status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(Code::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief Human-readable rendering, e.g. "InvalidArgument: bad column".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kNotFound: return "NotFound";
+      case Code::kAlreadyExists: return "AlreadyExists";
+      case Code::kOutOfRange: return "OutOfRange";
+      case Code::kFailedPrecondition: return "FailedPrecondition";
+      case Code::kUnimplemented: return "Unimplemented";
+      case Code::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+/// \brief Value-or-Status result type for fallible producers.
+///
+/// A Result is either a value of type T or a non-OK Status. Accessing the
+/// value of an errored Result is undefined; check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : storage_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(storage_);
+  }
+
+  const T& value() const& { return std::get<T>(storage_); }
+  T& value() & { return std::get<T>(storage_); }
+  T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+/// \brief Propagate a non-OK Status from an expression.
+#define LPA_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::lpa::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace lpa

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lpa {
+
+/// \brief Fixed-width ASCII table renderer for benchmark harness output.
+///
+/// The bench binaries use this to print the rows/series of each paper table
+/// and figure in a diff-friendly layout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    widths_.resize(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) widths_[i] = headers_[i].size();
+  }
+
+  /// \brief Append one row; cells beyond the header count are dropped.
+  void AddRow(std::vector<std::string> cells) {
+    cells.resize(headers_.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  /// \brief Render to the given stream (defaults to stdout).
+  void Print(std::ostream& os = std::cout) const {
+    PrintRule(os);
+    PrintRow(headers_, os);
+    PrintRule(os);
+    for (const auto& row : rows_) PrintRow(row, os);
+    PrintRule(os);
+  }
+
+  std::string ToString() const {
+    std::ostringstream oss;
+    Print(oss);
+    return oss.str();
+  }
+
+ private:
+  void PrintRule(std::ostream& os) const {
+    os << '+';
+    for (size_t w : widths_) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  }
+
+  void PrintRow(const std::vector<std::string>& row, std::ostream& os) const {
+    os << '|';
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths_[i]))
+         << (i < row.size() ? row[i] : "") << " |";
+    }
+    os << '\n';
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Format a double with `prec` digits after the decimal point.
+inline std::string FormatDouble(double v, int prec = 1) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(prec) << v;
+  return oss.str();
+}
+
+}  // namespace lpa

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "schema/schema.h"
+#include "workload/workload.h"
+
+namespace lpa::workload {
+
+/// \brief The 13 SSB queries (4 flights) against MakeSsbSchema().
+Workload MakeSsbWorkload(const schema::Schema& schema);
+
+/// \brief A 60-query TPC-DS workload against MakeTpcdsSchema() — the paper
+/// uses the 60-of-99 subset executable on Postgres-XL; we model the join
+/// graphs and selectivity profiles of that subset.
+Workload MakeTpcdsWorkload(const schema::Schema& schema);
+
+/// \brief The 22 analytical TPC-CH queries against MakeTpcchSchema().
+Workload MakeTpcchWorkload(const schema::Schema& schema);
+
+/// \brief The 2-query microbenchmark of Exp 5 (A⋈B and A⋈C with dimension
+/// selectivities between 2% and 5%).
+Workload MakeMicroWorkload(const schema::Schema& schema);
+
+/// \brief A randomly parameterized instance of SSB query template `slot`
+/// (Sec 3.2: the same OLAP query recurs with different parameter values,
+/// i.e. shifted selectivities). The instance keeps the template's structure
+/// but jitters every filter's selectivity by up to `jitter` in log space —
+/// the input the QueryClassifier / WorkloadMonitor consume in production.
+QuerySpec MakeParameterizedSsbInstance(const Workload& ssb, int slot,
+                                       double jitter, Rng* rng);
+
+}  // namespace lpa::workload

@@ -1,0 +1,195 @@
+#include "workload/benchmarks.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lpa::workload {
+
+// The 13 queries of the Star Schema Benchmark. Selectivities follow the
+// filter factors of the SSB paper (O'Neil et al.): flight 1 restricts date
+// and lineorder measures, flights 2-4 drill down through part / supplier /
+// customer hierarchies with successively sharper predicates.
+Workload MakeSsbWorkload(const schema::Schema& s) {
+  std::vector<QuerySpec> queries;
+  auto q = [&s](const char* name) { return QueryBuilder(&s, name); };
+
+  // Flight 1: lineorder x date, aggregate revenue.
+  queries.push_back(q("q1.1")
+                        .Scan("lineorder", 0.14)
+                        .Scan("date", 1.0 / 7)
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Output(0.0001)
+                        .Bucket(0)
+                        .Build());
+  queries.push_back(q("q1.2")
+                        .Scan("lineorder", 0.04)
+                        .Scan("date", 1.0 / 84)
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Output(0.0001)
+                        .Bucket(1)
+                        .Build());
+  queries.push_back(q("q1.3")
+                        .Scan("lineorder", 0.02)
+                        .Scan("date", 1.0 / 364)
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Output(0.0001)
+                        .Bucket(2)
+                        .Build());
+
+  // Flight 2: lineorder x date x part x supplier, group by year/brand.
+  queries.push_back(q("q2.1")
+                        .Scan("lineorder", 1.0)
+                        .Scan("date", 1.0)
+                        .Scan("part", 1.0 / 25)
+                        .Scan("supplier", 0.2)
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Join("lineorder", "lo_partkey", "part", "p_partkey")
+                        .Join("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+                        .Output(0.001)
+                        .Build());
+  queries.push_back(q("q2.2")
+                        .Scan("lineorder", 1.0)
+                        .Scan("date", 1.0)
+                        .Scan("part", 1.0 / 125)
+                        .Scan("supplier", 0.2)
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Join("lineorder", "lo_partkey", "part", "p_partkey")
+                        .Join("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+                        .Output(0.001)
+                        .Bucket(1)
+                        .Build());
+  queries.push_back(q("q2.3")
+                        .Scan("lineorder", 1.0)
+                        .Scan("date", 1.0)
+                        .Scan("part", 1.0 / 1000)
+                        .Scan("supplier", 0.2)
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Join("lineorder", "lo_partkey", "part", "p_partkey")
+                        .Join("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+                        .Output(0.001)
+                        .Bucket(2)
+                        .Build());
+
+  // Flight 3: lineorder x customer x supplier x date, group by city/year.
+  queries.push_back(q("q3.1")
+                        .Scan("lineorder", 1.0)
+                        .Scan("customer", 0.2)
+                        .Scan("supplier", 0.2)
+                        .Scan("date", 6.0 / 7)
+                        .Join("lineorder", "lo_custkey", "customer", "c_custkey")
+                        .Join("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Output(0.001)
+                        .Build());
+  queries.push_back(q("q3.2")
+                        .Scan("lineorder", 1.0)
+                        .Scan("customer", 1.0 / 25)
+                        .Scan("supplier", 1.0 / 25)
+                        .Scan("date", 6.0 / 7)
+                        .Join("lineorder", "lo_custkey", "customer", "c_custkey")
+                        .Join("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Output(0.001)
+                        .Bucket(1)
+                        .Build());
+  queries.push_back(q("q3.3")
+                        .Scan("lineorder", 1.0)
+                        .Scan("customer", 2.0 / 250)
+                        .Scan("supplier", 2.0 / 250)
+                        .Scan("date", 6.0 / 7)
+                        .Join("lineorder", "lo_custkey", "customer", "c_custkey")
+                        .Join("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Output(0.001)
+                        .Bucket(2)
+                        .Build());
+  queries.push_back(q("q3.4")
+                        .Scan("lineorder", 1.0)
+                        .Scan("customer", 2.0 / 250)
+                        .Scan("supplier", 2.0 / 250)
+                        .Scan("date", 1.0 / 84)
+                        .Join("lineorder", "lo_custkey", "customer", "c_custkey")
+                        .Join("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Output(0.001)
+                        .Bucket(3)
+                        .Build());
+
+  // Flight 4: all five tables, profit drill-down.
+  queries.push_back(q("q4.1")
+                        .Scan("lineorder", 1.0)
+                        .Scan("customer", 0.2)
+                        .Scan("supplier", 0.2)
+                        .Scan("part", 2.0 / 5)
+                        .Scan("date", 1.0)
+                        .Join("lineorder", "lo_custkey", "customer", "c_custkey")
+                        .Join("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+                        .Join("lineorder", "lo_partkey", "part", "p_partkey")
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Output(0.001)
+                        .Build());
+  queries.push_back(q("q4.2")
+                        .Scan("lineorder", 1.0)
+                        .Scan("customer", 0.2)
+                        .Scan("supplier", 0.2)
+                        .Scan("part", 2.0 / 5)
+                        .Scan("date", 2.0 / 7)
+                        .Join("lineorder", "lo_custkey", "customer", "c_custkey")
+                        .Join("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+                        .Join("lineorder", "lo_partkey", "part", "p_partkey")
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Output(0.001)
+                        .Bucket(1)
+                        .Build());
+  queries.push_back(q("q4.3")
+                        .Scan("lineorder", 1.0)
+                        .Scan("customer", 0.2)
+                        .Scan("supplier", 1.0 / 25)
+                        .Scan("part", 1.0 / 25)
+                        .Scan("date", 2.0 / 7)
+                        .Join("lineorder", "lo_custkey", "customer", "c_custkey")
+                        .Join("lineorder", "lo_suppkey", "supplier", "s_suppkey")
+                        .Join("lineorder", "lo_partkey", "part", "p_partkey")
+                        .Join("lineorder", "lo_orderdate", "date", "d_datekey")
+                        .Output(0.001)
+                        .Bucket(2)
+                        .Build());
+
+  Workload w(std::move(queries));
+  w.SetUniformFrequencies();
+  return w;
+}
+
+QuerySpec MakeParameterizedSsbInstance(const Workload& ssb, int slot,
+                                       double jitter, Rng* rng) {
+  QuerySpec instance = ssb.query(slot);
+  instance.name += "#param";
+  for (auto& scan : instance.scans) {
+    if (scan.selectivity >= 1.0) continue;  // unfiltered scans stay unfiltered
+    double log_sel = std::log(scan.selectivity) +
+                     rng->Uniform(-jitter, jitter);
+    scan.selectivity = std::clamp(std::exp(log_sel), 1e-6, 1.0);
+  }
+  return instance;
+}
+
+Workload MakeMicroWorkload(const schema::Schema& s) {
+  std::vector<QuerySpec> queries;
+  queries.push_back(QueryBuilder(&s, "a_join_b")
+                        .Scan("A", 1.0)
+                        .Scan("B", 0.03)
+                        .Join("A", "a_b_id", "B", "b_id")
+                        .Output(0.001)
+                        .Build());
+  queries.push_back(QueryBuilder(&s, "a_join_c")
+                        .Scan("A", 1.0)
+                        .Scan("C", 0.04)
+                        .Join("A", "a_c_id", "C", "c_id")
+                        .Output(0.001)
+                        .Build());
+  Workload w(std::move(queries));
+  w.SetUniformFrequencies();
+  return w;
+}
+
+}  // namespace lpa::workload

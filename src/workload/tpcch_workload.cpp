@@ -1,0 +1,251 @@
+#include "workload/benchmarks.h"
+
+namespace lpa::workload {
+
+namespace {
+
+/// order ⋈ orderline on the composite (order-id, warehouse, district) key.
+/// Matching rows agree on all three, so partitioning both sides by any of
+/// o_id / wd_id / d_id (and the orderline counterparts) co-locates the join.
+QueryBuilder& JoinOrderOrderline(QueryBuilder& b) {
+  return b.Join("order", "o_id", "orderline", "ol_o_id")
+      .AndJoin("order", "o_wd_id", "orderline", "ol_wd_id")
+      .AndJoin("order", "o_d_id", "orderline", "ol_d_id");
+}
+
+QueryBuilder& JoinCustomerOrder(QueryBuilder& b) {
+  return b.Join("customer", "c_id", "order", "o_c_id")
+      .AndJoin("customer", "c_wd_id", "order", "o_wd_id")
+      .AndJoin("customer", "c_d_id", "order", "o_d_id");
+}
+
+QueryBuilder& JoinOrderNeworder(QueryBuilder& b) {
+  return b.Join("order", "o_id", "neworder", "no_o_id")
+      .AndJoin("order", "o_wd_id", "neworder", "no_wd_id")
+      .AndJoin("order", "o_d_id", "neworder", "no_d_id");
+}
+
+/// orderline ⋈ stock on the composite (item, supply-warehouse) key.
+QueryBuilder& JoinOrderlineStock(QueryBuilder& b) {
+  return b.Join("orderline", "ol_iw_id", "stock", "s_iw_id")
+      .AndJoin("orderline", "ol_i_id", "stock", "s_i_id");
+}
+
+}  // namespace
+
+// The 22 analytical queries of the CH-benCHmark (TPC-H queries adapted to
+// the TPC-C schema), modeled structurally: table sets, composite join keys,
+// and the original queries' selectivity profiles.
+Workload MakeTpcchWorkload(const schema::Schema& s) {
+  std::vector<QuerySpec> queries;
+  auto q = [&s](const char* name) { return QueryBuilder(&s, name); };
+
+  {  // Q1: pricing summary over orderline.
+    auto b = q("q01").Scan("orderline", 0.95).Output(0.00001);
+    queries.push_back(b.Build());
+  }
+  {  // Q2: minimum-cost supplier: item x stock x supplier x nation x region.
+    auto b = q("q02")
+                 .Scan("item", 0.04)
+                 .Scan("stock", 1.0)
+                 .Scan("supplier", 1.0)
+                 .Scan("nation", 1.0)
+                 .Scan("region", 0.2)
+                 .Join("stock", "s_i_id", "item", "i_id")
+                 .Join("stock", "s_su_id", "supplier", "su_id")
+                 .Join("supplier", "su_n_id", "nation", "n_id")
+                 .Join("nation", "n_r_id", "region", "r_id")
+                 .Output(0.001);
+    queries.push_back(b.Build());
+  }
+  {  // Q3: unshipped orders: customer x order x orderline x neworder.
+    auto b = q("q03")
+                 .Scan("customer", 0.1)
+                 .Scan("order", 0.6)
+                 .Scan("orderline", 1.0)
+                 .Scan("neworder", 1.0);
+    JoinCustomerOrder(b);
+    JoinOrderOrderline(b);
+    JoinOrderNeworder(b);
+    queries.push_back(b.Output(0.001).Build());
+  }
+  {  // Q4: order priority: order x orderline (EXISTS).
+    auto b = q("q04").Scan("order", 0.3).Scan("orderline", 1.0);
+    JoinOrderOrderline(b);
+    queries.push_back(b.Output(0.0001).Build());
+  }
+  {  // Q5: local supplier volume: full customer-order-orderline-stock chain.
+    auto b = q("q05")
+                 .Scan("customer", 1.0)
+                 .Scan("order", 0.4)
+                 .Scan("orderline", 1.0)
+                 .Scan("stock", 1.0)
+                 .Scan("supplier", 1.0)
+                 .Scan("nation", 1.0)
+                 .Scan("region", 0.2);
+    JoinCustomerOrder(b);
+    JoinOrderOrderline(b);
+    JoinOrderlineStock(b);
+    b.Join("stock", "s_su_id", "supplier", "su_id")
+        .Join("supplier", "su_n_id", "nation", "n_id")
+        .Join("nation", "n_r_id", "region", "r_id");
+    queries.push_back(b.Output(0.0001).Build());
+  }
+  {  // Q6: forecast revenue: orderline scan.
+    queries.push_back(q("q06").Scan("orderline", 0.1).Output(0.00001).Build());
+  }
+  {  // Q7: volume shipping: supplier x stock x orderline x order x customer x nation.
+    auto b = q("q07")
+                 .Scan("supplier", 1.0)
+                 .Scan("stock", 1.0)
+                 .Scan("orderline", 0.5)
+                 .Scan("order", 1.0)
+                 .Scan("customer", 1.0)
+                 .Scan("nation", 2.0 / 62);
+    JoinOrderlineStock(b);
+    JoinOrderOrderline(b);
+    JoinCustomerOrder(b);
+    b.Join("stock", "s_su_id", "supplier", "su_id")
+        .Join("supplier", "su_n_id", "nation", "n_id");
+    queries.push_back(b.Output(0.0001).Build());
+  }
+  {  // Q8: market share: item-restricted chain with two nations/region.
+    auto b = q("q08")
+                 .Scan("item", 0.001)
+                 .Scan("orderline", 1.0)
+                 .Scan("stock", 1.0)
+                 .Scan("order", 0.5)
+                 .Scan("customer", 1.0)
+                 .Scan("nation", 1.0)
+                 .Scan("region", 0.2)
+                 .Scan("supplier", 1.0);
+    b.Join("orderline", "ol_i_id", "item", "i_id");
+    JoinOrderlineStock(b);
+    JoinOrderOrderline(b);
+    JoinCustomerOrder(b);
+    b.Join("stock", "s_su_id", "supplier", "su_id")
+        .Join("supplier", "su_n_id", "nation", "n_id")
+        .Join("nation", "n_r_id", "region", "r_id");
+    queries.push_back(b.Output(0.0001).Build());
+  }
+  {  // Q9: product type profit: item x stock x orderline x order x supplier x nation.
+    auto b = q("q09")
+                 .Scan("item", 0.05)
+                 .Scan("stock", 1.0)
+                 .Scan("orderline", 1.0)
+                 .Scan("order", 1.0)
+                 .Scan("supplier", 1.0)
+                 .Scan("nation", 1.0);
+    b.Join("orderline", "ol_i_id", "item", "i_id");
+    JoinOrderlineStock(b);
+    JoinOrderOrderline(b);
+    b.Join("stock", "s_su_id", "supplier", "su_id")
+        .Join("supplier", "su_n_id", "nation", "n_id");
+    queries.push_back(b.Output(0.001).Build());
+  }
+  {  // Q10: returned items: customer x order x orderline x nation.
+    auto b = q("q10")
+                 .Scan("customer", 1.0)
+                 .Scan("order", 0.08)
+                 .Scan("orderline", 1.0)
+                 .Scan("nation", 1.0);
+    JoinCustomerOrder(b);
+    JoinOrderOrderline(b);
+    b.Join("customer", "c_n_id", "nation", "n_id");
+    queries.push_back(b.Output(0.001).Build());
+  }
+  {  // Q11: important stock: stock x supplier x nation.
+    auto b = q("q11")
+                 .Scan("stock", 1.0)
+                 .Scan("supplier", 1.0)
+                 .Scan("nation", 1.0 / 62)
+                 .Join("stock", "s_su_id", "supplier", "su_id")
+                 .Join("supplier", "su_n_id", "nation", "n_id");
+    queries.push_back(b.Output(0.01).Build());
+  }
+  {  // Q12: shipping modes: order x orderline.
+    auto b = q("q12").Scan("order", 1.0).Scan("orderline", 0.3);
+    JoinOrderOrderline(b);
+    queries.push_back(b.Output(0.0001).Build());
+  }
+  {  // Q13: customer distribution: customer x order.
+    auto b = q("q13").Scan("customer", 1.0).Scan("order", 0.8);
+    JoinCustomerOrder(b);
+    queries.push_back(b.Output(0.001).Build());
+  }
+  {  // Q14: promotion effect: orderline x item.
+    auto b = q("q14")
+                 .Scan("orderline", 0.01)
+                 .Scan("item", 1.0)
+                 .Join("orderline", "ol_i_id", "item", "i_id");
+    queries.push_back(b.Output(0.00001).Build());
+  }
+  {  // Q15: top supplier: orderline x stock x supplier.
+    auto b = q("q15").Scan("orderline", 0.25).Scan("stock", 1.0).Scan("supplier", 1.0);
+    JoinOrderlineStock(b);
+    b.Join("stock", "s_su_id", "supplier", "su_id");
+    queries.push_back(b.Output(0.001).Build());
+  }
+  {  // Q16: parts/supplier relationship: item x stock.
+    auto b = q("q16")
+                 .Scan("item", 0.1)
+                 .Scan("stock", 1.0)
+                 .Join("stock", "s_i_id", "item", "i_id");
+    queries.push_back(b.Output(0.01).Build());
+  }
+  {  // Q17: small-quantity revenue: orderline x item (sharp item filter).
+    auto b = q("q17")
+                 .Scan("orderline", 1.0)
+                 .Scan("item", 0.001)
+                 .Join("orderline", "ol_i_id", "item", "i_id");
+    queries.push_back(b.Output(0.00001).Build());
+  }
+  {  // Q18: large volume customers: customer x order x orderline.
+    auto b = q("q18").Scan("customer", 1.0).Scan("order", 1.0).Scan("orderline", 1.0);
+    JoinCustomerOrder(b);
+    JoinOrderOrderline(b);
+    queries.push_back(b.Output(0.0001).Build());
+  }
+  {  // Q19: discounted revenue: orderline x item.
+    auto b = q("q19")
+                 .Scan("orderline", 0.2)
+                 .Scan("item", 0.01)
+                 .Join("orderline", "ol_i_id", "item", "i_id");
+    queries.push_back(b.Output(0.00001).Build());
+  }
+  {  // Q20: potential promotion: supplier x nation + stock x item restriction.
+    auto b = q("q20")
+                 .Scan("supplier", 1.0)
+                 .Scan("nation", 1.0 / 62)
+                 .Scan("stock", 1.0)
+                 .Scan("item", 0.01)
+                 .Join("stock", "s_i_id", "item", "i_id")
+                 .Join("stock", "s_su_id", "supplier", "su_id")
+                 .Join("supplier", "su_n_id", "nation", "n_id");
+    queries.push_back(b.Output(0.001).Build());
+  }
+  {  // Q21: late deliveries: supplier x stock x orderline x order x nation.
+    auto b = q("q21")
+                 .Scan("supplier", 1.0)
+                 .Scan("stock", 1.0)
+                 .Scan("orderline", 0.7)
+                 .Scan("order", 1.0)
+                 .Scan("nation", 1.0 / 62);
+    JoinOrderlineStock(b);
+    JoinOrderOrderline(b);
+    b.Join("stock", "s_su_id", "supplier", "su_id")
+        .Join("supplier", "su_n_id", "nation", "n_id");
+    queries.push_back(b.Output(0.0001).Build());
+  }
+  {  // Q22: global sales opportunity: customer x order (anti join).
+    auto b = q("q22").Scan("customer", 0.3).Scan("order", 1.0);
+    JoinCustomerOrder(b);
+    queries.push_back(b.Output(0.0001).Build());
+  }
+
+  Workload w(std::move(queries));
+  w.SetUniformFrequencies();
+  return w;
+}
+
+}  // namespace lpa::workload

@@ -1,0 +1,191 @@
+#include "baselines/heuristics.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/learned_cost.h"
+#include "baselines/optimizer_designer.h"
+#include "costmodel/noisy_model.h"
+#include "schema/catalogs.h"
+#include "workload/benchmarks.h"
+
+namespace lpa::baselines {
+namespace {
+
+using costmodel::CostModel;
+using costmodel::HardwareProfile;
+using costmodel::NoisyOptimizerModel;
+using partition::EdgeSet;
+using partition::PartitioningState;
+
+class SsbBaselinesTest : public ::testing::Test {
+ protected:
+  SsbBaselinesTest()
+      : schema_(schema::MakeSsbSchema()),
+        workload_(workload::MakeSsbWorkload(schema_)),
+        edges_(EdgeSet::Extract(schema_, workload_)) {}
+
+  schema::Schema schema_;
+  workload::Workload workload_;
+  EdgeSet edges_;
+};
+
+TEST_F(SsbBaselinesTest, HeuristicAPicksMostFrequentlyJoinedDimension) {
+  auto design = HeuristicA(schema_, workload_, edges_);
+  // All 13 SSB queries join date: heuristic (a) co-partitions lineorder
+  // with date on the orderdate key.
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  schema::TableId date = schema_.TableIndex("date");
+  EXPECT_EQ(design.table_partition(lo).column,
+            schema_.table(lo).ColumnIndex("lo_orderdate"));
+  EXPECT_FALSE(design.table_partition(date).replicated);
+  EXPECT_EQ(design.table_partition(date).column,
+            schema_.table(date).ColumnIndex("d_datekey"));
+}
+
+TEST_F(SsbBaselinesTest, HeuristicBPicksLargestDimension) {
+  auto design = HeuristicB(schema_, workload_, edges_);
+  // Customer (3M x ~112B) is SSB's largest dimension.
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  schema::TableId cust = schema_.TableIndex("customer");
+  EXPECT_EQ(design.table_partition(lo).column,
+            schema_.table(lo).ColumnIndex("lo_custkey"));
+  EXPECT_EQ(design.table_partition(cust).column,
+            schema_.table(cust).ColumnIndex("c_custkey"));
+}
+
+TEST_F(SsbBaselinesTest, TinyTablesAreReplicated) {
+  auto design = HeuristicB(schema_, workload_, edges_);
+  // date (2556 rows) and supplier (200k x ~100B = 20MB) are below the
+  // replication threshold; part (~143MB) and customer are not.
+  EXPECT_TRUE(design.table_partition(schema_.TableIndex("date")).replicated);
+  EXPECT_TRUE(design.table_partition(schema_.TableIndex("supplier")).replicated);
+  EXPECT_FALSE(design.table_partition(schema_.TableIndex("part")).replicated);
+  EXPECT_FALSE(design.table_partition(schema_.TableIndex("lineorder")).replicated);
+}
+
+TEST_F(SsbBaselinesTest, MinimizeOptimizerCostBeatsStartPoints) {
+  NoisyOptimizerModel estimator(&schema_, HardwareProfile::DiskBased10G());
+  OptimizerDesignerConfig config;
+  config.random_restarts = 1;
+  auto design = MinimizeOptimizerCost(schema_, workload_, edges_, estimator,
+                                      config);
+  // The estimator itself must rate the search result at least as good as
+  // every start point (hill climbing never goes uphill).
+  workload::Workload uniform = workload_;
+  uniform.SetUniformFrequencies();
+  double found = estimator.WorkloadCost(uniform, design);
+  for (const auto& start :
+       {PartitioningState::Initial(&schema_, &edges_),
+        HeuristicA(schema_, workload_, edges_),
+        HeuristicB(schema_, workload_, edges_)}) {
+    EXPECT_LE(found, estimator.WorkloadCost(uniform, start) + 1e-9);
+  }
+}
+
+TEST_F(SsbBaselinesTest, MinimizeOptimizerCostIsDeterministic) {
+  NoisyOptimizerModel estimator(&schema_, HardwareProfile::DiskBased10G());
+  OptimizerDesignerConfig config;
+  config.random_restarts = 1;
+  auto a = MinimizeOptimizerCost(schema_, workload_, edges_, estimator, config);
+  auto b = MinimizeOptimizerCost(schema_, workload_, edges_, estimator, config);
+  EXPECT_EQ(a.PhysicalDesignKey(), b.PhysicalDesignKey());
+}
+
+TEST(TpcchBaselinesTest, NonStarHeuristics) {
+  auto schema = schema::MakeTpcchSchema();
+  auto wl = workload::MakeTpcchWorkload(schema);
+  auto edges = EdgeSet::Extract(schema, wl);
+
+  auto a = HeuristicA(schema, wl, edges);
+  // (a): small tables replicated, large ones by primary key.
+  EXPECT_TRUE(a.table_partition(schema.TableIndex("item")).replicated);
+  EXPECT_TRUE(a.table_partition(schema.TableIndex("nation")).replicated);
+  EXPECT_FALSE(a.table_partition(schema.TableIndex("orderline")).replicated);
+  EXPECT_EQ(a.table_partition(schema.TableIndex("orderline")).column,
+            schema.table(schema.TableIndex("orderline")).primary_key);
+
+  auto b = HeuristicB(schema, wl, edges);
+  // (b): the largest joined pair (orderline-stock or orderline-order) is
+  // co-partitioned.
+  schema::TableId ol = schema.TableIndex("orderline");
+  EXPECT_FALSE(b.table_partition(ol).replicated);
+  // orderline must be co-partitioned with one of its partners: its partition
+  // column appears in some edge whose other endpoint matches too.
+  bool co_partitioned = false;
+  for (int e = 0; e < edges.size(); ++e) {
+    const auto& edge = edges.edge(e);
+    if (!edge.Touches(ol)) continue;
+    auto olc = edge.left.table == ol ? edge.left : edge.right;
+    auto other = edge.left.table == ol ? edge.right : edge.left;
+    if (b.table_partition(ol).column == olc.column &&
+        !b.table_partition(other.table).replicated &&
+        b.table_partition(other.table).column == other.column) {
+      co_partitioned = true;
+    }
+  }
+  EXPECT_TRUE(co_partitioned);
+}
+
+TEST(NoisyModelTest, IndependenceAssumptionUnderestimatesCompositeJoins) {
+  auto schema = schema::MakeTpcchSchema();
+  auto wl = workload::MakeTpcchWorkload(schema);
+  NoisyOptimizerModel noisy(&schema, HardwareProfile::DiskBased10G());
+  // q12 = order-orderline on the (id, wd, d) composite key.
+  const auto& q12 = wl.query(11);
+  double scale = noisy.CardinalityScale(q12, 0, 2);
+  EXPECT_LT(scale, 0.01);  // product of 3M * 1000 * 10 vs capped 30M
+}
+
+TEST(NoisyModelTest, NoiseGrowsWithDepthAndIsDeterministic) {
+  auto schema = schema::MakeTpcdsSchema();
+  auto wl = workload::MakeTpcdsWorkload(schema);
+  NoisyOptimizerModel noisy(&schema, HardwareProfile::DiskBased10G());
+  const auto& q = wl.query(30);  // a multi-join query
+  double shallow = noisy.CardinalityScale(q, 0, 2);
+  EXPECT_DOUBLE_EQ(shallow, noisy.CardinalityScale(q, 0, 2));
+  // At depth 2 the lognormal component is off; single-equality joins thus
+  // scale by exactly the independence factor (1 for single columns).
+  ASSERT_EQ(q.joins[0].equalities.size(), 1u);
+  EXPECT_DOUBLE_EQ(shallow, 1.0);
+  // Deeper joins deviate from 1.
+  double deep = noisy.CardinalityScale(q, 0, 6);
+  EXPECT_NE(deep, 1.0);
+}
+
+TEST(NoisyModelTest, StatsEpochChangesPlans) {
+  auto schema = schema::MakeTpcdsSchema();
+  auto wl = workload::MakeTpcdsWorkload(schema);
+  NoisyOptimizerModel noisy(&schema, HardwareProfile::DiskBased10G());
+  const auto& q = wl.query(30);
+  double before = noisy.CardinalityScale(q, 0, 6);
+  noisy.set_stats_epoch(1);
+  double after = noisy.CardinalityScale(q, 0, 6);
+  EXPECT_NE(before, after);
+}
+
+TEST(LearnedCostTest, OfflineRegressionApproximatesCostModel) {
+  auto schema = schema::MakeSsbSchema();
+  auto wl = workload::MakeSsbWorkload(schema);
+  auto edges = EdgeSet::Extract(schema, wl);
+  partition::Featurizer featurizer(&schema, &edges, wl.num_queries());
+  CostModel model(&schema, HardwareProfile::DiskBased10G());
+
+  LearnedCostConfig config;
+  config.offline_minibatches = 600;
+  config.hidden = {64, 32};
+  config.seed = 5;
+  LearnedCostAdvisor advisor(&schema, &edges, &wl, &featurizer, config);
+  Rng rng(3);
+  advisor.TrainOffline(model, &rng);
+
+  // Prediction should correlate with the true model: the (clearly bad)
+  // replicate-the-fact design must predict higher than the initial design.
+  auto s0 = PartitioningState::Initial(&schema, &edges);
+  auto bad = s0;
+  ASSERT_TRUE(bad.Replicate(schema.TableIndex("lineorder")).ok());
+  std::vector<double> uniform(13, 1.0);
+  EXPECT_GT(advisor.Predict(bad, uniform), advisor.Predict(s0, uniform));
+}
+
+}  // namespace
+}  // namespace lpa::baselines

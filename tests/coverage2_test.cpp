@@ -1,0 +1,206 @@
+// Second-wave coverage: cross-schema structural invariants of the action
+// space / edge extraction, noisy-model error structure, and trainer
+// bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "costmodel/noisy_model.h"
+#include "partition/actions.h"
+#include "partition/featurizer.h"
+#include "rl/offline_env.h"
+#include "rl/trainer.h"
+#include "schema/catalogs.h"
+#include "workload/benchmarks.h"
+
+namespace lpa {
+namespace {
+
+using costmodel::HardwareProfile;
+using partition::ActionSpace;
+using partition::EdgeSet;
+using partition::PartitioningState;
+
+TEST(EdgeExtractionSweep, EdgeCountsPerSchema) {
+  // SSB: exactly the 4 FK pairs. TPC-DS: all FK pairs plus the composite
+  // sales-returns and cross-fact equalities. TPC-CH: FKs plus the composite
+  // district / item-warehouse pairs.
+  {
+    auto s = schema::MakeSsbSchema();
+    auto w = workload::MakeSsbWorkload(s);
+    EXPECT_EQ(EdgeSet::Extract(s, w).size(), 4);
+  }
+  {
+    auto s = schema::MakeTpcdsSchema();
+    auto w = workload::MakeTpcdsWorkload(s);
+    int edges = EdgeSet::Extract(s, w).size();
+    EXPECT_GE(edges, 40);
+    EXPECT_LE(edges, 64);
+  }
+  {
+    auto s = schema::MakeTpcchSchema();
+    auto w = workload::MakeTpcchWorkload(s);
+    int edges = EdgeSet::Extract(s, w).size();
+    EXPECT_GE(edges, 12);
+    EXPECT_LE(edges, 32);
+  }
+}
+
+TEST(EdgeExtractionSweep, EveryEdgeEndpointIsPartitionable) {
+  for (int which = 0; which < 3; ++which) {
+    schema::Schema s = which == 0   ? schema::MakeSsbSchema()
+                       : which == 1 ? schema::MakeTpcdsSchema()
+                                    : schema::MakeTpcchSchema();
+    workload::Workload w = which == 0   ? workload::MakeSsbWorkload(s)
+                           : which == 1 ? workload::MakeTpcdsWorkload(s)
+                                        : workload::MakeTpcchWorkload(s);
+    auto edges = EdgeSet::Extract(s, w);
+    for (int e = 0; e < edges.size(); ++e) {
+      EXPECT_TRUE(s.column(edges.edge(e).left).partitionable);
+      EXPECT_TRUE(s.column(edges.edge(e).right).partitionable);
+    }
+  }
+}
+
+TEST(ActionSpaceSweep, SizesAreEnumerationConsistent) {
+  for (int which = 0; which < 3; ++which) {
+    schema::Schema s = which == 0   ? schema::MakeSsbSchema()
+                       : which == 1 ? schema::MakeTpcdsSchema()
+                                    : schema::MakeTpcchSchema();
+    workload::Workload w = which == 0   ? workload::MakeSsbWorkload(s)
+                           : which == 1 ? workload::MakeTpcdsWorkload(s)
+                                        : workload::MakeTpcchWorkload(s);
+    auto edges = EdgeSet::Extract(s, w);
+    ActionSpace actions(&s, &edges);
+    int candidates = 0;
+    for (schema::TableId t = 0; t < s.num_tables(); ++t) {
+      candidates += s.NumPartitionCandidates(t);
+    }
+    EXPECT_EQ(actions.size(), candidates + s.num_tables() + 2 * edges.size());
+    // Describe() renders every action without aborting.
+    for (int id = 0; id < actions.size(); ++id) {
+      EXPECT_FALSE(actions.Describe(id).empty());
+    }
+  }
+}
+
+TEST(FeaturizerSweep, StateDimensionFormula) {
+  for (int which = 0; which < 3; ++which) {
+    schema::Schema s = which == 0   ? schema::MakeSsbSchema()
+                       : which == 1 ? schema::MakeTpcdsSchema()
+                                    : schema::MakeTpcchSchema();
+    workload::Workload w = which == 0   ? workload::MakeSsbWorkload(s)
+                           : which == 1 ? workload::MakeTpcdsWorkload(s)
+                                        : workload::MakeTpcchWorkload(s);
+    auto edges = EdgeSet::Extract(s, w);
+    partition::Featurizer feat(&s, &edges, w.num_queries());
+    int expected = edges.size() + w.num_queries();
+    for (schema::TableId t = 0; t < s.num_tables(); ++t) {
+      expected += 1 + s.NumPartitionCandidates(t);
+    }
+    EXPECT_EQ(feat.state_dim(), expected);
+  }
+}
+
+TEST(NoisyModelStructure, IndependenceHitsOnlyCompositePredicates) {
+  auto s = schema::MakeTpcdsSchema();
+  auto w = workload::MakeTpcdsWorkload(s);
+  costmodel::NoisyOptimizerModel noisy(&s, HardwareProfile::DiskBased10G());
+  int single = 0, composite = 0;
+  for (const auto& q : w.queries()) {
+    for (size_t j = 0; j < q.joins.size(); ++j) {
+      double scale = noisy.CardinalityScale(q, static_cast<int>(j), 2);
+      if (q.joins[j].equalities.size() == 1) {
+        EXPECT_DOUBLE_EQ(scale, 1.0) << q.name;  // depth 2: no noise either
+        ++single;
+      } else {
+        EXPECT_LT(scale, 1.0) << q.name;  // independence underestimates
+        ++composite;
+      }
+    }
+  }
+  EXPECT_GT(single, 50);
+  EXPECT_GT(composite, 5);
+}
+
+TEST(NoisyModelStructure, DesignNoiseIsSharedAcrossQueriesOfSameTables) {
+  // The winner's-curse mechanism needs correlated errors: two queries over
+  // the same table set under the same design draw the SAME noise factor.
+  auto s = schema::MakeSsbSchema();
+  auto w = workload::MakeSsbWorkload(s);
+  auto edges = EdgeSet::Extract(s, w);
+  costmodel::NoisyOptimizerModel noisy(&s, HardwareProfile::DiskBased10G(),
+                                       0.5, 4242, true);
+  auto design = PartitioningState::Initial(&s, &edges);
+  // q4.1 and q4.2 share the full 5-table set.
+  const auto& q41 = w.query(10);
+  const auto& q42 = w.query(11);
+  ASSERT_EQ(q41.tables().size(), 5u);
+  ASSERT_EQ(q42.tables().size(), 5u);
+  EXPECT_DOUBLE_EQ(noisy.DesignCostScale(q41, design),
+                   noisy.DesignCostScale(q42, design));
+  // Shallow queries carry no design noise at all.
+  const auto& q11 = w.query(0);
+  EXPECT_DOUBLE_EQ(noisy.DesignCostScale(q11, design), 1.0);
+}
+
+TEST(NoisyModelStructure, DesignNoiseChangesAcrossDesigns) {
+  auto s = schema::MakeSsbSchema();
+  auto w = workload::MakeSsbWorkload(s);
+  auto edges = EdgeSet::Extract(s, w);
+  costmodel::NoisyOptimizerModel noisy(&s, HardwareProfile::DiskBased10G());
+  const auto& q41 = w.query(10);
+  auto a = PartitioningState::Initial(&s, &edges);
+  auto b = a;
+  schema::TableId lo = s.TableIndex("lineorder");
+  ASSERT_TRUE(b.PartitionBy(lo, s.table(lo).ColumnIndex("lo_custkey")).ok());
+  EXPECT_NE(noisy.DesignCostScale(q41, a), noisy.DesignCostScale(q41, b));
+}
+
+TEST(TrainerBookkeeping, NormalizationAndStepCounts) {
+  auto s = schema::MakeSsbSchema();
+  auto w = workload::MakeSsbWorkload(s);
+  auto edges = EdgeSet::Extract(s, w);
+  ActionSpace actions(&s, &edges);
+  partition::Featurizer feat(&s, &edges, w.num_queries());
+  costmodel::CostModel model(&s, HardwareProfile::DiskBased10G());
+  rl::OfflineEnv env(&model, &w);
+  rl::EpisodeTrainer trainer(&s, &edges, &actions, &feat);
+
+  double norm = trainer.Normalization(&env);
+  w.SetUniformFrequencies();
+  EXPECT_NEAR(norm,
+              model.WorkloadCost(w, PartitioningState::Initial(&s, &edges)),
+              1e-9);
+
+  rl::DqnConfig config;
+  config.tmax = 7;
+  config.seed = 3;
+  rl::DqnAgent agent(&feat, &actions, config);
+  Rng rng(5);
+  auto sampler = [](Rng*) { return std::vector<double>(13, 1.0); };
+  auto result = trainer.Train(&agent, &env, sampler, 4, &rng);
+  EXPECT_EQ(result.steps, 4u * 7u);
+  EXPECT_EQ(result.episode_best_rewards.size(), 4u);
+  // Rewards are 1 - cost/norm: bounded above by 1.
+  for (double r : result.episode_best_rewards) EXPECT_LT(r, 1.0);
+}
+
+TEST(TrainerBookkeeping, TmaxBelowTableCountAborts) {
+  auto s = schema::MakeTpcchSchema();
+  auto w = workload::MakeTpcchWorkload(s);
+  auto edges = EdgeSet::Extract(s, w);
+  ActionSpace actions(&s, &edges);
+  partition::Featurizer feat(&s, &edges, w.num_queries());
+  costmodel::CostModel model(&s, HardwareProfile::DiskBased10G());
+  rl::OfflineEnv env(&model, &w);
+  rl::EpisodeTrainer trainer(&s, &edges, &actions, &feat);
+  rl::DqnConfig config;
+  config.tmax = 3;  // < 12 tables: any-state reachability broken
+  rl::DqnAgent agent(&feat, &actions, config);
+  Rng rng(5);
+  auto sampler = [](Rng*) { return std::vector<double>(22, 1.0); };
+  EXPECT_DEATH(trainer.Train(&agent, &env, sampler, 1, &rng), "tmax");
+}
+
+}  // namespace
+}  // namespace lpa

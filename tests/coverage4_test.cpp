@@ -1,0 +1,207 @@
+// Fourth-wave coverage: learned-cost stall guard, scale-factor behaviour on
+// non-trivial designs, DDL-driven heuristics, and monitor-with-SQL flows.
+
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "advisor/committee.h"
+#include "advisor/workload_monitor.h"
+#include "baselines/heuristics.h"
+#include "baselines/learned_cost.h"
+#include "costmodel/noisy_model.h"
+#include "engine/cluster.h"
+#include "rl/online_env.h"
+#include "schema/catalogs.h"
+#include "sql/ddl.h"
+#include "sql/parser.h"
+#include "workload/benchmarks.h"
+
+namespace lpa {
+namespace {
+
+using costmodel::HardwareProfile;
+using partition::EdgeSet;
+using partition::PartitioningState;
+
+TEST(LearnedCostGuards, ExploitVariantStopsWhenFullyCached) {
+  // The exploitation-driven learned-cost loop converges to one design; all
+  // its runtimes hit the cache, no cluster time accrues, and the loop must
+  // terminate via the stall guard instead of spinning forever.
+  auto schema = schema::MakeSsbSchema();
+  auto wl = workload::MakeSsbWorkload(schema);
+  auto edges = EdgeSet::Extract(schema, wl);
+  partition::Featurizer featurizer(&schema, &edges, wl.num_queries());
+  costmodel::CostModel model(&schema, HardwareProfile::DiskBased10G());
+
+  baselines::LearnedCostConfig config;
+  config.offline_minibatches = 150;
+  config.hidden = {32};
+  config.stall_iterations = 5;
+  config.max_online_iterations = 400;
+  baselines::LearnedCostAdvisor advisor(&schema, &edges, &wl, &featurizer,
+                                        config);
+  Rng rng(3);
+  advisor.TrainOffline(model, &rng);
+
+  storage::GenerationConfig gen;
+  gen.fraction = 1e-4;
+  gen.small_table_threshold = 64;
+  gen.seed = 5;
+  engine::ClusterDatabase cluster(storage::Database::Generate(schema, wl, gen),
+                                  engine::EngineConfig{HardwareProfile::DiskBased10G(), 0.0, 5},
+                                  &model);
+  rl::OnlineEnv env(&cluster, &wl, {}, rl::OnlineEnvOptions{});
+  // An absurdly large budget: only the guards can end the loop.
+  int iterations = advisor.TrainOnline(&env, /*budget_seconds=*/1e9,
+                                       /*explore=*/false, &rng);
+  EXPECT_LE(iterations, config.max_online_iterations);
+  EXPECT_GE(iterations, 1);
+}
+
+TEST(ScaleFactors, ReflectSampleSizeAcrossDesigns) {
+  auto schema = schema::MakeSsbSchema();
+  auto wl = workload::MakeSsbWorkload(schema);
+  auto edges = EdgeSet::Extract(schema, wl);
+  costmodel::CostModel planner(&schema, HardwareProfile::DiskBased10G());
+  storage::GenerationConfig gen;
+  gen.fraction = 4e-4;
+  gen.small_table_threshold = 64;
+  gen.seed = 5;
+  auto db = storage::Database::Generate(schema, wl, gen);
+  engine::EngineConfig config;
+  config.hardware = HardwareProfile::DiskBased10G();
+  config.seed = 5;
+  engine::ClusterDatabase full(db, config, &planner);
+  engine::ClusterDatabase quarter(db.Sample(0.25, 32, 9), config, &planner);
+
+  // Under a replicated-dims design, scale factors reflect mostly the fact
+  // table's sample ratio (~4x).
+  auto design = PartitioningState::Initial(&schema, &edges);
+  for (schema::TableId t = 0; t < schema.num_tables(); ++t) {
+    if (!schema.table(t).is_fact) {
+      ASSERT_TRUE(design.Replicate(t).ok());
+    }
+  }
+  auto factors = rl::ComputeScaleFactors(&full, &quarter, wl, design);
+  double mean = 0;
+  for (double f : factors) mean += f / factors.size();
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 8.0);
+}
+
+TEST(DdlDrivenHeuristics, FactAnnotationSteersStarHeuristics) {
+  auto schema = sql::ParseDdl(R"sql(
+    CREATE TABLE dim_small (d_id INT PRIMARY KEY, d_name VARCHAR(20)) ROWS 1000;
+    CREATE TABLE dim_big (b_id INT PRIMARY KEY, b_name VARCHAR(120)) ROWS 5000000;
+    CREATE TABLE facts (
+      f_id BIGINT PRIMARY KEY,
+      f_d INT REFERENCES dim_small(d_id),
+      f_b INT REFERENCES dim_big(b_id)
+    ) FACT ROWS 300000000;
+  )sql");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  auto queries = sql::ParseScript(
+      "SELECT COUNT(f.f_id) FROM facts f, dim_small d "
+      "WHERE f.f_d = d.d_id GROUP BY d_name;"
+      "SELECT COUNT(f.f_id) FROM facts f, dim_small d "
+      "WHERE f.f_d = d.d_id AND d.d_name LIKE 'x' GROUP BY d_name;"
+      "SELECT COUNT(f.f_id) FROM facts f, dim_big b "
+      "WHERE f.f_b = b.b_id GROUP BY b_name;",
+      *schema);
+  ASSERT_TRUE(queries.ok());
+  workload::Workload wl(std::move(*queries));
+  auto edges = EdgeSet::Extract(*schema, wl);
+
+  // Heuristic (a): most frequently joined dimension (dim_small, 2 queries).
+  auto a = baselines::HeuristicA(*schema, wl, edges);
+  schema::TableId facts = schema->TableIndex("facts");
+  EXPECT_EQ(a.table_partition(facts).column,
+            schema->table(facts).ColumnIndex("f_d"));
+  // Heuristic (b): largest dimension (dim_big).
+  auto b = baselines::HeuristicB(*schema, wl, edges);
+  EXPECT_EQ(b.table_partition(facts).column,
+            schema->table(facts).ColumnIndex("f_b"));
+}
+
+TEST(MonitorWithSql, ObservedSqlStatementsDriveTheMix) {
+  auto schema = schema::MakeSsbSchema();
+  auto wl = workload::MakeSsbWorkload(schema);
+  advisor::MonitorConfig config;
+  config.decay = 1.0;
+  advisor::WorkloadMonitor monitor(&wl, config);
+
+  // Fresh SQL arriving from the production system.
+  auto observed = sql::ParseQuery(
+      "SELECT SUM(lo_payload) FROM lineorder l, date d "
+      "WHERE l.lo_orderdate = d.d_datekey AND d.d_year = 1995 "
+      "AND l.lo_payload < 50000 GROUP BY d.d_year",
+      schema, "live1");
+  ASSERT_TRUE(observed.ok()) << observed.status().ToString();
+  int slot = monitor.Observe(*observed);
+  EXPECT_GE(slot, 0);
+  EXPECT_LE(slot, 2);  // flight 1 (lineorder x date)
+  auto freqs = monitor.CurrentFrequencies();
+  EXPECT_DOUBLE_EQ(freqs[static_cast<size_t>(slot)], 1.0);
+}
+
+TEST(CommitteeDeterminism, SameSeedsSameReferences) {
+  auto schema = schema::MakeSsbSchema();
+  auto wl = workload::MakeSsbWorkload(schema);
+  costmodel::CostModel model(&schema, HardwareProfile::DiskBased10G());
+  auto make = [&]() {
+    advisor::AdvisorConfig config;
+    config.offline_episodes = 50;
+    config.dqn.tmax = 10;
+    config.dqn.FitEpsilonSchedule(50);
+    config.seed = 21;
+    auto adv = std::make_unique<advisor::PartitioningAdvisor>(&schema, wl, config);
+    adv->TrainOffline(&model);
+    return adv;
+  };
+  auto a1 = make();
+  auto a2 = make();
+  advisor::CommitteeConfig cc;
+  cc.expert_episodes = 5;
+  advisor::SubspaceCommittee c1(a1.get(), a1->offline_env(), cc);
+  advisor::SubspaceCommittee c2(a2.get(), a2->offline_env(), cc);
+  ASSERT_EQ(c1.num_experts(), c2.num_experts());
+  for (int k = 0; k < c1.num_experts(); ++k) {
+    EXPECT_EQ(c1.reference_partitionings()[static_cast<size_t>(k)].PhysicalDesignKey(),
+              c2.reference_partitionings()[static_cast<size_t>(k)].PhysicalDesignKey());
+  }
+}
+
+TEST(ExplainStrategies, ExplainShowsShippingUnderMisalignment) {
+  auto schema = schema::MakeSsbSchema();
+  auto wl = workload::MakeSsbWorkload(schema);
+  auto edges = EdgeSet::Extract(schema, wl);
+  costmodel::CostModel model(&schema, HardwareProfile::DiskBased10G());
+  storage::GenerationConfig gen;
+  gen.fraction = 1e-4;
+  gen.small_table_threshold = 64;
+  gen.seed = 5;
+  engine::ClusterDatabase cluster(storage::Database::Generate(schema, wl, gen),
+                                  engine::EngineConfig{HardwareProfile::DiskBased10G(), 0.0, 5},
+                                  &model);
+  // Misaligned: q3.1's customer join ships data.
+  cluster.ApplyDesign(PartitioningState::Initial(&schema, &edges));
+  std::string misaligned = cluster.Explain(wl.query(6));
+  EXPECT_TRUE(misaligned.find("broadcast") != std::string::npos ||
+              misaligned.find("repartition") != std::string::npos)
+      << misaligned;
+
+  // Aligned: everything co-located.
+  auto local = PartitioningState::Initial(&schema, &edges);
+  schema::TableId lo = schema.TableIndex("lineorder");
+  ASSERT_TRUE(local.PartitionBy(lo, schema.table(lo).ColumnIndex("lo_custkey")).ok());
+  for (const char* dim : {"supplier", "part", "date"}) {
+    ASSERT_TRUE(local.Replicate(schema.TableIndex(dim)).ok());
+  }
+  cluster.ApplyDesign(local);
+  std::string aligned = cluster.Explain(wl.query(6));
+  EXPECT_EQ(aligned.find("broadcast"), std::string::npos) << aligned;
+  EXPECT_EQ(aligned.find("repartition"), std::string::npos) << aligned;
+}
+
+}  // namespace
+}  // namespace lpa

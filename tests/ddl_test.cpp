@@ -1,0 +1,137 @@
+#include "sql/ddl.h"
+
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace lpa::sql {
+namespace {
+
+const char* kSchema = R"sql(
+CREATE TABLE region (
+  r_id INT PRIMARY KEY,
+  r_name VARCHAR(32)
+) ROWS 50;
+
+CREATE TABLE product (
+  p_id INT PRIMARY KEY,
+  p_region INT REFERENCES region(r_id),
+  p_category INT DISTINCT 40,
+  p_price DECIMAL(10, 2),
+  p_name VARCHAR(80)
+) ROWS 2000000;
+
+CREATE TABLE sales (
+  s_id BIGINT PRIMARY KEY,
+  s_product INT NOT NULL,
+  s_comment TEXT,
+  FOREIGN KEY (s_product) REFERENCES product(p_id)
+) FACT ROWS 400000000;
+)sql";
+
+TEST(DdlTest, ParsesTablesColumnsAndSizes) {
+  auto schema = ParseDdl(kSchema, "shop");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->name(), "shop");
+  EXPECT_EQ(schema->num_tables(), 3);
+  const auto& sales = schema->table(schema->TableIndex("sales"));
+  EXPECT_EQ(sales.row_count, 400'000'000);
+  EXPECT_TRUE(sales.is_fact);
+  EXPECT_EQ(sales.primary_key, 0);
+  const auto& product = schema->table(schema->TableIndex("product"));
+  EXPECT_FALSE(product.is_fact);
+  EXPECT_EQ(product.row_count, 2'000'000);
+}
+
+TEST(DdlTest, TypeWidthsAndPartitionability) {
+  auto schema = ParseDdl(kSchema);
+  ASSERT_TRUE(schema.ok());
+  const auto& product = schema->table(schema->TableIndex("product"));
+  // INT -> 8 bytes, partitionable.
+  EXPECT_EQ(product.columns[0].width_bytes, 8);
+  EXPECT_TRUE(product.columns[0].partitionable);
+  // DECIMAL -> 8 bytes, not a hash candidate.
+  EXPECT_EQ(product.columns[3].width_bytes, 8);
+  EXPECT_FALSE(product.columns[3].partitionable);
+  // VARCHAR(80) -> 80 bytes, not partitionable.
+  EXPECT_EQ(product.columns[4].width_bytes, 80);
+  EXPECT_FALSE(product.columns[4].partitionable);
+  // TEXT -> 64 bytes.
+  const auto& sales = schema->table(schema->TableIndex("sales"));
+  EXPECT_EQ(sales.columns[2].width_bytes, 64);
+}
+
+TEST(DdlTest, DistinctCountResolution) {
+  auto schema = ParseDdl(kSchema);
+  ASSERT_TRUE(schema.ok());
+  const auto& product = schema->table(schema->TableIndex("product"));
+  EXPECT_EQ(product.columns[0].distinct_count, 2'000'000);  // PRIMARY KEY
+  EXPECT_EQ(product.columns[1].distinct_count, 50);         // REFERENCES region
+  EXPECT_EQ(product.columns[2].distinct_count, 40);         // explicit DISTINCT
+  EXPECT_EQ(product.columns[3].distinct_count, 200'000);    // default rows/10
+}
+
+TEST(DdlTest, ForeignKeysRegistered) {
+  auto schema = ParseDdl(kSchema);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->foreign_keys().size(), 2u);
+  auto s_prod = *schema->Resolve("sales", "s_product");
+  auto p_id = *schema->Resolve("product", "p_id");
+  EXPECT_TRUE(schema->IsForeignKeyJoin(s_prod, p_id));
+  // The table-level FOREIGN KEY column inherits the parent's cardinality.
+  EXPECT_EQ(schema->column(s_prod).distinct_count, 2'000'000);
+}
+
+TEST(DdlTest, KeywordishIdentifiersAllowed) {
+  // `date` and `key` are legal table/column names in this dialect.
+  auto schema = ParseDdl(
+      "CREATE TABLE date (key INT PRIMARY KEY, value INT) ROWS 100;");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  EXPECT_EQ(schema->TableIndex("date"), 0);
+  EXPECT_EQ(schema->table(0).ColumnIndex("key"), 0);
+}
+
+TEST(DdlTest, ErrorsAreSpecific) {
+  // Missing ROWS.
+  auto no_rows = ParseDdl("CREATE TABLE t (a INT) ;");
+  EXPECT_FALSE(no_rows.ok());
+  // Unknown type.
+  auto bad_type = ParseDdl("CREATE TABLE t (a BLOB) ROWS 10;");
+  EXPECT_FALSE(bad_type.ok());
+  // Reference to a not-yet-created table.
+  auto fwd = ParseDdl(
+      "CREATE TABLE child (c INT REFERENCES parent(p)) ROWS 10;");
+  EXPECT_FALSE(fwd.ok());
+  EXPECT_EQ(fwd.status().code(), Status::Code::kNotFound);
+  // Duplicate table.
+  auto dup = ParseDdl(
+      "CREATE TABLE t (a INT) ROWS 10; CREATE TABLE t (a INT) ROWS 10;");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), Status::Code::kAlreadyExists);
+  // Empty input.
+  EXPECT_FALSE(ParseDdl("").ok());
+  // Non-positive row count.
+  EXPECT_FALSE(ParseDdl("CREATE TABLE t (a INT) ROWS 0;").ok());
+}
+
+TEST(DdlTest, ExplicitDistinctIsCappedAtRows) {
+  auto schema =
+      ParseDdl("CREATE TABLE t (a INT DISTINCT 1000000) ROWS 100;");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->table(0).columns[0].distinct_count, 100);
+}
+
+TEST(DdlTest, ParsedSchemaWorksWithTheWholeStack) {
+  auto schema = ParseDdl(kSchema);
+  ASSERT_TRUE(schema.ok());
+  // Workload against the parsed schema, through the DML parser.
+  auto queries = ParseScript(
+      "SELECT COUNT(s.s_id) FROM sales s, product p "
+      "WHERE s.s_product = p.p_id AND p.p_category = 7 GROUP BY p_category;",
+      *schema);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  EXPECT_EQ((*queries)[0].num_tables(), 2);
+}
+
+}  // namespace
+}  // namespace lpa::sql

@@ -1,0 +1,176 @@
+// Engine placement and data-movement properties: the mechanics behind
+// ApplyDesign's lazy, movement-accounted repartitioning.
+
+#include <gtest/gtest.h>
+
+#include "engine/cluster.h"
+#include "schema/catalogs.h"
+#include "workload/benchmarks.h"
+
+namespace lpa::engine {
+namespace {
+
+using costmodel::CostModel;
+using costmodel::HardwareProfile;
+using partition::EdgeSet;
+using partition::PartitioningState;
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  PlacementTest()
+      : schema_(schema::MakeSsbSchema()),
+        workload_(workload::MakeSsbWorkload(schema_)),
+        edges_(EdgeSet::Extract(schema_, workload_)),
+        planner_(&schema_, HardwareProfile::DiskBased10G()) {
+    workload_.SetUniformFrequencies();
+  }
+
+  ClusterDatabase MakeCluster() {
+    storage::GenerationConfig gen;
+    gen.fraction = 1e-4;
+    gen.small_table_threshold = 64;
+    gen.seed = 5;
+    return ClusterDatabase(storage::Database::Generate(schema_, workload_, gen),
+                           EngineConfig{HardwareProfile::DiskBased10G(), 0.0, 5},
+                           &planner_);
+  }
+
+  schema::Schema schema_;
+  workload::Workload workload_;
+  EdgeSet edges_;
+  CostModel planner_;
+};
+
+TEST_F(PlacementTest, ReplicatedToPartitionedMovesNothing) {
+  // Every node already holds every row of a replicated table: carving out
+  // hash shards locally needs no network, only the local rewrite.
+  auto cluster = MakeCluster();
+  auto design = PartitioningState::Initial(&schema_, &edges_);
+  schema::TableId part = schema_.TableIndex("part");
+  ASSERT_TRUE(design.Replicate(part).ok());
+  cluster.ApplyDesign(design);
+
+  auto partitioned = design;
+  ASSERT_TRUE(partitioned.PartitionBy(part, 0).ok());
+  double move = cluster.ApplyDesign(partitioned);
+  // Only the rewrite term: far below what shuffling the table would cost.
+  double table_bytes =
+      static_cast<double>(cluster.TableRows(part)) *
+      schema_.table(part).row_width_bytes();
+  double shuffle_floor =
+      table_bytes / 6 / HardwareProfile::DiskBased10G().exchange_bytes_per_sec();
+  EXPECT_LT(move, shuffle_floor);
+}
+
+TEST_F(PlacementTest, PartitionedToReplicatedPaysBroadcast) {
+  auto cluster = MakeCluster();
+  auto design = PartitioningState::Initial(&schema_, &edges_);
+  cluster.ApplyDesign(design);
+  auto replicated = design;
+  schema::TableId cust = schema_.TableIndex("customer");
+  ASSERT_TRUE(replicated.Replicate(cust).ok());
+  double move = cluster.ApplyDesign(replicated);
+  EXPECT_GT(move, 0.0);
+}
+
+TEST_F(PlacementTest, RekeyingMovesOnlyMisroutedRows) {
+  // Repartitioning lineorder from lo_orderkey to lo_custkey moves roughly
+  // (n-1)/n of the rows; the accounted movement must be in that regime and
+  // strictly below a full-table broadcast.
+  auto cluster = MakeCluster();
+  auto a = PartitioningState::Initial(&schema_, &edges_);
+  cluster.ApplyDesign(a);
+  auto b = a;
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  ASSERT_TRUE(b.PartitionBy(lo, schema_.table(lo).ColumnIndex("lo_custkey")).ok());
+  double move = cluster.ApplyDesign(b);
+  double rate = HardwareProfile::DiskBased10G().exchange_bytes_per_sec();
+  double table_bytes = static_cast<double>(cluster.TableRows(lo)) *
+                       schema_.table(lo).row_width_bytes();
+  // Per-node outbound is about table_bytes/n * (n-1)/n; elapsed uses the max
+  // node. Broadcast would be ~ (n-1)x the per-node shard.
+  EXPECT_GT(move, 0.3 * table_bytes / 6 / rate);
+  EXPECT_LT(move, 5.0 * table_bytes / 6 / rate);
+}
+
+TEST_F(PlacementTest, ReapplyingSameDesignIsFree) {
+  auto cluster = MakeCluster();
+  auto design = PartitioningState::Initial(&schema_, &edges_);
+  cluster.ApplyDesign(design);
+  EXPECT_DOUBLE_EQ(cluster.ApplyDesign(design), 0.0);
+  // Edge-bit-only differences are also free (same physical design).
+  auto with_edge = design;
+  ASSERT_TRUE(with_edge.ActivateEdge(0).ok());
+  const auto& e = edges_.edge(0);
+  auto manual = design;
+  ASSERT_TRUE(manual.PartitionBy(e.left.table, e.left.column).ok());
+  ASSERT_TRUE(manual.PartitionBy(e.right.table, e.right.column).ok());
+  double first = cluster.ApplyDesign(with_edge);
+  double second = cluster.ApplyDesign(manual);
+  EXPECT_GE(first, 0.0);
+  EXPECT_DOUBLE_EQ(second, 0.0);
+}
+
+TEST_F(PlacementTest, CoPartitionedJoinShufflesNothingAtRowLevel) {
+  // Row-level guarantee behind co-location: matching keys hash to the same
+  // node, so the engine's byte counter must read exactly zero.
+  auto cluster = MakeCluster();
+  auto design = PartitioningState::Initial(&schema_, &edges_);
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  schema::TableId cust = schema_.TableIndex("customer");
+  ASSERT_TRUE(design.PartitionBy(lo, schema_.table(lo).ColumnIndex("lo_custkey")).ok());
+  ASSERT_TRUE(design.PartitionBy(cust, schema_.table(cust).ColumnIndex("c_custkey")).ok());
+  for (const char* dim : {"supplier", "part", "date"}) {
+    ASSERT_TRUE(design.Replicate(schema_.TableIndex(dim)).ok());
+  }
+  cluster.ApplyDesign(design);
+  for (const auto& q : workload_.queries()) {
+    auto stats = cluster.ExecuteQuery(q);
+    EXPECT_EQ(stats.bytes_shuffled, 0u) << q.name;
+  }
+}
+
+TEST_F(PlacementTest, BulkAppendPreservesJoinability) {
+  auto cluster = MakeCluster();
+  auto design = PartitioningState::Initial(&schema_, &edges_);
+  cluster.ApplyDesign(design);
+  const auto& q31 = workload_.query(6);
+  uint64_t rows_before = cluster.ExecuteQuery(q31).rows_out;
+  cluster.BulkAppend(0.5, 99);
+  uint64_t rows_after = cluster.ExecuteQuery(q31).rows_out;
+  // New fact rows reference (old + new) customers: the join keeps producing
+  // and grows roughly with the data.
+  EXPECT_GT(rows_after, rows_before);
+}
+
+TEST_F(PlacementTest, BulkAppendKeepsShardsRoutedCorrectly) {
+  // After a bulk load, co-partitioned joins must still shuffle zero bytes —
+  // the new rows were placed by the same hash routing.
+  auto cluster = MakeCluster();
+  auto design = PartitioningState::Initial(&schema_, &edges_);
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  schema::TableId cust = schema_.TableIndex("customer");
+  ASSERT_TRUE(design.PartitionBy(lo, schema_.table(lo).ColumnIndex("lo_custkey")).ok());
+  ASSERT_TRUE(design.PartitionBy(cust, schema_.table(cust).ColumnIndex("c_custkey")).ok());
+  cluster.ApplyDesign(design);
+  cluster.BulkAppend(0.4, 123);
+  const auto& q31 = workload_.query(6);
+  auto stats = cluster.ExecuteQuery(q31);
+  // q3.1 joins supplier and date too (partitioned by PK here): those
+  // exchanges move bytes, but the custkey join must not add fact-table
+  // shuffles; measure via the co-located-only design instead.
+  for (const char* dim : {"supplier", "part", "date"}) {
+    ASSERT_TRUE(design.Replicate(schema_.TableIndex(dim)).ok());
+  }
+  cluster.ApplyDesign(design);
+  stats = cluster.ExecuteQuery(q31);
+  EXPECT_EQ(stats.bytes_shuffled, 0u);
+}
+
+TEST_F(PlacementTest, DesignMustBeDeployedBeforeExecution) {
+  auto cluster = MakeCluster();
+  EXPECT_DEATH(cluster.ExecuteQuery(workload_.query(0)), "deployed_");
+}
+
+}  // namespace
+}  // namespace lpa::engine

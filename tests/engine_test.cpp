@@ -1,0 +1,262 @@
+#include "engine/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/catalogs.h"
+#include "workload/benchmarks.h"
+
+namespace lpa::engine {
+namespace {
+
+using costmodel::CostModel;
+using costmodel::HardwareProfile;
+using partition::EdgeSet;
+using partition::PartitioningState;
+
+storage::GenerationConfig GenConfig(double fraction = 2e-4) {
+  storage::GenerationConfig config;
+  config.fraction = fraction;
+  config.small_table_threshold = 300;
+  config.seed = 5;
+  return config;
+}
+
+class SsbEngineTest : public ::testing::Test {
+ protected:
+  SsbEngineTest()
+      : schema_(schema::MakeSsbSchema()),
+        workload_(workload::MakeSsbWorkload(schema_)),
+        edges_(EdgeSet::Extract(schema_, workload_)),
+        planner_(&schema_, HardwareProfile::InMemory10G()),
+        cluster_(storage::Database::Generate(schema_, workload_, GenConfig()),
+                 EngineConfig{HardwareProfile::InMemory10G(), 0.0, 5},
+                 &planner_) {}
+
+  PartitioningState Initial() const {
+    return PartitioningState::Initial(&schema_, &edges_);
+  }
+
+  schema::Schema schema_;
+  workload::Workload workload_;
+  EdgeSet edges_;
+  CostModel planner_;
+  ClusterDatabase cluster_;
+};
+
+TEST_F(SsbEngineTest, ExecutesAllQueriesWithResults) {
+  cluster_.ApplyDesign(Initial());
+  int with_rows = 0;
+  for (const auto& q : workload_.queries()) {
+    auto stats = cluster_.ExecuteQuery(q);
+    EXPECT_GT(stats.seconds, 0.0) << q.name;
+    with_rows += stats.rows_out > 0 ? 1 : 0;
+  }
+  // FK-consistent generation makes joins productive; the sharpest filters
+  // (e.g. 1/1000 part selections on a sampled dimension) may legitimately
+  // come up empty at this scale.
+  EXPECT_GE(with_rows, 10);
+}
+
+TEST_F(SsbEngineTest, JoinResultsMatchAcrossPartitionings) {
+  // Ground truth invariant: the physical design must never change query
+  // results. Compare actual result cardinalities across three designs.
+  auto s0 = Initial();
+  auto co = Initial();
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  schema::TableId cust = schema_.TableIndex("customer");
+  ASSERT_TRUE(co.PartitionBy(lo, schema_.table(lo).ColumnIndex("lo_custkey")).ok());
+  ASSERT_TRUE(co.PartitionBy(cust, schema_.table(cust).ColumnIndex("c_custkey")).ok());
+  auto rep = Initial();
+  for (schema::TableId t = 0; t < schema_.num_tables(); ++t) {
+    if (!schema_.table(t).is_fact) {
+      ASSERT_TRUE(rep.Replicate(t).ok());
+    }
+  }
+
+  std::vector<std::vector<uint64_t>> cards;
+  for (const auto& design : {s0, co, rep}) {
+    cluster_.ApplyDesign(design);
+    std::vector<uint64_t> row;
+    for (const auto& q : workload_.queries()) {
+      row.push_back(cluster_.ExecuteQuery(q).rows_out);
+    }
+    cards.push_back(std::move(row));
+  }
+  EXPECT_EQ(cards[0], cards[1]);
+  EXPECT_EQ(cards[0], cards[2]);
+}
+
+TEST_F(SsbEngineTest, ReplicatedDimensionsMoveNoBytes) {
+  auto rep = Initial();
+  for (schema::TableId t = 0; t < schema_.num_tables(); ++t) {
+    if (!schema_.table(t).is_fact) {
+      ASSERT_TRUE(rep.Replicate(t).ok());
+    }
+  }
+  cluster_.ApplyDesign(rep);
+  for (const auto& q : workload_.queries()) {
+    auto stats = cluster_.ExecuteQuery(q);
+    EXPECT_EQ(stats.bytes_shuffled, 0u) << q.name;
+    EXPECT_DOUBLE_EQ(stats.net_seconds, 0.0) << q.name;
+  }
+}
+
+TEST_F(SsbEngineTest, CoPartitioningReducesShuffledBytes) {
+  const auto& q31 = workload_.query(6);
+  ASSERT_EQ(q31.name, "q3.1");
+  cluster_.ApplyDesign(Initial());
+  uint64_t bytes_s0 = cluster_.ExecuteQuery(q31).bytes_shuffled;
+
+  auto co = Initial();
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  schema::TableId cust = schema_.TableIndex("customer");
+  ASSERT_TRUE(co.PartitionBy(lo, schema_.table(lo).ColumnIndex("lo_custkey")).ok());
+  ASSERT_TRUE(co.PartitionBy(cust, schema_.table(cust).ColumnIndex("c_custkey")).ok());
+  cluster_.ApplyDesign(co);
+  uint64_t bytes_co = cluster_.ExecuteQuery(q31).bytes_shuffled;
+  EXPECT_LT(bytes_co, bytes_s0);
+}
+
+TEST_F(SsbEngineTest, LazyApplyDesignSkipsUnchangedTables) {
+  cluster_.ApplyDesign(Initial());
+  // Re-applying the identical design moves nothing.
+  EXPECT_DOUBLE_EQ(cluster_.ApplyDesign(Initial()), 0.0);
+  // Changing one small table is much cheaper than repartitioning the fact.
+  auto small_change = Initial();
+  ASSERT_TRUE(small_change.Replicate(schema_.TableIndex("date")).ok());
+  double small = cluster_.ApplyDesign(small_change);
+  EXPECT_GT(small, 0.0);
+  auto fact_change = small_change;
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  ASSERT_TRUE(
+      fact_change.PartitionBy(lo, schema_.table(lo).ColumnIndex("lo_custkey")).ok());
+  double big = cluster_.ApplyDesign(fact_change);
+  EXPECT_GT(big, small);
+}
+
+TEST_F(SsbEngineTest, NoiseIsDeterministicPerDesign) {
+  EngineConfig noisy{HardwareProfile::InMemory10G(), 0.05, 5};
+  ClusterDatabase c1(storage::Database::Generate(schema_, workload_, GenConfig()),
+                     noisy, &planner_);
+  ClusterDatabase c2(storage::Database::Generate(schema_, workload_, GenConfig()),
+                     noisy, &planner_);
+  c1.ApplyDesign(Initial());
+  c2.ApplyDesign(Initial());
+  const auto& q = workload_.query(3);
+  EXPECT_DOUBLE_EQ(c1.ExecuteQuery(q).seconds, c2.ExecuteQuery(q).seconds);
+}
+
+TEST_F(SsbEngineTest, SlowNetworkInflatesShuffleHeavyQueries) {
+  // Same data, same design: the 0.6 Gbps cluster must be slower on a
+  // shuffle-heavy query and by a larger factor than a co-located one.
+  CostModel slow_planner(&schema_, HardwareProfile::InMemory06G());
+  ClusterDatabase slow(storage::Database::Generate(schema_, workload_, GenConfig()),
+                       EngineConfig{HardwareProfile::InMemory06G(), 0.0, 5},
+                       &slow_planner);
+  auto s0 = Initial();
+  cluster_.ApplyDesign(s0);
+  slow.ApplyDesign(s0);
+  const auto& q41 = workload_.query(10);
+  ASSERT_EQ(q41.name, "q4.1");
+  auto fast_stats = cluster_.ExecuteQuery(q41);
+  auto slow_stats = slow.ExecuteQuery(q41);
+  EXPECT_GE(slow_stats.seconds, fast_stats.seconds);
+}
+
+TEST_F(SsbEngineTest, WorkloadRuntimeWeighsFrequencies) {
+  cluster_.ApplyDesign(Initial());
+  ASSERT_TRUE(workload_
+                  .SetFrequencies(workload::OverRepresentedFrequencies(
+                      workload_.num_queries(), 0, 0.0, 1.0))
+                  .ok());
+  double only_first = cluster_.ExecuteWorkload(workload_);
+  EXPECT_NEAR(only_first, cluster_.ExecuteQuery(workload_.query(0)).seconds, 1e-9);
+  workload_.SetUniformFrequencies();
+  EXPECT_GT(cluster_.ExecuteWorkload(workload_), only_first);
+}
+
+TEST_F(SsbEngineTest, BulkAppendGrowsRuntimes) {
+  cluster_.ApplyDesign(Initial());
+  const auto& q21 = workload_.query(3);
+  double before = cluster_.ExecuteQuery(q21).seconds;
+  size_t rows_before = cluster_.TableRows(schema_.TableIndex("lineorder"));
+  cluster_.BulkAppend(0.5, 77);
+  EXPECT_GT(cluster_.TableRows(schema_.TableIndex("lineorder")), rows_before);
+  double after = cluster_.ExecuteQuery(q21).seconds;
+  EXPECT_GT(after, before);
+}
+
+TEST(TpcchEngineTest, DistrictSkewIsRealInTheEngine) {
+  // Partitioning orderline by the 10-valued district id yields uneven
+  // shards; the compound key does not. The engine (max-over-nodes clock)
+  // must therefore run the order-orderline join slower under district
+  // partitioning even though both designs co-locate the join.
+  auto schema = schema::MakeTpcchSchema();
+  auto wl = workload::MakeTpcchWorkload(schema);
+  auto edges = EdgeSet::Extract(schema, wl);
+  CostModel planner(&schema, HardwareProfile::InMemory10G());
+  storage::GenerationConfig config;
+  config.fraction = 1e-3;
+  config.small_table_threshold = 300;
+  config.seed = 13;
+  ClusterDatabase cluster(storage::Database::Generate(schema, wl, config),
+                          EngineConfig{HardwareProfile::InMemory10G(), 0.0, 5},
+                          &planner);
+  auto by_district = PartitioningState::Initial(&schema, &edges);
+  schema::TableId order = schema.TableIndex("order");
+  schema::TableId ol = schema.TableIndex("orderline");
+  ASSERT_TRUE(
+      by_district.PartitionBy(order, schema.table(order).ColumnIndex("o_d_id")).ok());
+  ASSERT_TRUE(
+      by_district.PartitionBy(ol, schema.table(ol).ColumnIndex("ol_d_id")).ok());
+  auto by_compound = PartitioningState::Initial(&schema, &edges);
+  ASSERT_TRUE(
+      by_compound.PartitionBy(order, schema.table(order).ColumnIndex("o_wd_id")).ok());
+  ASSERT_TRUE(
+      by_compound.PartitionBy(ol, schema.table(ol).ColumnIndex("ol_wd_id")).ok());
+
+  const auto& q12 = wl.query(11);
+  cluster.ApplyDesign(by_district);
+  double district_seconds = cluster.ExecuteQuery(q12).seconds;
+  cluster.ApplyDesign(by_compound);
+  double compound_seconds = cluster.ExecuteQuery(q12).seconds;
+  EXPECT_LT(compound_seconds, district_seconds);
+}
+
+TEST(MicroEngineTest, BandwidthCrossoverMatchesExp5) {
+  auto schema = schema::MakeMicroSchema();
+  auto wl = workload::MakeMicroWorkload(schema);
+  auto edges = EdgeSet::Extract(schema, wl);
+  storage::GenerationConfig config;
+  config.fraction = 1e-4;
+  config.small_table_threshold = 300;
+
+  auto base = PartitioningState::Initial(&schema, &edges);
+  schema::TableId a = schema.TableIndex("A");
+  schema::TableId b = schema.TableIndex("B");
+  schema::TableId c = schema.TableIndex("C");
+  ASSERT_TRUE(base.PartitionBy(a, schema.table(a).ColumnIndex("a_c_id")).ok());
+  ASSERT_TRUE(base.PartitionBy(c, schema.table(c).ColumnIndex("c_id")).ok());
+  auto b_part = base;
+  ASSERT_TRUE(b_part.PartitionBy(b, schema.table(b).ColumnIndex("b_id")).ok());
+  auto b_rep = base;
+  ASSERT_TRUE(b_rep.Replicate(b).ok());
+
+  const auto& q_ab = wl.query(0);
+  auto run = [&](const HardwareProfile& hw, const PartitioningState& design) {
+    CostModel planner(&schema, hw);
+    ClusterDatabase cluster(storage::Database::Generate(schema, wl, config),
+                            EngineConfig{hw, 0.0, 5}, &planner);
+    cluster.ApplyDesign(design);
+    return cluster.ExecuteQuery(q_ab).seconds;
+  };
+
+  // Fast network: partitioning B wins. Slow network: replication wins.
+  EXPECT_LT(run(HardwareProfile::InMemory10G(), b_part),
+            run(HardwareProfile::InMemory10G(), b_rep));
+  EXPECT_GT(run(HardwareProfile::InMemory06G(), b_part),
+            run(HardwareProfile::InMemory06G(), b_rep));
+}
+
+}  // namespace
+}  // namespace lpa::engine

@@ -1,0 +1,140 @@
+// Tests of the exchange-cost mechanics added for engine realism: predicate
+// pushdown below exchanges (or lack thereof), serialization-bound shuffle
+// throughput, and their consistency between the cost model and the engine.
+
+#include <gtest/gtest.h>
+
+#include "costmodel/cost_model.h"
+#include "engine/cluster.h"
+#include "schema/catalogs.h"
+#include "workload/benchmarks.h"
+
+namespace lpa {
+namespace {
+
+using costmodel::CostModel;
+using costmodel::HardwareProfile;
+using partition::EdgeSet;
+using partition::PartitioningState;
+
+TEST(ExchangeRateTest, EffectiveRateIsMinOfWireAndProcessing) {
+  HardwareProfile p = HardwareProfile::DiskBased10G();
+  // Disk profile: 40 MB/s row shipping on a 10 Gbps wire -> processing-bound.
+  EXPECT_DOUBLE_EQ(p.exchange_bytes_per_sec(), 0.04e9);
+  HardwareProfile slow_wire = HardwareProfile::InMemory06G();
+  // In-memory on 0.6 Gbps: the wire (75 MB/s) is the bottleneck.
+  EXPECT_DOUBLE_EQ(slow_wire.exchange_bytes_per_sec(), 0.075e9);
+  HardwareProfile fast = HardwareProfile::InMemory10G();
+  EXPECT_DOUBLE_EQ(fast.exchange_bytes_per_sec(), 0.5e9);
+}
+
+class PushdownTest : public ::testing::Test {
+ protected:
+  PushdownTest()
+      : schema_(schema::MakeSsbSchema()),
+        workload_(workload::MakeSsbWorkload(schema_)),
+        edges_(EdgeSet::Extract(schema_, workload_)) {}
+
+  /// Design where q3.2's customer join must broadcast the customer table.
+  PartitioningState MisalignedDesign() const {
+    return PartitioningState::Initial(&schema_, &edges_);
+  }
+
+  schema::Schema schema_;
+  workload::Workload workload_;
+  EdgeSet edges_;
+};
+
+TEST_F(PushdownTest, NoPushdownShipsUnfilteredBytesInTheModel) {
+  HardwareProfile with_pushdown = HardwareProfile::DiskBased10G();
+  with_pushdown.pushdown_filters = true;
+  HardwareProfile without = HardwareProfile::DiskBased10G();
+  ASSERT_FALSE(without.pushdown_filters);
+
+  CostModel pushed(&schema_, with_pushdown);
+  CostModel unpushed(&schema_, without);
+  auto design = MisalignedDesign();
+  // q3.2 filters customer to 1/25: without pushdown the engine ships the
+  // whole table, so the exchange term must be much larger.
+  const auto& q32 = workload_.query(7);
+  ASSERT_EQ(q32.name, "q3.2");
+  auto plan_pushed = pushed.PlanQuery(q32, design);
+  auto plan_unpushed = unpushed.PlanQuery(q32, design);
+  EXPECT_GT(plan_unpushed.net_seconds, plan_pushed.net_seconds * 3.0);
+}
+
+TEST_F(PushdownTest, EngineChargesInflatedBytesWithoutPushdown) {
+  storage::GenerationConfig gen;
+  gen.fraction = 2e-4;
+  gen.small_table_threshold = 64;
+  gen.seed = 3;
+  auto db = storage::Database::Generate(schema_, workload_, gen);
+
+  HardwareProfile with_pushdown = HardwareProfile::DiskBased10G();
+  with_pushdown.pushdown_filters = true;
+  HardwareProfile without = HardwareProfile::DiskBased10G();
+
+  CostModel planner_pushed(&schema_, with_pushdown);
+  CostModel planner_unpushed(&schema_, without);
+  engine::ClusterDatabase pushed(db, engine::EngineConfig{with_pushdown, 0.0, 3},
+                                 &planner_pushed);
+  engine::ClusterDatabase unpushed(db, engine::EngineConfig{without, 0.0, 3},
+                                   &planner_unpushed);
+  auto design = MisalignedDesign();
+  pushed.ApplyDesign(design);
+  unpushed.ApplyDesign(design);
+  const auto& q32 = workload_.query(7);
+  auto stats_pushed = pushed.ExecuteQuery(q32);
+  auto stats_unpushed = unpushed.ExecuteQuery(q32);
+  // Same data, same plan shapes: the unpushed engine must account (not
+  // materialize) more shipped bytes.
+  EXPECT_GT(stats_unpushed.bytes_shuffled, stats_pushed.bytes_shuffled);
+  // But results are identical.
+  EXPECT_EQ(stats_unpushed.rows_out, stats_pushed.rows_out);
+}
+
+TEST_F(PushdownTest, ReplicationAvoidsInflatedShipping) {
+  // The point of the mechanism: on engines without pushdown, replicating a
+  // filtered dimension saves the full-table broadcast — which is what makes
+  // the baseline heuristics (partitioned dims) lose on the disk profile.
+  CostModel model(&schema_, HardwareProfile::DiskBased10G());
+  auto partitioned_dims = MisalignedDesign();
+  auto replicated_dims = MisalignedDesign();
+  for (schema::TableId t = 0; t < schema_.num_tables(); ++t) {
+    if (!schema_.table(t).is_fact) {
+      ASSERT_TRUE(replicated_dims.Replicate(t).ok());
+    }
+  }
+  workload_.SetUniformFrequencies();
+  double with_shipping = model.WorkloadCost(workload_, partitioned_dims);
+  double without_shipping = model.WorkloadCost(workload_, replicated_dims);
+  EXPECT_GT(with_shipping, without_shipping * 1.15);
+}
+
+TEST(ShuffleThroughputTest, DiskEngineExchangesAreProcessingBound) {
+  // Raising the wire speed of the disk profile must not change exchange
+  // costs (they are serialization-bound), while raising the processing rate
+  // must.
+  auto schema = schema::MakeSsbSchema();
+  auto wl = workload::MakeSsbWorkload(schema);
+  auto edges = EdgeSet::Extract(schema, wl);
+  auto s0 = PartitioningState::Initial(&schema, &edges);
+  const auto& q32 = wl.query(7);
+
+  HardwareProfile base = HardwareProfile::DiskBased10G();
+  HardwareProfile faster_wire = base.WithBandwidthGbps(40.0);
+  HardwareProfile faster_shuffle = base;
+  faster_shuffle.shuffle_bytes_per_sec *= 4.0;
+
+  CostModel m_base(&schema, base);
+  CostModel m_wire(&schema, faster_wire);
+  CostModel m_shuffle(&schema, faster_shuffle);
+  double net_base = m_base.PlanQuery(q32, s0).net_seconds;
+  double net_wire = m_wire.PlanQuery(q32, s0).net_seconds;
+  double net_shuffle = m_shuffle.PlanQuery(q32, s0).net_seconds;
+  EXPECT_DOUBLE_EQ(net_base, net_wire);
+  EXPECT_LT(net_shuffle, net_base);
+}
+
+}  // namespace
+}  // namespace lpa

@@ -1,0 +1,169 @@
+// Miniature, fast versions of the headline experiment shapes, so plain
+// `ctest` guards them against regressions (the bench binaries reproduce the
+// full-scale figures).
+
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+#include "baselines/heuristics.h"
+#include "costmodel/noisy_model.h"
+#include "engine/cluster.h"
+#include "rl/online_env.h"
+#include "schema/catalogs.h"
+#include "workload/benchmarks.h"
+
+namespace lpa {
+namespace {
+
+using costmodel::HardwareProfile;
+using partition::EdgeSet;
+using partition::PartitioningState;
+
+struct MiniBed {
+  schema::Schema schema;
+  workload::Workload workload;
+  EdgeSet edges;
+  std::unique_ptr<costmodel::CostModel> model;
+  std::unique_ptr<costmodel::NoisyOptimizerModel> planner;
+  std::unique_ptr<engine::ClusterDatabase> cluster;
+
+  explicit MiniBed(double fraction = 2e-3) {
+    schema = schema::MakeTpcchSchema();
+    workload = workload::MakeTpcchWorkload(schema);
+    workload.SetUniformFrequencies();
+    edges = EdgeSet::Extract(schema, workload);
+    auto profile = HardwareProfile::DiskBased10G();
+    model = std::make_unique<costmodel::CostModel>(&schema, profile);
+    planner = std::make_unique<costmodel::NoisyOptimizerModel>(
+        &schema, profile, 0.05, 43, false);
+    storage::GenerationConfig gen;
+    gen.fraction = fraction;
+    gen.small_table_threshold = 64;
+    gen.seed = 42;
+    cluster = std::make_unique<engine::ClusterDatabase>(
+        storage::Database::Generate(schema, workload, gen),
+        engine::EngineConfig{profile, 0.0, 42}, planner.get());
+  }
+
+  double Measure(const PartitioningState& d) {
+    cluster->ApplyDesign(d);
+    return cluster->ExecuteWorkload(workload);
+  }
+};
+
+std::unique_ptr<advisor::PartitioningAdvisor> TrainMini(MiniBed* bed,
+                                                        int episodes) {
+  advisor::AdvisorConfig config;
+  config.offline_episodes = episodes;
+  config.dqn.tmax = 24;
+  config.dqn.FitEpsilonSchedule(episodes);
+  config.seed = 7;
+  auto adv = std::make_unique<advisor::PartitioningAdvisor>(
+      &bed->schema, bed->workload, config);
+  adv->TrainOffline(bed->model.get());
+  return adv;
+}
+
+/// One shared testbed + trained advisor for the TPC-CH shape tests (training
+/// once keeps the suite fast and the assertions consistent).
+struct SharedTpcch {
+  MiniBed bed;
+  std::unique_ptr<advisor::PartitioningAdvisor> advisor;
+  SharedTpcch() : bed(2e-3) { advisor = TrainMini(&bed, 500); }
+};
+
+SharedTpcch& Shared() {
+  static SharedTpcch shared;
+  return shared;
+}
+
+TEST(ExpShapes, OfflineRlBeatsHeuristicsOnTpcch) {
+  // Exp 1's TPC-CH/disk panel, miniature: a 500-episode agent beats
+  // Heuristic (a) outright and is at worst marginally behind Heuristic (b)
+  // (the full-scale bench shows it ahead of both).
+  auto& s = Shared();
+  std::vector<double> uniform(22, 1.0);
+  auto rl = s.advisor->Suggest(uniform);
+  double t_rl = s.bed.Measure(rl.best_state);
+  double t_a = s.bed.Measure(
+      baselines::HeuristicA(s.bed.schema, s.bed.workload, s.bed.edges));
+  double t_b = s.bed.Measure(
+      baselines::HeuristicB(s.bed.schema, s.bed.workload, s.bed.edges));
+  EXPECT_LT(t_rl, t_a);
+  EXPECT_LT(t_rl, t_b * 1.10);
+}
+
+TEST(ExpShapes, OnlinePhaseNeverWorsensAndSpendsAccountedTime) {
+  // Exp 2 miniature: refinement on a sampled cluster does not hurt the
+  // engine-measured quality, uses the runtime cache heavily, and the timeout
+  // rule is armed by r_offline (Sec 4.2 seeding in TrainOnline).
+  auto& s = Shared();
+  auto& bed = s.bed;
+  auto advisor = TrainMini(&bed, 150);
+  std::vector<double> uniform(22, 1.0);
+  auto offline_design = advisor->Suggest(uniform).best_state;
+
+  storage::GenerationConfig gen;
+  gen.fraction = 2e-3;
+  gen.small_table_threshold = 64;
+  gen.seed = 42;
+  engine::ClusterDatabase sample(
+      storage::Database::Generate(bed.schema, bed.workload, gen).Sample(0.3, 64, 9),
+      engine::EngineConfig{HardwareProfile::DiskBased10G(), 0.0, 43},
+      bed.planner.get());
+  rl::OnlineEnv env(&sample, &advisor->workload(), {}, rl::OnlineEnvOptions{});
+  advisor->set_online_episodes(60);
+  advisor->TrainOnline(&env);
+  EXPECT_GT(env.best_known_cost(), 0.0);  // r_offline seeded the timeouts
+  EXPECT_GT(env.accounting().cache_hits, env.accounting().queries_executed);
+
+  auto online_design = advisor->Suggest(uniform, &env).best_state;
+  double t_off = bed.Measure(offline_design);
+  double t_on = bed.Measure(online_design);
+  EXPECT_LT(t_on, t_off * 1.10);  // never meaningfully worse
+}
+
+TEST(ExpShapes, RlSurvivesBulkUpdates) {
+  // Exp 3a miniature: after +40% data, the RL design still beats
+  // Heuristic (a) (no retraining). Uses a dedicated cluster so the shared
+  // one stays unmodified for other tests.
+  auto& s = Shared();
+  std::vector<double> uniform(22, 1.0);
+  auto rl = s.advisor->Suggest(uniform).best_state;
+  auto ha = baselines::HeuristicA(s.bed.schema, s.bed.workload, s.bed.edges);
+  MiniBed fresh(2e-3);
+  fresh.cluster->ApplyDesign(rl);
+  fresh.cluster->BulkAppend(0.4, 77);
+  fresh.planner->set_stats_epoch(1);
+  double t_rl = fresh.Measure(rl);
+  double t_a = fresh.Measure(ha);
+  EXPECT_LT(t_rl, t_a);
+}
+
+TEST(ExpShapes, DeploymentCrossoverEndToEnd) {
+  // Exp 5 miniature through the advisor itself: retrained per deployment,
+  // the agent flips B's design with the interconnect.
+  auto schema = schema::MakeMicroSchema();
+  auto wl = workload::MakeMicroWorkload(schema);
+  schema::TableId b = schema.TableIndex("B");
+  bool replicated_at[2] = {false, false};
+  int i = 0;
+  for (auto profile :
+       {HardwareProfile::InMemory10G(), HardwareProfile::InMemory06G()}) {
+    costmodel::CostModel model(&schema, profile);
+    advisor::AdvisorConfig config;
+    config.offline_episodes = 150;
+    config.dqn.tmax = 8;
+    config.dqn.FitEpsilonSchedule(config.offline_episodes);
+    config.seed = 7;
+    advisor::PartitioningAdvisor advisor(&schema, wl, config);
+    advisor.TrainOffline(&model);
+    auto result = advisor.Suggest(std::vector<double>(2, 1.0));
+    replicated_at[i++] = result.best_state.table_partition(b).replicated;
+  }
+  EXPECT_FALSE(replicated_at[0]);  // 10 Gbps: partition B
+  EXPECT_TRUE(replicated_at[1]);   // 0.6 Gbps: replicate B
+}
+
+}  // namespace
+}  // namespace lpa

@@ -1,0 +1,120 @@
+#include "schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/catalogs.h"
+
+namespace lpa::schema {
+namespace {
+
+TEST(SchemaTest, AddAndResolve) {
+  Schema s("test");
+  Table t;
+  t.name = "orders";
+  t.row_count = 100;
+  t.columns = {MakeColumn("o_id", 100, 8, true), MakeColumn("o_payload", 10, 32, false)};
+  t.primary_key = 0;
+  TableId id = s.AddTable(std::move(t));
+  EXPECT_EQ(id, 0);
+  EXPECT_EQ(s.TableIndex("orders"), 0);
+  EXPECT_EQ(s.TableIndex("missing"), -1);
+
+  auto ref = s.Resolve("orders", "o_id");
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->table, 0);
+  EXPECT_EQ(ref->column, 0);
+  EXPECT_FALSE(s.Resolve("orders", "nope").ok());
+  EXPECT_FALSE(s.Resolve("nope", "o_id").ok());
+}
+
+TEST(SchemaTest, RowWidthAndBytes) {
+  Schema s = MakeSsbSchema();
+  const Table& lineorder = s.table(s.TableIndex("lineorder"));
+  EXPECT_EQ(lineorder.row_width_bytes(), 5 * 8 + 60);
+  EXPECT_EQ(lineorder.total_bytes(),
+            lineorder.row_count * static_cast<int64_t>(lineorder.row_width_bytes()));
+}
+
+TEST(SchemaTest, ForeignKeyRegistration) {
+  Schema s = MakeSsbSchema();
+  auto lo_cust = *s.Resolve("lineorder", "lo_custkey");
+  auto c_cust = *s.Resolve("customer", "c_custkey");
+  EXPECT_TRUE(s.IsForeignKeyJoin(lo_cust, c_cust));
+  EXPECT_TRUE(s.IsForeignKeyJoin(c_cust, lo_cust));
+  auto lo_part = *s.Resolve("lineorder", "lo_partkey");
+  EXPECT_FALSE(s.IsForeignKeyJoin(lo_part, c_cust));
+}
+
+TEST(SchemaTest, ForeignKeyToMissingTableFails) {
+  Schema s = MakeSsbSchema();
+  EXPECT_FALSE(s.AddForeignKey("lineorder", "lo_custkey", "ghost", "g_id").ok());
+  EXPECT_FALSE(s.AddForeignKey("lineorder", "ghost_col", "customer", "c_custkey").ok());
+}
+
+TEST(SsbCatalogTest, ShapeMatchesBenchmark) {
+  Schema s = MakeSsbSchema();
+  EXPECT_EQ(s.num_tables(), 5);
+  int facts = 0;
+  for (const auto& t : s.tables()) facts += t.is_fact ? 1 : 0;
+  EXPECT_EQ(facts, 1);
+  EXPECT_EQ(s.table(s.TableIndex("lineorder")).row_count, 600'000'000);
+  EXPECT_EQ(s.table(s.TableIndex("customer")).row_count, 3'000'000);
+  EXPECT_EQ(s.table(s.TableIndex("date")).row_count, 2'556);
+  EXPECT_EQ(s.foreign_keys().size(), 4u);
+}
+
+TEST(TpcdsCatalogTest, ShapeMatchesBenchmark) {
+  Schema s = MakeTpcdsSchema();
+  EXPECT_EQ(s.num_tables(), 24);
+  int facts = 0;
+  for (const auto& t : s.tables()) facts += t.is_fact ? 1 : 0;
+  EXPECT_EQ(facts, 7);  // 7 fact + 17 dimension tables
+  EXPECT_EQ(s.table(s.TableIndex("store_sales")).row_count, 287'997'024);
+  EXPECT_EQ(s.table(s.TableIndex("item")).row_count, 204'000);
+  EXPECT_GT(s.foreign_keys().size(), 30u);
+}
+
+TEST(TpcchCatalogTest, ShapeMatchesBenchmark) {
+  Schema s = MakeTpcchSchema();
+  EXPECT_EQ(s.num_tables(), 12);
+  EXPECT_EQ(s.table(s.TableIndex("orderline")).row_count, 30'000'000);
+  EXPECT_EQ(s.table(s.TableIndex("warehouse")).row_count, 100);
+}
+
+TEST(TpcchCatalogTest, WarehouseRestrictionTogglesCandidates) {
+  Schema restricted = MakeTpcchSchema(true);
+  Schema open = MakeTpcchSchema(false);
+  auto w_restricted = *restricted.Resolve("warehouse", "w_id");
+  auto w_open = *open.Resolve("warehouse", "w_id");
+  EXPECT_FALSE(restricted.column(w_restricted).partitionable);
+  EXPECT_TRUE(open.column(w_open).partitionable);
+  // The compound (warehouse, district) key stays a candidate either way.
+  auto wd = *restricted.Resolve("customer", "c_wd_id");
+  EXPECT_TRUE(restricted.column(wd).partitionable);
+}
+
+TEST(TpcchCatalogTest, DistrictColumnsAreSkewCandidates) {
+  Schema s = MakeTpcchSchema();
+  auto d = *s.Resolve("customer", "c_d_id");
+  EXPECT_TRUE(s.column(d).partitionable);
+  EXPECT_EQ(s.column(d).distinct_count, 10);
+}
+
+TEST(MicroCatalogTest, SizesFollowExp5) {
+  Schema s = MakeMicroSchema();
+  EXPECT_EQ(s.num_tables(), 3);
+  int64_t a = s.table(s.TableIndex("A")).row_count;
+  int64_t b = s.table(s.TableIndex("B")).row_count;
+  int64_t c = s.table(s.TableIndex("C")).row_count;
+  EXPECT_GT(a, c);
+  EXPECT_GT(c, b);  // C significantly larger than B (Sec 7.6)
+}
+
+TEST(SchemaTest, NumPartitionCandidates) {
+  Schema s = MakeSsbSchema();
+  EXPECT_EQ(s.NumPartitionCandidates(s.TableIndex("lineorder")), 5);
+  EXPECT_EQ(s.NumPartitionCandidates(s.TableIndex("customer")), 1);
+}
+
+}  // namespace
+}  // namespace lpa::schema

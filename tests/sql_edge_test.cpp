@@ -1,0 +1,140 @@
+// Additional SQL-surface edge cases: lexer corner cases, nested constructs,
+// clause combinations, and binder diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "schema/catalogs.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace lpa::sql {
+namespace {
+
+class SqlEdgeTest : public ::testing::Test {
+ protected:
+  SqlEdgeTest() : schema_(schema::MakeSsbSchema()) {}
+  schema::Schema schema_;
+};
+
+TEST(LexerEdgeTest, OperatorsAndNumbers) {
+  auto tokens = Tokenize("a <> 1 b >= 2.5 c < .75");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> ops;
+  std::vector<double> nums;
+  for (const auto& t : *tokens) {
+    if (t.type == TokenType::kOperator) ops.push_back(t.text);
+    if (t.type == TokenType::kNumber) nums.push_back(t.number);
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"<>", ">=", "<"}));
+  ASSERT_EQ(nums.size(), 3u);
+  EXPECT_DOUBLE_EQ(nums[2], 0.75);
+}
+
+TEST(LexerEdgeTest, EmptyAndWhitespaceOnly) {
+  auto tokens = Tokenize("   \n\t  ");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens->size(), 1u);  // just the end marker
+}
+
+TEST_F(SqlEdgeTest, NotEqualsFilterIsNearlyUnselective) {
+  auto q = ParseQuery(
+      "SELECT COUNT(c_custkey) FROM customer WHERE c_region <> 3 "
+      "GROUP BY c_region",
+      schema_, "ne");
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q->SelectivityOf(schema_.TableIndex("customer")), 0.8, 1e-9);
+}
+
+TEST_F(SqlEdgeTest, NotInList) {
+  auto q = ParseQuery(
+      "SELECT COUNT(c_custkey) FROM customer WHERE c_region NOT IN (1, 2) "
+      "GROUP BY c_region",
+      schema_, "notin");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_NEAR(q->SelectivityOf(schema_.TableIndex("customer")), 0.6, 1e-9);
+}
+
+TEST_F(SqlEdgeTest, CombinedFiltersMultiply) {
+  auto q = ParseQuery(
+      "SELECT COUNT(lo_key) FROM lineorder "
+      "WHERE lo_orderdate BETWEEN 1 AND 2 AND lo_payload LIKE 'x'",
+      schema_, "combo");
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q->SelectivityOf(schema_.TableIndex("lineorder")), 0.25 * 0.1,
+              1e-9);
+}
+
+TEST_F(SqlEdgeTest, SelectivityFloorsAtEpsilon) {
+  std::string sql = "SELECT COUNT(lo_key) FROM lineorder WHERE ";
+  for (int i = 0; i < 12; ++i) {
+    if (i > 0) sql += " AND ";
+    sql += "lo_payload LIKE 'p" + std::to_string(i) + "'";
+  }
+  auto q = ParseQuery(sql, schema_, "floor");
+  ASSERT_TRUE(q.ok());
+  EXPECT_GE(q->SelectivityOf(schema_.TableIndex("lineorder")), 1e-6);
+}
+
+TEST_F(SqlEdgeTest, NestedExistsInsideExists) {
+  auto q = ParseQuery(
+      "SELECT COUNT(d_datekey) FROM date d WHERE EXISTS ("
+      "SELECT * FROM lineorder l WHERE l.lo_orderdate = d.d_datekey "
+      "AND EXISTS (SELECT * FROM customer c WHERE c.c_custkey = l.lo_custkey))",
+      schema_, "nested");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_tables(), 3);
+  EXPECT_EQ(q->joins.size(), 2u);
+}
+
+TEST_F(SqlEdgeTest, GroupOrderLimitTogether) {
+  auto q = ParseQuery(
+      "SELECT d_year, SUM(lo_payload) FROM lineorder, date "
+      "WHERE lo_orderdate = d_datekey GROUP BY d_year "
+      "HAVING SUM(lo_payload) > 100 ORDER BY d_year DESC LIMIT 5;",
+      schema_, "clauses");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_DOUBLE_EQ(q->output_fraction, 0.001);
+}
+
+TEST_F(SqlEdgeTest, ReversedJoinOrientationStillBinds) {
+  auto a = ParseQuery(
+      "SELECT * FROM customer c, lineorder l WHERE c.c_custkey = l.lo_custkey",
+      schema_, "a");
+  auto b = ParseQuery(
+      "SELECT * FROM customer c, lineorder l WHERE l.lo_custkey = c.c_custkey",
+      schema_, "b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->joins.size(), b->joins.size());
+}
+
+TEST_F(SqlEdgeTest, DiagnosticsCarryPositions) {
+  auto bad = ParseQuery("SELECT * FROM customer WHERE ???", schema_, "pos");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("position"), std::string::npos);
+}
+
+TEST_F(SqlEdgeTest, MissingFromRejected) {
+  EXPECT_FALSE(ParseQuery("SELECT 1", schema_, "nofrom").ok());
+  EXPECT_FALSE(ParseQuery("FROM customer", schema_, "noselect").ok());
+}
+
+TEST_F(SqlEdgeTest, ScriptSkipsBlankStatements) {
+  auto result = ParseScript(
+      ";;\nSELECT COUNT(c_custkey) FROM customer GROUP BY c_region;\n;\n",
+      schema_, "s");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST_F(SqlEdgeTest, ScriptPropagatesFirstError) {
+  auto result = ParseScript(
+      "SELECT COUNT(c_custkey) FROM customer GROUP BY c_region;\n"
+      "SELECT * FROM ghost;",
+      schema_, "s");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace lpa::sql

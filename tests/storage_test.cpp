@@ -1,0 +1,176 @@
+#include <map>
+#include "storage/database.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "schema/catalogs.h"
+#include "workload/benchmarks.h"
+
+namespace lpa::storage {
+namespace {
+
+GenerationConfig SmallConfig() {
+  GenerationConfig config;
+  config.fraction = 1e-4;
+  config.small_table_threshold = 300;
+  config.seed = 7;
+  return config;
+}
+
+class SsbDatabaseTest : public ::testing::Test {
+ protected:
+  SsbDatabaseTest()
+      : schema_(schema::MakeSsbSchema()),
+        workload_(workload::MakeSsbWorkload(schema_)),
+        db_(Database::Generate(schema_, workload_, SmallConfig())) {}
+
+  schema::Schema schema_;
+  workload::Workload workload_;
+  Database db_;
+};
+
+TEST_F(SsbDatabaseTest, RowCountsFollowConfig) {
+  // lineorder: 600M * 1e-4 = 60k rows; date (2556 > threshold) floors at 300.
+  EXPECT_EQ(db_.table(schema_.TableIndex("lineorder")).num_rows(), 60'000u);
+  EXPECT_EQ(db_.table(schema_.TableIndex("date")).num_rows(), 300u);
+  EXPECT_EQ(db_.table(schema_.TableIndex("customer")).num_rows(), 300u);
+}
+
+TEST_F(SsbDatabaseTest, RidsAreUniqueAcrossTables) {
+  std::set<int64_t> seen;
+  for (schema::TableId t = 0; t < schema_.num_tables(); ++t) {
+    for (int64_t rid : db_.table(t).rids()) {
+      EXPECT_TRUE(seen.insert(rid).second);
+    }
+  }
+}
+
+TEST_F(SsbDatabaseTest, ForeignKeysReferenceMaterializedParents) {
+  const auto& lo = db_.table(schema_.TableIndex("lineorder"));
+  const auto& cust = db_.table(schema_.TableIndex("customer"));
+  int ck = schema_.table(schema_.TableIndex("customer")).ColumnIndex("c_custkey");
+  int lck =
+      schema_.table(schema_.TableIndex("lineorder")).ColumnIndex("lo_custkey");
+  std::set<int64_t> parent_keys(cust.column(ck).begin(), cust.column(ck).end());
+  for (int64_t v : lo.column(lck)) {
+    EXPECT_TRUE(parent_keys.count(v)) << "dangling lo_custkey " << v;
+  }
+}
+
+TEST_F(SsbDatabaseTest, GenerationIsDeterministic) {
+  Database again = Database::Generate(schema_, workload_, SmallConfig());
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  EXPECT_EQ(db_.table(lo).column(1), again.table(lo).column(1));
+}
+
+TEST_F(SsbDatabaseTest, SampleRespectsRateAndMinimum) {
+  Database sample = db_.Sample(0.1, 100, 3);
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  double got = static_cast<double>(sample.table(lo).num_rows());
+  EXPECT_NEAR(got, 6000.0, 600.0);  // ~10% of 60k
+  // date has 300 rows; min_rows=100 < 300*0.1=30? no: max(30, 100)=100.
+  schema::TableId date = schema_.TableIndex("date");
+  EXPECT_NEAR(static_cast<double>(sample.table(date).num_rows()), 100.0, 40.0);
+}
+
+TEST_F(SsbDatabaseTest, SampleIsSubsetAndDeterministic) {
+  Database s1 = db_.Sample(0.2, 50, 11);
+  Database s2 = db_.Sample(0.2, 50, 11);
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  EXPECT_EQ(s1.table(lo).rids(), s2.table(lo).rids());
+  std::set<int64_t> full_rids(db_.table(lo).rids().begin(),
+                              db_.table(lo).rids().end());
+  for (int64_t rid : s1.table(lo).rids()) EXPECT_TRUE(full_rids.count(rid));
+}
+
+TEST_F(SsbDatabaseTest, BulkAppendGrowsTablesConsistently) {
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  schema::TableId cust = schema_.TableIndex("customer");
+  size_t lo_before = db_.table(lo).num_rows();
+  db_.BulkAppend(0.2, 99);
+  EXPECT_NEAR(static_cast<double>(db_.table(lo).num_rows()),
+              static_cast<double>(lo_before) * 1.2, 2.0);
+  // New fact rows still reference materialized customers.
+  const auto& cust_data = db_.table(cust);
+  int ck = schema_.table(cust).ColumnIndex("c_custkey");
+  std::set<int64_t> parent_keys(cust_data.column(ck).begin(),
+                                cust_data.column(ck).end());
+  int lck = schema_.table(lo).ColumnIndex("lo_custkey");
+  for (int64_t v : db_.table(lo).column(lck)) {
+    EXPECT_TRUE(parent_keys.count(v));
+  }
+}
+
+TEST(TpcchDatabaseTest, CompositeKeysAreConsistent) {
+  auto schema = schema::MakeTpcchSchema();
+  auto wl = workload::MakeTpcchWorkload(schema);
+  GenerationConfig config;
+  config.fraction = 1e-4;
+  config.small_table_threshold = 200;
+  Database db = Database::Generate(schema, wl, config);
+
+  // Every orderline row's (ol_o_id, ol_wd_id, ol_d_id) must match exactly
+  // one generated order row — the composite-FK copy guarantees it.
+  schema::TableId ol_id = schema.TableIndex("orderline");
+  schema::TableId o_id = schema.TableIndex("order");
+  const auto& ol = db.table(ol_id);
+  const auto& o = db.table(o_id);
+  int ol_o = schema.table(ol_id).ColumnIndex("ol_o_id");
+  int ol_wd = schema.table(ol_id).ColumnIndex("ol_wd_id");
+  int ol_d = schema.table(ol_id).ColumnIndex("ol_d_id");
+  int o_pk = schema.table(o_id).ColumnIndex("o_id");
+  int o_wd = schema.table(o_id).ColumnIndex("o_wd_id");
+  int o_d = schema.table(o_id).ColumnIndex("o_d_id");
+
+  std::map<int64_t, std::pair<int64_t, int64_t>> orders;
+  for (size_t r = 0; r < o.num_rows(); ++r) {
+    orders[o.column(o_pk)[r]] = {o.column(o_wd)[r], o.column(o_d)[r]};
+  }
+  size_t checked = 0;
+  for (size_t r = 0; r < ol.num_rows() && checked < 500; ++r, ++checked) {
+    auto it = orders.find(ol.column(ol_o)[r]);
+    ASSERT_NE(it, orders.end());
+    EXPECT_EQ(it->second.first, ol.column(ol_wd)[r]);
+    EXPECT_EQ(it->second.second, ol.column(ol_d)[r]);
+  }
+}
+
+TEST(TpcchDatabaseTest, StockItemChainIsConsistent) {
+  auto schema = schema::MakeTpcchSchema();
+  auto wl = workload::MakeTpcchWorkload(schema);
+  GenerationConfig config;
+  config.fraction = 1e-4;
+  config.small_table_threshold = 200;
+  Database db = Database::Generate(schema, wl, config);
+
+  // orderline copies (ol_iw_id, ol_i_id) from a stock row, and stock copies
+  // s_i_id from a real item: so ol_i_id must exist in item.
+  schema::TableId item_id = schema.TableIndex("item");
+  schema::TableId ol_id = schema.TableIndex("orderline");
+  const auto& item = db.table(item_id);
+  int i_pk = schema.table(item_id).ColumnIndex("i_id");
+  std::set<int64_t> item_keys(item.column(i_pk).begin(), item.column(i_pk).end());
+  int ol_i = schema.table(ol_id).ColumnIndex("ol_i_id");
+  for (int64_t v : db.table(ol_id).column(ol_i)) {
+    EXPECT_TRUE(item_keys.count(v)) << "orderline item " << v << " not in item";
+  }
+}
+
+TEST(DatabaseScaleTest, MaterializedFraction) {
+  auto schema = schema::MakeMicroSchema();
+  auto wl = workload::MakeMicroWorkload(schema);
+  GenerationConfig config;
+  config.fraction = 1e-5;
+  config.small_table_threshold = 100;
+  Database db = Database::Generate(schema, wl, config);
+  schema::TableId a = schema.TableIndex("A");
+  EXPECT_NEAR(db.materialized_fraction(a), 1e-5, 1e-7);
+  EXPECT_EQ(db.table(a).num_rows(), 1'500u);  // 150M * 1e-5
+  EXPECT_GT(db.total_rows(), 1'500u);
+}
+
+}  // namespace
+}  // namespace lpa::storage

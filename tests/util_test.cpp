@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace lpa {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::InvalidArgument("bad column");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(err.ToString(), "InvalidArgument: bad column");
+  EXPECT_EQ(err.message(), "bad column");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (auto code : {Status::Code::kOk, Status::Code::kInvalidArgument,
+                    Status::Code::kNotFound, Status::Code::kAlreadyExists,
+                    Status::Code::kOutOfRange, Status::Code::kFailedPrecondition,
+                    Status::Code::kUnimplemented, Status::Code::kInternal}) {
+    EXPECT_STRNE(Status::CodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> value(42);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  EXPECT_TRUE(value.status().ok());
+
+  Result<int> error(Status::NotFound("nope"));
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> taken = std::move(r).value();
+  EXPECT_EQ(*taken, 7);
+}
+
+TEST(ReturnNotOkMacroTest, PropagatesErrors) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    LPA_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), Status::Code::kInternal);
+}
+
+TEST(RunningStatsTest, Moments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(QuantileTest, InterpolationAndBounds) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.9), 7.0);
+}
+
+TEST(HashTest, DeterministicAndDispersed) {
+  EXPECT_EQ(Hash64(12345), Hash64(12345));
+  EXPECT_NE(Hash64(12345), Hash64(12346));
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  // Rough dispersion check: consecutive keys land on many of 6 buckets.
+  std::set<uint64_t> buckets;
+  for (uint64_t i = 0; i < 64; ++i) buckets.insert(Hash64(i) % 6);
+  EXPECT_EQ(buckets.size(), 6u);
+}
+
+TEST(TablePrinterTest, AlignsAndPads) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "2", "ignored extra cell"});
+  table.AddRow({"short"});  // missing cells filled with blanks
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 2     |"), std::string::npos);
+  EXPECT_EQ(out.find("ignored"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  LPA_LOG(Info) << "should be suppressed";  // must not crash
+  SetLogLevel(before);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    double d = rng.Uniform(0.25, 0.75);
+    EXPECT_GE(d, 0.25);
+    EXPECT_LT(d, 0.75);
+  }
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(2);
+  std::vector<double> weights{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1]);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // overwhelmingly likely with this seed
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+}  // namespace
+}  // namespace lpa

@@ -1,0 +1,187 @@
+// lpa_advise: command-line partitioning advisor.
+//
+// Reads a schema (CREATE TABLE dialect, see sql/ddl.h) and a SQL workload,
+// trains the DRL advisor against the network-centric cost model, and prints
+// the suggested physical design as ALTER TABLE statements.
+//
+//   $ lpa_advise --ddl schema.sql --workload workload.sql
+//                [--engine disk|memory] [--nodes 6] [--episodes 400]
+//                [--mix 1,0.5,...] [--save agent.bin] [--load agent.bin]
+//                [--seed 42]
+//
+// With --load, training is skipped and the snapshot served directly.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "advisor/advisor.h"
+#include "advisor/serialization.h"
+#include "sql/ddl.h"
+#include "sql/parser.h"
+
+namespace {
+
+struct Options {
+  std::string ddl_path;
+  std::string workload_path;
+  std::string engine = "disk";
+  int nodes = 6;
+  int episodes = 400;
+  std::string mix;
+  std::string save_path;
+  std::string load_path;
+  uint64_t seed = 42;
+};
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --ddl schema.sql --workload workload.sql"
+               " [--engine disk|memory] [--nodes N] [--episodes N]"
+               " [--mix f1,f2,...] [--save file] [--load file] [--seed N]\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+std::vector<double> ParseMix(const std::string& mix, int m) {
+  std::vector<double> freqs;
+  std::stringstream ss(mix);
+  std::string item;
+  while (std::getline(ss, item, ',')) freqs.push_back(std::stod(item));
+  freqs.resize(static_cast<size_t>(m), 0.0);
+  return freqs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lpa;
+
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--ddl") {
+      options.ddl_path = next() ? argv[i] : "";
+    } else if (arg == "--workload") {
+      options.workload_path = next() ? argv[i] : "";
+    } else if (arg == "--engine") {
+      options.engine = next() ? argv[i] : "";
+    } else if (arg == "--nodes") {
+      options.nodes = next() ? std::atoi(argv[i]) : 6;
+    } else if (arg == "--episodes") {
+      options.episodes = next() ? std::atoi(argv[i]) : 400;
+    } else if (arg == "--mix") {
+      options.mix = next() ? argv[i] : "";
+    } else if (arg == "--save") {
+      options.save_path = next() ? argv[i] : "";
+    } else if (arg == "--load") {
+      options.load_path = next() ? argv[i] : "";
+    } else if (arg == "--seed") {
+      options.seed = next() ? std::strtoull(argv[i], nullptr, 10) : 42;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.ddl_path.empty() || options.workload_path.empty()) {
+    return Usage(argv[0]);
+  }
+  if (options.engine != "disk" && options.engine != "memory") {
+    std::cerr << "--engine must be disk or memory\n";
+    return 2;
+  }
+
+  std::string ddl, workload_sql;
+  if (!ReadFile(options.ddl_path, &ddl)) {
+    std::cerr << "cannot read " << options.ddl_path << "\n";
+    return 1;
+  }
+  if (!ReadFile(options.workload_path, &workload_sql)) {
+    std::cerr << "cannot read " << options.workload_path << "\n";
+    return 1;
+  }
+
+  auto schema = sql::ParseDdl(ddl);
+  if (!schema.ok()) {
+    std::cerr << "DDL error: " << schema.status().ToString() << "\n";
+    return 1;
+  }
+  auto queries = sql::ParseScript(workload_sql, *schema);
+  if (!queries.ok()) {
+    std::cerr << "workload error: " << queries.status().ToString() << "\n";
+    return 1;
+  }
+  workload::Workload workload(std::move(*queries));
+  workload.SetUniformFrequencies();
+  std::cerr << "schema: " << schema->num_tables() << " tables, workload: "
+            << workload.num_queries() << " queries\n";
+
+  costmodel::HardwareProfile profile =
+      options.engine == "disk" ? costmodel::HardwareProfile::DiskBased10G()
+                               : costmodel::HardwareProfile::InMemory10G();
+  profile = profile.WithNodes(options.nodes);
+  costmodel::CostModel cost_model(&*schema, profile);
+
+  advisor::AdvisorConfig config;
+  config.offline_episodes = options.episodes;
+  config.dqn.tmax = std::max(schema->num_tables() + 4, 12);
+  config.dqn.FitEpsilonSchedule(config.offline_episodes);
+  config.seed = options.seed;
+  advisor::PartitioningAdvisor advisor(&*schema, workload, config);
+
+  if (!options.load_path.empty()) {
+    std::ifstream in(options.load_path);
+    Status st = advisor::LoadAgentSnapshot(in, advisor.agent());
+    if (!st.ok()) {
+      std::cerr << "snapshot error: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "loaded agent snapshot from " << options.load_path << "\n";
+  } else {
+    std::cerr << "training (" << config.offline_episodes << " episodes)...\n";
+    advisor.TrainOffline(&cost_model);
+  }
+
+  std::vector<double> mix =
+      options.mix.empty()
+          ? std::vector<double>(static_cast<size_t>(workload.num_queries()), 1.0)
+          : ParseMix(options.mix, workload.num_queries());
+
+  // Suggest against the simulation (build one if we skipped training).
+  rl::OfflineEnv env(&cost_model, &advisor.workload());
+  auto result = advisor.Suggest(mix, &env);
+
+  for (schema::TableId t = 0; t < schema->num_tables(); ++t) {
+    const auto& tp = result.best_state.table_partition(t);
+    std::cout << "ALTER TABLE " << schema->table(t).name;
+    if (tp.replicated) {
+      std::cout << " REPLICATE;\n";
+    } else {
+      std::cout << " DISTRIBUTE BY HASH("
+                << schema->table(t).columns[static_cast<size_t>(tp.column)].name
+                << ");\n";
+    }
+  }
+  std::cerr << "estimated workload cost: " << result.best_cost << "s\n";
+
+  if (!options.save_path.empty()) {
+    std::ofstream out(options.save_path);
+    Status st = advisor::SaveAgentSnapshot(*advisor.agent(), out);
+    if (!st.ok()) {
+      std::cerr << "snapshot save error: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cerr << "saved agent snapshot to " << options.save_path << "\n";
+  }
+  return 0;
+}
