@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp1_offline.dir/bench_exp1_offline.cpp.o"
+  "CMakeFiles/bench_exp1_offline.dir/bench_exp1_offline.cpp.o.d"
+  "bench_exp1_offline"
+  "bench_exp1_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp1_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3b_mix.dir/bench_exp3b_mix.cpp.o"
+  "CMakeFiles/bench_exp3b_mix.dir/bench_exp3b_mix.cpp.o.d"
+  "bench_exp3b_mix"
+  "bench_exp3b_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3b_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

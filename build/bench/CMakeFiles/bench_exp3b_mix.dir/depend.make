@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_exp3b_mix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3c_incremental.dir/bench_exp3c_incremental.cpp.o"
+  "CMakeFiles/bench_exp3c_incremental.dir/bench_exp3c_incremental.cpp.o.d"
+  "bench_exp3c_incremental"
+  "bench_exp3c_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3c_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

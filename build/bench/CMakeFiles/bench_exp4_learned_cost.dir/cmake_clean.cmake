@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp4_learned_cost.dir/bench_exp4_learned_cost.cpp.o"
+  "CMakeFiles/bench_exp4_learned_cost.dir/bench_exp4_learned_cost.cpp.o.d"
+  "bench_exp4_learned_cost"
+  "bench_exp4_learned_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp4_learned_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

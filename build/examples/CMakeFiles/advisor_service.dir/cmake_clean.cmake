@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_service.dir/advisor_service.cpp.o"
+  "CMakeFiles/advisor_service.dir/advisor_service.cpp.o.d"
+  "advisor_service"
+  "advisor_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("schema")
+subdirs("workload")
+subdirs("sql")
+subdirs("partition")
+subdirs("costmodel")
+subdirs("nn")
+subdirs("storage")
+subdirs("engine")
+subdirs("rl")
+subdirs("baselines")
+subdirs("advisor")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_advisor.dir/advisor.cpp.o"
+  "CMakeFiles/lpa_advisor.dir/advisor.cpp.o.d"
+  "CMakeFiles/lpa_advisor.dir/committee.cpp.o"
+  "CMakeFiles/lpa_advisor.dir/committee.cpp.o.d"
+  "CMakeFiles/lpa_advisor.dir/reorganizer.cpp.o"
+  "CMakeFiles/lpa_advisor.dir/reorganizer.cpp.o.d"
+  "CMakeFiles/lpa_advisor.dir/serialization.cpp.o"
+  "CMakeFiles/lpa_advisor.dir/serialization.cpp.o.d"
+  "CMakeFiles/lpa_advisor.dir/workload_monitor.cpp.o"
+  "CMakeFiles/lpa_advisor.dir/workload_monitor.cpp.o.d"
+  "liblpa_advisor.a"
+  "liblpa_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

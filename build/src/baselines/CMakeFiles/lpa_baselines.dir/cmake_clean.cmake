@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_baselines.dir/heuristics.cpp.o"
+  "CMakeFiles/lpa_baselines.dir/heuristics.cpp.o.d"
+  "CMakeFiles/lpa_baselines.dir/learned_cost.cpp.o"
+  "CMakeFiles/lpa_baselines.dir/learned_cost.cpp.o.d"
+  "CMakeFiles/lpa_baselines.dir/optimizer_designer.cpp.o"
+  "CMakeFiles/lpa_baselines.dir/optimizer_designer.cpp.o.d"
+  "liblpa_baselines.a"
+  "liblpa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_costmodel.dir/cost_model.cpp.o"
+  "CMakeFiles/lpa_costmodel.dir/cost_model.cpp.o.d"
+  "CMakeFiles/lpa_costmodel.dir/noisy_model.cpp.o"
+  "CMakeFiles/lpa_costmodel.dir/noisy_model.cpp.o.d"
+  "liblpa_costmodel.a"
+  "liblpa_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_engine.dir/cluster.cpp.o"
+  "CMakeFiles/lpa_engine.dir/cluster.cpp.o.d"
+  "liblpa_engine.a"
+  "liblpa_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

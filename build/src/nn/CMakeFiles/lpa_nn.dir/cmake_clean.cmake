@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_nn.dir/matrix.cpp.o"
+  "CMakeFiles/lpa_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/lpa_nn.dir/mlp.cpp.o"
+  "CMakeFiles/lpa_nn.dir/mlp.cpp.o.d"
+  "liblpa_nn.a"
+  "liblpa_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

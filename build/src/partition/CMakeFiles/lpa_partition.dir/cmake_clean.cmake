@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_partition.dir/actions.cpp.o"
+  "CMakeFiles/lpa_partition.dir/actions.cpp.o.d"
+  "CMakeFiles/lpa_partition.dir/featurizer.cpp.o"
+  "CMakeFiles/lpa_partition.dir/featurizer.cpp.o.d"
+  "CMakeFiles/lpa_partition.dir/partition_state.cpp.o"
+  "CMakeFiles/lpa_partition.dir/partition_state.cpp.o.d"
+  "liblpa_partition.a"
+  "liblpa_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_rl.dir/dqn.cpp.o"
+  "CMakeFiles/lpa_rl.dir/dqn.cpp.o.d"
+  "CMakeFiles/lpa_rl.dir/offline_env.cpp.o"
+  "CMakeFiles/lpa_rl.dir/offline_env.cpp.o.d"
+  "CMakeFiles/lpa_rl.dir/online_env.cpp.o"
+  "CMakeFiles/lpa_rl.dir/online_env.cpp.o.d"
+  "CMakeFiles/lpa_rl.dir/trainer.cpp.o"
+  "CMakeFiles/lpa_rl.dir/trainer.cpp.o.d"
+  "liblpa_rl.a"
+  "liblpa_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

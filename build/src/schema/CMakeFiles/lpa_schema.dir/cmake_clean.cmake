@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_schema.dir/schema.cpp.o"
+  "CMakeFiles/lpa_schema.dir/schema.cpp.o.d"
+  "CMakeFiles/lpa_schema.dir/ssb_catalog.cpp.o"
+  "CMakeFiles/lpa_schema.dir/ssb_catalog.cpp.o.d"
+  "CMakeFiles/lpa_schema.dir/tpcch_catalog.cpp.o"
+  "CMakeFiles/lpa_schema.dir/tpcch_catalog.cpp.o.d"
+  "CMakeFiles/lpa_schema.dir/tpcds_catalog.cpp.o"
+  "CMakeFiles/lpa_schema.dir/tpcds_catalog.cpp.o.d"
+  "liblpa_schema.a"
+  "liblpa_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_sql.dir/ddl.cpp.o"
+  "CMakeFiles/lpa_sql.dir/ddl.cpp.o.d"
+  "CMakeFiles/lpa_sql.dir/lexer.cpp.o"
+  "CMakeFiles/lpa_sql.dir/lexer.cpp.o.d"
+  "CMakeFiles/lpa_sql.dir/parser.cpp.o"
+  "CMakeFiles/lpa_sql.dir/parser.cpp.o.d"
+  "liblpa_sql.a"
+  "liblpa_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_storage.dir/database.cpp.o"
+  "CMakeFiles/lpa_storage.dir/database.cpp.o.d"
+  "liblpa_storage.a"
+  "liblpa_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_util.dir/logging.cpp.o"
+  "CMakeFiles/lpa_util.dir/logging.cpp.o.d"
+  "liblpa_util.a"
+  "liblpa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

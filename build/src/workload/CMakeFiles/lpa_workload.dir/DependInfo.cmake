@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/query.cpp" "src/workload/CMakeFiles/lpa_workload.dir/query.cpp.o" "gcc" "src/workload/CMakeFiles/lpa_workload.dir/query.cpp.o.d"
+  "/root/repo/src/workload/ssb_workload.cpp" "src/workload/CMakeFiles/lpa_workload.dir/ssb_workload.cpp.o" "gcc" "src/workload/CMakeFiles/lpa_workload.dir/ssb_workload.cpp.o.d"
+  "/root/repo/src/workload/tpcch_workload.cpp" "src/workload/CMakeFiles/lpa_workload.dir/tpcch_workload.cpp.o" "gcc" "src/workload/CMakeFiles/lpa_workload.dir/tpcch_workload.cpp.o.d"
+  "/root/repo/src/workload/tpcds_workload.cpp" "src/workload/CMakeFiles/lpa_workload.dir/tpcds_workload.cpp.o" "gcc" "src/workload/CMakeFiles/lpa_workload.dir/tpcds_workload.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/lpa_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/lpa_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schema/CMakeFiles/lpa_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_workload.dir/query.cpp.o"
+  "CMakeFiles/lpa_workload.dir/query.cpp.o.d"
+  "CMakeFiles/lpa_workload.dir/ssb_workload.cpp.o"
+  "CMakeFiles/lpa_workload.dir/ssb_workload.cpp.o.d"
+  "CMakeFiles/lpa_workload.dir/tpcch_workload.cpp.o"
+  "CMakeFiles/lpa_workload.dir/tpcch_workload.cpp.o.d"
+  "CMakeFiles/lpa_workload.dir/tpcds_workload.cpp.o"
+  "CMakeFiles/lpa_workload.dir/tpcds_workload.cpp.o.d"
+  "CMakeFiles/lpa_workload.dir/workload.cpp.o"
+  "CMakeFiles/lpa_workload.dir/workload.cpp.o.d"
+  "liblpa_workload.a"
+  "liblpa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

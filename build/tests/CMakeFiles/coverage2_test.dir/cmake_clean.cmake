@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage2_test.dir/coverage2_test.cpp.o"
+  "CMakeFiles/coverage2_test.dir/coverage2_test.cpp.o.d"
+  "coverage2_test"
+  "coverage2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

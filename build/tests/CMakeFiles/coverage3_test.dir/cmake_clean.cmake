@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage3_test.dir/coverage3_test.cpp.o"
+  "CMakeFiles/coverage3_test.dir/coverage3_test.cpp.o.d"
+  "coverage3_test"
+  "coverage3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

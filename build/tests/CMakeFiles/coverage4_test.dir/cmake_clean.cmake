@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage4_test.dir/coverage4_test.cpp.o"
+  "CMakeFiles/coverage4_test.dir/coverage4_test.cpp.o.d"
+  "coverage4_test"
+  "coverage4_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

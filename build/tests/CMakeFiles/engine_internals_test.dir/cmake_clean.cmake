@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_internals_test.dir/engine_internals_test.cpp.o"
+  "CMakeFiles/engine_internals_test.dir/engine_internals_test.cpp.o.d"
+  "engine_internals_test"
+  "engine_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

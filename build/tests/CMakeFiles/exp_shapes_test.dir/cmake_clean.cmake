@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_shapes_test.dir/exp_shapes_test.cpp.o"
+  "CMakeFiles/exp_shapes_test.dir/exp_shapes_test.cpp.o.d"
+  "exp_shapes_test"
+  "exp_shapes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_shapes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

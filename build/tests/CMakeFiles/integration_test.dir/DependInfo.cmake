@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/advisor/CMakeFiles/lpa_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/lpa_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lpa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/lpa_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lpa_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/lpa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lpa_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/lpa_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/lpa_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/lpa_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/lpa_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

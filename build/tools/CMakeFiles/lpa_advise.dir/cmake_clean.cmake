@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpa_advise.dir/lpa_advise.cpp.o"
+  "CMakeFiles/lpa_advise.dir/lpa_advise.cpp.o.d"
+  "lpa_advise"
+  "lpa_advise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpa_advise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
