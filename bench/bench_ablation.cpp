@@ -21,6 +21,10 @@ double Median(std::vector<double> v) {
 }
 
 void Main() {
+  BenchReport report("ablation");
+  report.set_seed(42);
+  report.set_schema("ssb");
+  report.set_engine_profile(EngineName(EngineKind::kDiskBased));
   Testbed tb = MakeTestbed("ssb", EngineKind::kDiskBased, DefaultFraction("ssb"));
   tb.workload->SetUniformFrequencies();
   const int m = tb.workload->num_queries();
@@ -62,9 +66,10 @@ void Main() {
       table.AddRow({std::to_string(budget), FormatDouble(Median(with_costs), 2),
                     FormatDouble(Median(without_costs), 2)});
     }
-    std::cout << "\nAblation 1: edge actions accelerate convergence (lower "
-                 "cost at equal budget is better)\n";
-    table.Print();
+    report.Table(
+        "Ablation 1: edge actions accelerate convergence (lower cost at "
+        "equal budget is better)",
+        table);
   }
 
   // --- Ablation 2: best-on-trajectory vs final-state inference -----------
@@ -82,9 +87,10 @@ void Main() {
     table.AddRow({"best state on trajectory (Sec 6)",
                   FormatDouble(result.best_cost, 2)});
     table.AddRow({"final state of rollout", FormatDouble(final_cost, 2)});
-    std::cout << "\nAblation 2: the agent oscillates around the optimum; "
-                 "taking the best visited state is never worse\n";
-    table.Print();
+    report.Table(
+        "Ablation 2: the agent oscillates around the optimum; taking the "
+        "best visited state is never worse",
+        table);
   }
 
   // --- Ablation 3: multi-head vs state-action-input Q-network -----------
@@ -112,9 +118,10 @@ void Main() {
                         : "state-action input (paper Fig 2)",
                     FormatDouble(cost, 2), FormatDouble(wall, 1)});
     }
-    std::cout << "\nAblation 3: both Q-network formulations find comparable "
-                 "designs; multi-head trains far faster\n";
-    table.Print();
+    report.Table(
+        "Ablation 3: both Q-network formulations find comparable designs; "
+        "multi-head trains far faster",
+        table);
   }
 }
 

@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdlib>
+#include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "advisor/advisor.h"
 #include "baselines/heuristics.h"
@@ -10,6 +13,7 @@
 #include "costmodel/noisy_model.h"
 #include "engine/cluster.h"
 #include "schema/catalogs.h"
+#include "telemetry/registry.h"
 #include "util/table_printer.h"
 #include "workload/benchmarks.h"
 
@@ -145,5 +149,79 @@ inline std::unique_ptr<advisor::PartitioningAdvisor> TrainOfflineAdvisor(
 
 /// \brief Format simulated seconds for table cells.
 inline std::string Secs(double s) { return FormatDouble(s, 3) + "s"; }
+
+/// \brief Machine-readable twin of the bench tables: collects every table a
+/// bench binary prints and writes it — together with the telemetry metrics,
+/// span aggregates, and a run manifest — to `BENCH_<name>.json` in
+/// `$LPA_METRICS_DIR` (or the working directory).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    manifest_ = telemetry::RunManifest::Make("bench_" + name_);
+    manifest_.Set("bench_scale", std::to_string(BenchScale()));
+  }
+
+  void set_seed(uint64_t seed) { manifest_.seed = seed; }
+  void set_engine_profile(const std::string& p) { manifest_.engine_profile = p; }
+  void set_schema(const std::string& s) { manifest_.schema = s; }
+  void Note(const std::string& key, const std::string& value) {
+    manifest_.Set(key, value);
+  }
+
+  /// \brief Print `table` under `title` (as the benches always did) and keep
+  /// a structured copy for the JSON export.
+  void Table(const std::string& title, const TablePrinter& table) {
+    std::cout << "\n" << title << "\n";
+    table.Print();
+    tables_.emplace_back(title, table);
+  }
+
+  /// \brief Keep a structured copy without printing (for tables the bench
+  /// renders itself, e.g. interleaved with narration).
+  void Record(const std::string& title, const TablePrinter& table) {
+    tables_.emplace_back(title, table);
+  }
+
+  ~BenchReport() { Write(); }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    telemetry::JsonWriter w;
+    w.BeginObject().Key("tables").BeginArray();
+    for (const auto& [title, table] : tables_) {
+      w.BeginObject().Key("title").String(title);
+      w.Key("headers").BeginArray();
+      for (const auto& h : table.headers()) w.String(h);
+      w.EndArray();
+      w.Key("rows").BeginArray();
+      for (const auto& row : table.rows()) {
+        w.BeginArray();
+        for (const auto& cell : row) w.String(cell);
+        w.EndArray();
+      }
+      w.EndArray().EndObject();
+    }
+    w.EndArray().EndObject();
+
+    const char* dir = std::getenv("LPA_METRICS_DIR");
+    std::string path = (dir != nullptr && *dir != '\0')
+                           ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                           : "BENCH_" + name_ + ".json";
+    Status s = telemetry::MetricsRegistry::Global().WriteJsonFile(
+        path, manifest_, w.str());
+    if (s.ok()) {
+      std::cout << "\n[metrics] wrote " << path << "\n";
+    } else {
+      std::cerr << "[metrics] write failed: " << s.ToString() << "\n";
+    }
+  }
+
+ private:
+  std::string name_;
+  telemetry::RunManifest manifest_;
+  std::vector<std::pair<std::string, TablePrinter>> tables_;
+  bool written_ = false;
+};
 
 }  // namespace lpa::bench

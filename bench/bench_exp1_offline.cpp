@@ -53,6 +53,10 @@ void Main() {
       {"tpcds", 1200, 48},
       {"tpcch", 1200, 36},
   };
+  BenchReport report("exp1_offline");
+  report.set_seed(42);
+  report.set_schema("ssb,tpcds,tpcch");
+  report.set_engine_profile("disk-based + in-memory");
   TablePrinter summary({"schema", "engine", "Heuristic (a)", "Heuristic (b)",
                         "Minimum Optimizer", "RL (offline)",
                         "best-baseline / RL"});
@@ -60,9 +64,10 @@ void Main() {
     RunScenario(scenario, EngineKind::kDiskBased, &summary);
     RunScenario(scenario, EngineKind::kInMemory, &summary);
   }
-  std::cout << "\nExp 1 / Fig 3: offline RL vs baselines (workload runtime, "
-               "simulated seconds; scaled-down testbed)\n";
-  summary.Print();
+  report.Table(
+      "Exp 1 / Fig 3: offline RL vs baselines (workload runtime, "
+      "simulated seconds; scaled-down testbed)",
+      summary);
 }
 
 }  // namespace

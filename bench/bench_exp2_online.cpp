@@ -50,6 +50,10 @@ OnlineSetup MakeOnlineSetup(const partition::PartitioningState& p_offline) {
 }
 
 void Main() {
+  BenchReport report("exp2_online");
+  report.set_seed(42);
+  report.set_schema("tpcch");
+  report.set_engine_profile(EngineName(EngineKind::kDiskBased));
   // --- Offline phase ----------------------------------------------------
   Testbed tb =
       MakeTestbed("tpcch", EngineKind::kDiskBased, DefaultFraction("tpcch"));
@@ -85,9 +89,9 @@ void Main() {
   add("Minimum Optimizer", tb.Measure(min_optimizer));
   add("RL offline", tb.Measure(offline_result.best_state));
   add("RL online", t_online);
-  std::cout << "\nExp 2 / Fig 4a: online RL vs baselines (TPC-CH, disk-based "
-               "engine)\n";
-  fig4a.Print();
+  report.Table(
+      "Exp 2 / Fig 4a: online RL vs baselines (TPC-CH, disk-based engine)",
+      fig4a);
   std::cout << "RL offline design: "
             << offline_result.best_state.PhysicalDesignKey() << "\n";
   std::cout << "RL online  design: "
@@ -146,9 +150,9 @@ void Main() {
                    std::to_string(acc.cache_hits)});
     previous = hours;
   }
-  std::cout << "\nExp 2 / Table 2: online training time under cumulative "
-               "optimizations\n";
-  table2.Print();
+  report.Table(
+      "Exp 2 / Table 2: online training time under cumulative optimizations",
+      table2);
 }
 
 }  // namespace

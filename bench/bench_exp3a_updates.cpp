@@ -13,6 +13,10 @@ namespace lpa::bench {
 namespace {
 
 void Main() {
+  BenchReport report("exp3a_updates");
+  report.set_seed(42);
+  report.set_schema("tpcch");
+  report.set_engine_profile(EngineName(EngineKind::kDiskBased));
   Testbed tb =
       MakeTestbed("tpcch", EngineKind::kDiskBased, DefaultFraction("tpcch"));
   tb.workload->SetUniformFrequencies();
@@ -68,9 +72,9 @@ void Main() {
                   Secs(t_a), Secs(t_b), Secs(t_opt), Secs(t_rl),
                   rl_best ? "yes" : "no"});
   }
-  std::cout << "\nExp 3a / Fig 4b: TPC-CH runtimes after bulk updates (no "
-               "retraining)\n";
-  fig4b.Print();
+  report.Table(
+      "Exp 3a / Fig 4b: TPC-CH runtimes after bulk updates (no retraining)",
+      fig4b);
 }
 
 }  // namespace

@@ -27,6 +27,10 @@ std::vector<int> StockItemQueries(const Testbed& tb) {
 }
 
 void Main() {
+  BenchReport report("exp3b_mix");
+  report.set_seed(42);
+  report.set_schema("tpcch");
+  report.set_engine_profile(EngineName(EngineKind::kDiskBased));
   // Ground truth uses the noise-free simulated clock: with several designs
   // within a few percent of each other, measurement jitter would otherwise
   // decide the "best" label arbitrarily.
@@ -122,9 +126,10 @@ void Main() {
                  "+" + FormatDouble(regret[static_cast<size_t>(a)][0], 1) + "%",
                  "+" + FormatDouble(regret[static_cast<size_t>(a)][1], 1) + "%"});
   }
-  std::cout << "\nExp 3b / Fig 5: share of mixes for which each approach "
-               "found the best partitioning (higher is better)\n";
-  fig5.Print();
+  report.Table(
+      "Exp 3b / Fig 5: share of mixes for which each approach found the "
+      "best partitioning (higher is better)",
+      fig5);
 }
 
 }  // namespace

@@ -79,6 +79,10 @@ double TrainAndAccount(const Testbed& tb, const workload::Workload& initial,
 }
 
 void Main() {
+  BenchReport report("exp3c_incremental");
+  report.set_seed(42);
+  report.set_schema("tpcch");
+  report.set_engine_profile(EngineName(EngineKind::kDiskBased));
   Testbed tb =
       MakeTestbed("tpcch", EngineKind::kDiskBased, DefaultFraction("tpcch"));
   tb.workload->SetUniformFrequencies();
@@ -119,9 +123,9 @@ void Main() {
                  FormatDouble(Quantile(ratios, 0.25), 1) + "%",
                  FormatDouble(Quantile(ratios, 0.75), 1) + "%"});
   }
-  std::cout << "\nExp 3c / Fig 6: incremental training time relative to full "
-               "retraining\n";
-  fig6.Print();
+  report.Table(
+      "Exp 3c / Fig 6: incremental training time relative to full retraining",
+      fig6);
 }
 
 }  // namespace

@@ -28,6 +28,10 @@ std::unique_ptr<engine::ClusterDatabase> MakeSample(const Testbed& tb) {
 }
 
 void Main() {
+  BenchReport report("exp4_learned_cost");
+  report.set_seed(42);
+  report.set_schema("tpcch");
+  report.set_engine_profile(EngineName(EngineKind::kDiskBased));
   Testbed tb =
       MakeTestbed("tpcch", EngineKind::kDiskBased, DefaultFraction("tpcch"));
   tb.workload->SetUniformFrequencies();
@@ -87,8 +91,8 @@ void Main() {
   fig7a.AddRow({"RL online", Secs(t_rl_online), "1.00x"});
   add("Learned Costs (Exploit)", learned_exploit_design);
   add("Learned Costs (Explore)", learned_explore_design);
-  std::cout << "\nExp 4 / Fig 7a: RL vs learned neural cost models (TPC-CH)\n";
-  fig7a.Print();
+  report.Table("Exp 4 / Fig 7a: RL vs learned neural cost models (TPC-CH)",
+               fig7a);
 
   // --- Fig 7b: adaptivity accuracy over workload clusters A and B --------
   std::vector<int> boosted;
@@ -133,9 +137,10 @@ void Main() {
                   FormatDouble(100.0 * correct[static_cast<size_t>(a)][1] /
                                    kTrials, 0) + "%"});
   }
-  std::cout << "\nExp 4 / Fig 7b: adaptivity to unseen mixes (share of mixes "
-               "with the best partitioning found)\n";
-  fig7b.Print();
+  report.Table(
+      "Exp 4 / Fig 7b: adaptivity to unseen mixes (share of mixes with the "
+      "best partitioning found)",
+      fig7b);
 }
 
 }  // namespace

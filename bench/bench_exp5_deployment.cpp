@@ -17,7 +17,8 @@ struct Deployment {
   costmodel::HardwareProfile profile;
 };
 
-void RunPanel(const char* title, const std::vector<Deployment>& deployments) {
+void RunPanel(const char* title, const std::vector<Deployment>& deployments,
+              BenchReport* report) {
   TablePrinter panel({"deployment", "B replicated", "B partitioned",
                       "RL (retrained)", "RL matches winner?"});
   for (const auto& deployment : deployments) {
@@ -77,20 +78,26 @@ void RunPanel(const char* title, const std::vector<Deployment>& deployments) {
                   FormatDouble(slowest / t_rl, 2) + "x",
                   matches ? "yes" : "no"});
   }
-  std::cout << "\n" << title << " (speedup over the slowest approach; higher "
-            << "is better)\n";
-  panel.Print();
+  report->Table(std::string(title) +
+                    " (speedup over the slowest approach; higher is better)",
+                panel);
 }
 
 void Main() {
   using costmodel::HardwareProfile;
+  BenchReport report("exp5_deployment");
+  report.set_seed(7);
+  report.set_schema("micro");
+  report.set_engine_profile(EngineName(EngineKind::kInMemory));
   RunPanel("Exp 5 / Fig 8a: standard hardware",
            {{"10 Gbps", HardwareProfile::InMemory10G()},
-            {"0.6 Gbps", HardwareProfile::InMemory06G()}});
+            {"0.6 Gbps", HardwareProfile::InMemory06G()}},
+           &report);
   RunPanel("Exp 5 / Fig 8b: slower compute nodes",
            {{"10 Gbps", HardwareProfile::SlowerCompute10G()},
             {"0.6 Gbps",
-             HardwareProfile::SlowerCompute10G().WithBandwidthGbps(0.6)}});
+             HardwareProfile::SlowerCompute10G().WithBandwidthGbps(0.6)}},
+           &report);
 }
 
 }  // namespace

@@ -3,18 +3,40 @@
 // vector, and when the mix drifts it asks the advisor for a new design —
 // weighing the cost of actually moving the data from the current layout.
 //
-//   $ ./build/examples/advisor_service
+//   $ ./build/examples/advisor_service [--metrics] [--metrics-json=out.json]
+//
+// --metrics prints the telemetry counters at the end; --metrics-json writes
+// them (plus the run manifest) as JSON.
 
 #include <iostream>
+#include <string>
 
 #include "advisor/advisor.h"
 #include "advisor/workload_monitor.h"
 #include "engine/cluster.h"
 #include "schema/catalogs.h"
+#include "telemetry/registry.h"
 #include "workload/benchmarks.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lpa;
+
+  bool metrics = false;
+  std::string metrics_json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--metrics-json") {
+      if (i + 1 < argc) metrics_json_path = argv[++i];
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_json_path = arg.substr(std::string("--metrics-json=").size());
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--metrics] [--metrics-json file]\n";
+      return 2;
+    }
+  }
 
   schema::Schema schema = schema::MakeSsbSchema();
   workload::Workload workload = workload::MakeSsbWorkload(schema);
@@ -90,6 +112,23 @@ int main() {
     std::cout << "data movement took " << move_seconds
               << "s (simulated); workload now runs in "
               << cluster.ExecuteWorkload(era_workload) << "s\n";
+  }
+
+  if (metrics || !metrics_json_path.empty()) {
+    auto manifest = telemetry::RunManifest::Make("advisor_service");
+    manifest.seed = 9;
+    manifest.engine_profile = "disk-based (Postgres-XL-like)";
+    manifest.schema = "ssb";
+    auto& registry = telemetry::MetricsRegistry::Global();
+    if (metrics) std::cout << "\n" << registry.ToTable();
+    if (!metrics_json_path.empty()) {
+      Status st = registry.WriteJsonFile(metrics_json_path, manifest);
+      if (!st.ok()) {
+        std::cerr << "metrics write error: " << st.ToString() << "\n";
+        return 1;
+      }
+      std::cout << "wrote metrics to " << metrics_json_path << "\n";
+    }
   }
   return 0;
 }

@@ -3,10 +3,27 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
 namespace lpa::advisor {
+
+namespace {
+
+struct AdvisorMetrics {
+  telemetry::Counter& suggestions;
+
+  static AdvisorMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static AdvisorMetrics* m =
+        new AdvisorMetrics{reg.GetCounter("advisor.suggestions.count")};
+    return *m;
+  }
+};
+
+}  // namespace
 
 PartitioningAdvisor::PartitioningAdvisor(const schema::Schema* schema,
                                          workload::Workload workload,
@@ -42,6 +59,7 @@ double PartitioningAdvisor::EpsilonAfter(int episodes) const {
 
 rl::TrainingResult PartitioningAdvisor::TrainOffline(
     const costmodel::CostModel* model, rl::FrequencySampler sampler) {
+  telemetry::Span span("advisor.train_offline");
   offline_env_ = std::make_unique<rl::OfflineEnv>(model, &workload_);
   if (!sampler) sampler = DefaultSampler();
   return trainer_->Train(agent_.get(), offline_env_.get(), sampler,
@@ -50,6 +68,7 @@ rl::TrainingResult PartitioningAdvisor::TrainOffline(
 
 rl::TrainingResult PartitioningAdvisor::TrainOnline(
     rl::OnlineEnv* env, rl::FrequencySampler sampler) {
+  telemetry::Span span("advisor.train_online");
   // Warm exploration restart (Sec 4.2): the ε the offline schedule reaches
   // after half the usual number of episodes.
   agent_->set_epsilon(EpsilonAfter(config_.offline_episodes / 2));
@@ -75,6 +94,8 @@ rl::InferenceResult PartitioningAdvisor::Suggest(
 
 rl::InferenceResult PartitioningAdvisor::Suggest(
     const std::vector<double>& frequencies, rl::PartitioningEnv* env) {
+  telemetry::Span span("advisor.suggest");
+  AdvisorMetrics::Get().suggestions.Add();
   if (config_.inference_extra_rollouts <= 0) {
     return trainer_->Infer(*agent_, env, frequencies);
   }
@@ -87,8 +108,10 @@ rl::InferenceResult PartitioningAdvisor::SuggestWithTransitionCost(
     const std::vector<double>& frequencies,
     const partition::PartitioningState& current_design, double weight,
     const costmodel::CostModel* model) {
+  telemetry::Span span("advisor.suggest");
+  AdvisorMetrics::Get().suggestions.Add();
   LPA_CHECK(offline_env_ != nullptr);
-  auto objective = [this, &frequencies, &current_design, weight,
+  auto objective =[this, &frequencies, &current_design, weight,
                     model](const partition::PartitioningState& s) {
     return offline_env_->WorkloadCost(s, frequencies) +
            weight * model->RepartitioningCost(current_design, s);
@@ -119,6 +142,7 @@ std::vector<int> PartitioningAdvisor::AddQueries(
 rl::TrainingResult PartitioningAdvisor::TrainIncremental(
     rl::PartitioningEnv* env, const std::vector<int>& new_queries,
     int episodes) {
+  telemetry::Span span("advisor.train_incremental");
   // Incremental training explores little: start from the ε of a mostly
   // trained agent, and only sample mixes where the new queries occur.
   agent_->set_epsilon(EpsilonAfter(config_.offline_episodes / 2));

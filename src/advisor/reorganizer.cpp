@@ -2,13 +2,35 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace lpa::advisor {
 
+namespace {
+
+struct ReorgMetrics {
+  telemetry::Counter& plans;
+  telemetry::Counter& candidates;
+  telemetry::Counter& bytes_moved;
+
+  static ReorgMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static ReorgMetrics* m = new ReorgMetrics{
+        reg.GetCounter("advisor.reorg_plans.count"),
+        reg.GetCounter("advisor.reorg_candidates.count"),
+        reg.GetCounter("advisor.reorg_bytes_moved.bytes")};
+    return *m;
+  }
+};
+
+}  // namespace
+
 ReorganizationPlan ReorganizationPlanner::Plan(
     const partition::PartitioningState& deployed,
     const std::vector<std::vector<double>>& forecast, double weight) {
+  telemetry::Span reorg_span("advisor.reorganize");
   ReorganizationPlan plan;
   if (forecast.empty()) return plan;
   const int periods = static_cast<int>(forecast.size());
@@ -108,6 +130,21 @@ ReorganizationPlan ReorganizationPlanner::Plan(
         period_cost[static_cast<size_t>(t + 1)][static_cast<size_t>(following)],
         move[static_cast<size_t>(current)][static_cast<size_t>(following)]});
     current = following;
+  }
+
+  auto& rm = ReorgMetrics::Get();
+  rm.plans.Add();
+  rm.candidates.Add(static_cast<uint64_t>(k));
+  const partition::PartitioningState* prev = &deployed;
+  for (const auto& step : plan.steps) {
+    if (step.repartition) {
+      uint64_t moved = 0;
+      for (schema::TableId t : prev->DiffTables(step.design)) {
+        moved += static_cast<uint64_t>(model_->schema().table(t).total_bytes());
+      }
+      rm.bytes_moved.Add(moved);
+    }
+    prev = &step.design;
   }
   return plan;
 }

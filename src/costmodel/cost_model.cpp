@@ -6,11 +6,31 @@
 #include <map>
 #include <sstream>
 
+#include "telemetry/registry.h"
 #include "util/logging.h"
 
 namespace lpa::costmodel {
 
 namespace {
+
+/// DP-search counters; accumulated locally per search and flushed once so
+/// the inner enumeration loops stay atomic-free.
+struct CostModelMetrics {
+  telemetry::Counter& plans;
+  telemetry::Counter& dp_subsets;
+  telemetry::Counter& dp_splits;
+  telemetry::Counter& pareto_entries;
+
+  static CostModelMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static CostModelMetrics* m = new CostModelMetrics{
+        reg.GetCounter("costmodel.plans.count"),
+        reg.GetCounter("costmodel.dp_subsets.count"),
+        reg.GetCounter("costmodel.dp_splits.count"),
+        reg.GetCounter("costmodel.pareto_entries.count")};
+    return *m;
+  }
+};
 
 using partition::PartitioningState;
 using schema::ColumnRef;
@@ -136,8 +156,10 @@ class PlanSearch {
     }
     // Connected-subgraph DP in ascending mask order: every proper submask is
     // numerically smaller, so its entries are already final.
+    uint64_t subsets = 0, splits = 0;
     for (uint32_t mask = 1; mask <= full; ++mask) {
       if (std::popcount(mask) < 2) continue;
+      ++subsets;
       uint32_t lowest = mask & (~mask + 1);
       // Enumerate splits; anchoring the lowest bit on the left halves the
       // enumeration without losing plans (strategies cover both sides).
@@ -147,6 +169,7 @@ class PlanSearch {
         if (entries_[sub].empty() || entries_[other].empty()) continue;
         auto connecting = ConnectingPredicates(sub, other);
         if (connecting.empty()) continue;
+        ++splits;
         for (size_t li = 0; li < entries_[sub].size(); ++li) {
           for (size_t ri = 0; ri < entries_[other].size(); ++ri) {
             EmitJoins(mask, sub, other, static_cast<int>(li),
@@ -156,6 +179,12 @@ class PlanSearch {
       }
     }
     LPA_CHECK(!entries_[full].empty());  // guaranteed: join graph is connected
+    uint64_t kept = 0;
+    for (const auto& bucket : entries_) kept += bucket.size();
+    auto& cm = CostModelMetrics::Get();
+    cm.dp_subsets.Add(subsets);
+    cm.dp_splits.Add(splits);
+    cm.pareto_entries.Add(kept);
     // Pick the cheapest full plan and assemble the QueryPlan.
     int best = 0;
     for (size_t i = 1; i < entries_[full].size(); ++i) {
@@ -517,6 +546,7 @@ double CostModel::QueryCost(const workload::QuerySpec& query,
 
 QueryPlan CostModel::PlanQuery(const workload::QuerySpec& query,
                                const partition::PartitioningState& state) const {
+  CostModelMetrics::Get().plans.Add();
   if (query.num_tables() == 1) {
     QueryPlan plan;
     plan.root = std::make_unique<PlanNode>();

@@ -6,12 +6,42 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "telemetry/registry.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
 namespace lpa::engine {
 
 namespace {
+
+/// Registry handles resolved once; all hot-path updates are relaxed atomics.
+struct EngineMetrics {
+  telemetry::Counter& queries_executed;
+  telemetry::Counter& rows_out;
+  telemetry::Counter& bytes_shuffled;
+  telemetry::Counter& bytes_broadcast;
+  telemetry::Counter& cpu_seconds;
+  telemetry::Counter& designs_applied;
+  telemetry::Counter& bytes_moved;
+  telemetry::Counter& repartition_seconds;
+  telemetry::Histogram& query_seconds;
+
+  static EngineMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static EngineMetrics* m = new EngineMetrics{
+        reg.GetCounter("engine.queries_executed.count"),
+        reg.GetCounter("engine.rows_out.count"),
+        reg.GetCounter("engine.bytes_shuffled.bytes"),
+        reg.GetCounter("engine.bytes_broadcast.bytes"),
+        reg.GetCounter("engine.cpu.seconds"),
+        reg.GetCounter("engine.designs_applied.count"),
+        reg.GetCounter("engine.bytes_moved.bytes"),
+        reg.GetCounter("engine.repartition.seconds"),
+        reg.GetHistogram("engine.query_elapsed.seconds",
+                         telemetry::Histogram::LatencyBounds())};
+    return *m;
+  }
+};
 
 using costmodel::JoinStrategy;
 using costmodel::PlanNode;
@@ -98,10 +128,14 @@ void ClusterDatabase::PlaceTable(schema::TableId t,
       // Every node must receive the shards it lacks. Each node pushes its
       // shard to n-1 peers in parallel; elapsed is the largest shard.
       double max_shard_bytes = 0.0;
+      double total_shard_bytes = 0.0;
       for (const auto& shard : placement.shards) {
-        max_shard_bytes = std::max(
-            max_shard_bytes, static_cast<double>(shard.num_rows()) * width);
+        double shard_bytes = static_cast<double>(shard.num_rows()) * width;
+        max_shard_bytes = std::max(max_shard_bytes, shard_bytes);
+        total_shard_bytes += shard_bytes;
       }
+      EngineMetrics::Get().bytes_moved.Add(
+          static_cast<uint64_t>(total_shard_bytes * (n - 1)));
       *move_seconds += max_shard_bytes * (n - 1) / hw.exchange_bytes_per_sec();
       *move_seconds += static_cast<double>(master.num_rows()) * width *
                        hw.disk_scan_factor / hw.scan_bytes_per_sec;
@@ -129,6 +163,9 @@ void ClusterDatabase::PlaceTable(schema::TableId t,
     // shards can be carved out locally with zero network traffic.
   }
   double max_out = *std::max_element(out_bytes.begin(), out_bytes.end());
+  double total_out_bytes = 0.0;
+  for (double b : out_bytes) total_out_bytes += b;
+  EngineMetrics::Get().bytes_moved.Add(static_cast<uint64_t>(total_out_bytes));
   *move_seconds += max_out / hw.exchange_bytes_per_sec();
   *move_seconds += static_cast<double>(master.num_rows()) * width *
                    hw.disk_scan_factor / (n * hw.scan_bytes_per_sec);
@@ -149,6 +186,9 @@ double ClusterDatabase::ApplyDesign(const partition::PartitioningState& design) 
     PlaceTable(t, target, &move_seconds);
   }
   deployed_ = design;
+  auto& em = EngineMetrics::Get();
+  em.designs_applied.Add();
+  em.repartition_seconds.AddSeconds(move_seconds);
   return move_seconds;
 }
 
@@ -335,6 +375,7 @@ QueryRunStats ClusterDatabase::ExecuteQuery(
         }
         stats.net_seconds += max_chunk * (n - 1) / hw.exchange_bytes_per_sec();
         stats.bytes_shuffled += static_cast<uint64_t>(total * (n - 1));
+        stats.bytes_broadcast += static_cast<uint64_t>(total * (n - 1));
       }
     };
 
@@ -484,6 +525,15 @@ QueryRunStats ClusterDatabase::ExecuteQuery(
   double factor = 1.0 + config_.noise_stddev * noise_rng.Gaussian();
   factor = std::clamp(factor, 0.5, 1.5);
   stats.seconds = total * factor;
+
+  auto& em = EngineMetrics::Get();
+  em.queries_executed.Add();
+  em.rows_out.Add(stats.rows_out);
+  em.bytes_shuffled.Add(stats.bytes_shuffled);
+  em.bytes_broadcast.Add(stats.bytes_broadcast);
+  em.cpu_seconds.Add();
+  em.cpu_seconds.AddSeconds(stats.cpu_seconds);
+  em.query_seconds.Observe(stats.seconds);
   return stats;
 }
 

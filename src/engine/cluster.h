@@ -30,6 +30,8 @@ struct QueryRunStats {
   uint64_t rows_out = 0;
   /// Actual bytes that crossed the interconnect.
   uint64_t bytes_shuffled = 0;
+  /// Portion of `bytes_shuffled` sent by broadcast exchanges.
+  uint64_t bytes_broadcast = 0;
 };
 
 /// \brief A simulated shared-nothing database cluster.

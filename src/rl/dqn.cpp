@@ -2,10 +2,30 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
 namespace lpa::rl {
+
+namespace {
+
+struct DqnMetrics {
+  telemetry::Counter& train_steps;
+  telemetry::Gauge& loss;
+  telemetry::Gauge& replay_size;
+
+  static DqnMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static DqnMetrics* m = new DqnMetrics{
+        reg.GetCounter("rl.train_steps.count"),
+        reg.GetGauge("rl.loss.value"),
+        reg.GetGauge("rl.replay_size.count")};
+    return *m;
+  }
+};
+
+}  // namespace
 
 void ReplayBuffer::Add(Transition t) {
   if (buffer_.size() < capacity_) {
@@ -165,6 +185,10 @@ double DqnAgent::TrainStep(Rng* rng) {
     loss = q_->TrainMse(x, y, config_.learning_rate);
   }
   target_->SoftUpdateFrom(*q_, config_.tau);
+  auto& dm = DqnMetrics::Get();
+  dm.train_steps.Add();
+  dm.loss.Set(loss);
+  dm.replay_size.Set(static_cast<double>(replay_.size()));
   return loss;
 }
 

@@ -1,6 +1,27 @@
 #include "rl/offline_env.h"
 
+#include "telemetry/registry.h"
+
 namespace lpa::rl {
+
+namespace {
+
+/// The offline env caches cost-model evaluations; its hit rate is the
+/// costmodel-side twin of the online Query Runtime Cache.
+struct OfflineEnvMetrics {
+  telemetry::Counter& evals;
+  telemetry::Counter& cache_hits;
+
+  static OfflineEnvMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static OfflineEnvMetrics* m = new OfflineEnvMetrics{
+        reg.GetCounter("costmodel.cache_evals.count"),
+        reg.GetCounter("costmodel.cache_hits.count")};
+    return *m;
+  }
+};
+
+}  // namespace
 
 double PartitioningEnv::WorkloadCost(const partition::PartitioningState& state,
                                      const std::vector<double>& frequencies) {
@@ -31,11 +52,13 @@ double OfflineEnv::QueryCost(int query_index,
                              const partition::PartitioningState& state,
                              double /*frequency*/) {
   ++evaluations_;
+  OfflineEnvMetrics::Get().evals.Add();
   std::string key = std::to_string(query_index) + "|" +
                     state.PhysicalDesignKey(QueryTables(query_index));
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
+    OfflineEnvMetrics::Get().cache_hits.Add();
     return it->second;
   }
   double cost = model_->QueryCost(workload_->query(query_index), state);

@@ -2,9 +2,29 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.h"
 #include "util/logging.h"
 
 namespace lpa::rl {
+
+namespace {
+
+struct OnlineEnvMetrics {
+  telemetry::Counter& queries_executed;
+  telemetry::Counter& cache_hits;
+  telemetry::Counter& timeout_saved;
+
+  static OnlineEnvMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static OnlineEnvMetrics* m = new OnlineEnvMetrics{
+        reg.GetCounter("rl.online_queries_executed.count"),
+        reg.GetCounter("rl.online_cache_hits.count"),
+        reg.GetCounter("rl.online_timeout_saved.seconds")};
+    return *m;
+  }
+};
+
+}  // namespace
 
 OnlineEnv::OnlineEnv(engine::ClusterDatabase* cluster,
                      const workload::Workload* workload,
@@ -56,6 +76,7 @@ double OnlineEnv::QueryCost(int query_index,
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++accounting_.cache_hits;
+      OnlineEnvMetrics::Get().cache_hits.Add();
       return it->second;
     }
   }
@@ -69,6 +90,7 @@ double OnlineEnv::QueryCost(int query_index,
   double sample_seconds =
       cluster_->ExecuteQuery(workload_->query(query_index)).seconds;
   ++accounting_.queries_executed;
+  OnlineEnvMetrics::Get().queries_executed.Add();
   double scaled = scale_[static_cast<size_t>(query_index)] * sample_seconds;
 
   // Timeout rule: a single query whose weighted share exceeds the best known
@@ -79,6 +101,8 @@ double OnlineEnv::QueryCost(int query_index,
       double budget_sample =
           budget_scaled / scale_[static_cast<size_t>(query_index)];
       accounting_.timeout_saved_seconds += sample_seconds - budget_sample;
+      OnlineEnvMetrics::Get().timeout_saved.AddSeconds(sample_seconds -
+                                                       budget_sample);
       accounting_.query_seconds += budget_sample;
       // The true (uncut) cost still enters the cache so later mixes reuse it.
       cache_.emplace(std::move(key), scaled);

@@ -2,9 +2,39 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace lpa::rl {
+
+namespace {
+
+struct TrainerMetrics {
+  telemetry::Counter& episodes;
+  telemetry::Counter& env_evals;
+  telemetry::Counter& inference_rollouts;
+  telemetry::Gauge& epsilon;
+  telemetry::Gauge& env_evals_per_sec;
+  telemetry::Histogram& episode_reward;
+
+  static TrainerMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static TrainerMetrics* m = new TrainerMetrics{
+        reg.GetCounter("rl.episodes.count"),
+        reg.GetCounter("rl.env_evals.count"),
+        reg.GetCounter("rl.inference_rollouts.count"),
+        reg.GetGauge("rl.epsilon.value"),
+        reg.GetGauge("rl.env_evals_per_sec.value"),
+        // Rewards are 1 - cost/normalization, i.e. bounded above by 1.
+        reg.GetHistogram("rl.episode_reward.value",
+                         {-8.0, -4.0, -2.0, -1.0, -0.5, -0.25, 0.0, 0.125,
+                          0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0})};
+    return *m;
+  }
+};
+
+}  // namespace
 
 EpisodeTrainer::EpisodeTrainer(const schema::Schema* schema,
                                const partition::EdgeSet* edges,
@@ -26,6 +56,8 @@ double EpisodeTrainer::Normalization(PartitioningEnv* env) const {
 TrainingResult EpisodeTrainer::Train(DqnAgent* agent, PartitioningEnv* env,
                                      const FrequencySampler& sampler,
                                      int episodes, Rng* rng) const {
+  telemetry::Span span("rl.train");
+  auto& tm = TrainerMetrics::Get();
   TrainingResult result;
   result.normalization = Normalization(env);
   const int tmax = agent->config().tmax;
@@ -56,6 +88,14 @@ TrainingResult EpisodeTrainer::Train(DqnAgent* agent, PartitioningEnv* env,
     }
     agent->DecayEpsilon();  // line 12
     result.episode_best_rewards.push_back(episode_best);
+    tm.episodes.Add();
+    tm.episode_reward.Observe(episode_best);
+    tm.epsilon.Set(agent->epsilon());
+  }
+  tm.env_evals.Add(result.steps);
+  double elapsed = span.elapsed_seconds();
+  if (elapsed > 0.0) {
+    tm.env_evals_per_sec.Set(static_cast<double>(result.steps) / elapsed);
   }
   return result;
 }
@@ -71,6 +111,7 @@ void Rollout(const DqnAgent& agent,
              const partition::ActionSpace& actions, double epsilon, Rng* rng,
              bool record_actions, InferenceResult* result,
              partition::PartitioningState state) {
+  TrainerMetrics::Get().inference_rollouts.Add();
   const int tmax = agent.config().tmax;
   for (int t = 0; t < tmax; ++t) {
     std::vector<double> enc = featurizer.EncodeState(state, frequencies);

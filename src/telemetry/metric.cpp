@@ -1,0 +1,102 @@
+#include "telemetry/metric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lpa::telemetry {
+
+namespace internal {
+std::atomic<bool> g_enabled{true};
+}  // namespace internal
+
+bool Enabled() { return internal::CollectionEnabled(); }
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  LPA_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Observe(double v) {
+  if (!internal::CollectionEnabled()) return;
+  if (std::isnan(v)) return;
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  internal::AtomicMin(&min_, v);
+  internal::AtomicMax(&max_, v);
+}
+
+double Histogram::min() const {
+  double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? std::numeric_limits<double>::quiet_NaN() : v;
+}
+
+double Histogram::max() const {
+  double v = max_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? std::numeric_limits<double>::quiet_NaN() : v;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t n = count();
+  if (n == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(n);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (static_cast<double>(seen + c) >= target) {
+      // Interpolate inside bucket i; its range is (lo, hi].
+      double lo = i == 0 ? min() : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : max();
+      lo = std::max(lo, min());
+      hi = std::min(hi, max());
+      if (hi <= lo) return hi;
+      double frac = (target - static_cast<double>(seen)) / static_cast<double>(c);
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int count) {
+  LPA_CHECK(start > 0.0 && factor > 1.0 && count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+}  // namespace lpa::telemetry

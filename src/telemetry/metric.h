@@ -1,0 +1,145 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lpa::telemetry {
+
+/// \brief Process-wide collection switch. When disabled, every metric
+/// operation is a single relaxed load + branch (no stores, no contention),
+/// so instrumented hot paths degrade to a predictable no-op.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+inline bool CollectionEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+/// CAS-min / CAS-max for atomic doubles (no fetch_min for floats).
+inline void AtomicMin(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+inline void AtomicMax(std::atomic<double>* a, double v) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace internal
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// \brief Monotonically increasing integer counter. Lock-free: a relaxed
+/// fetch_add on the hot path.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t delta = 1) {
+    if (!internal::CollectionEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// \brief Accumulate a non-negative double quantity (e.g. seconds).
+  /// Stored separately from the integer value; `value()` returns the integer
+  /// part only when no fractional adds happened.
+  void AddSeconds(double delta) {
+    if (!internal::CollectionEnabled()) return;
+    seconds_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  double seconds() const { return seconds_.load(std::memory_order_relaxed); }
+  bool has_seconds() const { return seconds() != 0.0; }
+
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    seconds_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+  std::atomic<double> seconds_{0.0};
+};
+
+/// \brief Last-value gauge (e.g. current ε, replay-buffer size).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double v) {
+    if (!internal::CollectionEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(double delta) {
+    if (!internal::CollectionEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Fixed-bucket histogram. Bucket i counts observations with
+/// `v <= bounds[i]`; one implicit overflow bucket catches the rest. All
+/// updates are relaxed atomics — under concurrent writers the count and sum
+/// are exact, min/max are exact, and bucket totals are exact; only
+/// cross-field consistency of a racing snapshot is approximate.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  /// NaN when empty.
+  double min() const;
+  double max() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<uint64_t> bucket_counts() const;
+
+  /// \brief Quantile estimate (q in [0, 1]) by linear interpolation inside
+  /// the bucket holding the q-th observation; NaN when empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+  /// \brief `count` geometrically spaced upper bounds starting at `start`.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int count);
+  /// \brief Default bounds for (simulated) latencies in seconds.
+  static std::vector<double> LatencyBounds() {
+    return ExponentialBounds(1e-4, 2.0, 24);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace lpa::telemetry

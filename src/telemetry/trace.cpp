@@ -1,0 +1,48 @@
+#include "telemetry/trace.h"
+
+#include "telemetry/registry.h"
+
+namespace lpa::telemetry {
+
+namespace {
+thread_local Span* t_current = nullptr;
+}  // namespace
+
+Span::Span(const char* name)
+    : parent_(t_current), start_(std::chrono::steady_clock::now()) {
+  if (parent_ != nullptr) {
+    path_.reserve(parent_->path_.size() + 1 + std::string::traits_type::length(name));
+    path_ = parent_->path_;
+    path_ += '/';
+    path_ += name;
+  } else {
+    path_ = name;
+  }
+  t_current = this;
+}
+
+Span::~Span() {
+  t_current = parent_;
+  if (!internal::CollectionEnabled()) return;
+  MetricsRegistry::Global().RecordSpan(path_, elapsed_seconds());
+}
+
+double Span::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+const Span* Span::Current() { return t_current; }
+
+ScopedTimer::~ScopedTimer() {
+  double s = elapsed_seconds();
+  if (histogram_ != nullptr) histogram_->Observe(s);
+  if (counter_ != nullptr) counter_->AddSeconds(s);
+}
+
+double ScopedTimer::elapsed_seconds() const {
+  return std::chrono::duration<double>(Now() - start_).count();
+}
+
+}  // namespace lpa::telemetry

@@ -1,8 +1,8 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 namespace lpa {
@@ -34,10 +34,13 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// \brief Quantile of a sample via linear interpolation; q in [0, 1].
+/// \brief Quantile of a sample via linear interpolation; q is clamped to
+/// [0, 1]. Returns NaN on an empty sample (an assert here would be compiled
+/// out in release builds and leave undefined behavior). For streaming
+/// bucket-based quantiles see telemetry::Histogram::Quantile.
 inline double Quantile(std::vector<double> values, double q) {
-  assert(!values.empty());
-  assert(q >= 0.0 && q <= 1.0);
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::min(1.0, std::max(0.0, q));
   std::sort(values.begin(), values.end());
   double pos = q * static_cast<double>(values.size() - 1);
   size_t lo = static_cast<size_t>(pos);

@@ -44,6 +44,10 @@ class TablePrinter {
     return oss.str();
   }
 
+  /// Structured access for machine exporters (e.g. the bench JSON reports).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   void PrintRule(std::ostream& os) const {
     os << '+';

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure a dedicated build tree with AddressSanitizer +
+# UndefinedBehaviorSanitizer, build everything, and run the test suite.
+#
+#   $ tools/check.sh                 # ASan+UBSan (default)
+#   $ LPA_SANITIZE=undefined tools/check.sh
+#   $ BUILD_DIR=build-asan tools/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${LPA_SANITIZE:-address,undefined}"
+BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== configure (${BUILD_DIR}, -fsanitize=${SANITIZE}) =="
+cmake -B "${BUILD_DIR}" -S . -DLPA_SANITIZE="${SANITIZE}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== test =="
+# halt_on_error makes ASan failures fail the test run instead of just logging.
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== OK: build and tests are clean under ${SANITIZE} =="

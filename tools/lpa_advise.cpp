@@ -7,9 +7,13 @@
 //   $ lpa_advise --ddl schema.sql --workload workload.sql
 //                [--engine disk|memory] [--nodes 6] [--episodes 400]
 //                [--mix 1,0.5,...] [--save agent.bin] [--load agent.bin]
-//                [--seed 42]
+//                [--seed 42] [--metrics] [--metrics-json out.json]
 //
 // With --load, training is skipped and the snapshot served directly.
+// --metrics prints the telemetry table to stderr; --metrics-json
+// additionally materializes a small cluster, measures the suggested design
+// on it (so engine counters are populated), and writes metrics + manifest
+// + the suggestion as JSON.
 
 #include <fstream>
 #include <iostream>
@@ -17,8 +21,11 @@
 
 #include "advisor/advisor.h"
 #include "advisor/serialization.h"
+#include "engine/cluster.h"
 #include "sql/ddl.h"
 #include "sql/parser.h"
+#include "storage/database.h"
+#include "telemetry/registry.h"
 
 namespace {
 
@@ -32,13 +39,16 @@ struct Options {
   std::string save_path;
   std::string load_path;
   uint64_t seed = 42;
+  bool metrics = false;
+  std::string metrics_json_path;
 };
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --ddl schema.sql --workload workload.sql"
                " [--engine disk|memory] [--nodes N] [--episodes N]"
-               " [--mix f1,f2,...] [--save file] [--load file] [--seed N]\n";
+               " [--mix f1,f2,...] [--save file] [--load file] [--seed N]"
+               " [--metrics] [--metrics-json file]\n";
   return 2;
 }
 
@@ -89,6 +99,12 @@ int main(int argc, char** argv) {
       options.load_path = next() ? argv[i] : "";
     } else if (arg == "--seed") {
       options.seed = next() ? std::strtoull(argv[i], nullptr, 10) : 42;
+    } else if (arg == "--metrics") {
+      options.metrics = true;
+    } else if (arg == "--metrics-json") {
+      options.metrics_json_path = next() ? argv[i] : "";
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      options.metrics_json_path = arg.substr(std::string("--metrics-json=").size());
     } else {
       return Usage(argv[0]);
     }
@@ -173,6 +189,68 @@ int main(int argc, char** argv) {
     }
   }
   std::cerr << "estimated workload cost: " << result.best_cost << "s\n";
+
+  double measured_seconds = -1.0;
+  if (!options.metrics_json_path.empty()) {
+    // Materialize a small cluster and measure the suggested design on it so
+    // the exported metrics carry real engine counters, not just simulation.
+    storage::GenerationConfig gen;
+    gen.fraction = 1e-3;
+    gen.small_table_threshold = 64;
+    gen.seed = options.seed;
+    engine::EngineConfig engine_config;
+    engine_config.hardware = profile;
+    engine_config.seed = options.seed;
+    engine::ClusterDatabase cluster(
+        storage::Database::Generate(*schema, workload, gen), engine_config,
+        &cost_model);
+    cluster.ApplyDesign(result.best_state);
+    measured_seconds = cluster.ExecuteWorkload(workload);
+    std::cerr << "measured workload runtime (materialized sample): "
+              << measured_seconds << "s\n";
+  }
+
+  if (options.metrics || !options.metrics_json_path.empty()) {
+    auto manifest = telemetry::RunManifest::Make("lpa_advise");
+    manifest.seed = options.seed;
+    manifest.engine_profile = options.engine;
+    manifest.schema = options.ddl_path;
+    manifest.Set("episodes", std::to_string(config.offline_episodes));
+    manifest.Set("nodes", std::to_string(options.nodes));
+    auto& registry = telemetry::MetricsRegistry::Global();
+    if (options.metrics) {
+      std::cerr << "\n" << registry.ToTable();
+    }
+    if (!options.metrics_json_path.empty()) {
+      telemetry::JsonWriter w;
+      w.BeginObject();
+      w.Key("estimated_cost_seconds").Number(result.best_cost);
+      w.Key("measured_runtime_seconds").Number(measured_seconds);
+      w.Key("design").BeginArray();
+      for (schema::TableId t = 0; t < schema->num_tables(); ++t) {
+        const auto& tp = result.best_state.table_partition(t);
+        w.BeginObject().Key("table").String(schema->table(t).name);
+        if (tp.replicated) {
+          w.Key("replicated").Bool(true);
+        } else {
+          w.Key("replicated").Bool(false);
+          w.Key("partition_column")
+              .String(schema->table(t)
+                          .columns[static_cast<size_t>(tp.column)]
+                          .name);
+        }
+        w.EndObject();
+      }
+      w.EndArray().EndObject();
+      Status st = registry.WriteJsonFile(options.metrics_json_path, manifest,
+                                         w.str());
+      if (!st.ok()) {
+        std::cerr << "metrics write error: " << st.ToString() << "\n";
+        return 1;
+      }
+      std::cerr << "wrote metrics to " << options.metrics_json_path << "\n";
+    }
+  }
 
   if (!options.save_path.empty()) {
     std::ofstream out(options.save_path);
