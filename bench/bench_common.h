@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -14,6 +16,7 @@
 #include "engine/cluster.h"
 #include "schema/catalogs.h"
 #include "telemetry/registry.h"
+#include "util/hash.h"
 #include "util/table_printer.h"
 #include "workload/benchmarks.h"
 
@@ -134,8 +137,11 @@ inline double DefaultFraction(const std::string& name) {
 }
 
 /// \brief Offline-train an advisor on the testbed's exact cost model.
+/// `ctx` (optional) supplies the evaluation engine's thread pool + RNG; the
+/// default trains serially on the advisor's own context, as always.
 inline std::unique_ptr<advisor::PartitioningAdvisor> TrainOfflineAdvisor(
-    const Testbed& tb, int episodes, int tmax, uint64_t seed = 42) {
+    const Testbed& tb, int episodes, int tmax, uint64_t seed = 42,
+    EvalContext* ctx = nullptr) {
   advisor::AdvisorConfig config;
   config.offline_episodes = Scaled(episodes);
   config.dqn.tmax = tmax;
@@ -143,8 +149,26 @@ inline std::unique_ptr<advisor::PartitioningAdvisor> TrainOfflineAdvisor(
   config.seed = seed;
   auto adv = std::make_unique<advisor::PartitioningAdvisor>(
       tb.schema.get(), *tb.workload, config);
-  adv->TrainOffline(tb.exact_model.get());
+  adv->TrainOffline(tb.exact_model.get(), nullptr, ctx);
   return adv;
+}
+
+/// \brief Order-insensitive-free digest of a training curve: hashes every
+/// double's bit pattern in sequence. Two runs print the same digest iff
+/// their episode rewards are bit-identical — the quick check that
+/// `--threads N` did not change a seeded result.
+inline std::string RewardDigest(const std::vector<double>& rewards) {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (double r : rewards) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(r));
+    std::memcpy(&bits, &r, sizeof(bits));
+    h = HashCombine(h, bits);
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
 }
 
 /// \brief Format simulated seconds for table cells.

@@ -3,23 +3,41 @@
 // offline-trained DRL advisor, on SSB / TPC-DS / TPC-CH for both engine
 // profiles. Absolute seconds are simulated on the scaled-down testbed; the
 // paper-relevant signal is the ordering and the relative factors.
+//
+//   $ bench_exp1_offline [--threads N] [--seed N]
+//
+// --threads > 1 runs the six (schema, engine) scenarios concurrently on the
+// parallel evaluation engine and additionally parallelizes each scenario's
+// per-step evaluation + Q-network updates. Every scenario trains on its own
+// child context whose seed depends only on (base seed, scenario index), so
+// the printed reward digests are bit-identical at every --threads value.
 
 #include <iostream>
+#include <sstream>
 
 #include "bench/bench_common.h"
+#include "util/cli.h"
 
 namespace lpa::bench {
 namespace {
 
 struct Scenario {
   const char* name;
+  EngineKind kind;
   int episodes;  // 600 for SSB, 1200 for TPC-DS / TPC-CH (Table 1)
   int tmax;
 };
 
-void RunScenario(const Scenario& scenario, EngineKind kind,
-                 TablePrinter* summary) {
-  Testbed tb = MakeTestbed(scenario.name, kind, DefaultFraction(scenario.name));
+struct ScenarioResult {
+  std::vector<std::string> summary_row;
+  std::string log;
+};
+
+ScenarioResult RunScenario(const Scenario& scenario, EvalContext* ctx) {
+  ScenarioResult out;
+  std::ostringstream log;
+  Testbed tb = MakeTestbed(scenario.name, scenario.kind,
+                           DefaultFraction(scenario.name));
   tb.workload->SetUniformFrequencies();
 
   auto heuristic_a = baselines::HeuristicA(*tb.schema, *tb.workload, *tb.edges);
@@ -29,48 +47,94 @@ void RunScenario(const Scenario& scenario, EngineKind kind,
   auto min_optimizer = baselines::MinimizeOptimizerCost(
       *tb.schema, *tb.workload, *tb.edges, *tb.noisy_model, designer);
 
-  auto advisor = TrainOfflineAdvisor(tb, scenario.episodes, scenario.tmax);
+  advisor::AdvisorConfig config;
+  config.offline_episodes = Scaled(scenario.episodes);
+  config.dqn.tmax = scenario.tmax;
+  config.dqn.FitEpsilonSchedule(config.offline_episodes);
+  advisor::PartitioningAdvisor advisor(tb.schema.get(), *tb.workload, config);
+  auto training = advisor.TrainOffline(tb.exact_model.get(), nullptr, ctx);
+
   std::vector<double> uniform(
       static_cast<size_t>(tb.workload->num_queries()), 1.0);
-  auto rl = advisor->Suggest(uniform);
+  auto rl = advisor.Suggest(uniform, ctx);
 
   double t_a = tb.Measure(heuristic_a);
   double t_b = tb.Measure(heuristic_b);
   double t_opt = tb.Measure(min_optimizer);
   double t_rl = tb.Measure(rl.best_state);
 
-  summary->AddRow({scenario.name, EngineName(kind), Secs(t_a), Secs(t_b),
-                   Secs(t_opt), Secs(t_rl),
-                   FormatDouble(std::min({t_a, t_b, t_opt}) / t_rl, 2) + "x"});
+  out.summary_row = {scenario.name,
+                     EngineName(scenario.kind),
+                     Secs(t_a),
+                     Secs(t_b),
+                     Secs(t_opt),
+                     Secs(t_rl),
+                     FormatDouble(std::min({t_a, t_b, t_opt}) / t_rl, 2) + "x",
+                     RewardDigest(training.episode_best_rewards)};
 
-  std::cout << "[" << scenario.name << " / " << EngineName(kind)
-            << "] RL design: " << rl.best_state.PhysicalDesignKey() << "\n";
+  log << "[" << scenario.name << " / " << EngineName(scenario.kind)
+      << "] RL design: " << rl.best_state.PhysicalDesignKey() << "\n";
+  out.log = log.str();
+  return out;
 }
 
-void Main() {
+int Main(int argc, char** argv) {
+  cli::CommonOptions common;
+  cli::FlagParser parser;
+  common.Register(&parser);
+  std::string error;
+  if (!parser.Parse(argc, argv, &error) || !common.Validate(&error)) {
+    std::cerr << error << "\n" << parser.Usage(argv[0]);
+    return 2;
+  }
+
   const Scenario kScenarios[] = {
-      {"ssb", 600, 20},
-      {"tpcds", 1200, 48},
-      {"tpcch", 1200, 36},
+      {"ssb", EngineKind::kDiskBased, 600, 20},
+      {"ssb", EngineKind::kInMemory, 600, 20},
+      {"tpcds", EngineKind::kDiskBased, 1200, 48},
+      {"tpcds", EngineKind::kInMemory, 1200, 48},
+      {"tpcch", EngineKind::kDiskBased, 1200, 36},
+      {"tpcch", EngineKind::kInMemory, 1200, 36},
   };
+  constexpr size_t kNumScenarios = sizeof(kScenarios) / sizeof(kScenarios[0]);
+
   BenchReport report("exp1_offline");
-  report.set_seed(42);
+  report.set_seed(common.seed);
   report.set_schema("ssb,tpcds,tpcch");
   report.set_engine_profile("disk-based + in-memory");
+  report.Note("threads", std::to_string(common.threads));
   TablePrinter summary({"schema", "engine", "Heuristic (a)", "Heuristic (b)",
                         "Minimum Optimizer", "RL (offline)",
-                        "best-baseline / RL"});
-  for (const auto& scenario : kScenarios) {
-    RunScenario(scenario, EngineKind::kDiskBased, &summary);
-    RunScenario(scenario, EngineKind::kInMemory, &summary);
+                        "best-baseline / RL", "reward digest"});
+
+  // One owning context; each scenario trains on a child context borrowing
+  // the same pool. Child seeds depend only on (base seed, scenario index),
+  // never on completion order, so results match the serial run exactly.
+  EvalContext root(common.threads, common.seed);
+  std::vector<ScenarioResult> results(kNumScenarios);
+  auto run_one = [&](size_t i) {
+    EvalContext child(root.pool(),
+                      HashCombine(common.seed, static_cast<uint64_t>(i)));
+    results[i] = RunScenario(kScenarios[i], &child);
+  };
+  if (root.pool() != nullptr) {
+    root.pool()->ParallelForEach(kNumScenarios, 1, run_one);
+  } else {
+    for (size_t i = 0; i < kNumScenarios; ++i) run_one(i);
+  }
+
+  for (const auto& result : results) {
+    std::cout << result.log;
+    summary.AddRow(result.summary_row);
   }
   report.Table(
       "Exp 1 / Fig 3: offline RL vs baselines (workload runtime, "
       "simulated seconds; scaled-down testbed)",
       summary);
+  return 0;
 }
 
 }  // namespace
 }  // namespace lpa::bench
 
-int main() { lpa::bench::Main(); }
+int main(int argc, char** argv) { return lpa::bench::Main(argc, argv); }

@@ -68,7 +68,7 @@ void Main() {
   rl::OnlineEnv online_env(setup.sample_cluster.get(), &advisor->workload(),
                            setup.scale_factors, rl::OnlineEnvOptions{});
   advisor->mutable_workload().SetUniformFrequencies();
-  advisor->set_online_episodes(Scaled(600));
+  advisor->mutable_config().online_episodes = Scaled(600);
   advisor->TrainOnline(&online_env);
   auto online_result = advisor->Suggest(uniform, &online_env);
 
@@ -138,9 +138,9 @@ void Main() {
         return workload::SampleUniformFrequencies(
             vsetup.tb.workload->num_queries(), rng);
       };
-      Rng rng(5);
+      EvalContext train_ctx(/*threads=*/1, /*seed=*/5);
       agent.trainer().Train(agent.agent(), &env, sampler,
-                            config.online_episodes, &rng);
+                            config.online_episodes, &train_ctx);
     }
     const auto& acc = env.accounting();
     double hours = acc.total_seconds() / 3600.0;

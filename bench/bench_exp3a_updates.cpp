@@ -45,7 +45,7 @@ void Main() {
       engine_config, tb.planner_model.get());
   rl::OnlineEnv online_env(&sample, &advisor->workload(), {},
                            rl::OnlineEnvOptions{});
-  advisor->set_online_episodes(Scaled(600));
+  advisor->mutable_config().online_episodes = Scaled(600);
   advisor->TrainOnline(&online_env);
   auto rl = advisor->Suggest(uniform, &online_env);
 

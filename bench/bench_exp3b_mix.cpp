@@ -56,7 +56,7 @@ void Main() {
           .Sample(0.25, 64, 7),
       sample_config, tb.planner_model.get());
   rl::OnlineEnv env(&sample, &naive->workload(), {}, rl::OnlineEnvOptions{});
-  naive->set_online_episodes(Scaled(400));
+  naive->mutable_config().online_episodes = Scaled(400);
   naive->TrainOnline(&env);
 
   // Committee of subspace experts on top of it.

@@ -44,7 +44,7 @@ void Main() {
   auto rl_sample = MakeSample(tb);
   rl::OnlineEnv rl_env(rl_sample.get(), &rl->workload(), {},
                        rl::OnlineEnvOptions{});
-  rl->set_online_episodes(Scaled(600));
+  rl->mutable_config().online_episodes = Scaled(600);
   rl->TrainOnline(&rl_env);
   auto rl_online_design = rl->Suggest(uniform, &rl_env).best_state;
   const double budget = rl_env.accounting().total_seconds();

@@ -3,10 +3,12 @@
 // vector, and when the mix drifts it asks the advisor for a new design —
 // weighing the cost of actually moving the data from the current layout.
 //
-//   $ ./build/examples/advisor_service [--metrics] [--metrics-json=out.json]
+//   $ ./build/examples/advisor_service [--threads N] [--seed N]
+//       [--profile disk|memory] [--metrics] [--metrics-json=out.json]
 //
 // --metrics prints the telemetry counters at the end; --metrics-json writes
-// them (plus the run manifest) as JSON.
+// them (plus the run manifest) as JSON. --threads > 1 runs training and
+// inference on the parallel evaluation engine.
 
 #include <iostream>
 #include <string>
@@ -16,50 +18,48 @@
 #include "engine/cluster.h"
 #include "schema/catalogs.h"
 #include "telemetry/registry.h"
+#include "util/cli.h"
 #include "workload/benchmarks.h"
 
 int main(int argc, char** argv) {
   using namespace lpa;
 
-  bool metrics = false;
-  std::string metrics_json_path;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg == "--metrics") {
-      metrics = true;
-    } else if (arg == "--metrics-json") {
-      if (i + 1 < argc) metrics_json_path = argv[++i];
-    } else if (arg.rfind("--metrics-json=", 0) == 0) {
-      metrics_json_path = arg.substr(std::string("--metrics-json=").size());
-    } else {
-      std::cerr << "usage: " << argv[0]
-                << " [--metrics] [--metrics-json file]\n";
-      return 2;
-    }
+  cli::CommonOptions common;
+  common.seed = 9;  // this example's historical fixed seed
+  cli::FlagParser parser;
+  common.Register(&parser);
+  std::string error;
+  if (!parser.Parse(argc, argv, &error) || !common.Validate(&error)) {
+    std::cerr << error << "\n" << parser.Usage(argv[0]);
+    return 2;
   }
 
   schema::Schema schema = schema::MakeSsbSchema();
   workload::Workload workload = workload::MakeSsbWorkload(schema);
   const int m = workload.num_queries();
-  costmodel::CostModel cost_model(&schema,
-                                  costmodel::HardwareProfile::DiskBased10G());
+  costmodel::HardwareProfile profile =
+      common.profile == "disk" ? costmodel::HardwareProfile::DiskBased10G()
+                               : costmodel::HardwareProfile::InMemory10G();
+  costmodel::CostModel cost_model(&schema, profile);
 
   // --- Train once (offline; Fig 1 step 1) --------------------------------
   advisor::AdvisorConfig config;
   config.offline_episodes = 300;
   config.dqn.tmax = 16;
   config.dqn.FitEpsilonSchedule(config.offline_episodes);
+  config.seed = common.seed;
   advisor::PartitioningAdvisor advisor(&schema, workload, config);
-  std::cout << "training advisor...\n";
-  advisor.TrainOffline(&cost_model);
+  EvalContext ctx(common.threads, common.seed);
+  std::cout << "training advisor (" << common.threads << " thread(s))...\n";
+  advisor.TrainOffline(&cost_model, nullptr, &ctx);
 
   // --- Deploy on the cluster (Fig 1 step 3) ------------------------------
   storage::GenerationConfig gen;
   gen.fraction = 5e-4;
-  gen.seed = 9;
+  gen.seed = common.seed;
   engine::EngineConfig engine_config;
-  engine_config.hardware = costmodel::HardwareProfile::DiskBased10G();
-  engine_config.seed = 9;
+  engine_config.hardware = profile;
+  engine_config.seed = common.seed;
   engine::ClusterDatabase cluster(
       storage::Database::Generate(schema, workload, gen), engine_config,
       &cost_model);
@@ -100,8 +100,8 @@ int main(int argc, char** argv) {
     auto freqs = monitor.CurrentFrequencies();
     // Weigh repartitioning cost: this is a live system, moving the fact
     // table should only happen if the workload gain justifies it.
-    auto suggestion =
-        advisor.SuggestWithTransitionCost(freqs, current, 0.05, &cost_model);
+    auto suggestion = advisor.SuggestWithTransitionCost(freqs, current, 0.05,
+                                                        &cost_model, &ctx);
     double move_seconds = cluster.ApplyDesign(suggestion.best_state);
     current = suggestion.best_state;
     monitor.MarkSuggested();
@@ -114,20 +114,23 @@ int main(int argc, char** argv) {
               << cluster.ExecuteWorkload(era_workload) << "s\n";
   }
 
-  if (metrics || !metrics_json_path.empty()) {
+  if (common.metrics || !common.metrics_json.empty()) {
     auto manifest = telemetry::RunManifest::Make("advisor_service");
-    manifest.seed = 9;
-    manifest.engine_profile = "disk-based (Postgres-XL-like)";
+    manifest.seed = common.seed;
+    manifest.engine_profile = common.profile == "disk"
+                                  ? "disk-based (Postgres-XL-like)"
+                                  : "in-memory";
     manifest.schema = "ssb";
+    manifest.Set("threads", std::to_string(common.threads));
     auto& registry = telemetry::MetricsRegistry::Global();
-    if (metrics) std::cout << "\n" << registry.ToTable();
-    if (!metrics_json_path.empty()) {
-      Status st = registry.WriteJsonFile(metrics_json_path, manifest);
+    if (common.metrics) std::cout << "\n" << registry.ToTable();
+    if (!common.metrics_json.empty()) {
+      Status st = registry.WriteJsonFile(common.metrics_json, manifest);
       if (!st.ok()) {
         std::cerr << "metrics write error: " << st.ToString() << "\n";
         return 1;
       }
-      std::cout << "wrote metrics to " << metrics_json_path << "\n";
+      std::cout << "wrote metrics to " << common.metrics_json << "\n";
     }
   }
   return 0;

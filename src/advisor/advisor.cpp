@@ -33,7 +33,7 @@ PartitioningAdvisor::PartitioningAdvisor(const schema::Schema* schema,
       config_(std::move(config)),
       edges_(partition::EdgeSet::Extract(*schema, workload_)),
       actions_(schema, &edges_),
-      rng_(HashCombine(config_.seed, 0xad7150ULL)) {
+      own_ctx_(/*threads=*/1, HashCombine(config_.seed, 0xad7150ULL)) {
   featurizers_.push_back(std::make_unique<partition::Featurizer>(
       schema, &edges_,
       workload_.num_queries() + config_.reserve_query_slots));
@@ -51,6 +51,11 @@ rl::FrequencySampler PartitioningAdvisor::DefaultSampler() const {
   return [m](Rng* rng) { return workload::SampleUniformFrequencies(m, rng); };
 }
 
+const partition::Featurizer& PartitioningAdvisor::featurizer() const {
+  LPA_CHECK(!featurizers_.empty());
+  return *featurizers_.back();
+}
+
 double PartitioningAdvisor::EpsilonAfter(int episodes) const {
   double eps = config_.dqn.epsilon_start *
                std::pow(config_.dqn.epsilon_decay, episodes);
@@ -58,16 +63,17 @@ double PartitioningAdvisor::EpsilonAfter(int episodes) const {
 }
 
 rl::TrainingResult PartitioningAdvisor::TrainOffline(
-    const costmodel::CostModel* model, rl::FrequencySampler sampler) {
+    const costmodel::CostModel* model, rl::FrequencySampler sampler,
+    EvalContext* ctx) {
   telemetry::Span span("advisor.train_offline");
   offline_env_ = std::make_unique<rl::OfflineEnv>(model, &workload_);
   if (!sampler) sampler = DefaultSampler();
   return trainer_->Train(agent_.get(), offline_env_.get(), sampler,
-                         config_.offline_episodes, &rng_);
+                         config_.offline_episodes, ResolveCtx(ctx));
 }
 
 rl::TrainingResult PartitioningAdvisor::TrainOnline(
-    rl::OnlineEnv* env, rl::FrequencySampler sampler) {
+    rl::OnlineEnv* env, rl::FrequencySampler sampler, EvalContext* ctx) {
   telemetry::Span span("advisor.train_online");
   // Warm exploration restart (Sec 4.2): the ε the offline schedule reaches
   // after half the usual number of episodes.
@@ -78,36 +84,37 @@ rl::TrainingResult PartitioningAdvisor::TrainOnline(
       env->options().use_timeouts) {
     std::vector<double> uniform(
         static_cast<size_t>(workload_.num_queries()), 1.0);
-    auto p_offline = Suggest(uniform);
+    auto p_offline = Suggest(uniform, ctx);
     env->WorkloadCost(p_offline.best_state, uniform);
   }
   if (!sampler) sampler = DefaultSampler();
   return trainer_->Train(agent_.get(), env, sampler, config_.online_episodes,
-                         &rng_);
+                         ResolveCtx(ctx));
 }
 
 rl::InferenceResult PartitioningAdvisor::Suggest(
-    const std::vector<double>& frequencies) {
+    const std::vector<double>& frequencies, EvalContext* ctx) {
   LPA_CHECK(offline_env_ != nullptr);  // inference reuses the simulation
-  return Suggest(frequencies, offline_env_.get());
+  return Suggest(frequencies, offline_env_.get(), ctx);
 }
 
 rl::InferenceResult PartitioningAdvisor::Suggest(
-    const std::vector<double>& frequencies, rl::PartitioningEnv* env) {
+    const std::vector<double>& frequencies, rl::PartitioningEnv* env,
+    EvalContext* ctx) {
   telemetry::Span span("advisor.suggest");
   AdvisorMetrics::Get().suggestions.Add();
   if (config_.inference_extra_rollouts <= 0) {
-    return trainer_->Infer(*agent_, env, frequencies);
+    return trainer_->Infer(*agent_, env, frequencies, ResolveCtx(ctx));
   }
   return trainer_->InferBest(*agent_, env, frequencies,
                              config_.inference_extra_rollouts,
-                             config_.inference_epsilon, &rng_);
+                             config_.inference_epsilon, ResolveCtx(ctx));
 }
 
 rl::InferenceResult PartitioningAdvisor::SuggestWithTransitionCost(
     const std::vector<double>& frequencies,
     const partition::PartitioningState& current_design, double weight,
-    const costmodel::CostModel* model) {
+    const costmodel::CostModel* model, EvalContext* ctx) {
   telemetry::Span span("advisor.suggest");
   AdvisorMetrics::Get().suggestions.Add();
   LPA_CHECK(offline_env_ != nullptr);
@@ -118,7 +125,7 @@ rl::InferenceResult PartitioningAdvisor::SuggestWithTransitionCost(
   };
   return trainer_->InferObjective(*agent_, frequencies, objective,
                                   config_.inference_extra_rollouts,
-                                  config_.inference_epsilon, &rng_);
+                                  config_.inference_epsilon, ResolveCtx(ctx));
 }
 
 std::vector<int> PartitioningAdvisor::AddQueries(
@@ -141,7 +148,7 @@ std::vector<int> PartitioningAdvisor::AddQueries(
 
 rl::TrainingResult PartitioningAdvisor::TrainIncremental(
     rl::PartitioningEnv* env, const std::vector<int>& new_queries,
-    int episodes) {
+    int episodes, EvalContext* ctx) {
   telemetry::Span span("advisor.train_incremental");
   // Incremental training explores little: start from the ε of a mostly
   // trained agent, and only sample mixes where the new queries occur.
@@ -151,7 +158,8 @@ rl::TrainingResult PartitioningAdvisor::TrainIncremental(
   rl::FrequencySampler sampler = [m, boosted](Rng* rng) {
     return workload::SampleBoostedFrequencies(m, boosted, rng);
   };
-  return trainer_->Train(agent_.get(), env, sampler, episodes, &rng_);
+  return trainer_->Train(agent_.get(), env, sampler, episodes,
+                         ResolveCtx(ctx));
 }
 
 }  // namespace lpa::advisor

@@ -48,31 +48,50 @@ class PartitioningAdvisor {
   workload::Workload& mutable_workload() { return workload_; }
   const partition::EdgeSet& edges() const { return edges_; }
   const partition::ActionSpace& actions() const { return actions_; }
-  const partition::Featurizer& featurizer() const { return *featurizers_.back(); }
+  /// \brief The featurizer the agent currently uses. Dies (LPA_CHECK) if the
+  /// advisor holds no featurizer — which cannot happen through the public
+  /// API, but guards against a moved-from or corrupted advisor.
+  const partition::Featurizer& featurizer() const;
   const rl::EpisodeTrainer& trainer() const { return *trainer_; }
   rl::DqnAgent* agent() { return agent_.get(); }
   const AdvisorConfig& config() const { return config_; }
+  /// \brief Mutable access to the configuration for adjustments between
+  /// phases (episode budgets, inference rollouts, ε schedule...). Fields the
+  /// constructor consumed — `dqn.*`, `seed`, `reserve_query_slots` — are not
+  /// re-read by later phases; changing them here has no effect.
+  AdvisorConfig& mutable_config() { return config_; }
   /// \brief Adjust the online-phase episode budget before TrainOnline.
+  /// DEPRECATED: use `mutable_config().online_episodes` instead; this
+  /// one-field setter predates mutable_config() and will be removed.
   void set_online_episodes(int episodes) { config_.online_episodes = episodes; }
 
   /// \brief Phase 1 (Sec 4.1): bootstrap against the cost-model simulation.
-  /// `sampler` defaults to uniformly sampled workload mixes.
+  /// `sampler` defaults to uniformly sampled workload mixes. `ctx` supplies
+  /// the thread pool / RNG / metrics sink; null falls back to the advisor's
+  /// own serial context (seeded from `config.seed`), reproducing the
+  /// historical single-threaded behaviour exactly.
   rl::TrainingResult TrainOffline(const costmodel::CostModel* model,
-                                  rl::FrequencySampler sampler = nullptr);
+                                  rl::FrequencySampler sampler = nullptr,
+                                  EvalContext* ctx = nullptr);
 
   /// \brief Phase 2 (Sec 4.2): refine against measured runtimes. ε restarts
   /// at the value the offline schedule reaches after half its episodes.
+  /// The online env never evaluates in parallel, but `ctx` still supplies
+  /// the RNG stream and accelerates the Q-network updates.
   rl::TrainingResult TrainOnline(rl::OnlineEnv* env,
-                                 rl::FrequencySampler sampler = nullptr);
+                                 rl::FrequencySampler sampler = nullptr,
+                                 EvalContext* ctx = nullptr);
 
   /// \brief Inference (Sec 6) against the offline simulation — requires
   /// TrainOffline to have run.
-  rl::InferenceResult Suggest(const std::vector<double>& frequencies);
+  rl::InferenceResult Suggest(const std::vector<double>& frequencies,
+                              EvalContext* ctx = nullptr);
 
   /// \brief Inference against an explicit environment (e.g. the online env,
   /// whose Query Runtime Cache prices candidate states).
   rl::InferenceResult Suggest(const std::vector<double>& frequencies,
-                              rl::PartitioningEnv* env);
+                              rl::PartitioningEnv* env,
+                              EvalContext* ctx = nullptr);
 
   /// \brief Repartitioning-cost-aware inference (the reward extension the
   /// paper sketches at the end of Sec 3.2, for setups where repartitionings
@@ -83,7 +102,7 @@ class PartitioningAdvisor {
   rl::InferenceResult SuggestWithTransitionCost(
       const std::vector<double>& frequencies,
       const partition::PartitioningState& current_design, double weight,
-      const costmodel::CostModel* model);
+      const costmodel::CostModel* model, EvalContext* ctx = nullptr);
 
   /// \brief Incremental support for new queries (Sec 5): appends them to the
   /// workload (frequency 0). Uses reserved state slots when available,
@@ -95,7 +114,7 @@ class PartitioningAdvisor {
   /// where the given (new) queries occur, starting from a low ε.
   rl::TrainingResult TrainIncremental(rl::PartitioningEnv* env,
                                       const std::vector<int>& new_queries,
-                                      int episodes);
+                                      int episodes, EvalContext* ctx = nullptr);
 
   /// \brief The offline-simulation environment (valid after TrainOffline).
   rl::OfflineEnv* offline_env() { return offline_env_.get(); }
@@ -105,6 +124,10 @@ class PartitioningAdvisor {
 
  private:
   rl::FrequencySampler DefaultSampler() const;
+  /// Resolves a caller-supplied context, falling back to own_ctx_.
+  EvalContext* ResolveCtx(EvalContext* ctx) {
+    return ctx != nullptr ? ctx : &own_ctx_;
+  }
 
   const schema::Schema* schema_;
   workload::Workload workload_;
@@ -117,7 +140,9 @@ class PartitioningAdvisor {
   std::unique_ptr<rl::DqnAgent> agent_;
   std::unique_ptr<rl::EpisodeTrainer> trainer_;
   std::unique_ptr<rl::OfflineEnv> offline_env_;
-  Rng rng_;
+  /// Serial fallback context; its RNG stream matches the pre-EvalContext
+  /// advisor (same derived seed), so default-configured runs are unchanged.
+  EvalContext own_ctx_;
 };
 
 }  // namespace lpa::advisor

@@ -31,8 +31,14 @@ class SubspaceCommittee {
  public:
   /// \brief Derive references and train the experts. `env` prices designs
   /// (online env with cache, or the offline simulation).
+  ///
+  /// With a `ctx` carrying a thread pool and an environment that supports
+  /// parallel evaluation, the subspace experts train concurrently. Each
+  /// expert runs on its own child context whose RNG seed is derived from
+  /// (committee seed, subspace index) — never from a shared stream — so the
+  /// trained committee is bit-identical at every thread count.
   SubspaceCommittee(PartitioningAdvisor* naive, rl::PartitioningEnv* env,
-                    CommitteeConfig config);
+                    CommitteeConfig config, EvalContext* ctx = nullptr);
 
   int num_experts() const { return static_cast<int>(experts_.size()); }
   const std::vector<partition::PartitioningState>& reference_partitionings()
@@ -48,27 +54,36 @@ class SubspaceCommittee {
   /// \brief Committee inference (Sec 6): route to the expert of the mix's
   /// subspace and run its greedy rollout.
   rl::InferenceResult Suggest(const std::vector<double>& frequencies,
-                              rl::PartitioningEnv* env) const;
+                              rl::PartitioningEnv* env,
+                              EvalContext* ctx = nullptr) const;
 
   /// \brief Incremental update after new queries were added to the naive
   /// advisor and it was incrementally retrained (Sec 5): re-derive the
   /// references; train experts only for genuinely new reference
   /// partitionings. Returns the number of newly trained experts.
-  int UpdateForNewQueries(rl::PartitioningEnv* env);
+  int UpdateForNewQueries(rl::PartitioningEnv* env, EvalContext* ctx = nullptr);
 
  private:
   /// Derive references from the naive agent; returns deduplicated states.
   std::vector<partition::PartitioningState> DeriveReferences(
-      rl::PartitioningEnv* env) const;
+      rl::PartitioningEnv* env, EvalContext* ctx) const;
+  /// Train one expert on a child context borrowing `pool` (may be null),
+  /// seeded deterministically from (committee seed, subspace).
   std::unique_ptr<rl::DqnAgent> TrainExpert(int subspace,
                                             rl::PartitioningEnv* env,
-                                            int episodes);
+                                            int episodes, ThreadPool* pool);
+  /// Train experts for subspaces [first, references_.size()), in parallel
+  /// when the context and environment allow it.
+  void TrainExperts(size_t first, rl::PartitioningEnv* env, int episodes,
+                    EvalContext* ctx);
 
   PartitioningAdvisor* naive_;
   CommitteeConfig config_;
   std::vector<partition::PartitioningState> references_;
   std::vector<std::unique_ptr<rl::DqnAgent>> experts_;
-  mutable Rng rng_;
+  /// Serial fallback context (same derived RNG stream as the committee's
+  /// historical `Rng` member).
+  mutable EvalContext own_ctx_;
 };
 
 }  // namespace lpa::advisor

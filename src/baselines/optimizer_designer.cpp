@@ -1,8 +1,7 @@
 #include "baselines/optimizer_designer.h"
 
-#include <unordered_map>
-
 #include "baselines/heuristics.h"
+#include "costmodel/cost_cache.h"
 #include "util/logging.h"
 
 namespace lpa::baselines {
@@ -33,15 +32,9 @@ class Evaluator {
       if (f <= 0.0) continue;
       std::string key = std::to_string(j) + "|" +
                         state.PhysicalDesignKey(query_tables_[static_cast<size_t>(j)]);
-      auto it = cache_.find(key);
-      double c;
-      if (it != cache_.end()) {
-        c = it->second;
-      } else {
-        c = estimator_.QueryCost(workload_.query(j), state);
-        cache_.emplace(std::move(key), c);
-      }
-      total += f * c;
+      total += f * cache_.GetOrCompute(key, [&] {
+        return estimator_.QueryCost(workload_.query(j), state);
+      });
     }
     return total;
   }
@@ -52,7 +45,7 @@ class Evaluator {
   const partition::EdgeSet& edges_;
   const costmodel::CostModel& estimator_;
   std::vector<std::vector<schema::TableId>> query_tables_;
-  std::unordered_map<std::string, double> cache_;
+  costmodel::CostCache cache_;
 };
 
 /// All per-table design options.

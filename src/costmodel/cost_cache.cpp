@@ -1,0 +1,116 @@
+#include "costmodel/cost_cache.h"
+
+#include "telemetry/registry.h"
+
+namespace lpa::costmodel {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+struct CacheMetrics {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& evictions;
+
+  static CacheMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static CacheMetrics* m = new CacheMetrics{
+        reg.GetCounter("costmodel.cost_cache_hits.count"),
+        reg.GetCounter("costmodel.cost_cache_misses.count"),
+        reg.GetCounter("costmodel.cost_cache_evictions.count")};
+    return *m;
+  }
+};
+
+}  // namespace
+
+CostCache::CostCache() : CostCache(Options{}) {}
+
+CostCache::CostCache(Options options)
+    : shards_(RoundUpPow2(options.shards == 0 ? 1 : options.shards)) {
+  shard_mask_ = shards_.size() - 1;
+  shard_capacity_ = options.capacity / shards_.size();
+  if (options.capacity > 0 && shard_capacity_ == 0) shard_capacity_ = 1;
+}
+
+CostCache::Shard& CostCache::ShardFor(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key)&shard_mask_];
+}
+
+std::optional<double> CostCache::Lookup(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    CacheMetrics::Get().misses.Add();
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  CacheMetrics::Get().hits.Add();
+  return it->second->second;
+}
+
+void CostCache::Insert(const std::string& key, double value) {
+  if (shard_capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+    CacheMetrics::Get().evictions.Add();
+  }
+  shard.lru.emplace_front(key, value);
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+double CostCache::GetOrCompute(const std::string& key,
+                               const std::function<double()>& compute) {
+  if (auto hit = Lookup(key)) return *hit;
+  double value = compute();
+  Insert(key, value);
+  return value;
+}
+
+void CostCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+size_t CostCache::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.lru.size();
+  }
+  return n;
+}
+
+CostCache::Stats CostCache::stats() const {
+  Stats s;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.hits += shard.hits;
+    s.misses += shard.misses;
+    s.evictions += shard.evictions;
+  }
+  return s;
+}
+
+}  // namespace lpa::costmodel

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace lpa::costmodel {
+
+/// \brief Sharded LRU memo for cost-model evaluations.
+///
+/// Keys are opaque strings — callers encode (state signature, query) pairs,
+/// e.g. `"<query>|<PhysicalDesignKey>"`. The map is split into power-of-two
+/// shards, each guarded by its own mutex, so concurrent lookups from the
+/// parallel evaluation engine rarely contend. Eviction is LRU per shard.
+///
+/// Concurrency contract: all methods are thread-safe. Two threads missing on
+/// the same key at the same time may both compute the value; the second
+/// insert is dropped (benign duplicate work, never an inconsistent cache).
+/// Cost values are deterministic functions of the key, so whichever insert
+/// wins stores the same value.
+///
+/// Telemetry: hits/misses/evictions are reported through
+/// `costmodel.cost_cache_{hits,misses,evictions}.count`.
+class CostCache {
+ public:
+  struct Options {
+    /// Total capacity across shards (entries). 0 disables caching entirely.
+    size_t capacity = 256 * 1024;
+    /// Number of shards; rounded up to a power of two, at least 1.
+    size_t shards = 16;
+  };
+
+  CostCache();
+  explicit CostCache(Options options);
+
+  CostCache(const CostCache&) = delete;
+  CostCache& operator=(const CostCache&) = delete;
+
+  /// \brief Returns the cached value, refreshing its LRU position.
+  std::optional<double> Lookup(const std::string& key);
+
+  /// \brief Insert (or refresh) a value, evicting the shard's LRU tail when
+  /// the shard is full.
+  void Insert(const std::string& key, double value);
+
+  /// \brief Lookup, or compute-and-insert on miss. `compute` runs outside
+  /// any shard lock, so it may itself be expensive or take locks.
+  double GetOrCompute(const std::string& key,
+                      const std::function<double()>& compute);
+
+  /// \brief Drop every entry (stat counters are kept).
+  void Clear();
+
+  size_t size() const;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+ private:
+  // LRU list holds (key, value); most-recent at front. The index maps a key
+  // to its list node.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::pair<std::string, double>> lru;
+    std::unordered_map<std::string, std::list<std::pair<std::string, double>>::iterator>
+        index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t shard_capacity_;
+  size_t shard_mask_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace lpa::costmodel

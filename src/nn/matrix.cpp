@@ -2,6 +2,19 @@
 
 namespace lpa::nn {
 
+namespace {
+
+/// Below this many flops per row chunk, parallelism costs more than it buys;
+/// products smaller than two chunks run inline.
+constexpr size_t kMinFlopsPerChunk = 16 * 1024;
+
+/// Rows per chunk so one chunk carries at least kMinFlopsPerChunk work.
+size_t RowChunk(size_t flops_per_row) {
+  return kMinFlopsPerChunk / (flops_per_row + 1) + 1;
+}
+
+}  // namespace
+
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   assert(!rows.empty());
   Matrix m(rows.size(), rows.front().size());
@@ -12,53 +25,75 @@ Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   return m;
 }
 
-void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c, ThreadPool* pool) {
   assert(a.cols() == b.rows());
   assert(c->rows() == a.rows() && c->cols() == b.cols());
   c->Fill(0.0);
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
-    const double* arow = a.row(i);
-    double* crow = c->row(i);
-    for (size_t p = 0; p < k; ++p) {
-      double av = arow[p];
-      if (av == 0.0) continue;  // one-hot inputs are mostly zero
-      const double* brow = b.row(p);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  auto rows = [&a, &b, c, k, n](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double* arow = a.row(i);
+      double* crow = c->row(i);
+      for (size_t p = 0; p < k; ++p) {
+        double av = arow[p];
+        if (av == 0.0) continue;  // one-hot inputs are mostly zero
+        const double* brow = b.row(p);
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(m, RowChunk(k * n), rows);
+  } else {
+    rows(0, m);
   }
 }
 
-void GemmTransA(const Matrix& a, const Matrix& b, Matrix* c) {
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* c, ThreadPool* pool) {
   assert(a.rows() == b.rows());
   assert(c->rows() == a.cols() && c->cols() == b.cols());
   c->Fill(0.0);
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (size_t p = 0; p < k; ++p) {
-    const double* arow = a.row(p);
-    const double* brow = b.row(p);
-    for (size_t i = 0; i < m; ++i) {
-      double av = arow[i];
-      if (av == 0.0) continue;
+  // Partitioned over rows of C (columns of A); within a row the accumulation
+  // over p stays in ascending order, like the serial p-outer loop.
+  auto rows = [&a, &b, c, k, n](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
       double* crow = c->row(i);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      for (size_t p = 0; p < k; ++p) {
+        double av = a.row(p)[i];
+        if (av == 0.0) continue;
+        const double* brow = b.row(p);
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(m, RowChunk(k * n), rows);
+  } else {
+    rows(0, m);
   }
 }
 
-void GemmTransB(const Matrix& a, const Matrix& b, Matrix* c) {
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* c, ThreadPool* pool) {
   assert(a.cols() == b.cols());
   assert(c->rows() == a.rows() && c->cols() == b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
-    const double* arow = a.row(i);
-    double* crow = c->row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const double* brow = b.row(j);
-      double acc = 0.0;
-      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
+  auto rows = [&a, &b, c, k, n](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const double* arow = a.row(i);
+      double* crow = c->row(i);
+      for (size_t j = 0; j < n; ++j) {
+        const double* brow = b.row(j);
+        double acc = 0.0;
+        for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] = acc;
+      }
     }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(m, RowChunk(k * n), rows);
+  } else {
+    rows(0, m);
   }
 }
 

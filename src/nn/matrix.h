@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/thread_pool.h"
+
 namespace lpa::nn {
 
 /// \brief Dense row-major double matrix used by the neural network layers.
@@ -55,13 +57,22 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// All three GEMMs optionally run on a thread pool. Work is partitioned over
+/// rows of C only, so each output element is accumulated by exactly one
+/// thread in the same index order as the serial loop — results are
+/// bit-identical at every thread count. Small products (fewer flops than one
+/// chunk is worth) run inline regardless of the pool.
+
 /// \brief C = A * B (A: m x k, B: k x n). C must be pre-sized m x n.
-void Gemm(const Matrix& a, const Matrix& b, Matrix* c);
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c,
+          ThreadPool* pool = nullptr);
 
 /// \brief C = A^T * B (A: k x m, B: k x n). C must be pre-sized m x n.
-void GemmTransA(const Matrix& a, const Matrix& b, Matrix* c);
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* c,
+                ThreadPool* pool = nullptr);
 
 /// \brief C = A * B^T (A: m x k, B: n x k). C must be pre-sized m x n.
-void GemmTransB(const Matrix& a, const Matrix& b, Matrix* c);
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* c,
+                ThreadPool* pool = nullptr);
 
 }  // namespace lpa::nn

@@ -30,14 +30,14 @@ Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
   }
 }
 
-Matrix Mlp::ForwardTape(const Matrix& x, Tape* tape) const {
+Matrix Mlp::ForwardTape(const Matrix& x, Tape* tape, ThreadPool* pool) const {
   LPA_CHECK(static_cast<int>(x.cols()) == config_.input_dim);
   Matrix a = x;
   if (tape != nullptr) tape->activations.push_back(a);
   for (size_t l = 0; l < layers_.size(); ++l) {
     const Layer& layer = layers_[l];
     Matrix z(a.rows(), layer.w.cols());
-    Gemm(a, layer.w, &z);
+    Gemm(a, layer.w, &z, pool);
     for (size_t r = 0; r < z.rows(); ++r) {
       for (size_t c = 0; c < z.cols(); ++c) z.at(r, c) += layer.b.at(0, c);
     }
@@ -50,31 +50,47 @@ Matrix Mlp::ForwardTape(const Matrix& x, Tape* tape) const {
   return a;
 }
 
-Matrix Mlp::Forward(const Matrix& x) const { return ForwardTape(x, nullptr); }
+Matrix Mlp::Forward(const Matrix& x, ThreadPool* pool) const {
+  return ForwardTape(x, nullptr, pool);
+}
 
 std::vector<double> Mlp::Forward(const std::vector<double>& x) const {
   Matrix out = Forward(Matrix::FromRow(x));
   return out.data();
 }
 
+namespace {
+/// Elements per chunk for the elementwise Adam / Polyak updates.
+constexpr size_t kElemChunk = 4096;
+}  // namespace
+
 void Mlp::AdamStep(Matrix* param, Matrix* m, Matrix* v, const Matrix& grad,
-                   double lr) {
+                   double lr, ThreadPool* pool) {
   const double b1 = config_.beta1, b2 = config_.beta2, eps = config_.epsilon;
   double bias1 = 1.0 - std::pow(b1, static_cast<double>(adam_t_));
   double bias2 = 1.0 - std::pow(b2, static_cast<double>(adam_t_));
-  for (size_t i = 0; i < param->data().size(); ++i) {
-    double g = grad.data()[i];
-    double& mi = m->data()[i];
-    double& vi = v->data()[i];
-    mi = b1 * mi + (1.0 - b1) * g;
-    vi = b2 * vi + (1.0 - b2) * g * g;
-    double mhat = mi / bias1;
-    double vhat = vi / bias2;
-    param->data()[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  auto elems = [param, m, v, &grad, b1, b2, eps, bias1, bias2,
+                lr](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      double g = grad.data()[i];
+      double& mi = m->data()[i];
+      double& vi = v->data()[i];
+      mi = b1 * mi + (1.0 - b1) * g;
+      vi = b2 * vi + (1.0 - b2) * g * g;
+      double mhat = mi / bias1;
+      double vhat = vi / bias2;
+      param->data()[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(param->data().size(), kElemChunk, elems);
+  } else {
+    elems(0, param->data().size());
   }
 }
 
-void Mlp::Backward(const Tape& tape, const Matrix& dloss, double lr) {
+void Mlp::Backward(const Tape& tape, const Matrix& dloss, double lr,
+                   ThreadPool* pool) {
   ++adam_t_;
   Matrix delta = dloss;  // gradient w.r.t. the current layer's output
   for (size_t l = layers_.size(); l-- > 0;) {
@@ -88,7 +104,7 @@ void Mlp::Backward(const Tape& tape, const Matrix& dloss, double lr) {
       }
     }
     Matrix dw(layer.w.rows(), layer.w.cols());
-    GemmTransA(input, delta, &dw);
+    GemmTransA(input, delta, &dw, pool);
     Matrix db(1, layer.b.cols());
     for (size_t r = 0; r < delta.rows(); ++r) {
       for (size_t c = 0; c < delta.cols(); ++c) db.at(0, c) += delta.at(r, c);
@@ -96,19 +112,20 @@ void Mlp::Backward(const Tape& tape, const Matrix& dloss, double lr) {
     Matrix dprev;
     if (l > 0) {
       dprev = Matrix(delta.rows(), layer.w.rows());
-      GemmTransB(delta, layer.w, &dprev);
+      GemmTransB(delta, layer.w, &dprev, pool);
     }
-    AdamStep(&layer.w, &layer.mw, &layer.vw, dw, lr);
-    AdamStep(&layer.b, &layer.mb, &layer.vb, db, lr);
+    AdamStep(&layer.w, &layer.mw, &layer.vw, dw, lr, pool);
+    AdamStep(&layer.b, &layer.mb, &layer.vb, db, lr, pool);
     delta = std::move(dprev);
   }
 }
 
 double Mlp::TrainMaskedMse(const Matrix& x, const std::vector<int>& head,
-                           const std::vector<double>& target, double lr) {
+                           const std::vector<double>& target, double lr,
+                           ThreadPool* pool) {
   LPA_CHECK(x.rows() == head.size() && x.rows() == target.size());
   Tape tape;
-  Matrix pred = ForwardTape(x, &tape);
+  Matrix pred = ForwardTape(x, &tape, pool);
   Matrix dloss(pred.rows(), pred.cols());
   double loss = 0.0;
   double inv_batch = 1.0 / static_cast<double>(x.rows());
@@ -119,14 +136,15 @@ double Mlp::TrainMaskedMse(const Matrix& x, const std::vector<int>& head,
     loss += err * err * inv_batch;
     dloss.at(r, static_cast<size_t>(h)) = 2.0 * err * inv_batch;
   }
-  Backward(tape, dloss, lr);
+  Backward(tape, dloss, lr, pool);
   return loss;
 }
 
-double Mlp::TrainMse(const Matrix& x, const Matrix& target, double lr) {
+double Mlp::TrainMse(const Matrix& x, const Matrix& target, double lr,
+                     ThreadPool* pool) {
   LPA_CHECK(x.rows() == target.rows());
   Tape tape;
-  Matrix pred = ForwardTape(x, &tape);
+  Matrix pred = ForwardTape(x, &tape, pool);
   LPA_CHECK(pred.cols() == target.cols());
   Matrix dloss(pred.rows(), pred.cols());
   double loss = 0.0;
@@ -136,22 +154,29 @@ double Mlp::TrainMse(const Matrix& x, const Matrix& target, double lr) {
     loss += err * err * inv;
     dloss.data()[i] = 2.0 * err * inv;
   }
-  Backward(tape, dloss, lr);
+  Backward(tape, dloss, lr, pool);
   return loss;
 }
 
-void Mlp::SoftUpdateFrom(const Mlp& src, double tau) {
+void Mlp::SoftUpdateFrom(const Mlp& src, double tau, ThreadPool* pool) {
   LPA_CHECK(layers_.size() == src.layers_.size());
   for (size_t l = 0; l < layers_.size(); ++l) {
     LPA_CHECK(layers_[l].w.size() == src.layers_[l].w.size());
-    for (size_t i = 0; i < layers_[l].w.data().size(); ++i) {
-      layers_[l].w.data()[i] =
-          (1.0 - tau) * layers_[l].w.data()[i] + tau * src.layers_[l].w.data()[i];
+    Matrix& w = layers_[l].w;
+    const Matrix& sw = src.layers_[l].w;
+    auto blend = [tau](Matrix& dst, const Matrix& from, size_t begin,
+                       size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        dst.data()[i] = (1.0 - tau) * dst.data()[i] + tau * from.data()[i];
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(w.data().size(), kElemChunk,
+                        [&](size_t b, size_t e) { blend(w, sw, b, e); });
+    } else {
+      blend(w, sw, 0, w.data().size());
     }
-    for (size_t i = 0; i < layers_[l].b.data().size(); ++i) {
-      layers_[l].b.data()[i] =
-          (1.0 - tau) * layers_[l].b.data()[i] + tau * src.layers_[l].b.data()[i];
-    }
+    blend(layers_[l].b, src.layers_[l].b, 0, layers_[l].b.data().size());
   }
 }
 

@@ -39,8 +39,11 @@ class Mlp {
   int output_dim() const { return config_.output_dim; }
 
   /// \brief Batched forward pass: x is [batch x input_dim], result is
-  /// [batch x output_dim].
-  Matrix Forward(const Matrix& x) const;
+  /// [batch x output_dim]. All pool-taking entry points below parallelize
+  /// only the row/element-partitioned primitives of nn/matrix.h (plus the
+  /// per-element Adam and Polyak updates), so results are bit-identical at
+  /// every thread count; pass nullptr for the serial path.
+  Matrix Forward(const Matrix& x, ThreadPool* pool = nullptr) const;
 
   /// \brief Forward pass for a single input row.
   std::vector<double> Forward(const std::vector<double>& x) const;
@@ -49,14 +52,16 @@ class Mlp {
   /// output unit `head[i]` receives gradient `2*(pred - target[i])/batch`.
   /// Returns the minibatch loss before the step.
   double TrainMaskedMse(const Matrix& x, const std::vector<int>& head,
-                        const std::vector<double>& target, double lr);
+                        const std::vector<double>& target, double lr,
+                        ThreadPool* pool = nullptr);
 
   /// \brief One Adam step on full-output squared error. Returns the loss.
-  double TrainMse(const Matrix& x, const Matrix& target, double lr);
+  double TrainMse(const Matrix& x, const Matrix& target, double lr,
+                  ThreadPool* pool = nullptr);
 
   /// \brief Polyak averaging toward `src`: w = (1 - tau) * w + tau * w_src.
   /// Both networks must share the architecture. (Table 1's target update.)
-  void SoftUpdateFrom(const Mlp& src, double tau);
+  void SoftUpdateFrom(const Mlp& src, double tau, ThreadPool* pool = nullptr);
 
   /// \brief Copy all weights from `src` (same architecture required).
   void CopyFrom(const Mlp& src);
@@ -87,10 +92,11 @@ class Mlp {
     std::vector<Matrix> activations;  // per layer input, plus final output
   };
 
-  Matrix ForwardTape(const Matrix& x, Tape* tape) const;
-  void Backward(const Tape& tape, const Matrix& dloss, double lr);
+  Matrix ForwardTape(const Matrix& x, Tape* tape, ThreadPool* pool) const;
+  void Backward(const Tape& tape, const Matrix& dloss, double lr,
+                ThreadPool* pool);
   void AdamStep(Matrix* param, Matrix* m, Matrix* v, const Matrix& grad,
-                double lr);
+                double lr, ThreadPool* pool);
 
   MlpConfig config_;
   std::vector<Layer> layers_;

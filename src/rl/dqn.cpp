@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "telemetry/registry.h"
-#include "util/hash.h"
 #include "util/logging.h"
 
 namespace lpa::rl {
@@ -55,8 +54,7 @@ DqnAgent::DqnAgent(const partition::Featurizer* featurizer,
       actions_(actions),
       config_(std::move(config)),
       replay_(static_cast<size_t>(config_.replay_capacity)),
-      epsilon_(config_.epsilon_start),
-      select_rng_(HashCombine(config_.seed, 0x5e1ec7ULL)) {
+      epsilon_(config_.epsilon_start) {
   nn::MlpConfig net;
   net.input_dim = InputDim();
   net.hidden = config_.hidden;
@@ -130,7 +128,7 @@ void DqnAgent::DecayEpsilon() {
 
 void DqnAgent::Observe(Transition t) { replay_.Add(std::move(t)); }
 
-double DqnAgent::TrainStep(Rng* rng) {
+double DqnAgent::TrainStep(Rng* rng, ThreadPool* pool) {
   if (replay_.size() < static_cast<size_t>(config_.batch_size)) return 0.0;
   auto batch = replay_.Sample(static_cast<size_t>(config_.batch_size), rng);
 
@@ -142,7 +140,7 @@ double DqnAgent::TrainStep(Rng* rng) {
       std::copy(batch[i]->next_enc.begin(), batch[i]->next_enc.end(),
                 next.row(i));
     }
-    nn::Matrix next_q = target_->Forward(next);
+    nn::Matrix next_q = target_->Forward(next, pool);
     for (size_t i = 0; i < batch.size(); ++i) {
       double best = -1e30;
       for (int a : batch[i]->next_legal) {
@@ -158,7 +156,7 @@ double DqnAgent::TrainStep(Rng* rng) {
         auto row = ConcatAction(batch[i]->next_enc, legal[j]);
         std::copy(row.begin(), row.end(), rows.row(j));
       }
-      nn::Matrix out = target_->Forward(rows);
+      nn::Matrix out = target_->Forward(rows, pool);
       double best = -1e30;
       for (size_t j = 0; j < legal.size(); ++j) best = std::max(best, out.at(j, 0));
       targets[i] = batch[i]->reward + config_.gamma * best;
@@ -173,7 +171,7 @@ double DqnAgent::TrainStep(Rng* rng) {
       std::copy(batch[i]->state_enc.begin(), batch[i]->state_enc.end(), x.row(i));
       heads[i] = batch[i]->action_id;
     }
-    loss = q_->TrainMaskedMse(x, heads, targets, config_.learning_rate);
+    loss = q_->TrainMaskedMse(x, heads, targets, config_.learning_rate, pool);
   } else {
     nn::Matrix x(batch.size(), static_cast<size_t>(InputDim()));
     nn::Matrix y(batch.size(), 1);
@@ -182,9 +180,9 @@ double DqnAgent::TrainStep(Rng* rng) {
       std::copy(row.begin(), row.end(), x.row(i));
       y.at(i, 0) = targets[i];
     }
-    loss = q_->TrainMse(x, y, config_.learning_rate);
+    loss = q_->TrainMse(x, y, config_.learning_rate, pool);
   }
-  target_->SoftUpdateFrom(*q_, config_.tau);
+  target_->SoftUpdateFrom(*q_, config_.tau, pool);
   auto& dm = DqnMetrics::Get();
   dm.train_steps.Add();
   dm.loss.Set(loss);

@@ -114,8 +114,9 @@ class DqnAgent {
 
   /// \brief One minibatch SGD step + target soft update (lines 10-13).
   /// No-op until the buffer holds a full batch. Returns the loss (0 if
-  /// skipped).
-  double TrainStep(Rng* rng);
+  /// skipped). `pool` (optional) parallelizes the network forward/backward
+  /// passes; results are bit-identical at every thread count.
+  double TrainStep(Rng* rng, ThreadPool* pool = nullptr);
 
   /// \brief Copy the Q- and target-network weights from another agent with
   /// the same architecture (used to warm-start committee experts from the
@@ -149,7 +150,6 @@ class DqnAgent {
   std::unique_ptr<nn::Mlp> target_;
   ReplayBuffer replay_;
   double epsilon_;
-  mutable Rng select_rng_;
 };
 
 }  // namespace lpa::rl

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "partition/partition_state.h"
+#include "util/eval_context.h"
 #include "workload/workload.h"
 
 namespace lpa::rl {
@@ -25,8 +26,20 @@ class PartitioningEnv {
 
   /// \brief Frequency-weighted workload cost `sum_j f_j * c(P, q_j)`.
   /// Entries with zero frequency are skipped (and never executed).
+  ///
+  /// When `ctx` carries a thread pool and the environment reports
+  /// SupportsParallelEval(), per-query costs are evaluated concurrently;
+  /// each cost lands in its query's slot and the weighted sum is reduced in
+  /// query order, so the result is bit-identical to the serial loop.
   virtual double WorkloadCost(const partition::PartitioningState& state,
-                              const std::vector<double>& frequencies);
+                              const std::vector<double>& frequencies,
+                              EvalContext* ctx = nullptr);
+
+  /// \brief Whether QueryCost may be called from multiple threads at once.
+  /// Environments with per-call mutable state (the online env deploys
+  /// designs and accounts runtimes) must return false; they are always
+  /// evaluated serially regardless of the context's thread count.
+  virtual bool SupportsParallelEval() const { return false; }
 };
 
 }  // namespace lpa::rl

@@ -24,12 +24,37 @@ struct OfflineEnvMetrics {
 }  // namespace
 
 double PartitioningEnv::WorkloadCost(const partition::PartitioningState& state,
-                                     const std::vector<double>& frequencies) {
+                                     const std::vector<double>& frequencies,
+                                     EvalContext* ctx) {
+  const int num_queries = workload().num_queries();
+  auto freq_at = [&frequencies](int j) {
+    return j < static_cast<int>(frequencies.size())
+               ? frequencies[static_cast<size_t>(j)]
+               : 0.0;
+  };
+  if (ctx != nullptr && ctx->pool() != nullptr && SupportsParallelEval()) {
+    // Fan out: each query's cost lands in its own slot, then the weighted
+    // sum runs in query order — bit-identical to the serial loop below.
+    std::vector<double> costs(static_cast<size_t>(num_queries), 0.0);
+    ctx->pool()->ParallelFor(
+        static_cast<size_t>(num_queries), 1, [&](size_t begin, size_t end) {
+          for (size_t j = begin; j < end; ++j) {
+            double f = freq_at(static_cast<int>(j));
+            if (f <= 0.0) continue;
+            costs[j] = QueryCost(static_cast<int>(j), state, f);
+          }
+        });
+    double total = 0.0;
+    for (int j = 0; j < num_queries; ++j) {
+      double f = freq_at(j);
+      if (f <= 0.0) continue;
+      total += f * costs[static_cast<size_t>(j)];
+    }
+    return total;
+  }
   double total = 0.0;
-  for (int j = 0; j < workload().num_queries(); ++j) {
-    double f = j < static_cast<int>(frequencies.size())
-                   ? frequencies[static_cast<size_t>(j)]
-                   : 0.0;
+  for (int j = 0; j < num_queries; ++j) {
+    double f = freq_at(j);
     if (f <= 0.0) continue;
     total += f * QueryCost(j, state, f);
   }
@@ -51,19 +76,27 @@ const std::vector<schema::TableId>& OfflineEnv::QueryTables(int query_index) {
 double OfflineEnv::QueryCost(int query_index,
                              const partition::PartitioningState& state,
                              double /*frequency*/) {
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   OfflineEnvMetrics::Get().evals.Add();
   std::string key = std::to_string(query_index) + "|" +
                     state.PhysicalDesignKey(QueryTables(query_index));
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    ++hits_;
+  if (auto hit = cache_.Lookup(key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     OfflineEnvMetrics::Get().cache_hits.Add();
-    return it->second;
+    return *hit;
   }
   double cost = model_->QueryCost(workload_->query(query_index), state);
-  cache_.emplace(std::move(key), cost);
+  cache_.Insert(key, cost);
   return cost;
+}
+
+double OfflineEnv::WorkloadCost(const partition::PartitioningState& state,
+                                const std::vector<double>& frequencies,
+                                EvalContext* ctx) {
+  // Pre-grow the lazily-built per-query table lists on this thread so the
+  // parallel fan-out below only ever reads them.
+  if (workload_->num_queries() > 0) QueryTables(workload_->num_queries() - 1);
+  return PartitioningEnv::WorkloadCost(state, frequencies, ctx);
 }
 
 }  // namespace lpa::rl

@@ -1,7 +1,8 @@
 #pragma once
 
-#include <unordered_map>
+#include <atomic>
 
+#include "costmodel/cost_cache.h"
 #include "costmodel/cost_model.h"
 #include "rl/environment.h"
 
@@ -10,10 +11,14 @@ namespace lpa::rl {
 /// \brief Offline-training environment (Sec 4.1): rewards come from the
 /// network-centric cost model `cm(P, q)`; no database is touched.
 ///
-/// Query costs are cached by (query, physical design restricted to the
-/// query's tables) — the same key structure as the online Query Runtime
-/// Cache, exploiting that a query's cost only depends on the states of the
-/// tables it references.
+/// Query costs are memoized in a sharded LRU CostCache keyed by (query,
+/// physical design restricted to the query's tables) — the same key
+/// structure as the online Query Runtime Cache, exploiting that a query's
+/// cost only depends on the states of the tables it references.
+///
+/// The cost model is stateless, so this environment supports parallel
+/// evaluation: WorkloadCost fans per-query costs out across the context's
+/// thread pool.
 class OfflineEnv : public PartitioningEnv {
  public:
   OfflineEnv(const costmodel::CostModel* model,
@@ -24,21 +29,31 @@ class OfflineEnv : public PartitioningEnv {
   double QueryCost(int query_index, const partition::PartitioningState& state,
                    double frequency) override;
 
+  double WorkloadCost(const partition::PartitioningState& state,
+                      const std::vector<double>& frequencies,
+                      EvalContext* ctx = nullptr) override;
+
+  bool SupportsParallelEval() const override { return true; }
+
   size_t cache_size() const { return cache_.size(); }
-  size_t cache_hits() const { return hits_; }
-  size_t evaluations() const { return evaluations_; }
+  size_t cache_hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Tables referenced per query (cache-key scope); grown lazily so the
   /// workload may gain queries after construction (incremental training).
+  /// Growth is NOT thread-safe — WorkloadCost pre-grows the table before
+  /// fanning out, so concurrent QueryCost calls only read.
   const std::vector<schema::TableId>& QueryTables(int query_index);
 
   const costmodel::CostModel* model_;
   const workload::Workload* workload_;
   std::vector<std::vector<schema::TableId>> query_tables_;
-  std::unordered_map<std::string, double> cache_;
-  size_t hits_ = 0;
-  size_t evaluations_ = 0;
+  costmodel::CostCache cache_;
+  std::atomic<size_t> hits_{0};
+  std::atomic<size_t> evaluations_{0};
 };
 
 }  // namespace lpa::rl

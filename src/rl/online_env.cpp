@@ -115,11 +115,12 @@ double OnlineEnv::QueryCost(int query_index,
 }
 
 double OnlineEnv::WorkloadCost(const partition::PartitioningState& state,
-                               const std::vector<double>& frequencies) {
+                               const std::vector<double>& frequencies,
+                               EvalContext* ctx) {
   if (!options_.use_lazy_repartitioning) {
     accounting_.repartition_seconds += cluster_->ApplyDesign(state);
   }
-  double total = PartitioningEnv::WorkloadCost(state, frequencies);
+  double total = PartitioningEnv::WorkloadCost(state, frequencies, ctx);
   if (best_cost_ < 0.0 || total < best_cost_) best_cost_ = total;
   return total;
 }

@@ -54,9 +54,12 @@ class OnlineEnv : public PartitioningEnv {
 
   /// \brief WorkloadCost override: without lazy repartitioning the full
   /// design is deployed eagerly before any query runs; it also maintains the
-  /// best-known workload cost used by the timeout rule.
+  /// best-known workload cost used by the timeout rule. The online env
+  /// mutates cluster state per query, so it never parallelizes (the base
+  /// class honours SupportsParallelEval() = false and `ctx` is unused).
   double WorkloadCost(const partition::PartitioningState& state,
-                      const std::vector<double>& frequencies) override;
+                      const std::vector<double>& frequencies,
+                      EvalContext* ctx = nullptr) override;
 
   const OnlineAccounting& accounting() const { return accounting_; }
   const OnlineEnvOptions& options() const { return options_; }

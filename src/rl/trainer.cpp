@@ -1,6 +1,7 @@
 #include "rl/trainer.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
@@ -45,21 +46,24 @@ EpisodeTrainer::EpisodeTrainer(const schema::Schema* schema,
       actions_(actions),
       featurizer_(featurizer) {}
 
-double EpisodeTrainer::Normalization(PartitioningEnv* env) const {
+double EpisodeTrainer::Normalization(PartitioningEnv* env,
+                                     EvalContext* ctx) const {
   std::vector<double> uniform(
       static_cast<size_t>(env->workload().num_queries()), 1.0);
-  double norm = env->WorkloadCost(InitialState(), uniform);
+  double norm = env->WorkloadCost(InitialState(), uniform, ctx);
   LPA_CHECK(norm > 0.0);
   return norm;
 }
 
 TrainingResult EpisodeTrainer::Train(DqnAgent* agent, PartitioningEnv* env,
                                      const FrequencySampler& sampler,
-                                     int episodes, Rng* rng) const {
+                                     int episodes, EvalContext* ctx) const {
+  LPA_CHECK(ctx != nullptr);
   telemetry::Span span("rl.train");
   auto& tm = TrainerMetrics::Get();
+  Rng* rng = ctx->rng();
   TrainingResult result;
-  result.normalization = Normalization(env);
+  result.normalization = Normalization(env, ctx);
   const int tmax = agent->config().tmax;
   LPA_CHECK(tmax >= schema_->num_tables());
 
@@ -73,7 +77,7 @@ TrainingResult EpisodeTrainer::Train(DqnAgent* agent, PartitioningEnv* env,
     for (int t = 0; t < tmax; ++t) {
       int action = agent->SelectAction(enc, legal, rng);  // line 6
       LPA_CHECK(actions_->Apply(action, &state).ok());    // line 7
-      double cost = env->WorkloadCost(state, freqs);      // line 8
+      double cost = env->WorkloadCost(state, freqs, ctx);  // line 8
       double reward = 1.0 - cost / result.normalization;
       episode_best = std::max(episode_best, reward);
 
@@ -81,7 +85,8 @@ TrainingResult EpisodeTrainer::Train(DqnAgent* agent, PartitioningEnv* env,
       std::vector<int> next_legal = actions_->LegalActions(state);
       agent->Observe(
           Transition{std::move(enc), action, reward, next_enc, next_legal});
-      agent->TrainStep(rng);  // lines 10-11 (+ soft target update, line 13)
+      // lines 10-11 (+ soft target update, line 13)
+      agent->TrainStep(rng, ctx->pool());
       enc = std::move(next_enc);
       legal = std::move(next_legal);
       ++result.steps;
@@ -133,13 +138,61 @@ void Rollout(const DqnAgent& agent,
   }
 }
 
+/// Runs `extra_rollouts` ε-randomized rollouts and folds the best state into
+/// `result`. Each rollout draws from its own sub-RNG forked from `ctx` by a
+/// single master draw, keeps a local best, and the locals are merged into
+/// `result` in rollout-index order with a strict `<` — so the outcome is
+/// identical whether the rollouts ran serially or on the pool.
+void ExtraRollouts(const DqnAgent& agent,
+                   const EpisodeTrainer::StateObjective& objective,
+                   const std::vector<double>& frequencies,
+                   const partition::Featurizer& featurizer,
+                   const partition::ActionSpace& actions,
+                   const partition::PartitioningState& s0, int extra_rollouts,
+                   double epsilon, EvalContext* ctx, bool parallel_ok,
+                   InferenceResult* result) {
+  if (extra_rollouts <= 0) return;
+  if (ctx == nullptr) {
+    // No context: legacy serial greedy extras (no exploration randomness).
+    for (int i = 0; i < extra_rollouts; ++i) {
+      Rollout(agent, objective, frequencies, featurizer, actions, epsilon,
+              nullptr, /*record_actions=*/false, result, s0);
+    }
+    return;
+  }
+  std::vector<Rng> rngs = ctx->ForkRngs(static_cast<size_t>(extra_rollouts));
+  std::vector<InferenceResult> locals(
+      static_cast<size_t>(extra_rollouts),
+      InferenceResult{s0, std::numeric_limits<double>::infinity(), {}});
+  auto run_one = [&](size_t i) {
+    Rollout(agent, objective, frequencies, featurizer, actions, epsilon,
+            &rngs[i], /*record_actions=*/false, &locals[i], s0);
+  };
+  if (parallel_ok && ctx->pool() != nullptr) {
+    ctx->pool()->ParallelForEach(static_cast<size_t>(extra_rollouts), 1,
+                                 run_one);
+  } else {
+    for (size_t i = 0; i < static_cast<size_t>(extra_rollouts); ++i) {
+      run_one(i);
+    }
+  }
+  for (const InferenceResult& local : locals) {
+    if (local.best_cost < result->best_cost) {
+      result->best_cost = local.best_cost;
+      result->best_state = local.best_state;
+    }
+  }
+}
+
 }  // namespace
 
-InferenceResult EpisodeTrainer::Infer(
-    const DqnAgent& agent, PartitioningEnv* env,
-    const std::vector<double>& frequencies) const {
-  auto objective = [env, &frequencies](const partition::PartitioningState& s) {
-    return env->WorkloadCost(s, frequencies);
+InferenceResult EpisodeTrainer::Infer(const DqnAgent& agent,
+                                      PartitioningEnv* env,
+                                      const std::vector<double>& frequencies,
+                                      EvalContext* ctx) const {
+  auto objective = [env, &frequencies,
+                    ctx](const partition::PartitioningState& s) {
+    return env->WorkloadCost(s, frequencies, ctx);
   };
   partition::PartitioningState state = InitialState();
   InferenceResult result{state, objective(state), {}};
@@ -151,31 +204,31 @@ InferenceResult EpisodeTrainer::Infer(
 InferenceResult EpisodeTrainer::InferBest(
     const DqnAgent& agent, PartitioningEnv* env,
     const std::vector<double>& frequencies, int extra_rollouts, double epsilon,
-    Rng* rng) const {
+    EvalContext* ctx) const {
+  InferenceResult result = Infer(agent, env, frequencies, ctx);
+  // Inside a parallel rollout each WorkloadCost call must not itself fan out
+  // onto sibling rollouts' frequencies, so the extras price states without a
+  // context; per-query costs still hit the (thread-safe) offline cache.
   auto objective = [env, &frequencies](const partition::PartitioningState& s) {
     return env->WorkloadCost(s, frequencies);
   };
-  InferenceResult result = Infer(agent, env, frequencies);
-  partition::PartitioningState s0 = InitialState();
-  for (int i = 0; i < extra_rollouts; ++i) {
-    Rollout(agent, objective, frequencies, *featurizer_, *actions_, epsilon,
-            rng, /*record_actions=*/false, &result, s0);
-  }
+  ExtraRollouts(agent, objective, frequencies, *featurizer_, *actions_,
+                InitialState(), extra_rollouts, epsilon, ctx,
+                /*parallel_ok=*/env->SupportsParallelEval(), &result);
   return result;
 }
 
 InferenceResult EpisodeTrainer::InferObjective(
     const DqnAgent& agent, const std::vector<double>& frequencies,
     const StateObjective& objective, int extra_rollouts, double epsilon,
-    Rng* rng) const {
+    EvalContext* ctx) const {
   partition::PartitioningState state = InitialState();
   InferenceResult result{state, objective(state), {}};
   Rollout(agent, objective, frequencies, *featurizer_, *actions_, 0.0, nullptr,
           /*record_actions=*/true, &result, state);
-  for (int i = 0; i < extra_rollouts; ++i) {
-    Rollout(agent, objective, frequencies, *featurizer_, *actions_, epsilon,
-            rng, /*record_actions=*/false, &result, InitialState());
-  }
+  ExtraRollouts(agent, objective, frequencies, *featurizer_, *actions_,
+                InitialState(), extra_rollouts, epsilon, ctx,
+                /*parallel_ok=*/true, &result);
   return result;
 }
 

@@ -33,6 +33,14 @@ struct InferenceResult {
 
 /// \brief Runs Algorithm 1 (and its online refinement variant) against any
 /// PartitioningEnv, and the Sec 6 inference rollout.
+///
+/// All entry points take an `EvalContext` carrying the thread pool, the RNG
+/// stream, and the metrics sink. With `ctx->pool()` set and an environment
+/// that `SupportsParallelEval()`, per-step workload costs fan out over
+/// queries and the extra inference rollouts run concurrently — each rollout
+/// on its own forked sub-RNG derived from a single master draw, with results
+/// merged in rollout-index order, so a seeded run is bit-identical at every
+/// thread count.
 class EpisodeTrainer {
  public:
   EpisodeTrainer(const schema::Schema* schema, const partition::EdgeSet* edges,
@@ -42,41 +50,48 @@ class EpisodeTrainer {
   /// \brief Train `agent` for `episodes` episodes of `agent->config().tmax`
   /// steps each. Rewards are `1 - cost/normalization`, an affine (and thus
   /// policy-preserving) transform of the paper's negative-cost reward.
+  /// `ctx` must be non-null; episode sampling and ε-greedy exploration draw
+  /// from `ctx->rng()`.
   TrainingResult Train(DqnAgent* agent, PartitioningEnv* env,
                        const FrequencySampler& sampler, int episodes,
-                       Rng* rng) const;
+                       EvalContext* ctx) const;
 
   /// \brief Greedy rollout from s0; returns the best-reward state on the
   /// trajectory, not the final state (the agent oscillates around the
-  /// optimum, Sec 6).
+  /// optimum, Sec 6). `ctx` (optional) parallelizes the per-state workload
+  /// cost over queries.
   InferenceResult Infer(const DqnAgent& agent, PartitioningEnv* env,
-                        const std::vector<double>& frequencies) const;
+                        const std::vector<double>& frequencies,
+                        EvalContext* ctx = nullptr) const;
 
   /// \brief Extension of Sec 6's inference: one greedy rollout plus
   /// `extra_rollouts` lightly randomized (ε = `epsilon`) rollouts, returning
   /// the best state visited by any of them. All rollouts are priced by the
   /// environment (the offline simulation / the runtime cache), so the extra
   /// rollouts cost no cluster time; they merely smooth over the greedy
-  /// policy's oscillation on large schemas.
+  /// policy's oscillation on large schemas. The extra rollouts run in
+  /// parallel when `ctx` has a pool and the environment supports it.
   InferenceResult InferBest(const DqnAgent& agent, PartitioningEnv* env,
                             const std::vector<double>& frequencies,
                             int extra_rollouts, double epsilon,
-                            Rng* rng) const;
+                            EvalContext* ctx) const;
 
   /// \brief Like InferBest, but states are ranked by a caller-supplied
   /// objective instead of the plain environment cost — e.g. workload cost
   /// plus a weighted repartitioning cost from the currently deployed design
-  /// (the reward extension discussed at the end of Sec 3.2).
+  /// (the reward extension discussed at the end of Sec 3.2). When `ctx` has
+  /// a pool the extra rollouts run concurrently, so `objective` must be
+  /// safe to call from multiple threads.
   using StateObjective = std::function<double(const partition::PartitioningState&)>;
   InferenceResult InferObjective(const DqnAgent& agent,
                                  const std::vector<double>& frequencies,
                                  const StateObjective& objective,
                                  int extra_rollouts, double epsilon,
-                                 Rng* rng) const;
+                                 EvalContext* ctx) const;
 
   /// \brief Workload cost of the initial state under a uniform mix — the
   /// reward normalizer.
-  double Normalization(PartitioningEnv* env) const;
+  double Normalization(PartitioningEnv* env, EvalContext* ctx = nullptr) const;
 
   partition::PartitioningState InitialState() const {
     return partition::PartitioningState::Initial(schema_, edges_);

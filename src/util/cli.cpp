@@ -1,0 +1,143 @@
+#include "util/cli.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace lpa::cli {
+
+void FlagParser::Add(Flag flag) { flags_.push_back(std::move(flag)); }
+
+void FlagParser::AddString(const std::string& name, const std::string& help,
+                           std::string* out) {
+  Add(Flag{name, help, Kind::kString, out, false});
+}
+
+void FlagParser::AddInt(const std::string& name, const std::string& help,
+                        int* out) {
+  Add(Flag{name, help, Kind::kInt, out, false});
+}
+
+void FlagParser::AddUint64(const std::string& name, const std::string& help,
+                           uint64_t* out) {
+  Add(Flag{name, help, Kind::kUint64, out, false});
+}
+
+void FlagParser::AddBool(const std::string& name, const std::string& help,
+                         bool* out) {
+  Add(Flag{name, help, Kind::kBool, out, false});
+}
+
+void FlagParser::AddAlias(const std::string& alias, const std::string& name) {
+  Flag* target = Find(name);
+  if (target == nullptr) return;
+  Add(Flag{alias, target->help, target->kind, target->out, true});
+}
+
+FlagParser::Flag* FlagParser::Find(const std::string& name) {
+  for (auto& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool FlagParser::Parse(int argc, char** argv, std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      *error = "unexpected argument: " + arg;
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    Flag* flag = Find(name);
+    if (flag == nullptr) {
+      *error = "unknown flag: --" + name;
+      return false;
+    }
+    if (flag->kind == Kind::kBool) {
+      if (has_value) {
+        *error = "--" + name + " takes no value";
+        return false;
+      }
+      *static_cast<bool*>(flag->out) = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        *error = "--" + name + " requires a value";
+        return false;
+      }
+      value = argv[++i];
+    }
+    errno = 0;
+    char* end = nullptr;
+    switch (flag->kind) {
+      case Kind::kString:
+        *static_cast<std::string*>(flag->out) = value;
+        break;
+      case Kind::kInt: {
+        long v = std::strtol(value.c_str(), &end, 10);
+        if (errno != 0 || end == value.c_str() || *end != '\0') {
+          *error = "--" + name + " expects an integer, got '" + value + "'";
+          return false;
+        }
+        *static_cast<int*>(flag->out) = static_cast<int>(v);
+        break;
+      }
+      case Kind::kUint64: {
+        unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+        if (errno != 0 || end == value.c_str() || *end != '\0') {
+          *error = "--" + name + " expects an integer, got '" + value + "'";
+          return false;
+        }
+        *static_cast<uint64_t*>(flag->out) = static_cast<uint64_t>(v);
+        break;
+      }
+      case Kind::kBool:
+        break;  // handled above
+    }
+  }
+  return true;
+}
+
+std::string FlagParser::Usage(const char* argv0) const {
+  std::string usage = "usage: ";
+  usage += argv0;
+  for (const auto& flag : flags_) {
+    if (flag.hidden) continue;
+    usage += " [--" + flag.name;
+    if (flag.kind != Kind::kBool) usage += " <" + flag.help + ">";
+    usage += "]";
+  }
+  usage += "\n";
+  return usage;
+}
+
+void CommonOptions::Register(FlagParser* parser) {
+  parser->AddInt("threads", "evaluation threads (1 = serial)", &threads);
+  parser->AddUint64("seed", "base RNG seed", &seed);
+  parser->AddString("profile", "disk|memory", &profile);
+  parser->AddBool("metrics", "print telemetry table", &metrics);
+  parser->AddString("metrics-json", "file", &metrics_json);
+}
+
+bool CommonOptions::Validate(std::string* error) const {
+  if (threads < 1) {
+    *error = "--threads must be >= 1";
+    return false;
+  }
+  if (profile != "disk" && profile != "memory") {
+    *error = "--profile must be disk or memory";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace lpa::cli

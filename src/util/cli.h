@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lpa::cli {
+
+/// \brief Minimal declarative flag parser shared by the lpa binaries
+/// (tools/lpa_advise, examples/advisor_service, the benches).
+///
+/// Flags are registered as pointers to caller-owned storage that already
+/// holds the default; `Parse` accepts both `--name value` and `--name=value`
+/// (bool flags take no value). Unknown flags, missing values, and malformed
+/// numbers fail with a message suitable for stderr.
+class FlagParser {
+ public:
+  void AddString(const std::string& name, const std::string& help,
+                 std::string* out);
+  void AddInt(const std::string& name, const std::string& help, int* out);
+  void AddUint64(const std::string& name, const std::string& help,
+                 uint64_t* out);
+  /// Presence flag: `--name` sets *out to true.
+  void AddBool(const std::string& name, const std::string& help, bool* out);
+
+  /// \brief Register `name` as an alias of an already-added flag (e.g.
+  /// `--engine` for `--profile`). Aliases parse but do not show in Usage().
+  void AddAlias(const std::string& alias, const std::string& name);
+
+  /// \brief Parse argv[1..). On failure returns false and sets *error.
+  bool Parse(int argc, char** argv, std::string* error);
+
+  /// \brief One-line usage string: `usage: argv0 [--flag ...] ...`.
+  std::string Usage(const char* argv0) const;
+
+ private:
+  enum class Kind { kString, kInt, kUint64, kBool };
+  struct Flag {
+    std::string name;  // without the leading "--"
+    std::string help;
+    Kind kind = Kind::kString;
+    void* out = nullptr;
+    bool hidden = false;  // aliases don't show in Usage()
+  };
+
+  Flag* Find(const std::string& name);
+  void Add(Flag flag);
+
+  std::vector<Flag> flags_;
+};
+
+/// \brief The flags every lpa binary shares: evaluation-engine threading,
+/// seeding, the engine profile, and telemetry export.
+struct CommonOptions {
+  /// Threads of the parallel evaluation engine (EvalContext). 1 = serial.
+  int threads = 1;
+  uint64_t seed = 42;
+  /// Engine profile: "disk" (Postgres-XL-like) or "memory" (System-X-like).
+  std::string profile = "disk";
+  bool metrics = false;
+  std::string metrics_json;
+
+  /// \brief Register --threads, --seed, --profile, --metrics and
+  /// --metrics-json on `parser`.
+  void Register(FlagParser* parser);
+
+  /// \brief Validate post-parse invariants (threads >= 1, known profile).
+  /// Returns false and sets *error on violation.
+  bool Validate(std::string* error) const;
+};
+
+}  // namespace lpa::cli

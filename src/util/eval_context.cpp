@@ -1,0 +1,57 @@
+#include "util/eval_context.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace lpa {
+
+EvalContext::EvalContext(Options opts)
+    : opts_(opts), rng_(opts.seed) {
+  opts_.threads = std::max(opts_.threads, 1);
+  if (opts_.threads > 1) {
+    // Caller participates in every region, so T threads total needs T-1
+    // workers.
+    pool_ = std::make_unique<ThreadPool>(opts_.threads - 1);
+  }
+}
+
+EvalContext::EvalContext(int threads, uint64_t seed)
+    : EvalContext(Options{threads, seed, nullptr}) {}
+
+EvalContext::EvalContext(ThreadPool* shared_pool, uint64_t seed,
+                         telemetry::MetricsRegistry* metrics)
+    : opts_{shared_pool != nullptr ? shared_pool->num_workers() + 1 : 1, seed,
+            metrics},
+      shared_pool_(shared_pool),
+      rng_(seed) {}
+
+EvalContext::~EvalContext() = default;
+
+std::vector<Rng> EvalContext::ForkRngs(size_t n) {
+  uint64_t base = rng_.generator()();
+  std::vector<Rng> rngs;
+  rngs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rngs.emplace_back(HashCombine(base, static_cast<uint64_t>(i)));
+  }
+  return rngs;
+}
+
+void EvalContext::ParallelFor(size_t n, size_t min_chunk,
+                              const std::function<void(size_t, size_t)>& fn) {
+  if (pool_) {
+    pool_->ParallelFor(n, min_chunk, fn);
+  } else if (n > 0) {
+    fn(0, n);
+  }
+}
+
+void EvalContext::ParallelForEach(size_t n, size_t min_chunk,
+                                  const std::function<void(size_t)>& fn) {
+  ParallelFor(n, min_chunk, [&fn](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace lpa

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace lpa::telemetry {
+class MetricsRegistry;
+}  // namespace lpa::telemetry
+
+namespace lpa {
+
+/// \brief Execution context for the evaluation engine: thread pool + RNG +
+/// metrics sink, bundled into the one handle that `TrainOffline` /
+/// `TrainOnline` / `Suggest` and the benchmarks accept.
+///
+/// Replaces the previous scattered plumbing (raw `Rng*` parameters, implicit
+/// global metrics). The defaults — `threads = 1`, `seed = 42` — reproduce the
+/// former serial behaviour exactly: no pool is created and every parallel
+/// region runs inline on the caller.
+///
+/// Threading model: with `threads = T > 1` the context owns a ThreadPool of
+/// `T - 1` workers and the calling thread participates in every parallel
+/// region (caller-runs), so exactly T threads compute. Determinism is by
+/// construction, not by luck: parallel regions map fixed index ranges to
+/// chunks (see ThreadPool::ParallelFor) and per-task RNG streams are derived
+/// with ForkRngs() from a single serial draw, so seeded runs are bit-identical
+/// at any thread count.
+///
+/// The metrics pointer is optional; components that link `lpa_telemetry` fall
+/// back to `telemetry::MetricsRegistry::Global()` when it is null. (It is a
+/// forward-declared pointer here because `lpa_util` sits below the telemetry
+/// library in the link order.)
+class EvalContext {
+ public:
+  struct Options {
+    /// Total threads participating in parallel regions (including the
+    /// caller). 1 = fully serial, no pool allocated.
+    int threads = 1;
+    /// Base seed for this context's RNG stream.
+    uint64_t seed = 42;
+    /// Metrics sink; null means "use the process-global registry".
+    telemetry::MetricsRegistry* metrics = nullptr;
+  };
+
+  EvalContext() : EvalContext(Options{}) {}
+  explicit EvalContext(Options opts);
+  /// \brief Convenience: `EvalContext(threads, seed)`.
+  explicit EvalContext(int threads, uint64_t seed = 42);
+  /// \brief Child context: borrows `shared_pool` (may be null = serial)
+  /// instead of owning one, with its own RNG stream. Used to give each of
+  /// several concurrent evaluations (committee experts, bench scenarios) an
+  /// independent deterministic RNG while they share one set of workers.
+  EvalContext(ThreadPool* shared_pool, uint64_t seed,
+              telemetry::MetricsRegistry* metrics = nullptr);
+  ~EvalContext();
+
+  EvalContext(const EvalContext&) = delete;
+  EvalContext& operator=(const EvalContext&) = delete;
+
+  int threads() const { return opts_.threads; }
+  uint64_t seed() const { return opts_.seed; }
+  telemetry::MetricsRegistry* metrics() const { return opts_.metrics; }
+
+  /// \brief The pool parallel regions run on — owned, or borrowed from the
+  /// parent context for child contexts; nullptr when serial.
+  ThreadPool* pool() const {
+    return shared_pool_ != nullptr ? shared_pool_ : pool_.get();
+  }
+
+  /// \brief This context's serial RNG stream. Only ever advance it from the
+  /// orchestrating thread; parallel tasks must use ForkRngs() streams.
+  Rng* rng() { return &rng_; }
+
+  /// \brief Derive `n` independent deterministic sub-generators from ONE
+  /// serial draw on rng(). Task i gets `Rng(HashCombine(base, i))`, so the
+  /// master stream advances by exactly one draw regardless of n or thread
+  /// count — the foundation of bit-identical parallel rollouts.
+  std::vector<Rng> ForkRngs(size_t n);
+
+  /// \brief Run `fn(begin, end)` over [0, n): on the pool when present,
+  /// inline otherwise. Chunk→range mapping is scheduling-independent.
+  void ParallelFor(size_t n, size_t min_chunk,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// \brief Element-wise form of ParallelFor.
+  void ParallelForEach(size_t n, size_t min_chunk,
+                       const std::function<void(size_t)>& fn);
+
+ private:
+  Options opts_;
+  std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* shared_pool_ = nullptr;
+  Rng rng_;
+};
+
+}  // namespace lpa

@@ -1,0 +1,121 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace lpa {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+/// Shared state of one ParallelFor call. Helpers hold it via shared_ptr so a
+/// helper that runs after the caller returned (region already drained) still
+/// touches valid memory.
+struct ThreadPool::Region {
+  size_t n = 0;
+  size_t chunk = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+};
+
+ThreadPool::ThreadPool(int workers) {
+  workers_.reserve(static_cast<size_t>(std::max(workers, 0)));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  // With zero workers, tasks submitted but never helped must still run so
+  // their futures don't dangle.
+  while (!queue_.empty()) {
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    task();
+  }
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker; }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::DrainRegion(Region* region) {
+  for (;;) {
+    size_t c = region->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= region->num_chunks) return;
+    size_t begin = c * region->chunk;
+    size_t end = std::min(region->n, begin + region->chunk);
+    (*region->fn)(begin, end);
+    region->done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t min_chunk,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  min_chunk = std::max<size_t>(min_chunk, 1);
+  size_t parallelism = static_cast<size_t>(num_workers()) + 1;
+  size_t num_chunks =
+      std::min(parallelism, (n + min_chunk - 1) / min_chunk);
+  if (num_chunks <= 1 || workers_.empty()) {
+    fn(0, n);
+    return;
+  }
+  auto region = std::make_shared<Region>();
+  region->n = n;
+  region->chunk = (n + num_chunks - 1) / num_chunks;
+  region->num_chunks = (n + region->chunk - 1) / region->chunk;
+  region->fn = &fn;
+
+  size_t helpers = std::min(static_cast<size_t>(num_workers()),
+                            region->num_chunks - 1);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) {
+      queue_.push_back([region]() { DrainRegion(region.get()); });
+    }
+  }
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+
+  DrainRegion(region.get());
+  // All chunks are claimed; any still running belong to active helpers and
+  // finish within one chunk's work — spin with yields rather than sleeping.
+  while (region->done.load(std::memory_order_acquire) < region->num_chunks) {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace lpa

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lpa {
+
+/// \brief Fixed-size thread pool behind the parallel evaluation engine.
+///
+/// Deliberately work-stealing-free: one shared FIFO task queue feeds a fixed
+/// set of workers. Two entry points:
+///
+///  * Submit(fn)      — enqueue one task, get a std::future for its result.
+///  * ParallelFor(..) — run an index range cooperatively and block until done.
+///
+/// ParallelFor is *caller-runs*: the calling thread claims chunks itself and
+/// idle workers merely help via cheap "helper" tasks, so a ParallelFor issued
+/// from inside a pool task (nested parallelism) always makes progress and can
+/// never deadlock — if every worker is busy, the caller simply executes all
+/// chunks inline. Helpers that arrive after the region drained no-op.
+///
+/// Determinism: ParallelFor assigns chunk c the fixed index range
+/// [c*chunk, min(n, (c+1)*chunk)); which thread runs a chunk never affects
+/// which indices it covers, so any computation whose chunks write disjoint
+/// outputs is bit-identical at every thread count (including zero workers).
+class ThreadPool {
+ public:
+  /// \brief Spawn `workers` worker threads (0 is allowed: every ParallelFor
+  /// then runs inline on the caller and Submit runs tasks on `Wait`-ers /
+  /// the destructor — callers normally avoid 0 via EvalContext).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// \brief Enqueue one task; the future carries its return value.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  /// \brief Run fn(begin, end) over disjoint chunks covering [0, n), each at
+  /// least `min_chunk` indices (except the last), and block until all chunks
+  /// finished. The caller participates; chunk→range mapping is fixed, so
+  /// results are independent of scheduling.
+  void ParallelFor(size_t n, size_t min_chunk,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// \brief Convenience element-wise form of ParallelFor.
+  void ParallelForEach(size_t n, size_t min_chunk,
+                       const std::function<void(size_t)>& fn) {
+    ParallelFor(n, min_chunk, [&fn](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+
+  /// \brief True on a pool worker thread (of any pool).
+  static bool OnWorkerThread();
+
+ private:
+  struct Region;
+
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+  /// Claim and run chunks of `region` until none remain.
+  static void DrainRegion(Region* region);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lpa

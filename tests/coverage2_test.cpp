@@ -176,9 +176,9 @@ TEST(TrainerBookkeeping, NormalizationAndStepCounts) {
   config.tmax = 7;
   config.seed = 3;
   rl::DqnAgent agent(&feat, &actions, config);
-  Rng rng(5);
+  EvalContext ctx(/*threads=*/1, /*seed=*/5);
   auto sampler = [](Rng*) { return std::vector<double>(13, 1.0); };
-  auto result = trainer.Train(&agent, &env, sampler, 4, &rng);
+  auto result = trainer.Train(&agent, &env, sampler, 4, &ctx);
   EXPECT_EQ(result.steps, 4u * 7u);
   EXPECT_EQ(result.episode_best_rewards.size(), 4u);
   // Rewards are 1 - cost/norm: bounded above by 1.
@@ -197,9 +197,9 @@ TEST(TrainerBookkeeping, TmaxBelowTableCountAborts) {
   rl::DqnConfig config;
   config.tmax = 3;  // < 12 tables: any-state reachability broken
   rl::DqnAgent agent(&feat, &actions, config);
-  Rng rng(5);
+  EvalContext ctx(/*threads=*/1, /*seed=*/5);
   auto sampler = [](Rng*) { return std::vector<double>(22, 1.0); };
-  EXPECT_DEATH(trainer.Train(&agent, &env, sampler, 1, &rng), "tmax");
+  EXPECT_DEATH(trainer.Train(&agent, &env, sampler, 1, &ctx), "tmax");
 }
 
 }  // namespace

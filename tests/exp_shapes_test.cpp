@@ -112,7 +112,7 @@ TEST(ExpShapes, OnlinePhaseNeverWorsensAndSpendsAccountedTime) {
       engine::EngineConfig{HardwareProfile::DiskBased10G(), 0.0, 43},
       bed.planner.get());
   rl::OnlineEnv env(&sample, &advisor->workload(), {}, rl::OnlineEnvOptions{});
-  advisor->set_online_episodes(60);
+  advisor->mutable_config().online_episodes = 60;
   advisor->TrainOnline(&env);
   EXPECT_GT(env.best_known_cost(), 0.0);  // r_offline seeded the timeouts
   EXPECT_GT(env.accounting().cache_hits, env.accounting().queries_executed);

@@ -1,0 +1,315 @@
+// Tests for the parallel evaluation engine: ThreadPool scheduling,
+// EvalContext RNG forking, end-to-end determinism of seeded training across
+// thread counts, the sharded cost cache, and the shared CLI flag parser.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "costmodel/cost_cache.h"
+#include "rl/offline_env.h"
+#include "schema/catalogs.h"
+#include "util/cli.h"
+#include "util/eval_context.h"
+#include "util/thread_pool.h"
+#include "workload/benchmarks.h"
+
+namespace lpa {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> touched(kN);
+  pool.ParallelFor(kN, 7, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      touched[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  // A ParallelFor issued from inside a pool task must make progress even
+  // when every worker is busy (caller-runs contract).
+  ThreadPool pool(2);
+  std::atomic<long> total{0};
+  pool.ParallelForEach(4, 1, [&](size_t) {
+    pool.ParallelFor(100, 10, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        total.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+      }
+    });
+  });
+  EXPECT_EQ(total.load(), 4 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureValue) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0);
+  std::vector<int> out(64, 0);
+  pool.ParallelForEach(out.size(), 8, [&](size_t i) { out[i] = 1; });
+  for (int v : out) EXPECT_EQ(v, 1);
+}
+
+// ---------------------------------------------------------------------------
+// EvalContext
+
+TEST(EvalContextTest, DefaultIsSerial) {
+  EvalContext ctx;
+  EXPECT_EQ(ctx.threads(), 1);
+  EXPECT_EQ(ctx.pool(), nullptr);
+  int ran = 0;
+  ctx.ParallelForEach(5, 1, [&](size_t) { ++ran; });
+  EXPECT_EQ(ran, 5);
+}
+
+TEST(EvalContextTest, ForkedStreamsIndependentOfFanOut) {
+  // ForkRngs consumes exactly one master draw and derives sub-stream i from
+  // (base, i) — so stream i is identical no matter how many siblings exist.
+  EvalContext a(/*threads=*/1, /*seed=*/123);
+  EvalContext b(/*threads=*/8, /*seed=*/123);
+  auto ra = a.ForkRngs(3);
+  auto rb = b.ForkRngs(8);
+  for (size_t i = 0; i < ra.size(); ++i) {
+    for (int draw = 0; draw < 16; ++draw) {
+      EXPECT_EQ(ra[i].Uniform(), rb[i].Uniform());
+    }
+  }
+  // The master streams advanced by the same single draw.
+  EXPECT_EQ(a.rng()->Uniform(), b.rng()->Uniform());
+}
+
+TEST(EvalContextTest, ChildBorrowsPoolWithOwnStream) {
+  EvalContext parent(/*threads=*/4, /*seed=*/1);
+  EvalContext child(parent.pool(), /*seed=*/2);
+  EXPECT_EQ(child.pool(), parent.pool());
+  EXPECT_NE(child.rng()->Uniform(), parent.rng()->Uniform());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: same seed => bit-identical training curve and the
+// same suggested design at 1, 2, and 8 threads.
+
+struct SeededRun {
+  std::vector<double> rewards;
+  std::string design;
+  double best_cost = 0.0;
+};
+
+SeededRun TrainAndSuggest(int threads) {
+  schema::Schema schema = schema::MakeSsbSchema();
+  workload::Workload workload = workload::MakeSsbWorkload(schema);
+  costmodel::CostModel model(&schema, costmodel::HardwareProfile::DiskBased10G());
+
+  advisor::AdvisorConfig config;
+  config.dqn.tmax = 10;
+  config.dqn.epsilon_decay = 0.95;
+  config.offline_episodes = 30;
+  config.seed = 77;
+  advisor::PartitioningAdvisor advisor(&schema, workload, config);
+
+  EvalContext ctx(threads, /*seed=*/77);
+  SeededRun run;
+  run.rewards = advisor.TrainOffline(&model, nullptr, &ctx).episode_best_rewards;
+  std::vector<double> uniform(
+      static_cast<size_t>(workload.num_queries()), 1.0);
+  auto result = advisor.Suggest(uniform, &ctx);
+  run.design = result.best_state.PhysicalDesignKey();
+  run.best_cost = result.best_cost;
+  return run;
+}
+
+TEST(ParallelDeterminismTest, TrainingAndSuggestionIdenticalAcrossThreads) {
+  SeededRun serial = TrainAndSuggest(1);
+  ASSERT_EQ(serial.rewards.size(), 30u);
+  for (int threads : {2, 8}) {
+    SeededRun parallel = TrainAndSuggest(threads);
+    ASSERT_EQ(parallel.rewards.size(), serial.rewards.size());
+    for (size_t i = 0; i < serial.rewards.size(); ++i) {
+      // Bitwise, not approximate: the determinism contract is exact.
+      EXPECT_EQ(std::memcmp(&serial.rewards[i], &parallel.rewards[i],
+                            sizeof(double)),
+                0)
+          << "episode " << i << " at threads=" << threads;
+    }
+    EXPECT_EQ(parallel.design, serial.design) << "threads=" << threads;
+    EXPECT_EQ(parallel.best_cost, serial.best_cost) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, OfflineEnvParallelCostMatchesSerial) {
+  schema::Schema schema = schema::MakeSsbSchema();
+  workload::Workload workload = workload::MakeSsbWorkload(schema);
+  costmodel::CostModel model(&schema, costmodel::HardwareProfile::DiskBased10G());
+  auto edges = partition::EdgeSet::Extract(schema, workload);
+  auto state = partition::PartitioningState::Initial(&schema, &edges);
+  std::vector<double> freqs(static_cast<size_t>(workload.num_queries()), 1.0);
+
+  rl::OfflineEnv serial_env(&model, &workload);
+  double serial_cost = serial_env.WorkloadCost(state, freqs);
+
+  rl::OfflineEnv parallel_env(&model, &workload);
+  EvalContext ctx(/*threads=*/4, /*seed=*/1);
+  double parallel_cost = parallel_env.WorkloadCost(state, freqs, &ctx);
+  EXPECT_EQ(parallel_cost, serial_cost);
+
+  // A repeated evaluation is served from the cache and stays identical.
+  double cached_cost = parallel_env.WorkloadCost(state, freqs, &ctx);
+  EXPECT_EQ(cached_cost, serial_cost);
+  EXPECT_GT(parallel_env.cache_hits(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CostCache
+
+TEST(CostCacheTest, MemoizesAndCountsStats) {
+  costmodel::CostCache cache;
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return 3.5;
+  };
+  EXPECT_EQ(cache.GetOrCompute("k", compute), 3.5);
+  EXPECT_EQ(cache.GetOrCompute("k", compute), 3.5);
+  EXPECT_EQ(computes, 1);
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CostCacheTest, LruEvictsLeastRecentlyUsed) {
+  costmodel::CostCache::Options options;
+  options.capacity = 4;
+  options.shards = 1;
+  costmodel::CostCache cache(options);
+  cache.Insert("a", 1);
+  cache.Insert("b", 2);
+  cache.Insert("c", 3);
+  cache.Insert("d", 4);
+  ASSERT_TRUE(cache.Lookup("a").has_value());  // refresh "a"
+  cache.Insert("e", 5);                        // evicts "b", the LRU tail
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("e").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(CostCacheTest, ZeroCapacityDisablesCaching) {
+  costmodel::CostCache::Options options;
+  options.capacity = 0;
+  costmodel::CostCache cache(options);
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return 1.0;
+  };
+  cache.GetOrCompute("k", compute);
+  cache.GetOrCompute("k", compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(CostCacheTest, ConcurrentGetOrComputeIsConsistent) {
+  costmodel::CostCache cache;
+  ThreadPool pool(4);
+  std::atomic<int> computes{0};
+  std::vector<double> results(256, 0.0);
+  pool.ParallelForEach(results.size(), 1, [&](size_t i) {
+    const std::string key = "q" + std::to_string(i % 8);
+    results[i] = cache.GetOrCompute(key, [&] {
+      computes.fetch_add(1, std::memory_order_relaxed);
+      return static_cast<double>(i % 8) * 2.0;
+    });
+  });
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], static_cast<double>(i % 8) * 2.0);
+  }
+  // Concurrent misses on one key may duplicate the compute, but the cache
+  // never holds more than the 8 distinct keys.
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_GE(computes.load(), 8);
+}
+
+// ---------------------------------------------------------------------------
+// CLI flag parsing
+
+TEST(CliTest, ParsesBothFlagForms) {
+  cli::FlagParser parser;
+  int threads = 1;
+  std::string profile = "disk";
+  bool verbose = false;
+  parser.AddInt("threads", "", &threads);
+  parser.AddString("profile", "", &profile);
+  parser.AddBool("verbose", "", &verbose);
+  const char* argv[] = {"bin", "--threads", "8", "--profile=memory",
+                        "--verbose"};
+  std::string error;
+  ASSERT_TRUE(parser.Parse(5, const_cast<char**>(argv), &error)) << error;
+  EXPECT_EQ(threads, 8);
+  EXPECT_EQ(profile, "memory");
+  EXPECT_TRUE(verbose);
+}
+
+TEST(CliTest, AliasParsesButStaysHidden) {
+  cli::FlagParser parser;
+  std::string profile = "disk";
+  parser.AddString("profile", "engine profile", &profile);
+  parser.AddAlias("engine", "profile");
+  const char* argv[] = {"bin", "--engine", "memory"};
+  std::string error;
+  ASSERT_TRUE(parser.Parse(3, const_cast<char**>(argv), &error)) << error;
+  EXPECT_EQ(profile, "memory");
+  EXPECT_EQ(parser.Usage("bin").find("--engine"), std::string::npos);
+  EXPECT_NE(parser.Usage("bin").find("--profile"), std::string::npos);
+}
+
+TEST(CliTest, RejectsUnknownFlagMissingValueAndBadNumber) {
+  cli::FlagParser parser;
+  int threads = 1;
+  parser.AddInt("threads", "", &threads);
+  std::string error;
+
+  const char* unknown[] = {"bin", "--bogus"};
+  EXPECT_FALSE(parser.Parse(2, const_cast<char**>(unknown), &error));
+
+  const char* missing[] = {"bin", "--threads"};
+  EXPECT_FALSE(parser.Parse(2, const_cast<char**>(missing), &error));
+
+  const char* bad[] = {"bin", "--threads", "lots"};
+  EXPECT_FALSE(parser.Parse(3, const_cast<char**>(bad), &error));
+}
+
+TEST(CliTest, CommonOptionsValidate) {
+  cli::CommonOptions common;
+  std::string error;
+  EXPECT_TRUE(common.Validate(&error));
+
+  common.threads = 0;
+  EXPECT_FALSE(common.Validate(&error));
+  common.threads = 4;
+  common.profile = "floppy";
+  EXPECT_FALSE(common.Validate(&error));
+  common.profile = "memory";
+  EXPECT_TRUE(common.Validate(&error));
+}
+
+}  // namespace
+}  // namespace lpa

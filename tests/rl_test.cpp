@@ -119,9 +119,9 @@ TEST_F(SsbRlTest, QValuesMatchBetweenModes) {
 TEST_F(SsbRlTest, OfflineTrainingImprovesOnInitialDesign) {
   DqnConfig config = SmallConfig();
   DqnAgent agent(&featurizer_, &actions_, config);
-  Rng rng(11);
+  EvalContext ctx(/*threads=*/1, /*seed=*/11);
   auto sampler = [](Rng*) { return std::vector<double>(13, 1.0); };
-  auto result = trainer_.Train(&agent, &env_, sampler, 60, &rng);
+  auto result = trainer_.Train(&agent, &env_, sampler, 60, &ctx);
   EXPECT_EQ(result.episode_best_rewards.size(), 60u);
 
   std::vector<double> uniform(13, 1.0);
@@ -322,9 +322,9 @@ TEST_F(OnlineEnvTest, OnlineTrainingRunsEndToEnd) {
   config.episodes = 5;
   config.seed = 9;
   DqnAgent agent(&featurizer, &actions, config);
-  Rng rng(13);
+  EvalContext ctx(/*threads=*/1, /*seed=*/13);
   auto sampler = [](Rng* r) { return workload::SampleUniformFrequencies(13, r); };
-  auto result = trainer.Train(&agent, &env, sampler, 5, &rng);
+  auto result = trainer.Train(&agent, &env, sampler, 5, &ctx);
   EXPECT_EQ(result.episode_best_rewards.size(), 5u);
   EXPECT_GT(env.accounting().queries_executed, 0u);
   EXPECT_GT(env.accounting().cache_hits, 0u);

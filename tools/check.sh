@@ -1,16 +1,30 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configure a dedicated build tree with AddressSanitizer +
-# UndefinedBehaviorSanitizer, build everything, and run the test suite.
+# Sanitizer gate: configure a dedicated build tree with the requested
+# sanitizers, build everything, and run the test suite.
 #
 #   $ tools/check.sh                 # ASan+UBSan (default)
+#   $ tools/check.sh tsan            # ThreadSanitizer on the threaded tests
 #   $ LPA_SANITIZE=undefined tools/check.sh
 #   $ BUILD_DIR=build-asan tools/check.sh
+#   $ CTEST_FILTER=advisor tools/check.sh tsan
+#
+# The tsan preset builds with -DLPA_SANITIZE=thread into build-tsan and, by
+# default, runs only the tests that exercise the parallel evaluation engine
+# (TSan slows everything ~10x; the serial tests gain nothing from it).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SANITIZE="${LPA_SANITIZE:-address,undefined}"
-BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+PRESET="${1:-}"
+if [[ "${PRESET}" == "tsan" ]]; then
+  SANITIZE="${LPA_SANITIZE:-thread}"
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  CTEST_FILTER="${CTEST_FILTER:-parallel_eval_test}"
+else
+  SANITIZE="${LPA_SANITIZE:-address,undefined}"
+  BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+  CTEST_FILTER="${CTEST_FILTER:-}"
+fi
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 echo "== configure (${BUILD_DIR}, -fsanitize=${SANITIZE}) =="
@@ -21,9 +35,14 @@ echo "== build =="
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 echo "== test =="
-# halt_on_error makes ASan failures fail the test run instead of just logging.
+CTEST_ARGS=(--test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}")
+if [[ -n "${CTEST_FILTER}" ]]; then
+  CTEST_ARGS+=(-R "${CTEST_FILTER}")
+fi
+# halt_on_error makes sanitizer failures fail the test run, not just log.
 ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
-  ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest "${CTEST_ARGS[@]}"
 
 echo "== OK: build and tests are clean under ${SANITIZE} =="

@@ -5,9 +5,13 @@
 // the suggested physical design as ALTER TABLE statements.
 //
 //   $ lpa_advise --ddl schema.sql --workload workload.sql
-//                [--engine disk|memory] [--nodes 6] [--episodes 400]
-//                [--mix 1,0.5,...] [--save agent.bin] [--load agent.bin]
-//                [--seed 42] [--metrics] [--metrics-json out.json]
+//                [--profile disk|memory] [--nodes 6] [--episodes 400]
+//                [--threads 1] [--mix 1,0.5,...] [--save agent.bin]
+//                [--load agent.bin] [--seed 42] [--metrics]
+//                [--metrics-json out.json]
+//
+// --engine is accepted as an alias of --profile. --threads > 1 runs the
+// parallel evaluation engine; seeded results are identical at any count.
 //
 // With --load, training is skipped and the snapshot served directly.
 // --metrics prints the telemetry table to stderr; --metrics-json
@@ -26,31 +30,20 @@
 #include "sql/parser.h"
 #include "storage/database.h"
 #include "telemetry/registry.h"
+#include "util/cli.h"
 
 namespace {
 
 struct Options {
   std::string ddl_path;
   std::string workload_path;
-  std::string engine = "disk";
+  lpa::cli::CommonOptions common;
   int nodes = 6;
   int episodes = 400;
   std::string mix;
   std::string save_path;
   std::string load_path;
-  uint64_t seed = 42;
-  bool metrics = false;
-  std::string metrics_json_path;
 };
-
-int Usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " --ddl schema.sql --workload workload.sql"
-               " [--engine disk|memory] [--nodes N] [--episodes N]"
-               " [--mix f1,f2,...] [--save file] [--load file] [--seed N]"
-               " [--metrics] [--metrics-json file]\n";
-  return 2;
-}
 
 bool ReadFile(const std::string& path, std::string* out) {
   std::ifstream in(path);
@@ -76,44 +69,23 @@ int main(int argc, char** argv) {
   using namespace lpa;
 
   Options options;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--ddl") {
-      options.ddl_path = next() ? argv[i] : "";
-    } else if (arg == "--workload") {
-      options.workload_path = next() ? argv[i] : "";
-    } else if (arg == "--engine") {
-      options.engine = next() ? argv[i] : "";
-    } else if (arg == "--nodes") {
-      options.nodes = next() ? std::atoi(argv[i]) : 6;
-    } else if (arg == "--episodes") {
-      options.episodes = next() ? std::atoi(argv[i]) : 400;
-    } else if (arg == "--mix") {
-      options.mix = next() ? argv[i] : "";
-    } else if (arg == "--save") {
-      options.save_path = next() ? argv[i] : "";
-    } else if (arg == "--load") {
-      options.load_path = next() ? argv[i] : "";
-    } else if (arg == "--seed") {
-      options.seed = next() ? std::strtoull(argv[i], nullptr, 10) : 42;
-    } else if (arg == "--metrics") {
-      options.metrics = true;
-    } else if (arg == "--metrics-json") {
-      options.metrics_json_path = next() ? argv[i] : "";
-    } else if (arg.rfind("--metrics-json=", 0) == 0) {
-      options.metrics_json_path = arg.substr(std::string("--metrics-json=").size());
-    } else {
-      return Usage(argv[0]);
-    }
+  cli::FlagParser parser;
+  parser.AddString("ddl", "schema.sql", &options.ddl_path);
+  parser.AddString("workload", "workload.sql", &options.workload_path);
+  parser.AddInt("nodes", "cluster nodes", &options.nodes);
+  parser.AddInt("episodes", "offline training episodes", &options.episodes);
+  parser.AddString("mix", "f1,f2,...", &options.mix);
+  parser.AddString("save", "agent snapshot out", &options.save_path);
+  parser.AddString("load", "agent snapshot in", &options.load_path);
+  options.common.Register(&parser);
+  parser.AddAlias("engine", "profile");  // historical spelling
+  std::string error;
+  if (!parser.Parse(argc, argv, &error) || !options.common.Validate(&error)) {
+    std::cerr << error << "\n" << parser.Usage(argv[0]);
+    return 2;
   }
   if (options.ddl_path.empty() || options.workload_path.empty()) {
-    return Usage(argv[0]);
-  }
-  if (options.engine != "disk" && options.engine != "memory") {
-    std::cerr << "--engine must be disk or memory\n";
+    std::cerr << parser.Usage(argv[0]);
     return 2;
   }
 
@@ -143,8 +115,9 @@ int main(int argc, char** argv) {
             << workload.num_queries() << " queries\n";
 
   costmodel::HardwareProfile profile =
-      options.engine == "disk" ? costmodel::HardwareProfile::DiskBased10G()
-                               : costmodel::HardwareProfile::InMemory10G();
+      options.common.profile == "disk"
+          ? costmodel::HardwareProfile::DiskBased10G()
+          : costmodel::HardwareProfile::InMemory10G();
   profile = profile.WithNodes(options.nodes);
   costmodel::CostModel cost_model(&*schema, profile);
 
@@ -152,8 +125,9 @@ int main(int argc, char** argv) {
   config.offline_episodes = options.episodes;
   config.dqn.tmax = std::max(schema->num_tables() + 4, 12);
   config.dqn.FitEpsilonSchedule(config.offline_episodes);
-  config.seed = options.seed;
+  config.seed = options.common.seed;
   advisor::PartitioningAdvisor advisor(&*schema, workload, config);
+  EvalContext ctx(options.common.threads, options.common.seed);
 
   if (!options.load_path.empty()) {
     std::ifstream in(options.load_path);
@@ -164,8 +138,9 @@ int main(int argc, char** argv) {
     }
     std::cerr << "loaded agent snapshot from " << options.load_path << "\n";
   } else {
-    std::cerr << "training (" << config.offline_episodes << " episodes)...\n";
-    advisor.TrainOffline(&cost_model);
+    std::cerr << "training (" << config.offline_episodes << " episodes, "
+              << options.common.threads << " thread(s))...\n";
+    advisor.TrainOffline(&cost_model, nullptr, &ctx);
   }
 
   std::vector<double> mix =
@@ -175,7 +150,7 @@ int main(int argc, char** argv) {
 
   // Suggest against the simulation (build one if we skipped training).
   rl::OfflineEnv env(&cost_model, &advisor.workload());
-  auto result = advisor.Suggest(mix, &env);
+  auto result = advisor.Suggest(mix, &env, &ctx);
 
   for (schema::TableId t = 0; t < schema->num_tables(); ++t) {
     const auto& tp = result.best_state.table_partition(t);
@@ -191,16 +166,16 @@ int main(int argc, char** argv) {
   std::cerr << "estimated workload cost: " << result.best_cost << "s\n";
 
   double measured_seconds = -1.0;
-  if (!options.metrics_json_path.empty()) {
+  if (!options.common.metrics_json.empty()) {
     // Materialize a small cluster and measure the suggested design on it so
     // the exported metrics carry real engine counters, not just simulation.
     storage::GenerationConfig gen;
     gen.fraction = 1e-3;
     gen.small_table_threshold = 64;
-    gen.seed = options.seed;
+    gen.seed = options.common.seed;
     engine::EngineConfig engine_config;
     engine_config.hardware = profile;
-    engine_config.seed = options.seed;
+    engine_config.seed = options.common.seed;
     engine::ClusterDatabase cluster(
         storage::Database::Generate(*schema, workload, gen), engine_config,
         &cost_model);
@@ -210,18 +185,19 @@ int main(int argc, char** argv) {
               << measured_seconds << "s\n";
   }
 
-  if (options.metrics || !options.metrics_json_path.empty()) {
+  if (options.common.metrics || !options.common.metrics_json.empty()) {
     auto manifest = telemetry::RunManifest::Make("lpa_advise");
-    manifest.seed = options.seed;
-    manifest.engine_profile = options.engine;
+    manifest.seed = options.common.seed;
+    manifest.engine_profile = options.common.profile;
     manifest.schema = options.ddl_path;
     manifest.Set("episodes", std::to_string(config.offline_episodes));
     manifest.Set("nodes", std::to_string(options.nodes));
+    manifest.Set("threads", std::to_string(options.common.threads));
     auto& registry = telemetry::MetricsRegistry::Global();
-    if (options.metrics) {
+    if (options.common.metrics) {
       std::cerr << "\n" << registry.ToTable();
     }
-    if (!options.metrics_json_path.empty()) {
+    if (!options.common.metrics_json.empty()) {
       telemetry::JsonWriter w;
       w.BeginObject();
       w.Key("estimated_cost_seconds").Number(result.best_cost);
@@ -242,13 +218,13 @@ int main(int argc, char** argv) {
         w.EndObject();
       }
       w.EndArray().EndObject();
-      Status st = registry.WriteJsonFile(options.metrics_json_path, manifest,
+      Status st = registry.WriteJsonFile(options.common.metrics_json, manifest,
                                          w.str());
       if (!st.ok()) {
         std::cerr << "metrics write error: " << st.ToString() << "\n";
         return 1;
       }
-      std::cerr << "wrote metrics to " << options.metrics_json_path << "\n";
+      std::cerr << "wrote metrics to " << options.common.metrics_json << "\n";
     }
   }
 
