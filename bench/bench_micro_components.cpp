@@ -1,17 +1,24 @@
 // Component microbenchmarks (google-benchmark): throughput guardrails for
 // the library's hot paths — cost-model planning, featurization, NN forward/
-// train, engine execution, and data generation.
+// train, engine execution, and data generation — plus a workload-cost kernel
+// comparing full recompute against incremental delta costing (run after the
+// google benchmarks; it emits BENCH_micro_components.json).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "advisor/workload_monitor.h"
+#include "bench_common.h"
 #include "costmodel/cost_model.h"
+#include "costmodel/workload_cost_tracker.h"
 #include "sql/ddl.h"
 #include "sql/parser.h"
 #include "engine/cluster.h"
 #include "nn/mlp.h"
 #include "partition/featurizer.h"
 #include "rl/dqn.h"
+#include "rl/offline_env.h"
 #include "schema/catalogs.h"
 #include "storage/database.h"
 #include "workload/benchmarks.h"
@@ -203,6 +210,101 @@ void BM_ClassifyQueryInstance(benchmark::State& s) {
 BENCHMARK(BM_ClassifyQueryInstance);
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Workload-cost kernel: full recompute vs incremental delta costing.
+//
+// Replays one seeded random action walk through the offline environment twice
+// — once pricing every step with WorkloadCost (what training did before the
+// tracker) and once with a WorkloadCostTracker fed Action::AffectedTables
+// hints — and reports cost-model cache probes per step, ns per step, and the
+// digest of the per-step totals. The digests MUST match: the incremental path
+// is bit-identical by contract.
+
+void RunWorkloadCostKernel() {
+  bench::BenchReport report("micro_components");
+  report.set_seed(42);
+  const int steps = std::max(32, 4096 / bench::BenchScale());
+  report.Note("workload_cost_steps", std::to_string(steps));
+
+  TablePrinter table(
+      {"schema", "mode", "probes/step", "ns/step", "total digest"});
+  for (const std::string& name : {std::string("ssb"), std::string("tpcch")}) {
+    auto tb = bench::MakeTestbed(name, bench::EngineKind::kDiskBased,
+                                 /*fraction=*/1e-4);
+    partition::ActionSpace actions(tb.schema.get(), tb.edges.get());
+    std::vector<double> freqs(
+        static_cast<size_t>(tb.workload->num_queries()), 1.0);
+
+    // One shared walk so both modes price the identical state sequence.
+    std::vector<int> walk;
+    {
+      Rng rng(42);
+      auto state = tb.Initial();
+      for (int i = 0; i < steps; ++i) {
+        auto legal = actions.LegalActions(state);
+        int action = legal[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(legal.size()) - 1))];
+        LPA_CHECK(actions.Apply(action, &state).ok());
+        walk.push_back(action);
+      }
+    }
+
+    auto run_mode = [&](bool incremental) {
+      // Fresh env per mode: both start from a cold cost cache.
+      rl::OfflineEnv env(tb.exact_model.get(), tb.workload.get());
+      std::unique_ptr<costmodel::WorkloadCostTracker> tracker;
+      if (incremental) {
+        tracker = std::make_unique<costmodel::WorkloadCostTracker>(
+            tb.workload.get(),
+            [&env](int j, const partition::PartitioningState& s) {
+              return env.QueryCost(j, s, 1.0);
+            });
+      }
+      auto state = tb.Initial();
+      std::vector<double> totals;
+      totals.reserve(walk.size());
+      size_t probes_before = env.evaluations();
+      auto t0 = std::chrono::steady_clock::now();
+      for (int action : walk) {
+        LPA_CHECK(actions.Apply(action, &state).ok());
+        totals.push_back(
+            incremental
+                ? tracker->EvaluateDelta(state, actions.AffectedTables(action),
+                                         freqs)
+                : env.WorkloadCost(state, freqs));
+      }
+      auto t1 = std::chrono::steady_clock::now();
+      double ns_per_step =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()) /
+          static_cast<double>(walk.size());
+      double probes_per_step =
+          static_cast<double>(env.evaluations() - probes_before) /
+          static_cast<double>(walk.size());
+      table.AddRow({name, incremental ? "incremental" : "full",
+                    FormatDouble(probes_per_step, 2),
+                    FormatDouble(ns_per_step, 0),
+                    bench::RewardDigest(totals)});
+      return totals;
+    };
+
+    auto full = run_mode(/*incremental=*/false);
+    auto incr = run_mode(/*incremental=*/true);
+    LPA_CHECK(full == incr);  // bit-identical totals, the tracker's contract
+  }
+  report.Table("Workload cost per training step: full recompute vs incremental",
+               table);
+}
+
 }  // namespace lpa
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  lpa::RunWorkloadCostKernel();
+  return 0;
+}

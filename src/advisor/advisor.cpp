@@ -118,12 +118,21 @@ rl::InferenceResult PartitioningAdvisor::SuggestWithTransitionCost(
   telemetry::Span span("advisor.suggest");
   AdvisorMetrics::Get().suggestions.Add();
   LPA_CHECK(offline_env_ != nullptr);
-  auto objective =[this, &frequencies, &current_design, weight,
-                    model](const partition::PartitioningState& s) {
-    return offline_env_->WorkloadCost(s, frequencies) +
-           weight * model->RepartitioningCost(current_design, s);
+  // Each rollout gets its own tracker-backed workload term (delta-costed
+  // along the rollout's state sequence) plus the repartitioning penalty.
+  auto workload_factory =
+      rl::MakeEnvObjective(offline_env_.get(), &frequencies, nullptr);
+  rl::EpisodeTrainer::ObjectiveFactory factory =
+      [&workload_factory, &current_design, weight,
+       model]() -> rl::EpisodeTrainer::StateObjective {
+    auto workload_term = workload_factory();
+    return [workload_term, &current_design, weight,
+            model](const partition::PartitioningState& s) {
+      return workload_term(s) +
+             weight * model->RepartitioningCost(current_design, s);
+    };
   };
-  return trainer_->InferObjective(*agent_, frequencies, objective,
+  return trainer_->InferObjective(*agent_, frequencies, factory,
                                   config_.inference_extra_rollouts,
                                   config_.inference_epsilon, ResolveCtx(ctx));
 }
@@ -134,6 +143,9 @@ std::vector<int> PartitioningAdvisor::AddQueries(
   for (auto& q : queries) {
     indices.push_back(workload_.AddQuery(std::move(q)));
   }
+  // The offline env precomputes per-query table lists; extend them to cover
+  // the appended queries before any further evaluation.
+  if (offline_env_ != nullptr) offline_env_->SyncWorkload();
   int slots = featurizers_.back()->num_query_slots();
   if (workload_.num_queries() > slots) {
     int extra = workload_.num_queries() - slots;

@@ -2,6 +2,8 @@
 
 #include "baselines/heuristics.h"
 #include "costmodel/cost_cache.h"
+#include "costmodel/workload_cost_tracker.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace lpa::baselines {
@@ -11,41 +13,49 @@ namespace {
 using partition::PartitioningState;
 using partition::TablePartition;
 
-/// Cached workload-estimate evaluator over per-table designs.
+/// Workload-estimate evaluator over per-table designs.
+///
+/// Two memo layers: the hill climb mutates one table per probe, so the
+/// WorkloadCostTracker re-prices only the queries touching that table, and
+/// the fingerprint-keyed CostCache underneath makes revisited
+/// (query, design) pairs free across non-adjacent probes (restored
+/// originals, restarts). The reduction stays in query order, so totals match
+/// the plain loop bit for bit.
 class Evaluator {
  public:
   Evaluator(const schema::Schema& schema, const workload::Workload& workload,
             const partition::EdgeSet& edges,
             const costmodel::CostModel& estimator)
-      : schema_(schema), workload_(workload), edges_(edges),
-        estimator_(estimator) {
+      : schema_(schema), workload_(workload), edges_(&edges),
+        estimator_(estimator),
+        tracker_(&workload,
+                 [this](int j, const PartitioningState& s) {
+                   uint64_t key = HashCombine(
+                       Hash64(static_cast<uint64_t>(j)),
+                       s.DesignFingerprint(
+                           query_tables_[static_cast<size_t>(j)]));
+                   return cache_.GetOrCompute(key, [&] {
+                     return estimator_.QueryCost(workload_.query(j), s);
+                   });
+                 }) {
     for (const auto& q : workload.queries()) {
       query_tables_.push_back(q.tables());
     }
   }
 
   double Cost(const std::vector<TablePartition>& design) {
-    auto state = PartitioningState::FromDesign(&schema_, &edges_, design);
-    double total = 0.0;
-    for (int j = 0; j < workload_.num_queries(); ++j) {
-      double f = workload_.frequencies()[static_cast<size_t>(j)];
-      if (f <= 0.0) continue;
-      std::string key = std::to_string(j) + "|" +
-                        state.PhysicalDesignKey(query_tables_[static_cast<size_t>(j)]);
-      total += f * cache_.GetOrCompute(key, [&] {
-        return estimator_.QueryCost(workload_.query(j), state);
-      });
-    }
-    return total;
+    auto state = PartitioningState::FromDesign(&schema_, edges_, design);
+    return tracker_.Evaluate(state, workload_.frequencies());
   }
 
  private:
   const schema::Schema& schema_;
   const workload::Workload& workload_;
-  const partition::EdgeSet& edges_;
+  const partition::EdgeSet* edges_ = nullptr;
   const costmodel::CostModel& estimator_;
   std::vector<std::vector<schema::TableId>> query_tables_;
   costmodel::CostCache cache_;
+  costmodel::WorkloadCostTracker tracker_;
 };
 
 /// All per-table design options.

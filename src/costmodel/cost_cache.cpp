@@ -1,6 +1,7 @@
 #include "costmodel/cost_cache.h"
 
 #include "telemetry/registry.h"
+#include "util/hash.h"
 
 namespace lpa::costmodel {
 
@@ -38,11 +39,13 @@ CostCache::CostCache(Options options)
   if (options.capacity > 0 && shard_capacity_ == 0) shard_capacity_ = 1;
 }
 
-CostCache::Shard& CostCache::ShardFor(const std::string& key) {
-  return shards_[std::hash<std::string>{}(key)&shard_mask_];
+CostCache::Shard& CostCache::ShardFor(Key key) {
+  // Keys are already well-mixed fingerprints, but re-mixing keeps shard
+  // balance even if a caller hands in structured keys (e.g. small integers).
+  return shards_[Hash64(key) & shard_mask_];
 }
 
-std::optional<double> CostCache::Lookup(const std::string& key) {
+std::optional<double> CostCache::Lookup(Key key) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
@@ -57,7 +60,7 @@ std::optional<double> CostCache::Lookup(const std::string& key) {
   return it->second->second;
 }
 
-void CostCache::Insert(const std::string& key, double value) {
+void CostCache::Insert(Key key, double value) {
   if (shard_capacity_ == 0) return;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -77,8 +80,7 @@ void CostCache::Insert(const std::string& key, double value) {
   shard.index.emplace(key, shard.lru.begin());
 }
 
-double CostCache::GetOrCompute(const std::string& key,
-                               const std::function<double()>& compute) {
+double CostCache::GetOrCompute(Key key, const std::function<double()>& compute) {
   if (auto hit = Lookup(key)) return *hit;
   double value = compute();
   Insert(key, value);

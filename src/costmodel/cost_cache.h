@@ -1,11 +1,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <list>
 #include <mutex>
 #include <optional>
-#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -14,10 +14,13 @@ namespace lpa::costmodel {
 
 /// \brief Sharded LRU memo for cost-model evaluations.
 ///
-/// Keys are opaque strings — callers encode (state signature, query) pairs,
-/// e.g. `"<query>|<PhysicalDesignKey>"`. The map is split into power-of-two
-/// shards, each guarded by its own mutex, so concurrent lookups from the
-/// parallel evaluation engine rarely contend. Eviction is LRU per shard.
+/// Keys are opaque 64-bit fingerprints — callers encode (query, state
+/// signature) pairs, e.g. `HashCombine(Hash64(query_index),
+/// state.DesignFingerprint(query_tables))`. (Keys used to be strings built
+/// per probe; precomputed fingerprints removed the per-lookup allocation
+/// from the training hot loop.) The map is split into power-of-two shards,
+/// each guarded by its own mutex, so concurrent lookups from the parallel
+/// evaluation engine rarely contend. Eviction is LRU per shard.
 ///
 /// Concurrency contract: all methods are thread-safe. Two threads missing on
 /// the same key at the same time may both compute the value; the second
@@ -29,6 +32,8 @@ namespace lpa::costmodel {
 /// `costmodel.cost_cache_{hits,misses,evictions}.count`.
 class CostCache {
  public:
+  using Key = uint64_t;
+
   struct Options {
     /// Total capacity across shards (entries). 0 disables caching entirely.
     size_t capacity = 256 * 1024;
@@ -43,16 +48,15 @@ class CostCache {
   CostCache& operator=(const CostCache&) = delete;
 
   /// \brief Returns the cached value, refreshing its LRU position.
-  std::optional<double> Lookup(const std::string& key);
+  std::optional<double> Lookup(Key key);
 
   /// \brief Insert (or refresh) a value, evicting the shard's LRU tail when
   /// the shard is full.
-  void Insert(const std::string& key, double value);
+  void Insert(Key key, double value);
 
   /// \brief Lookup, or compute-and-insert on miss. `compute` runs outside
   /// any shard lock, so it may itself be expensive or take locks.
-  double GetOrCompute(const std::string& key,
-                      const std::function<double()>& compute);
+  double GetOrCompute(Key key, const std::function<double()>& compute);
 
   /// \brief Drop every entry (stat counters are kept).
   void Clear();
@@ -71,15 +75,14 @@ class CostCache {
   // to its list node.
   struct Shard {
     mutable std::mutex mu;
-    std::list<std::pair<std::string, double>> lru;
-    std::unordered_map<std::string, std::list<std::pair<std::string, double>>::iterator>
-        index;
+    std::list<std::pair<Key, double>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, double>>::iterator> index;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
   };
 
-  Shard& ShardFor(const std::string& key);
+  Shard& ShardFor(Key key);
 
   size_t shard_capacity_;
   size_t shard_mask_;

@@ -1,0 +1,178 @@
+#include "costmodel/workload_cost_tracker.h"
+
+#include <algorithm>
+
+#include "telemetry/registry.h"
+
+namespace lpa::costmodel {
+
+namespace {
+
+struct TrackerMetrics {
+  telemetry::Counter& delta_evals;
+  telemetry::Counter& delta_skips;
+  telemetry::Counter& resets;
+  telemetry::Counter& fallbacks;
+
+  static TrackerMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static TrackerMetrics* m = new TrackerMetrics{
+        reg.GetCounter("costmodel.delta_evals.count"),
+        reg.GetCounter("costmodel.delta_skips.count"),
+        reg.GetCounter("costmodel.tracker_resets.count"),
+        reg.GetCounter("costmodel.tracker_fallbacks.count")};
+    return *m;
+  }
+};
+
+}  // namespace
+
+WorkloadCostTracker::WorkloadCostTracker(const workload::Workload* workload,
+                                         QueryCostFn query_cost)
+    : workload_(workload), query_cost_(std::move(query_cost)) {
+  SyncWorkload();
+}
+
+void WorkloadCostTracker::SyncWorkload() {
+  const int n = workload_->num_queries();
+  for (int j = static_cast<int>(query_tables_.size()); j < n; ++j) {
+    query_tables_.push_back(workload_->query(j).tables());
+    for (schema::TableId t : query_tables_.back()) {
+      if (static_cast<size_t>(t) >= table_to_queries_.size()) {
+        table_to_queries_.resize(static_cast<size_t>(t) + 1);
+      }
+      table_to_queries_[static_cast<size_t>(t)].push_back(j);
+    }
+  }
+  costs_.resize(static_cast<size_t>(n), 0.0);
+  slot_fp_.resize(static_cast<size_t>(n), 0);
+  priced_.resize(static_cast<size_t>(n), 0);
+  dirty_.resize(static_cast<size_t>(n), 0);
+}
+
+void WorkloadCostTracker::Reset() {
+  std::fill(priced_.begin(), priced_.end(), 0);
+  std::fill(dirty_.begin(), dirty_.end(), 0);
+  synced_.reset();
+  ++stats_.resets;
+  TrackerMetrics::Get().resets.Add();
+}
+
+void WorkloadCostTracker::MarkTableDirty(schema::TableId t) {
+  if (t < 0 || static_cast<size_t>(t) >= table_to_queries_.size()) return;
+  for (int j : table_to_queries_[static_cast<size_t>(t)]) {
+    dirty_[static_cast<size_t>(j)] = 1;
+  }
+}
+
+void WorkloadCostTracker::InvalidateTables(
+    const std::vector<schema::TableId>& tables) {
+  for (schema::TableId t : tables) MarkTableDirty(t);
+}
+
+double WorkloadCostTracker::Evaluate(const partition::PartitioningState& state,
+                                     const std::vector<double>& frequencies,
+                                     EvalContext* ctx) {
+  if (synced_.has_value()) {
+    for (schema::TableId t : state.DiffTables(*synced_)) MarkTableDirty(t);
+  } else {
+    std::fill(dirty_.begin(), dirty_.end(), 1);
+  }
+  return RecomputeAndSum(state, frequencies, ctx);
+}
+
+double WorkloadCostTracker::EvaluateDelta(
+    const partition::PartitioningState& state,
+    const std::vector<schema::TableId>& affected_tables,
+    const std::vector<double>& frequencies, EvalContext* ctx) {
+  if (!synced_.has_value()) {
+    ++stats_.fallbacks;
+    TrackerMetrics::Get().fallbacks.Add();
+    return Evaluate(state, frequencies, ctx);
+  }
+  for (schema::TableId t : affected_tables) MarkTableDirty(t);
+  return RecomputeAndSum(state, frequencies, ctx);
+}
+
+double WorkloadCostTracker::RecomputeAndSum(
+    const partition::PartitioningState& state,
+    const std::vector<double>& frequencies, EvalContext* ctx) {
+  const int num_queries = workload_->num_queries();
+  if (static_cast<size_t>(num_queries) > costs_.size()) SyncWorkload();
+  auto freq_at = [&frequencies](int j) {
+    return j < static_cast<int>(frequencies.size())
+               ? frequencies[static_cast<size_t>(j)]
+               : 0.0;
+  };
+
+  // Collect the stale f>0 queries; everything else is served from the
+  // vector. A dirty mark is only a hint — the slot is re-priced solely when
+  // the fingerprint of the query's restricted design changed, so edge
+  // activations that keep an endpoint's design, or designs that moved and
+  // moved back, skip for free. (A fingerprint collision would also collide
+  // in the memo key the pricing function uses, so skipping on equality can
+  // never diverge from re-pricing.) Zero-frequency queries stay unpriced
+  // until they gain weight.
+  std::vector<int> stale;
+  uint64_t skips = 0;
+  for (int j = 0; j < num_queries; ++j) {
+    if (freq_at(j) <= 0.0) continue;
+    size_t sj = static_cast<size_t>(j);
+    if (priced_[sj] && !dirty_[sj]) {
+      ++skips;
+      continue;
+    }
+    if (priced_[sj]) {
+      uint64_t fp = state.DesignFingerprint(query_tables_[sj]);
+      if (fp == slot_fp_[sj]) {
+        dirty_[sj] = 0;
+        ++skips;
+        continue;
+      }
+    }
+    stale.push_back(j);
+  }
+
+  // Price stale queries into their own slots. Each cost is a pure function
+  // of (query, state), so values are scheduling-independent and the fan-out
+  // is safe: disjoint writes, no reduction inside the parallel region.
+  if (ctx != nullptr && ctx->pool() != nullptr && stale.size() > 1) {
+    ctx->pool()->ParallelFor(stale.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        int j = stale[i];
+        costs_[static_cast<size_t>(j)] = query_cost_(j, state);
+      }
+    });
+  } else {
+    for (int j : stale) {
+      costs_[static_cast<size_t>(j)] = query_cost_(j, state);
+    }
+  }
+  for (int j : stale) {
+    size_t sj = static_cast<size_t>(j);
+    priced_[sj] = 1;
+    dirty_[sj] = 0;
+    slot_fp_[sj] = state.DesignFingerprint(query_tables_[sj]);
+  }
+
+  stats_.evals += stale.size();
+  stats_.delta_skips += skips;
+  auto& metrics = TrackerMetrics::Get();
+  metrics.delta_evals.Add(stale.size());
+  metrics.delta_skips.Add(skips);
+
+  synced_ = state;
+
+  // Weighted reduction in query order over the full vector — the same order
+  // and skip rule as PartitioningEnv::WorkloadCost, so totals are
+  // bit-identical to a from-scratch evaluation.
+  double total = 0.0;
+  for (int j = 0; j < num_queries; ++j) {
+    double f = freq_at(j);
+    if (f <= 0.0) continue;
+    total += f * costs_[static_cast<size_t>(j)];
+  }
+  return total;
+}
+
+}  // namespace lpa::costmodel

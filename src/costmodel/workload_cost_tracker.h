@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "partition/partition_state.h"
+#include "util/eval_context.h"
+#include "workload/workload.h"
+
+namespace lpa::costmodel {
+
+/// \brief Incremental frequency-weighted workload costing (the delta-cost
+/// engine behind training episodes, inference rollouts, and the optimizer
+/// baseline's design enumeration).
+///
+/// Every agent action mutates the design of at most two tables
+/// (`partition::Action::AffectedTables`), yet the naive reward computation
+/// re-prices the whole workload each step. The tracker exploits the cost
+/// model's locality contract — a query's cost is a pure function of (the
+/// query, the designs of the tables it references) — to re-price only the
+/// queries touching mutated tables:
+///
+///  - a table→query inverted index maps each table to the queries that
+///    reference it;
+///  - a per-query cost vector holds the last computed cost of every query,
+///    alongside the fingerprint of the restricted design it was priced
+///    under — a dirty-marked query is re-priced only if that fingerprint
+///    actually changed (conservative hints like an edge activation whose
+///    endpoint kept its design, or a design that moved and moved back,
+///    cost nothing);
+///  - a copy of the last evaluated state (`synced_`) lets `Evaluate` diff
+///    designs and derive the dirty set itself, so callers without an action
+///    hint (episode resets, enumeration jumps) still get delta costing.
+///
+/// Bit-identity contract: the returned total is ALWAYS the weighted sum over
+/// the full cost vector, reduced in query order with the same skip rule
+/// (`f <= 0`) as `PartitioningEnv::WorkloadCost` — and each vector entry is
+/// the same pure function value a full recompute would produce. Totals are
+/// therefore bit-identical to a from-scratch evaluation at any thread count.
+///
+/// Parallelism: dirty queries fan out across `ctx`'s pool when present, each
+/// writing its own slot; the reduction stays serial in query order. Only use
+/// a pooled context when `query_cost` is safe to call concurrently (true for
+/// the offline cost model; the online environment must not be tracked at
+/// all — see `PartitioningEnv::SupportsIncrementalCost`).
+///
+/// Not thread-safe itself: one tracker per evaluation thread/rollout.
+///
+/// Telemetry (process-global registry):
+///   costmodel.delta_evals.count      queries re-priced by the tracker
+///   costmodel.delta_skips.count      priced queries served from the vector
+///   costmodel.tracker_resets.count   Reset() calls (cost vector dropped)
+///   costmodel.tracker_fallbacks.count  delta-hint calls that fell back to a
+///                                      full diff (no synced state yet)
+class WorkloadCostTracker {
+ public:
+  /// Prices one query under a state. Must be a pure function of the query
+  /// index and the designs of the query's tables (frequency-independent).
+  using QueryCostFn =
+      std::function<double(int query_index,
+                           const partition::PartitioningState& state)>;
+
+  WorkloadCostTracker(const workload::Workload* workload,
+                      QueryCostFn query_cost);
+
+  /// \brief Weighted workload cost of `state`, re-pricing only queries whose
+  /// tables changed design since the previous evaluation (all queries on the
+  /// first call or after Reset()).
+  double Evaluate(const partition::PartitioningState& state,
+                  const std::vector<double>& frequencies,
+                  EvalContext* ctx = nullptr);
+
+  /// \brief Like Evaluate, but the caller asserts that at most the designs of
+  /// `affected_tables` changed since the previous evaluation (the
+  /// `Action::AffectedTables` hint after a `Step`), skipping the state diff.
+  /// Falls back to Evaluate when no previous evaluation exists.
+  double EvaluateDelta(const partition::PartitioningState& state,
+                       const std::vector<schema::TableId>& affected_tables,
+                       const std::vector<double>& frequencies,
+                       EvalContext* ctx = nullptr);
+
+  /// \brief Drop the cost vector and synced state; the next Evaluate
+  /// re-prices every priced query. Call when the cost function's hidden
+  /// inputs change (e.g. table statistics refresh).
+  void Reset();
+
+  /// \brief Mark all queries referencing any of `tables` stale without
+  /// touching the rest of the vector.
+  void InvalidateTables(const std::vector<schema::TableId>& tables);
+
+  /// \brief Re-size the per-query structures after the workload gained
+  /// queries (incremental training). New queries start unpriced; existing
+  /// entries are kept.
+  void SyncWorkload();
+
+  struct Stats {
+    uint64_t evals = 0;        ///< queries re-priced
+    uint64_t delta_skips = 0;  ///< priced queries reused from the vector
+    uint64_t resets = 0;
+    uint64_t fallbacks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Mark every query referencing table `t` possibly-stale.
+  void MarkTableDirty(schema::TableId t);
+  /// Re-price the f>0 queries whose restricted-design fingerprint actually
+  /// changed, then reduce in query order.
+  double RecomputeAndSum(const partition::PartitioningState& state,
+                         const std::vector<double>& frequencies,
+                         EvalContext* ctx);
+
+  const workload::Workload* workload_;
+  QueryCostFn query_cost_;
+
+  /// Tables referenced per query, and its transpose (table → query indices).
+  std::vector<std::vector<schema::TableId>> query_tables_;
+  std::vector<std::vector<int>> table_to_queries_;
+
+  /// costs_[j] holds query j's cost, priced under the restricted design with
+  /// fingerprint slot_fp_[j]; meaningful iff priced_[j]. dirty_[j] marks
+  /// queries whose tables MAY have changed design; the fingerprint decides.
+  std::vector<double> costs_;
+  std::vector<uint64_t> slot_fp_;
+  std::vector<char> priced_;
+  std::vector<char> dirty_;
+  /// Design snapshot the dirty marks are relative to; empty before the first
+  /// evaluation and after Reset().
+  std::optional<partition::PartitioningState> synced_;
+
+  Stats stats_;
+};
+
+}  // namespace lpa::costmodel

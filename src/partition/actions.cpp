@@ -2,6 +2,21 @@
 
 namespace lpa::partition {
 
+std::vector<schema::TableId> Action::AffectedTables(const EdgeSet& edges) const {
+  switch (kind) {
+    case ActionKind::kPartitionTable:
+    case ActionKind::kReplicateTable:
+      return {table};
+    case ActionKind::kActivateEdge: {
+      const Edge& e = edges.edge(edge);
+      return {e.left.table, e.right.table};
+    }
+    case ActionKind::kDeactivateEdge:
+      return {};
+  }
+  return {};
+}
+
 ActionSpace::ActionSpace(const schema::Schema* schema, const EdgeSet* edges)
     : schema_(schema), edges_(edges) {
   // Stable enumeration: all partition actions, then replicate actions, then
@@ -70,6 +85,10 @@ Status ActionSpace::Apply(int id, PartitioningState* state) const {
       return state->DeactivateEdge(a.edge);
   }
   return Status::Internal("unreachable");
+}
+
+std::vector<schema::TableId> ActionSpace::AffectedTables(int id) const {
+  return actions_.at(static_cast<size_t>(id)).AffectedTables(*edges_);
 }
 
 std::string ActionSpace::Describe(int id) const {

@@ -24,6 +24,13 @@ struct Action {
   int edge = -1;                 // kActivateEdge / kDeactivateEdge
 
   bool operator==(const Action&) const = default;
+
+  /// \brief Tables whose physical design this action may change: the acted-on
+  /// table for partition/replicate, both endpoint tables for an edge
+  /// activation, and none for a deactivation (edge bits are not part of the
+  /// physical design). Incremental workload costing re-prices only queries
+  /// touching these tables after a step.
+  std::vector<schema::TableId> AffectedTables(const EdgeSet& edges) const;
 };
 
 /// \brief The global action space: a fixed enumeration of all actions the
@@ -48,6 +55,9 @@ class ActionSpace {
 
   /// \brief Apply action `id` to the state. Fails if illegal.
   Status Apply(int id, PartitioningState* state) const;
+
+  /// \brief `action(id).AffectedTables()` against this space's edge set.
+  std::vector<schema::TableId> AffectedTables(int id) const;
 
   /// \brief Human-readable form, e.g. "partition(customer by c_id)".
   std::string Describe(int id) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace lpa::partition {
@@ -49,7 +50,25 @@ PartitioningState::PartitioningState(const schema::Schema* schema,
     : schema_(schema),
       edges_(edges),
       tables_(static_cast<size_t>(schema->num_tables())),
-      edge_active_(static_cast<size_t>(edges->size()), false) {}
+      edge_active_(static_cast<size_t>(edges->size()), false),
+      table_design_hashes_(static_cast<size_t>(schema->num_tables()), 0) {
+  for (schema::TableId t = 0; t < schema->num_tables(); ++t) {
+    RefreshTableHash(t);
+  }
+}
+
+void PartitioningState::RefreshTableHash(schema::TableId t) {
+  const auto& tp = tables_[static_cast<size_t>(t)];
+  // Mix table id, the replication bit, and the partition column into a
+  // well-distributed word; distinct designs of a table map to distinct
+  // pre-mix inputs, so equal hashes mean equal designs (up to SplitMix64
+  // collisions, negligible at cache scale).
+  uint64_t column_bits =
+      tp.replicated ? 0 : static_cast<uint64_t>(tp.column + 1);
+  uint64_t raw = (static_cast<uint64_t>(t) << 32) | (column_bits << 1) |
+                 (tp.replicated ? 1ULL : 0ULL);
+  table_design_hashes_[static_cast<size_t>(t)] = Hash64(raw);
+}
 
 PartitioningState PartitioningState::Initial(const schema::Schema* schema,
                                              const EdgeSet* edges) {
@@ -75,6 +94,7 @@ PartitioningState PartitioningState::Initial(const schema::Schema* schema,
     } else {
       state.tables_[static_cast<size_t>(t)] = TablePartition{true, -1};
     }
+    state.RefreshTableHash(t);
   }
   return state;
 }
@@ -95,6 +115,7 @@ PartitioningState PartitioningState::FromDesign(
       LPA_CHECK(table.columns[static_cast<size_t>(tp.column)].partitionable);
       state.tables_[static_cast<size_t>(t)] = tp;
     }
+    state.RefreshTableHash(t);
   }
   return state;
 }
@@ -126,6 +147,7 @@ Status PartitioningState::PartitionBy(schema::TableId t, schema::ColumnId column
                                       " is pinned by an active edge; deactivate first");
   }
   tables_[static_cast<size_t>(t)] = TablePartition{false, column};
+  RefreshTableHash(t);
   return Status::OK();
 }
 
@@ -142,6 +164,7 @@ Status PartitioningState::Replicate(schema::TableId t) {
                                       " is pinned by an active edge; deactivate first");
   }
   tables_[static_cast<size_t>(t)] = TablePartition{true, -1};
+  RefreshTableHash(t);
   return Status::OK();
 }
 
@@ -172,6 +195,8 @@ Status PartitioningState::ActivateEdge(int e) {
   const Edge& edge = edges_->edge(e);
   tables_[static_cast<size_t>(edge.left.table)] = TablePartition{false, edge.left.column};
   tables_[static_cast<size_t>(edge.right.table)] = TablePartition{false, edge.right.column};
+  RefreshTableHash(edge.left.table);
+  RefreshTableHash(edge.right.table);
   edge_active_[static_cast<size_t>(e)] = true;
   return Status::OK();
 }
@@ -218,6 +243,21 @@ std::string PartitioningState::PhysicalDesignKey(
     }
   }
   return key;
+}
+
+uint64_t PartitioningState::DesignFingerprint(
+    const std::vector<schema::TableId>& tables) const {
+  uint64_t fp = 0x243f6a8885a308d3ULL;  // fold seed, any fixed constant
+  for (schema::TableId t : tables) {
+    fp = HashCombine(fp, table_design_hashes_[static_cast<size_t>(t)]);
+  }
+  return fp;
+}
+
+uint64_t PartitioningState::DesignFingerprint() const {
+  uint64_t fp = 0x243f6a8885a308d3ULL;
+  for (uint64_t h : table_design_hashes_) fp = HashCombine(fp, h);
+  return fp;
 }
 
 bool PartitioningState::SameDesign(const PartitioningState& other) const {

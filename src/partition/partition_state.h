@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,22 @@ class PartitioningState {
   /// query touching exactly those tables (Sec 4.2).
   std::string PhysicalDesignKey(const std::vector<schema::TableId>& tables) const;
 
+  /// \brief Well-mixed 64-bit hash of one table's physical design, maintained
+  /// incrementally by every mutator. Two states give a table the same hash
+  /// iff they give it the same design (modulo 64-bit collisions).
+  uint64_t TableDesignHash(schema::TableId t) const {
+    return table_design_hashes_.at(static_cast<size_t>(t));
+  }
+
+  /// \brief 64-bit fingerprint of the designs of `tables`, folded in the
+  /// given order — the cheap replacement for `PhysicalDesignKey(tables)` as
+  /// a cost-cache key. O(|tables|) hash combines, no string construction.
+  uint64_t DesignFingerprint(const std::vector<schema::TableId>& tables) const;
+
+  /// \brief Fingerprint over all tables (edge bits excluded, like
+  /// PhysicalDesignKey).
+  uint64_t DesignFingerprint() const;
+
   /// \brief Physical designs equal (ignoring edge bits)?
   bool SameDesign(const PartitioningState& other) const;
 
@@ -124,10 +141,16 @@ class PartitioningState {
   }
 
  private:
+  /// Recompute table_design_hashes_[t] from tables_[t].
+  void RefreshTableHash(schema::TableId t);
+
   const schema::Schema* schema_;
   const EdgeSet* edges_;
   std::vector<TablePartition> tables_;
   std::vector<bool> edge_active_;
+  /// Per-table design hashes, kept in sync with tables_ by every mutator so
+  /// fingerprint reads are O(1) per table.
+  std::vector<uint64_t> table_design_hashes_;
 };
 
 }  // namespace lpa::partition

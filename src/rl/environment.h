@@ -40,6 +40,13 @@ class PartitioningEnv {
   /// designs and accounts runtimes) must return false; they are always
   /// evaluated serially regardless of the context's thread count.
   virtual bool SupportsParallelEval() const { return false; }
+
+  /// \brief Whether QueryCost is a pure, frequency-independent function of
+  /// (query, designs of the query's tables), so workload costs may be
+  /// maintained incrementally by a `costmodel::WorkloadCostTracker` instead
+  /// of recomputed per step. The online environment must return false: its
+  /// costs carry per-call noise, timeout effects, and runtime accounting.
+  virtual bool SupportsIncrementalCost() const { return false; }
 };
 
 }  // namespace lpa::rl

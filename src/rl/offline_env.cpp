@@ -1,22 +1,23 @@
 #include "rl/offline_env.h"
 
 #include "telemetry/registry.h"
+#include "util/hash.h"
 
 namespace lpa::rl {
 
 namespace {
 
-/// The offline env caches cost-model evaluations; its hit rate is the
-/// costmodel-side twin of the online Query Runtime Cache.
+/// Cost-model evaluation volume: one tick per QueryCost call (cache hit or
+/// not). Hit/miss/eviction breakdown lives in the CostCache's own
+/// `costmodel.cost_cache_*.count` counters — this is deliberately the only
+/// counter the env adds on top.
 struct OfflineEnvMetrics {
   telemetry::Counter& evals;
-  telemetry::Counter& cache_hits;
 
   static OfflineEnvMetrics& Get() {
     auto& reg = telemetry::MetricsRegistry::Global();
     static OfflineEnvMetrics* m = new OfflineEnvMetrics{
-        reg.GetCounter("costmodel.cache_evals.count"),
-        reg.GetCounter("costmodel.cache_hits.count")};
+        reg.GetCounter("costmodel.cache_evals.count")};
     return *m;
   }
 };
@@ -63,40 +64,27 @@ double PartitioningEnv::WorkloadCost(const partition::PartitioningState& state,
 
 OfflineEnv::OfflineEnv(const costmodel::CostModel* model,
                        const workload::Workload* workload)
-    : model_(model), workload_(workload) {}
+    : model_(model), workload_(workload) {
+  SyncWorkload();
+}
 
-const std::vector<schema::TableId>& OfflineEnv::QueryTables(int query_index) {
-  while (static_cast<int>(query_tables_.size()) <= query_index) {
+void OfflineEnv::SyncWorkload() {
+  while (static_cast<int>(query_tables_.size()) < workload_->num_queries()) {
     query_tables_.push_back(
         workload_->query(static_cast<int>(query_tables_.size())).tables());
   }
-  return query_tables_[static_cast<size_t>(query_index)];
 }
 
 double OfflineEnv::QueryCost(int query_index,
                              const partition::PartitioningState& state,
                              double /*frequency*/) {
-  evaluations_.fetch_add(1, std::memory_order_relaxed);
   OfflineEnvMetrics::Get().evals.Add();
-  std::string key = std::to_string(query_index) + "|" +
-                    state.PhysicalDesignKey(QueryTables(query_index));
-  if (auto hit = cache_.Lookup(key)) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    OfflineEnvMetrics::Get().cache_hits.Add();
-    return *hit;
-  }
-  double cost = model_->QueryCost(workload_->query(query_index), state);
-  cache_.Insert(key, cost);
-  return cost;
-}
-
-double OfflineEnv::WorkloadCost(const partition::PartitioningState& state,
-                                const std::vector<double>& frequencies,
-                                EvalContext* ctx) {
-  // Pre-grow the lazily-built per-query table lists on this thread so the
-  // parallel fan-out below only ever reads them.
-  if (workload_->num_queries() > 0) QueryTables(workload_->num_queries() - 1);
-  return PartitioningEnv::WorkloadCost(state, frequencies, ctx);
+  const auto& tables = query_tables_[static_cast<size_t>(query_index)];
+  uint64_t key = HashCombine(Hash64(static_cast<uint64_t>(query_index)),
+                             state.DesignFingerprint(tables));
+  return cache_.GetOrCompute(key, [&] {
+    return model_->QueryCost(workload_->query(query_index), state);
+  });
 }
 
 }  // namespace lpa::rl

@@ -1,7 +1,5 @@
 #pragma once
 
-#include <atomic>
-
 #include "costmodel/cost_cache.h"
 #include "costmodel/cost_model.h"
 #include "rl/environment.h"
@@ -11,14 +9,19 @@ namespace lpa::rl {
 /// \brief Offline-training environment (Sec 4.1): rewards come from the
 /// network-centric cost model `cm(P, q)`; no database is touched.
 ///
-/// Query costs are memoized in a sharded LRU CostCache keyed by (query,
-/// physical design restricted to the query's tables) — the same key
-/// structure as the online Query Runtime Cache, exploiting that a query's
-/// cost only depends on the states of the tables it references.
+/// Query costs are memoized in a sharded LRU CostCache keyed by the 64-bit
+/// fingerprint of (query index, physical design restricted to the query's
+/// tables) — the same key structure as the online Query Runtime Cache,
+/// exploiting that a query's cost only depends on the states of the tables
+/// it references. Fingerprints come from the state's incrementally
+/// maintained per-table design hashes, so a probe costs O(|query tables|)
+/// hash combines and no string construction.
 ///
-/// The cost model is stateless, so this environment supports parallel
-/// evaluation: WorkloadCost fans per-query costs out across the context's
-/// thread pool.
+/// The cost model is stateless, so this environment supports both parallel
+/// evaluation (WorkloadCost fans per-query costs out across the context's
+/// thread pool) and incremental costing (trainers wrap it in a
+/// `costmodel::WorkloadCostTracker` and re-price only queries touching
+/// tables an action mutated).
 class OfflineEnv : public PartitioningEnv {
  public:
   OfflineEnv(const costmodel::CostModel* model,
@@ -29,31 +32,31 @@ class OfflineEnv : public PartitioningEnv {
   double QueryCost(int query_index, const partition::PartitioningState& state,
                    double frequency) override;
 
-  double WorkloadCost(const partition::PartitioningState& state,
-                      const std::vector<double>& frequencies,
-                      EvalContext* ctx = nullptr) override;
-
   bool SupportsParallelEval() const override { return true; }
+  bool SupportsIncrementalCost() const override { return true; }
+
+  /// \brief Extend the per-query table lists after the workload gained
+  /// queries (incremental training). NOT thread-safe; call between
+  /// evaluations, never concurrently with them.
+  void SyncWorkload();
 
   size_t cache_size() const { return cache_.size(); }
-  size_t cache_hits() const { return hits_.load(std::memory_order_relaxed); }
+  size_t cache_hits() const { return cache_.stats().hits; }
+  /// \brief Cost-model cache probes (hits + misses) — every QueryCost call
+  /// probes exactly once.
   size_t evaluations() const {
-    return evaluations_.load(std::memory_order_relaxed);
+    auto s = cache_.stats();
+    return s.hits + s.misses;
   }
 
  private:
-  /// Tables referenced per query (cache-key scope); grown lazily so the
-  /// workload may gain queries after construction (incremental training).
-  /// Growth is NOT thread-safe — WorkloadCost pre-grows the table before
-  /// fanning out, so concurrent QueryCost calls only read.
-  const std::vector<schema::TableId>& QueryTables(int query_index);
-
   const costmodel::CostModel* model_;
   const workload::Workload* workload_;
+  /// Tables referenced per query (cache-key scope), built eagerly in the
+  /// constructor and extended only by SyncWorkload(), so concurrent
+  /// QueryCost calls only ever read.
   std::vector<std::vector<schema::TableId>> query_tables_;
   costmodel::CostCache cache_;
-  std::atomic<size_t> hits_{0};
-  std::atomic<size_t> evaluations_{0};
 };
 
 }  // namespace lpa::rl

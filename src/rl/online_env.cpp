@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "telemetry/registry.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace lpa::rl {
@@ -70,8 +71,8 @@ void OnlineEnv::DeployFor(int query_index,
 double OnlineEnv::QueryCost(int query_index,
                             const partition::PartitioningState& state,
                             double frequency) {
-  std::string key = std::to_string(query_index) + "|" +
-                    state.PhysicalDesignKey(QueryTables(query_index));
+  uint64_t key = HashCombine(Hash64(static_cast<uint64_t>(query_index)),
+                             state.DesignFingerprint(QueryTables(query_index)));
   if (options_.use_runtime_cache) {
     auto it = cache_.find(key);
     if (it != cache_.end()) {
@@ -105,12 +106,12 @@ double OnlineEnv::QueryCost(int query_index,
                                                        budget_sample);
       accounting_.query_seconds += budget_sample;
       // The true (uncut) cost still enters the cache so later mixes reuse it.
-      cache_.emplace(std::move(key), scaled);
+      cache_.emplace(key, scaled);
       return scaled;
     }
   }
   accounting_.query_seconds += sample_seconds;
-  cache_.emplace(std::move(key), scaled);
+  cache_.emplace(key, scaled);
   return scaled;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <unordered_map>
 
 #include "engine/cluster.h"
@@ -82,7 +83,9 @@ class OnlineEnv : public PartitioningEnv {
   std::vector<double> scale_;
   OnlineEnvOptions options_;
   std::vector<std::vector<schema::TableId>> query_tables_;
-  std::unordered_map<std::string, double> cache_;
+  /// Query Runtime Cache, keyed by the fingerprint of (query index, design
+  /// restricted to the query's tables).
+  std::unordered_map<uint64_t, double> cache_;
   OnlineAccounting accounting_;
   double best_cost_ = -1.0;  ///< negative = unknown
 };

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
+#include "costmodel/workload_cost_tracker.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 #include "util/logging.h"
@@ -63,7 +65,31 @@ TrainingResult EpisodeTrainer::Train(DqnAgent* agent, PartitioningEnv* env,
   auto& tm = TrainerMetrics::Get();
   Rng* rng = ctx->rng();
   TrainingResult result;
-  result.normalization = Normalization(env, ctx);
+
+  // Delta-cost engine: each action mutates at most two tables, so only the
+  // queries touching them are re-priced per step (Evaluate's auto-diff also
+  // covers the episode reset, where the state jumps back to s0). Query costs
+  // are frequency-independent, so the vector stays valid across episodes'
+  // changing workload mixes. The online env keeps the full-recompute path.
+  std::unique_ptr<costmodel::WorkloadCostTracker> tracker;
+  EvalContext* fanout_ctx = env->SupportsParallelEval() ? ctx : nullptr;
+  if (env->SupportsIncrementalCost()) {
+    tracker = std::make_unique<costmodel::WorkloadCostTracker>(
+        &env->workload(),
+        [env](int j, const partition::PartitioningState& s) {
+          return env->QueryCost(j, s, 1.0);
+        });
+  }
+  {
+    // Reward normalizer: workload cost of s0 under a uniform mix. Running it
+    // through the tracker also seeds the cost vector for episode 1.
+    std::vector<double> uniform(
+        static_cast<size_t>(env->workload().num_queries()), 1.0);
+    result.normalization =
+        tracker != nullptr ? tracker->Evaluate(InitialState(), uniform, fanout_ctx)
+                           : env->WorkloadCost(InitialState(), uniform, ctx);
+    LPA_CHECK(result.normalization > 0.0);
+  }
   const int tmax = agent->config().tmax;
   LPA_CHECK(tmax >= schema_->num_tables());
 
@@ -77,7 +103,17 @@ TrainingResult EpisodeTrainer::Train(DqnAgent* agent, PartitioningEnv* env,
     for (int t = 0; t < tmax; ++t) {
       int action = agent->SelectAction(enc, legal, rng);  // line 6
       LPA_CHECK(actions_->Apply(action, &state).ok());    // line 7
-      double cost = env->WorkloadCost(state, freqs, ctx);  // line 8
+      double cost;  // line 8
+      if (tracker == nullptr) {
+        cost = env->WorkloadCost(state, freqs, ctx);
+      } else if (t == 0) {
+        // Episode start: the tracker is synced to the previous episode's
+        // final state, so the action hint alone would miss the reset diff.
+        cost = tracker->Evaluate(state, freqs, fanout_ctx);
+      } else {
+        cost = tracker->EvaluateDelta(state, actions_->AffectedTables(action),
+                                      freqs, fanout_ctx);
+      }
       double reward = 1.0 - cost / result.normalization;
       episode_best = std::max(episode_best, reward);
 
@@ -140,11 +176,12 @@ void Rollout(const DqnAgent& agent,
 
 /// Runs `extra_rollouts` ε-randomized rollouts and folds the best state into
 /// `result`. Each rollout draws from its own sub-RNG forked from `ctx` by a
-/// single master draw, keeps a local best, and the locals are merged into
-/// `result` in rollout-index order with a strict `<` — so the outcome is
-/// identical whether the rollouts ran serially or on the pool.
+/// single master draw, prices states with its own objective instance from
+/// `factory`, keeps a local best, and the locals are merged into `result` in
+/// rollout-index order with a strict `<` — so the outcome is identical
+/// whether the rollouts ran serially or on the pool.
 void ExtraRollouts(const DqnAgent& agent,
-                   const EpisodeTrainer::StateObjective& objective,
+                   const EpisodeTrainer::ObjectiveFactory& factory,
                    const std::vector<double>& frequencies,
                    const partition::Featurizer& featurizer,
                    const partition::ActionSpace& actions,
@@ -155,17 +192,24 @@ void ExtraRollouts(const DqnAgent& agent,
   if (ctx == nullptr) {
     // No context: legacy serial greedy extras (no exploration randomness).
     for (int i = 0; i < extra_rollouts; ++i) {
+      EpisodeTrainer::StateObjective objective = factory();
       Rollout(agent, objective, frequencies, featurizer, actions, epsilon,
               nullptr, /*record_actions=*/false, result, s0);
     }
     return;
   }
   std::vector<Rng> rngs = ctx->ForkRngs(static_cast<size_t>(extra_rollouts));
+  // Materialize the per-rollout objectives on this thread: tracker-backed
+  // objectives allocate, and construction order must not depend on pool
+  // scheduling.
+  std::vector<EpisodeTrainer::StateObjective> objectives;
+  objectives.reserve(static_cast<size_t>(extra_rollouts));
+  for (int i = 0; i < extra_rollouts; ++i) objectives.push_back(factory());
   std::vector<InferenceResult> locals(
       static_cast<size_t>(extra_rollouts),
       InferenceResult{s0, std::numeric_limits<double>::infinity(), {}});
   auto run_one = [&](size_t i) {
-    Rollout(agent, objective, frequencies, featurizer, actions, epsilon,
+    Rollout(agent, objectives[i], frequencies, featurizer, actions, epsilon,
             &rngs[i], /*record_actions=*/false, &locals[i], s0);
   };
   if (parallel_ok && ctx->pool() != nullptr) {
@@ -190,11 +234,10 @@ InferenceResult EpisodeTrainer::Infer(const DqnAgent& agent,
                                       PartitioningEnv* env,
                                       const std::vector<double>& frequencies,
                                       EvalContext* ctx) const {
-  auto objective = [env, &frequencies,
-                    ctx](const partition::PartitioningState& s) {
-    return env->WorkloadCost(s, frequencies, ctx);
-  };
+  StateObjective objective = MakeEnvObjective(env, &frequencies, ctx)();
   partition::PartitioningState state = InitialState();
+  // Pricing s0 first also syncs a tracker-backed objective to s0, so each
+  // subsequent rollout state is delta-costed against its predecessor.
   InferenceResult result{state, objective(state), {}};
   Rollout(agent, objective, frequencies, *featurizer_, *actions_, 0.0, nullptr,
           /*record_actions=*/true, &result, state);
@@ -206,13 +249,11 @@ InferenceResult EpisodeTrainer::InferBest(
     const std::vector<double>& frequencies, int extra_rollouts, double epsilon,
     EvalContext* ctx) const {
   InferenceResult result = Infer(agent, env, frequencies, ctx);
-  // Inside a parallel rollout each WorkloadCost call must not itself fan out
-  // onto sibling rollouts' frequencies, so the extras price states without a
-  // context; per-query costs still hit the (thread-safe) offline cache.
-  auto objective = [env, &frequencies](const partition::PartitioningState& s) {
-    return env->WorkloadCost(s, frequencies);
-  };
-  ExtraRollouts(agent, objective, frequencies, *featurizer_, *actions_,
+  // Inside a parallel rollout each objective call must not itself fan out
+  // onto the pool, so the extras price states without a context; per-query
+  // costs still hit the (thread-safe) offline cache.
+  ObjectiveFactory factory = MakeEnvObjective(env, &frequencies, nullptr);
+  ExtraRollouts(agent, factory, frequencies, *featurizer_, *actions_,
                 InitialState(), extra_rollouts, epsilon, ctx,
                 /*parallel_ok=*/env->SupportsParallelEval(), &result);
   return result;
@@ -220,16 +261,41 @@ InferenceResult EpisodeTrainer::InferBest(
 
 InferenceResult EpisodeTrainer::InferObjective(
     const DqnAgent& agent, const std::vector<double>& frequencies,
-    const StateObjective& objective, int extra_rollouts, double epsilon,
-    EvalContext* ctx) const {
+    const ObjectiveFactory& objective_factory, int extra_rollouts,
+    double epsilon, EvalContext* ctx) const {
+  StateObjective objective = objective_factory();
   partition::PartitioningState state = InitialState();
   InferenceResult result{state, objective(state), {}};
   Rollout(agent, objective, frequencies, *featurizer_, *actions_, 0.0, nullptr,
           /*record_actions=*/true, &result, state);
-  ExtraRollouts(agent, objective, frequencies, *featurizer_, *actions_,
+  ExtraRollouts(agent, objective_factory, frequencies, *featurizer_, *actions_,
                 InitialState(), extra_rollouts, epsilon, ctx,
                 /*parallel_ok=*/true, &result);
   return result;
+}
+
+EpisodeTrainer::ObjectiveFactory MakeEnvObjective(
+    PartitioningEnv* env, const std::vector<double>* frequencies,
+    EvalContext* ctx) {
+  EvalContext* fanout_ctx = env->SupportsParallelEval() ? ctx : nullptr;
+  if (env->SupportsIncrementalCost()) {
+    return [env, frequencies, fanout_ctx]() -> EpisodeTrainer::StateObjective {
+      auto tracker = std::make_shared<costmodel::WorkloadCostTracker>(
+          &env->workload(),
+          [env](int j, const partition::PartitioningState& s) {
+            return env->QueryCost(j, s, 1.0);
+          });
+      return [tracker, frequencies,
+              fanout_ctx](const partition::PartitioningState& s) {
+        return tracker->Evaluate(s, *frequencies, fanout_ctx);
+      };
+    };
+  }
+  return [env, frequencies, ctx]() -> EpisodeTrainer::StateObjective {
+    return [env, frequencies, ctx](const partition::PartitioningState& s) {
+      return env->WorkloadCost(s, *frequencies, ctx);
+    };
+  };
 }
 
 }  // namespace lpa::rl

@@ -79,13 +79,21 @@ class EpisodeTrainer {
   /// \brief Like InferBest, but states are ranked by a caller-supplied
   /// objective instead of the plain environment cost — e.g. workload cost
   /// plus a weighted repartitioning cost from the currently deployed design
-  /// (the reward extension discussed at the end of Sec 3.2). When `ctx` has
-  /// a pool the extra rollouts run concurrently, so `objective` must be
-  /// safe to call from multiple threads.
+  /// (the reward extension discussed at the end of Sec 3.2).
+  ///
+  /// The caller supplies an objective FACTORY, not a single objective: each
+  /// rollout (the greedy one and every extra) gets its own objective
+  /// instance, so stateful objectives — notably ones backed by a
+  /// `costmodel::WorkloadCostTracker`, which delta-costs the consecutive
+  /// states of a rollout — need no internal synchronization. When `ctx` has
+  /// a pool the extra rollouts run concurrently, so the factory's products
+  /// must be independent (shared lower layers like the cost cache must be
+  /// thread-safe).
   using StateObjective = std::function<double(const partition::PartitioningState&)>;
+  using ObjectiveFactory = std::function<StateObjective()>;
   InferenceResult InferObjective(const DqnAgent& agent,
                                  const std::vector<double>& frequencies,
-                                 const StateObjective& objective,
+                                 const ObjectiveFactory& objective_factory,
                                  int extra_rollouts, double epsilon,
                                  EvalContext* ctx) const;
 
@@ -103,5 +111,16 @@ class EpisodeTrainer {
   const partition::ActionSpace* actions_;
   const partition::Featurizer* featurizer_;
 };
+
+/// \brief Objective factory that prices states through `env`: each product
+/// wraps a fresh `costmodel::WorkloadCostTracker` when the environment
+/// supports incremental costing (consecutive rollout states are then
+/// delta-costed), and falls back to plain `env->WorkloadCost` otherwise.
+/// `frequencies` is captured by pointer and must outlive the products; `ctx`
+/// (nullable) parallelizes per-query pricing and is ignored when the
+/// environment does not support parallel evaluation.
+EpisodeTrainer::ObjectiveFactory MakeEnvObjective(
+    PartitioningEnv* env, const std::vector<double>* frequencies,
+    EvalContext* ctx);
 
 }  // namespace lpa::rl

@@ -185,8 +185,8 @@ TEST(CostCacheTest, MemoizesAndCountsStats) {
     ++computes;
     return 3.5;
   };
-  EXPECT_EQ(cache.GetOrCompute("k", compute), 3.5);
-  EXPECT_EQ(cache.GetOrCompute("k", compute), 3.5);
+  EXPECT_EQ(cache.GetOrCompute(7u, compute), 3.5);
+  EXPECT_EQ(cache.GetOrCompute(7u, compute), 3.5);
   EXPECT_EQ(computes, 1);
   auto stats = cache.stats();
   EXPECT_EQ(stats.hits, 1u);
@@ -199,15 +199,15 @@ TEST(CostCacheTest, LruEvictsLeastRecentlyUsed) {
   options.capacity = 4;
   options.shards = 1;
   costmodel::CostCache cache(options);
-  cache.Insert("a", 1);
-  cache.Insert("b", 2);
-  cache.Insert("c", 3);
-  cache.Insert("d", 4);
-  ASSERT_TRUE(cache.Lookup("a").has_value());  // refresh "a"
-  cache.Insert("e", 5);                        // evicts "b", the LRU tail
-  EXPECT_FALSE(cache.Lookup("b").has_value());
-  EXPECT_TRUE(cache.Lookup("a").has_value());
-  EXPECT_TRUE(cache.Lookup("e").has_value());
+  cache.Insert(1u, 1);
+  cache.Insert(2u, 2);
+  cache.Insert(3u, 3);
+  cache.Insert(4u, 4);
+  ASSERT_TRUE(cache.Lookup(1u).has_value());  // refresh key 1
+  cache.Insert(5u, 5);                        // evicts key 2, the LRU tail
+  EXPECT_FALSE(cache.Lookup(2u).has_value());
+  EXPECT_TRUE(cache.Lookup(1u).has_value());
+  EXPECT_TRUE(cache.Lookup(5u).has_value());
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_EQ(cache.size(), 4u);
 }
@@ -221,8 +221,8 @@ TEST(CostCacheTest, ZeroCapacityDisablesCaching) {
     ++computes;
     return 1.0;
   };
-  cache.GetOrCompute("k", compute);
-  cache.GetOrCompute("k", compute);
+  cache.GetOrCompute(7u, compute);
+  cache.GetOrCompute(7u, compute);
   EXPECT_EQ(computes, 2);
   EXPECT_EQ(cache.size(), 0u);
 }
@@ -233,7 +233,7 @@ TEST(CostCacheTest, ConcurrentGetOrComputeIsConsistent) {
   std::atomic<int> computes{0};
   std::vector<double> results(256, 0.0);
   pool.ParallelForEach(results.size(), 1, [&](size_t i) {
-    const std::string key = "q" + std::to_string(i % 8);
+    const uint64_t key = static_cast<uint64_t>(i % 8);
     results[i] = cache.GetOrCompute(key, [&] {
       computes.fetch_add(1, std::memory_order_relaxed);
       return static_cast<double>(i % 8) * 2.0;

@@ -4,6 +4,7 @@
 #
 #   $ tools/check.sh                 # ASan+UBSan (default)
 #   $ tools/check.sh tsan            # ThreadSanitizer on the threaded tests
+#   $ tools/check.sh perf            # Release micro-bench: incremental costing
 #   $ LPA_SANITIZE=undefined tools/check.sh
 #   $ BUILD_DIR=build-asan tools/check.sh
 #   $ CTEST_FILTER=advisor tools/check.sh tsan
@@ -11,11 +12,30 @@
 # The tsan preset builds with -DLPA_SANITIZE=thread into build-tsan and, by
 # default, runs only the tests that exercise the parallel evaluation engine
 # (TSan slows everything ~10x; the serial tests gain nothing from it).
+#
+# The perf preset builds Release into build-perf and runs the workload-cost
+# kernel of bench_micro_components (google benchmarks filtered out), printing
+# the probes-per-step digest table that shows the full-recompute vs
+# incremental delta-costing ratio. BENCH_micro_components.json lands in
+# $LPA_METRICS_DIR (or build-perf).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 PRESET="${1:-}"
+if [[ "${PRESET}" == "perf" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-perf}"
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  echo "== configure (${BUILD_DIR}, Release) =="
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  echo "== build bench_micro_components =="
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro_components
+  echo "== workload-cost kernel (full recompute vs incremental) =="
+  LPA_METRICS_DIR="${LPA_METRICS_DIR:-${BUILD_DIR}}" \
+    "${BUILD_DIR}/bench/bench_micro_components" --benchmark_filter='^$'
+  echo "== OK: perf digest above; matching digests = bit-identical totals =="
+  exit 0
+fi
 if [[ "${PRESET}" == "tsan" ]]; then
   SANITIZE="${LPA_SANITIZE:-thread}"
   BUILD_DIR="${BUILD_DIR:-build-tsan}"
