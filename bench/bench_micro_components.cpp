@@ -1,8 +1,10 @@
 // Component microbenchmarks (google-benchmark): throughput guardrails for
 // the library's hot paths — cost-model planning, featurization, NN forward/
-// train, engine execution, and data generation — plus a workload-cost kernel
-// comparing full recompute against incremental delta costing (run after the
-// google benchmarks; it emits BENCH_micro_components.json).
+// train, engine execution, and data generation — plus two kernels run after
+// the google benchmarks: a workload-cost kernel comparing full recompute
+// against incremental delta costing (BENCH_micro_components.json) and an
+// engine kernel measuring pool-parallel ExecuteWorkload scaling with
+// bit-identity checks (BENCH_engine.json).
 
 #include <benchmark/benchmark.h>
 
@@ -298,6 +300,75 @@ void RunWorkloadCostKernel() {
                table);
 }
 
+// ---------------------------------------------------------------------------
+// Engine kernel: pool-parallel ExecuteWorkload vs the serial path.
+//
+// Runs the full SSB workload on the materialized cluster at 1/2/8 threads,
+// reporting wall-clock per workload pass and the speedup over serial. The
+// per-query seconds digests MUST match across thread counts: the parallel
+// engine is bit-identical by contract (order-fixed merges, forked RNG-free
+// noise). Emits BENCH_engine.json.
+
+void RunEngineKernel() {
+  bench::BenchReport report("engine");
+  report.set_seed(42);
+  report.set_schema("ssb");
+  report.set_engine_profile(bench::EngineName(bench::EngineKind::kDiskBased));
+  auto tb = bench::MakeTestbed("ssb", bench::EngineKind::kDiskBased,
+                               bench::DefaultFraction("ssb"));
+  tb.cluster->ApplyDesign(tb.Initial());
+  const int reps = std::max(2, 16 / bench::BenchScale());
+  report.Note("engine_kernel_reps", std::to_string(reps));
+
+  auto& reg = telemetry::MetricsRegistry::Global();
+  uint64_t probes0 = reg.GetCounter("engine.join_probes.count").value();
+
+  TablePrinter table({"threads", "ms/workload", "speedup", "per-query digest"});
+  double serial_ms = 0.0;
+  std::string serial_digest;
+  for (int threads : {1, 2, 8}) {
+    EvalContext ctx(threads, 7);
+    EvalContext* pctx = threads > 1 ? &ctx : nullptr;
+    // One warm-up pass so every mode times execution, not planning (the plan
+    // cache is shared across modes anyway).
+    tb.cluster->ExecuteWorkload(*tb.workload, pctx);
+    std::vector<double> per_query;
+    for (int i = 0; i < tb.workload->num_queries(); ++i) {
+      per_query.push_back(
+          tb.cluster->ExecuteQuery(tb.workload->query(i), pctx).seconds);
+    }
+    std::string digest = bench::RewardDigest(per_query);
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      benchmark::DoNotOptimize(tb.cluster->ExecuteWorkload(*tb.workload, pctx));
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    double ms =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()) /
+        1000.0 / static_cast<double>(reps);
+    if (threads == 1) {
+      serial_ms = ms;
+      serial_digest = digest;
+      report.Note("serial_ms_per_workload", FormatDouble(ms, 3));
+    }
+    LPA_CHECK(digest == serial_digest);  // parallel must not change results
+    table.AddRow({std::to_string(threads), FormatDouble(ms, 2),
+                  FormatDouble(serial_ms / ms, 2) + "x", digest});
+  }
+  report.Table(
+      "Engine kernel: ExecuteWorkload wall-clock vs threads "
+      "(digests must be identical)",
+      table);
+  report.Note("join_probes",
+              std::to_string(
+                  reg.GetCounter("engine.join_probes.count").value() - probes0));
+  report.Note(
+      "plan_cache_hits",
+      std::to_string(reg.GetCounter("engine.plan_cache_hits.count").value()));
+}
+
 }  // namespace lpa
 
 int main(int argc, char** argv) {
@@ -306,5 +377,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   lpa::RunWorkloadCostKernel();
+  lpa::RunEngineKernel();
   return 0;
 }

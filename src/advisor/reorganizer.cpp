@@ -29,7 +29,8 @@ struct ReorgMetrics {
 
 ReorganizationPlan ReorganizationPlanner::Plan(
     const partition::PartitioningState& deployed,
-    const std::vector<std::vector<double>>& forecast, double weight) {
+    const std::vector<std::vector<double>>& forecast, double weight,
+    EvalContext* ctx) {
   telemetry::Span reorg_span("advisor.reorganize");
   ReorganizationPlan plan;
   if (forecast.empty()) return plan;
@@ -39,7 +40,7 @@ ReorganizationPlan ReorganizationPlanner::Plan(
   // suggestions (deduplicated by physical design).
   std::vector<partition::PartitioningState> candidates{deployed};
   for (const auto& mix : forecast) {
-    auto suggestion = advisor_->Suggest(mix, env_);
+    auto suggestion = advisor_->Suggest(mix, env_, ctx);
     bool known = false;
     for (const auto& c : candidates) {
       if (c.SameDesign(suggestion.best_state)) {
@@ -58,7 +59,7 @@ ReorganizationPlan ReorganizationPlanner::Plan(
     for (int d = 0; d < k; ++d) {
       period_cost[static_cast<size_t>(t)][static_cast<size_t>(d)] =
           env_->WorkloadCost(candidates[static_cast<size_t>(d)],
-                             forecast[static_cast<size_t>(t)]);
+                             forecast[static_cast<size_t>(t)], ctx);
     }
   }
   std::vector<std::vector<double>> move(

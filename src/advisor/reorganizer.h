@@ -52,10 +52,12 @@ class ReorganizationPlanner {
 
   /// \brief Plan over `forecast` (one frequency vector per period), starting
   /// from `deployed`. `weight` scales movement costs (1 = movement counts
-  /// like workload time; larger = more reluctant to move).
+  /// like workload time; larger = more reluctant to move). `ctx` (optional)
+  /// parallelizes candidate generation and the (period, candidate) pricing
+  /// grid through the advisor / environment.
   ReorganizationPlan Plan(const partition::PartitioningState& deployed,
                           const std::vector<std::vector<double>>& forecast,
-                          double weight = 1.0);
+                          double weight = 1.0, EvalContext* ctx = nullptr);
 
  private:
   PartitioningAdvisor* advisor_;

@@ -117,6 +117,13 @@ class CostModel {
   virtual double DesignCostScale(const workload::QuerySpec& query,
                                  const partition::PartitioningState& state) const;
 
+  /// \brief Version of the table statistics the optimizer plans with. The
+  /// base model is exact and stateless (always 0); NoisyOptimizerModel
+  /// returns its stats epoch, which Exp 3a bumps after data updates to flip
+  /// borderline plans. Consumers that cache plans (the engine's plan cache)
+  /// must fold this into their keys so a statistics refresh re-plans.
+  virtual int StatsEpoch() const { return 0; }
+
  protected:
   const schema::Schema* schema_;
   HardwareProfile hardware_;

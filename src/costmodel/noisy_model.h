@@ -33,6 +33,7 @@ class NoisyOptimizerModel : public CostModel {
   /// the statistics the estimates are drawn from.
   void set_stats_epoch(int epoch) { stats_epoch_ = epoch; }
   int stats_epoch() const { return stats_epoch_; }
+  int StatsEpoch() const override { return stats_epoch_; }
 
   double CardinalityScale(const workload::QuerySpec& query, int join_index,
                           int num_joined) const override;

@@ -1,12 +1,15 @@
 #include "engine/cluster.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <functional>
 #include <sstream>
-#include <unordered_map>
+#include <utility>
 
+#include "engine/join_table.h"
 #include "telemetry/registry.h"
+#include "util/eval_context.h"
 #include "util/hash.h"
 #include "util/logging.h"
 
@@ -24,6 +27,11 @@ struct EngineMetrics {
   telemetry::Counter& designs_applied;
   telemetry::Counter& bytes_moved;
   telemetry::Counter& repartition_seconds;
+  telemetry::Counter& plan_cache_hits;
+  telemetry::Counter& plan_cache_misses;
+  telemetry::Counter& plan_cache_invalidations;
+  telemetry::Counter& join_probes;
+  telemetry::Counter& parallel_chunks;
   telemetry::Histogram& query_seconds;
 
   static EngineMetrics& Get() {
@@ -37,6 +45,11 @@ struct EngineMetrics {
         reg.GetCounter("engine.designs_applied.count"),
         reg.GetCounter("engine.bytes_moved.bytes"),
         reg.GetCounter("engine.repartition.seconds"),
+        reg.GetCounter("engine.plan_cache_hits.count"),
+        reg.GetCounter("engine.plan_cache_misses.count"),
+        reg.GetCounter("engine.plan_cache_invalidations.count"),
+        reg.GetCounter("engine.join_probes.count"),
+        reg.GetCounter("engine.parallel_chunks.count"),
         reg.GetHistogram("engine.query_elapsed.seconds",
                          telemetry::Histogram::LatencyBounds())};
     return *m;
@@ -46,6 +59,10 @@ struct EngineMetrics {
 using costmodel::JoinStrategy;
 using costmodel::PlanNode;
 using schema::ColumnRef;
+
+/// Entries a bounded plan cache may hold before it is wiped wholesale (one
+/// entry per (query, design, stats epoch) triple actually planned).
+constexpr size_t kPlanCacheMaxEntries = 4096;
 
 /// A distributed intermediate result: per-node column chunks for the join
 /// columns still needed upstream, plus logical row-width accounting.
@@ -74,19 +91,22 @@ struct DistRelation {
   }
 };
 
-/// Concatenate all node chunks (gather); used for broadcasts.
+/// Concatenate all node chunks (gather); used for broadcasts. Two passes:
+/// count first, then one exact reserve per slot and contiguous range copies.
 void Gather(const DistRelation& rel, std::vector<std::vector<int64_t>>* out,
             size_t* out_rows) {
-  out->assign(rel.cols.size(), {});
-  *out_rows = 0;
+  size_t total = 0;
+  for (size_t r : rel.rows) total += r;
   size_t nodes = rel.data.size();
-  for (size_t node = 0; node < nodes; ++node) {
-    for (size_t s = 0; s < rel.cols.size(); ++s) {
-      (*out)[s].insert((*out)[s].end(), rel.data[node][s].begin(),
-                       rel.data[node][s].end());
+  out->assign(rel.cols.size(), {});
+  for (size_t s = 0; s < rel.cols.size(); ++s) {
+    auto& dst = (*out)[s];
+    dst.reserve(total);
+    for (size_t node = 0; node < nodes; ++node) {
+      dst.insert(dst.end(), rel.data[node][s].begin(), rel.data[node][s].end());
     }
-    *out_rows += rel.rows[node];
   }
+  *out_rows = total;
 }
 
 /// Hash of the composite key of row `r` over the given slots.
@@ -96,6 +116,28 @@ uint64_t KeyHash(const std::vector<std::vector<int64_t>>& cols,
   for (int s : slots) {
     h = HashCombine(h, Hash64(static_cast<uint64_t>(cols[static_cast<size_t>(s)][r])));
   }
+  return h;
+}
+
+/// Structural hash of everything that can change the optimizer's plan for a
+/// query. The name alone is not a safe cache key: ad-hoc QuerySpecs (tests,
+/// parameterized instances) reuse names with different shapes.
+uint64_t QuerySpecHash(const workload::QuerySpec& q) {
+  uint64_t h = HashString(q.name);
+  for (const auto& scan : q.scans) {
+    h = HashCombine(h, Hash64(static_cast<uint64_t>(scan.table)));
+    h = HashCombine(h, std::bit_cast<uint64_t>(scan.selectivity));
+  }
+  for (const auto& join : q.joins) {
+    for (const auto& eq : join.equalities) {
+      h = HashCombine(h, Hash64(static_cast<uint64_t>(eq.left.table)));
+      h = HashCombine(h, Hash64(static_cast<uint64_t>(eq.left.column)));
+      h = HashCombine(h, Hash64(static_cast<uint64_t>(eq.right.table)));
+      h = HashCombine(h, Hash64(static_cast<uint64_t>(eq.right.column)));
+    }
+  }
+  h = HashCombine(h, std::bit_cast<uint64_t>(q.output_fraction));
+  h = HashCombine(h, Hash64(static_cast<uint64_t>(q.selectivity_bucket)));
   return h;
 }
 
@@ -146,18 +188,32 @@ void ClusterDatabase::PlaceTable(schema::TableId t,
     return;
   }
 
-  // Hash-partition by target.column, counting actual row movement.
+  // Hash-partition by target.column, counting actual row movement. Routing
+  // pass first so every shard is reserved to its exact final size before the
+  // materialize pass appends (no per-row vector growth).
+  const size_t rows = master.num_rows();
+  std::vector<uint32_t> dst_of(rows);
+  std::vector<size_t> shard_rows(static_cast<size_t>(n), 0);
+  for (size_t r = 0; r < rows; ++r) {
+    uint32_t dst = static_cast<uint32_t>(RouteRow(master, target.column, r));
+    dst_of[r] = dst;
+    ++shard_rows[dst];
+  }
   std::vector<storage::TableData> shards(
       static_cast<size_t>(n),
       storage::TableData(master.num_columns()));
+  for (int d = 0; d < n; ++d) {
+    shards[static_cast<size_t>(d)].Reserve(shard_rows[static_cast<size_t>(d)]);
+  }
   std::vector<double> out_bytes(static_cast<size_t>(n), 0.0);
   bool was_partitioned = !placement.replicated && placement.column >= 0;
-  for (size_t r = 0; r < master.num_rows(); ++r) {
-    int dst = RouteRow(master, target.column, r);
-    shards[static_cast<size_t>(dst)].AppendRowFrom(master, r);
+  for (size_t r = 0; r < rows; ++r) {
+    shards[dst_of[r]].AppendRowFrom(master, r);
     if (was_partitioned) {
       int src = RouteRow(master, placement.column, r);
-      if (src != dst) out_bytes[static_cast<size_t>(src)] += width;
+      if (src != static_cast<int>(dst_of[r])) {
+        out_bytes[static_cast<size_t>(src)] += width;
+      }
     }
     // From a replicated state every node already holds every row: the new
     // shards can be carved out locally with zero network traffic.
@@ -206,10 +262,45 @@ void ClusterDatabase::BulkAppend(double fraction, uint64_t seed) {
     placement.replicated = true;  // force rebuild without movement accounting
     PlaceTable(t, target, &ignored);
   }
+  // The data (and thus anything a statistics refresh feeds the optimizer)
+  // changed; cached plans for this deployment may no longer be the ones the
+  // optimizer would pick.
+  InvalidatePlanCache();
 }
 
 size_t ClusterDatabase::TableRows(schema::TableId t) const {
   return data_.table(t).num_rows();
+}
+
+std::shared_ptr<const costmodel::QueryPlan> ClusterDatabase::PlanFor(
+    const workload::QuerySpec& query) const {
+  auto& em = EngineMetrics::Get();
+  uint64_t key = HashCombine(QuerySpecHash(query),
+                             deployed_->DesignFingerprint(query.tables()));
+  key = HashCombine(key, Hash64(static_cast<uint64_t>(planner_->StatsEpoch())));
+  {
+    std::lock_guard<std::mutex> lock(plan_cache_mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      em.plan_cache_hits.Add();
+      return it->second;
+    }
+  }
+  em.plan_cache_misses.Add();
+  auto plan = std::make_shared<costmodel::QueryPlan>(
+      planner_->PlanQuery(query, *deployed_));
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  if (plan_cache_.size() >= kPlanCacheMaxEntries) plan_cache_.clear();
+  // Concurrent misses computed the same deterministic plan; first insert wins.
+  return plan_cache_.emplace(key, std::move(plan)).first->second;
+}
+
+void ClusterDatabase::InvalidatePlanCache() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mu_);
+  if (!plan_cache_.empty()) {
+    EngineMetrics::Get().plan_cache_invalidations.Add();
+    plan_cache_.clear();
+  }
 }
 
 // Implementation note: execution walks the plan tree bottom-up. Each
@@ -217,12 +308,36 @@ size_t ClusterDatabase::TableRows(schema::TableId t) const {
 // per-node work (CPU: tuples / rate; network: bytes sent / bandwidth) and
 // adds it to the stats, mirroring how a pipeline of exchange-separated
 // fragments behaves on a real cluster.
-QueryRunStats ClusterDatabase::ExecuteQuery(
-    const workload::QuerySpec& query) const {
+//
+// Determinism contract: per-node (and per-source) kernels write disjoint
+// output slots and every reduction over them runs on the orchestrating
+// thread in node order; floating-point accumulations replicate the serial
+// addition sequence exactly (network bytes are per-row repeated additions of
+// a constant, never a count*constant product, which rounds differently). The
+// only order that differs from the pre-vectorized engine is the row order of
+// join outputs for duplicate build keys — a permutation within a chunk,
+// which no stat observes (counts, hash multisets and max-reductions are
+// permutation-invariant).
+QueryRunStats ClusterDatabase::ExecuteQuery(const workload::QuerySpec& query,
+                                            EvalContext* ctx) const {
   LPA_CHECK(deployed_.has_value());
   const auto& hw = config_.hardware;
   const int n = num_nodes();
   QueryRunStats stats;
+
+  ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
+  uint64_t join_probes = 0;
+  uint64_t parallel_chunks = 0;
+  // Run fn(0..count) on the pool when one is available; chunks must write
+  // disjoint state. Serial fallback preserves index order.
+  auto fan_out = [&](size_t count, const std::function<void(size_t)>& fn) {
+    if (pool != nullptr && count > 1) {
+      parallel_chunks += count;
+      pool->ParallelForEach(count, 1, fn);
+    } else {
+      for (size_t i = 0; i < count; ++i) fn(i);
+    }
+  };
 
   // Columns each table must carry: everything referenced by a join equality.
   auto needed_columns = [&query](schema::TableId t) {
@@ -259,21 +374,38 @@ QueryRunStats ClusterDatabase::ExecuteQuery(
       rel.cols = needed_columns(t);
       rel.width = width;
 
+      // Two passes: select row indices first, then one exact resize per slot
+      // and a tight gather loop per column. Unfiltered scans copy the needed
+      // columns wholesale.
       auto scan_chunk = [&](const storage::TableData& src,
                             std::vector<std::vector<int64_t>>* out,
                             size_t* out_rows) {
-        out->assign(rel.cols.size(), {});
-        *out_rows = 0;
-        for (size_t r = 0; r < src.num_rows(); ++r) {
-          if (threshold != UINT64_MAX &&
-              Hash64(static_cast<uint64_t>(src.rids()[r]) ^ qseed) > threshold) {
-            continue;
+        const size_t slots = rel.cols.size();
+        if (threshold == UINT64_MAX) {
+          out->assign(slots, {});
+          for (size_t s = 0; s < slots; ++s) {
+            (*out)[s] = src.column(rel.cols[s].column);
           }
-          for (size_t s = 0; s < rel.cols.size(); ++s) {
-            (*out)[s].push_back(src.column(rel.cols[s].column)[r]);
-          }
-          ++*out_rows;
+          *out_rows = src.num_rows();
+          return;
         }
+        const auto& rids = src.rids();
+        std::vector<uint32_t> selected;
+        selected.reserve(src.num_rows());
+        for (size_t r = 0; r < src.num_rows(); ++r) {
+          if (Hash64(static_cast<uint64_t>(rids[r]) ^ qseed) <= threshold) {
+            selected.push_back(static_cast<uint32_t>(r));
+          }
+        }
+        const size_t count = selected.size();
+        out->assign(slots, {});
+        for (size_t s = 0; s < slots; ++s) {
+          auto& dst = (*out)[s];
+          const auto& col = src.column(rel.cols[s].column);
+          dst.resize(count);
+          for (size_t k = 0; k < count; ++k) dst[k] = col[selected[k]];
+        }
+        *out_rows = count;
       };
 
       if (!hw.pushdown_filters && sel < 1.0) {
@@ -291,11 +423,12 @@ QueryRunStats ClusterDatabase::ExecuteQuery(
       } else {
         rel.data.resize(static_cast<size_t>(n));
         rel.rows.resize(static_cast<size_t>(n));
+        fan_out(static_cast<size_t>(n), [&](size_t i) {
+          scan_chunk(placement.shards[i], &rel.data[i], &rel.rows[i]);
+        });
         double max_bytes = 0.0;
         for (int node = 0; node < n; ++node) {
           const auto& shard = placement.shards[static_cast<size_t>(node)];
-          scan_chunk(shard, &rel.data[static_cast<size_t>(node)],
-                     &rel.rows[static_cast<size_t>(node)]);
           max_bytes = std::max(max_bytes,
                                static_cast<double>(shard.num_rows()) * width);
         }
@@ -327,30 +460,67 @@ QueryRunStats ClusterDatabase::ExecuteQuery(
     }
 
     // Reshuffle a partitioned side by the hash of its align-equality column.
+    // Pass 1 routes every row (fanned per source node, disjoint outputs);
+    // pass 2 materializes each destination chunk at its exact size through
+    // per-(source, destination) write windows that reproduce the serial
+    // source-major row order. Network bytes accumulate one row at a time per
+    // source (the serial addition sequence) before the node-order merge.
     auto reshuffle = [&](DistRelation* rel, int align_slot) {
       LPA_CHECK(!rel->replicated);
-      std::vector<std::vector<std::vector<int64_t>>> fresh(
-          static_cast<size_t>(n),
-          std::vector<std::vector<int64_t>>(rel->cols.size()));
-      std::vector<size_t> fresh_rows(static_cast<size_t>(n), 0);
-      std::vector<double> out_bytes(static_cast<size_t>(n), 0.0);
-      for (int node = 0; node < n; ++node) {
-        const auto& chunk = rel->data[static_cast<size_t>(node)];
-        for (size_t r = 0; r < rel->rows[static_cast<size_t>(node)]; ++r) {
-          int dst = static_cast<int>(
-              Hash64(static_cast<uint64_t>(
-                  chunk[static_cast<size_t>(align_slot)][r])) %
+      const size_t nn = static_cast<size_t>(n);
+      const size_t slots = rel->cols.size();
+      std::vector<std::vector<uint32_t>> dst_of(nn);
+      std::vector<std::vector<size_t>> counts(nn, std::vector<size_t>(nn, 0));
+      fan_out(nn, [&](size_t src) {
+        const auto& keycol = rel->data[src][static_cast<size_t>(align_slot)];
+        const size_t rows = rel->rows[src];
+        auto& dsts = dst_of[src];
+        dsts.resize(rows);
+        auto& cnt = counts[src];
+        for (size_t r = 0; r < rows; ++r) {
+          uint32_t dst = static_cast<uint32_t>(
+              Hash64(static_cast<uint64_t>(keycol[r])) %
               static_cast<uint64_t>(n));
-          for (size_t s = 0; s < rel->cols.size(); ++s) {
-            fresh[static_cast<size_t>(dst)][s].push_back(chunk[s][r]);
-          }
-          ++fresh_rows[static_cast<size_t>(dst)];
-          if (dst != node) {
-            out_bytes[static_cast<size_t>(node)] +=
-                rel->width * rel->byte_inflation;
+          dsts[r] = dst;
+          ++cnt[dst];
+        }
+      });
+      // Exact destination sizes and disjoint per-(src, dst) write offsets.
+      std::vector<size_t> fresh_rows(nn, 0);
+      std::vector<std::vector<size_t>> offset(nn, std::vector<size_t>(nn, 0));
+      for (size_t dst = 0; dst < nn; ++dst) {
+        size_t total = 0;
+        for (size_t src = 0; src < nn; ++src) {
+          offset[src][dst] = total;
+          total += counts[src][dst];
+        }
+        fresh_rows[dst] = total;
+      }
+      std::vector<std::vector<std::vector<int64_t>>> fresh(
+          nn, std::vector<std::vector<int64_t>>(slots));
+      for (size_t dst = 0; dst < nn; ++dst) {
+        for (size_t s = 0; s < slots; ++s) fresh[dst][s].resize(fresh_rows[dst]);
+      }
+      std::vector<double> out_bytes(nn, 0.0);
+      const double row_bytes = rel->width * rel->byte_inflation;
+      fan_out(nn, [&](size_t src) {
+        const auto& chunk = rel->data[src];
+        const size_t rows = rel->rows[src];
+        const auto& dsts = dst_of[src];
+        for (size_t s = 0; s < slots; ++s) {
+          std::vector<size_t> cursor(offset[src]);
+          const auto& col = chunk[s];
+          for (size_t r = 0; r < rows; ++r) {
+            fresh[dsts[r]][s][cursor[dsts[r]]++] = col[r];
           }
         }
-      }
+        // Every row that crosses nodes ships row_bytes; add it per row, as
+        // the row-at-a-time loop did, so the double sum is bit-identical.
+        const size_t crossing = rows - counts[src][src];
+        double bytes = 0.0;
+        for (size_t i = 0; i < crossing; ++i) bytes += row_bytes;
+        out_bytes[src] = bytes;
+      });
       double max_out = *std::max_element(out_bytes.begin(), out_bytes.end());
       stats.net_seconds += max_out / hw.exchange_bytes_per_sec();
       double total_out = 0.0;
@@ -403,110 +573,157 @@ QueryRunStats ClusterDatabase::ExecuteQuery(
     }
     out.width = left.width + right.width;
 
-    // Local hash join of one (build, probe) chunk pair.
-    auto local_join = [&](const std::vector<std::vector<int64_t>>& bcols,
-                          size_t brows, const std::vector<int>& bslots,
+    // Output slots fed from the right side (slots < left.cols.size() carry
+    // left columns; right columns equal to a left column reuse its slot).
+    std::vector<std::pair<size_t, size_t>> right_to_out;
+    for (size_t rs = 0; rs < right.cols.size(); ++rs) {
+      int os = out.SlotOf(right.cols[rs]);
+      if (os >= static_cast<int>(left.cols.size())) {
+        right_to_out.emplace_back(rs, static_cast<size_t>(os));
+      }
+    }
+
+    // Serial build of one chunk into a flat join table.
+    auto build_table = [&](JoinTable* jt,
+                           const std::vector<std::vector<int64_t>>& bcols,
+                           size_t brows, const std::vector<int>& bslots,
+                           uint64_t* probes) {
+      LPA_CHECK(brows < JoinTable::kNone);
+      jt->Reset(brows);
+      for (size_t r = 0; r < brows; ++r) {
+        jt->Insert(KeyHash(bcols, bslots, r), static_cast<uint32_t>(r), probes);
+      }
+    };
+
+    // Probe one chunk against a built table and materialize the matches.
+    // Pass 1 counts matches per probe row (remembering each chain head);
+    // pass 2 gathers the (build, probe) row pairs, then every output column
+    // fills with one exact resize + tight loop.
+    auto local_join = [&](const JoinTable& jt,
+                          const std::vector<std::vector<int64_t>>& bcols,
                           const std::vector<std::vector<int64_t>>& pcols,
                           size_t prows, const std::vector<int>& pslots,
                           bool build_is_left,
                           std::vector<std::vector<int64_t>>* ocols,
-                          size_t* orows) {
-      std::unordered_multimap<uint64_t, size_t> ht;
-      ht.reserve(brows * 2);
-      for (size_t r = 0; r < brows; ++r) {
-        ht.emplace(KeyHash(bcols, bslots, r), r);
-      }
-      ocols->assign(out.cols.size(), {});
-      *orows = 0;
-      // Slot mapping from inputs to output.
-      const auto& lcols_ref = build_is_left ? bcols : pcols;
-      const auto& rcols_ref = build_is_left ? pcols : bcols;
+                          size_t* orows, uint64_t* probes) {
+      LPA_CHECK(prows < JoinTable::kNone);
+      std::vector<uint32_t> heads(prows);
+      size_t total = 0;
       for (size_t r = 0; r < prows; ++r) {
-        uint64_t key = KeyHash(pcols, pslots, r);
-        auto range = ht.equal_range(key);
-        for (auto it = range.first; it != range.second; ++it) {
-          size_t lrow = build_is_left ? it->second : r;
-          size_t rrow = build_is_left ? r : it->second;
-          size_t slot = 0;
-          for (; slot < left.cols.size(); ++slot) {
-            (*ocols)[slot].push_back(lcols_ref[slot][lrow]);
-          }
-          for (size_t rs = 0; rs < right.cols.size(); ++rs) {
-            int os = out.SlotOf(right.cols[rs]);
-            if (os >= static_cast<int>(left.cols.size())) {
-              (*ocols)[static_cast<size_t>(os)].push_back(rcols_ref[rs][rrow]);
-            }
-          }
-          ++*orows;
-          LPA_CHECK(*orows < 50'000'000);  // guard against plan pathologies
+        uint32_t head = jt.Find(KeyHash(pcols, pslots, r), probes);
+        heads[r] = head;
+        for (uint32_t e = head; e != JoinTable::kNone; e = jt.entry(e).next) {
+          ++total;
         }
       }
+      LPA_CHECK(total < 50'000'000);  // guard against plan pathologies
+      std::vector<uint32_t> brow(total), prow(total);
+      size_t m = 0;
+      for (size_t r = 0; r < prows; ++r) {
+        for (uint32_t e = heads[r]; e != JoinTable::kNone;
+             e = jt.entry(e).next) {
+          brow[m] = jt.entry(e).row;
+          prow[m] = static_cast<uint32_t>(r);
+          ++m;
+        }
+      }
+      const auto& lrow = build_is_left ? brow : prow;
+      const auto& rrow = build_is_left ? prow : brow;
+      const auto& lcols_ref = build_is_left ? bcols : pcols;
+      const auto& rcols_ref = build_is_left ? pcols : bcols;
+      ocols->assign(out.cols.size(), {});
+      for (size_t slot = 0; slot < left.cols.size(); ++slot) {
+        auto& dst = (*ocols)[slot];
+        const auto& col = lcols_ref[slot];
+        dst.resize(total);
+        for (size_t k = 0; k < total; ++k) dst[k] = col[lrow[k]];
+      }
+      for (const auto& [rs, os] : right_to_out) {
+        auto& dst = (*ocols)[os];
+        const auto& col = rcols_ref[rs];
+        dst.resize(total);
+        for (size_t k = 0; k < total; ++k) dst[k] = col[rrow[k]];
+      }
+      *orows = total;
     };
 
-    double max_tuples = 0.0;
     if (left.replicated && right.replicated) {
       out.replicated = true;
       out.data.resize(1);
       out.rows.resize(1);
-      local_join(left.data[0], left.rows[0], lslots, right.data[0],
-                 right.rows[0], rslots, /*build_is_left=*/true, &out.data[0],
-                 &out.rows[0]);
-      max_tuples = static_cast<double>(left.rows[0] + right.rows[0] + out.rows[0]);
+      JoinTable jt;
+      build_table(&jt, left.data[0], left.rows[0], lslots, &join_probes);
+      local_join(jt, left.data[0], right.data[0], right.rows[0], rslots,
+                 /*build_is_left=*/true, &out.data[0], &out.rows[0],
+                 &join_probes);
+      double max_tuples =
+          static_cast<double>(left.rows[0] + right.rows[0] + out.rows[0]);
       stats.cpu_seconds += max_tuples / hw.join_tuples_per_sec;
-    } else {
-      // Build side: a replicated input, a broadcast input, or the co-located
-      // left chunk.
-      std::vector<std::vector<int64_t>> full;
-      size_t full_rows = 0;
-      bool build_full_left = false, build_full_right = false;
-      if (node->strategy == JoinStrategy::kBroadcastLeft) {
-        broadcast(left, &full, &full_rows);
-        build_full_left = true;
-      } else if (node->strategy == JoinStrategy::kBroadcastRight) {
-        broadcast(right, &full, &full_rows);
-        build_full_right = true;
-      } else if (left.replicated) {
-        full = left.data[0];
-        full_rows = left.rows[0];
-        build_full_left = true;
-      } else if (right.replicated) {
-        full = right.data[0];
-        full_rows = right.rows[0];
-        build_full_right = true;
-      }
-
-      out.data.resize(static_cast<size_t>(n));
-      out.rows.resize(static_cast<size_t>(n));
-      for (int node_id = 0; node_id < n; ++node_id) {
-        size_t i = static_cast<size_t>(node_id);
-        size_t orows = 0;
-        if (build_full_left) {
-          local_join(full, full_rows, lslots, right.data[i], right.rows[i],
-                     rslots, /*build_is_left=*/true, &out.data[i], &orows);
-          max_tuples = std::max(
-              max_tuples,
-              static_cast<double>(full_rows + right.rows[i] + orows));
-        } else if (build_full_right) {
-          local_join(full, full_rows, rslots, left.data[i], left.rows[i],
-                     lslots, /*build_is_left=*/false, &out.data[i], &orows);
-          max_tuples = std::max(
-              max_tuples, static_cast<double>(full_rows + left.rows[i] + orows));
-        } else {
-          local_join(left.data[i], left.rows[i], lslots, right.data[i],
-                     right.rows[i], rslots, /*build_is_left=*/true,
-                     &out.data[i], &orows);
-          max_tuples = std::max(max_tuples,
-                                static_cast<double>(left.rows[i] +
-                                                    right.rows[i] + orows));
-        }
-        out.rows[i] = orows;
-      }
-      stats.cpu_seconds += max_tuples / hw.join_tuples_per_sec;
+      return out;
     }
+
+    // Build side: a replicated input, a broadcast input, or the co-located
+    // left chunk.
+    std::vector<std::vector<int64_t>> full;
+    size_t full_rows = 0;
+    bool build_full_left = false, build_full_right = false;
+    if (node->strategy == JoinStrategy::kBroadcastLeft) {
+      broadcast(left, &full, &full_rows);
+      build_full_left = true;
+    } else if (node->strategy == JoinStrategy::kBroadcastRight) {
+      broadcast(right, &full, &full_rows);
+      build_full_right = true;
+    } else if (left.replicated) {
+      full = left.data[0];
+      full_rows = left.rows[0];
+      build_full_left = true;
+    } else if (right.replicated) {
+      full = right.data[0];
+      full_rows = right.rows[0];
+      build_full_right = true;
+    }
+
+    out.data.resize(static_cast<size_t>(n));
+    out.rows.resize(static_cast<size_t>(n));
+    std::vector<double> node_tuples(static_cast<size_t>(n), 0.0);
+    std::vector<uint64_t> node_probes(static_cast<size_t>(n), 0);
+    if (build_full_left || build_full_right) {
+      // One shared build (the multimap engine rebuilt it per node), then
+      // every node probes it concurrently with its own probe counter.
+      JoinTable shared;
+      build_table(&shared, full, full_rows,
+                  build_full_left ? lslots : rslots, &join_probes);
+      const DistRelation& probe_rel = build_full_left ? right : left;
+      const auto& pslots = build_full_left ? rslots : lslots;
+      fan_out(static_cast<size_t>(n), [&](size_t i) {
+        local_join(shared, full, probe_rel.data[i], probe_rel.rows[i], pslots,
+                   build_full_left, &out.data[i], &out.rows[i],
+                   &node_probes[i]);
+        node_tuples[i] = static_cast<double>(full_rows + probe_rel.rows[i] +
+                                             out.rows[i]);
+      });
+    } else {
+      fan_out(static_cast<size_t>(n), [&](size_t i) {
+        JoinTable jt;
+        build_table(&jt, left.data[i], left.rows[i], lslots, &node_probes[i]);
+        local_join(jt, left.data[i], right.data[i], right.rows[i], rslots,
+                   /*build_is_left=*/true, &out.data[i], &out.rows[i],
+                   &node_probes[i]);
+        node_tuples[i] = static_cast<double>(left.rows[i] + right.rows[i] +
+                                             out.rows[i]);
+      });
+    }
+    double max_tuples = 0.0;
+    for (int i = 0; i < n; ++i) {
+      max_tuples = std::max(max_tuples, node_tuples[static_cast<size_t>(i)]);
+      join_probes += node_probes[static_cast<size_t>(i)];
+    }
+    stats.cpu_seconds += max_tuples / hw.join_tuples_per_sec;
     return out;
   };
 
-  DistRelation result = exec(planner_->PlanQuery(query, *deployed_).root.get());
+  std::shared_ptr<const costmodel::QueryPlan> plan = PlanFor(query);
+  DistRelation result = exec(plan->root.get());
 
   stats.rows_out = result.TotalRows();
   double out_bytes = static_cast<double>(stats.rows_out) *
@@ -531,20 +748,21 @@ QueryRunStats ClusterDatabase::ExecuteQuery(
   em.rows_out.Add(stats.rows_out);
   em.bytes_shuffled.Add(stats.bytes_shuffled);
   em.bytes_broadcast.Add(stats.bytes_broadcast);
-  em.cpu_seconds.Add();
   em.cpu_seconds.AddSeconds(stats.cpu_seconds);
+  em.join_probes.Add(join_probes);
+  if (parallel_chunks > 0) em.parallel_chunks.Add(parallel_chunks);
   em.query_seconds.Observe(stats.seconds);
   return stats;
 }
 
 std::string ClusterDatabase::Explain(const workload::QuerySpec& query) const {
   LPA_CHECK(deployed_.has_value());
-  auto plan = planner_->PlanQuery(query, *deployed_);
+  auto plan = PlanFor(query);
   auto stats = ExecuteQuery(query);
   std::ostringstream os;
   os << "EXPLAIN " << query.name << " (deployed: "
      << deployed_->PhysicalDesignKey() << ")\n";
-  os << plan.ToString(schema(), query);
+  os << plan->ToString(schema(), query);
   os << "measured: " << stats.seconds << "s total (scan " << stats.scan_seconds
      << "s, net " << stats.net_seconds << "s, cpu " << stats.cpu_seconds
      << "s, output " << stats.output_seconds << "s), " << stats.rows_out
@@ -552,12 +770,33 @@ std::string ClusterDatabase::Explain(const workload::QuerySpec& query) const {
   return os.str();
 }
 
-double ClusterDatabase::ExecuteWorkload(const workload::Workload& workload) const {
+double ClusterDatabase::ExecuteWorkload(const workload::Workload& workload,
+                                        EvalContext* ctx) const {
+  const int m = workload.num_queries();
+  ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
+  if (pool != nullptr && m > 1) {
+    // Queries are independent (execution never mutates cluster state), so
+    // the per-query loop fans out; the weighted sum reduces in query order
+    // below, making the total bit-identical to the serial loop.
+    std::vector<double> seconds(static_cast<size_t>(m), 0.0);
+    EngineMetrics::Get().parallel_chunks.Add(static_cast<uint64_t>(m));
+    pool->ParallelForEach(static_cast<size_t>(m), 1, [&](size_t i) {
+      if (workload.frequencies()[i] <= 0.0) return;
+      seconds[i] = ExecuteQuery(workload.query(static_cast<int>(i)), ctx).seconds;
+    });
+    double total = 0.0;
+    for (int i = 0; i < m; ++i) {
+      double f = workload.frequencies()[static_cast<size_t>(i)];
+      if (f <= 0.0) continue;
+      total += f * seconds[static_cast<size_t>(i)];
+    }
+    return total;
+  }
   double total = 0.0;
-  for (int i = 0; i < workload.num_queries(); ++i) {
+  for (int i = 0; i < m; ++i) {
     double f = workload.frequencies()[static_cast<size_t>(i)];
     if (f <= 0.0) continue;
-    total += f * ExecuteQuery(workload.query(i)).seconds;
+    total += f * ExecuteQuery(workload.query(i), ctx).seconds;
   }
   return total;
 }

@@ -1,11 +1,18 @@
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "costmodel/cost_model.h"
 #include "partition/partition_state.h"
 #include "storage/database.h"
+
+namespace lpa {
+class EvalContext;
+}  // namespace lpa
 
 namespace lpa::engine {
 
@@ -68,10 +75,20 @@ class ClusterDatabase {
 
   /// \brief Plan (via the injected optimizer) and execute one query against
   /// the deployed design. Aborts if no design is deployed.
-  QueryRunStats ExecuteQuery(const workload::QuerySpec& query) const;
+  ///
+  /// `ctx` (optional) supplies the thread pool the per-node kernels (scans,
+  /// shard routing, local joins) fan out over; null runs serially. Every
+  /// `QueryRunStats` field is bit-identical at any thread count: parallel
+  /// chunks write disjoint slots and all merges reduce in node order.
+  QueryRunStats ExecuteQuery(const workload::QuerySpec& query,
+                             EvalContext* ctx = nullptr) const;
 
   /// \brief Frequency-weighted workload runtime `sum_j f_j * seconds(q_j)`.
-  double ExecuteWorkload(const workload::Workload& workload) const;
+  /// With a pooled `ctx` the per-query loop itself fans out (queries are
+  /// independent; the weighted sum reduces in query order, so the total is
+  /// bit-identical to the serial run).
+  double ExecuteWorkload(const workload::Workload& workload,
+                         EvalContext* ctx = nullptr) const;
 
   /// \brief EXPLAIN ANALYZE: the plan the engine's optimizer chooses for
   /// `query` under the deployed design, plus the measured execution
@@ -100,11 +117,26 @@ class ClusterDatabase {
   int RouteRow(const storage::TableData& data, schema::ColumnId column,
                size_t row) const;
 
+  /// \brief Plan `query` through the plan cache: keyed by (structural query
+  /// hash, deployed design fingerprint of the query's tables, planner stats
+  /// epoch), so unchanged deployments never re-plan while design changes and
+  /// statistics refreshes (Exp 3a) still reach the optimizer.
+  std::shared_ptr<const costmodel::QueryPlan> PlanFor(
+      const workload::QuerySpec& query) const;
+  void InvalidatePlanCache() const;
+
   storage::Database data_;
   EngineConfig config_;
   const costmodel::CostModel* planner_;
   std::vector<Placement> placements_;
   std::optional<partition::PartitioningState> deployed_;
+
+  /// Bounded plan cache; mutable because planning is a pure function of
+  /// (query, deployed design, planner statistics) and ExecuteQuery is const.
+  mutable std::mutex plan_cache_mu_;
+  mutable std::unordered_map<uint64_t,
+                             std::shared_ptr<const costmodel::QueryPlan>>
+      plan_cache_;
 };
 
 }  // namespace lpa::engine

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lpa::engine {
+
+/// \brief Flat open-addressing multimap for the engine's local hash joins.
+///
+/// Replaces the `std::unordered_multimap<uint64_t, size_t>` build side of
+/// `local_join`: keys are the 64-bit composite-key hashes (matching is by
+/// hash equality, exactly like the multimap it replaces), values are build
+/// row indices.
+///
+/// Layout: a power-of-two array of slots probed linearly, one slot per
+/// distinct key hash, plus one contiguous payload array of (row, next)
+/// entries. Duplicate keys cost a single payload append that prepends to the
+/// slot's chain — never a second probe sequence — so build is O(rows) with
+/// two cache lines touched per insert and probe walks one contiguous chain.
+///
+/// The table is built serially and may then be probed concurrently from many
+/// threads (`Find` is const and touches no shared mutable state; probe
+/// counters are caller-owned out-params).
+class JoinTable {
+ public:
+  /// Sentinel for "no entry"; also the capacity ceiling of the payload.
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  struct Entry {
+    uint32_t row;   ///< build-side row index
+    uint32_t next;  ///< next entry with the same key hash, or kNone
+  };
+
+  /// \brief Clear and size for `build_rows` insertions. Capacity is the
+  /// smallest power of two >= 2 * build_rows (>= 16), so the load factor
+  /// stays <= 0.5 and linear probe chains stay short.
+  void Reset(size_t build_rows) {
+    size_t cap = 16;
+    while (cap < build_rows * 2) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, Slot{0, kNone});
+    entries_.clear();
+    entries_.reserve(build_rows);
+  }
+
+  /// \brief Insert one build row under `hash`; `*probes` counts slot
+  /// inspections (telemetry).
+  void Insert(uint64_t hash, uint32_t row, uint64_t* probes) {
+    size_t i = static_cast<size_t>(hash) & mask_;
+    while (true) {
+      ++*probes;
+      Slot& s = slots_[i];
+      if (s.head == kNone) {
+        s.hash = hash;
+        s.head = static_cast<uint32_t>(entries_.size());
+        entries_.push_back(Entry{row, kNone});
+        return;
+      }
+      if (s.hash == hash) {
+        entries_.push_back(Entry{row, s.head});
+        s.head = static_cast<uint32_t>(entries_.size() - 1);
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// \brief Head of the entry chain for `hash`, or kNone. Walk the matches
+  /// with `entry(e).next`. Safe to call concurrently after the build.
+  uint32_t Find(uint64_t hash, uint64_t* probes) const {
+    size_t i = static_cast<size_t>(hash) & mask_;
+    while (true) {
+      ++*probes;
+      const Slot& s = slots_[i];
+      if (s.head == kNone) return kNone;
+      if (s.hash == hash) return s.head;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  const Entry& entry(uint32_t e) const { return entries_[e]; }
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    uint64_t hash;  ///< valid only when head != kNone
+    uint32_t head;  ///< first payload entry, or kNone when the slot is empty
+  };
+
+  size_t mask_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lpa::engine

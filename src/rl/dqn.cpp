@@ -64,6 +64,15 @@ DqnAgent::DqnAgent(const partition::Featurizer* featurizer,
   q_ = std::make_unique<nn::Mlp>(net);
   net.seed = config_.seed + 1;  // "randomly initialize target network"
   target_ = std::make_unique<nn::Mlp>(net);
+  if (config_.mode == QNetworkMode::kStateActionInput) {
+    action_enc_ = nn::Matrix(static_cast<size_t>(actions_->size()),
+                             static_cast<size_t>(featurizer_->action_dim()));
+    for (int a = 0; a < actions_->size(); ++a) {
+      auto enc = featurizer_->EncodeAction(actions_->action(a));
+      std::copy(enc.begin(), enc.end(),
+                action_enc_.row(static_cast<size_t>(a)));
+    }
+  }
 }
 
 int DqnAgent::InputDim() const {
@@ -74,12 +83,11 @@ int DqnAgent::InputDim() const {
   return dim;
 }
 
-std::vector<double> DqnAgent::ConcatAction(const std::vector<double>& state_enc,
-                                           int action_id) const {
-  std::vector<double> input = state_enc;
-  auto a = featurizer_->EncodeAction(actions_->action(action_id));
-  input.insert(input.end(), a.begin(), a.end());
-  return input;
+void DqnAgent::FillStateAction(const std::vector<double>& state_enc,
+                               int action_id, double* dst) const {
+  std::copy(state_enc.begin(), state_enc.end(), dst);
+  const double* a = action_enc_.row(static_cast<size_t>(action_id));
+  std::copy(a, a + action_enc_.cols(), dst + state_enc.size());
 }
 
 std::vector<double> DqnAgent::QValues(const std::vector<double>& state_enc,
@@ -93,8 +101,7 @@ std::vector<double> DqnAgent::QValues(const std::vector<double>& state_enc,
   } else {
     nn::Matrix batch(legal.size(), static_cast<size_t>(InputDim()));
     for (size_t i = 0; i < legal.size(); ++i) {
-      auto row = ConcatAction(state_enc, legal[i]);
-      std::copy(row.begin(), row.end(), batch.row(i));
+      FillStateAction(state_enc, legal[i], batch.row(i));
     }
     nn::Matrix out = q_->Forward(batch);
     for (size_t i = 0; i < legal.size(); ++i) q[i] = out.at(i, 0);
@@ -153,8 +160,7 @@ double DqnAgent::TrainStep(Rng* rng, ThreadPool* pool) {
       const auto& legal = batch[i]->next_legal;
       nn::Matrix rows(legal.size(), static_cast<size_t>(InputDim()));
       for (size_t j = 0; j < legal.size(); ++j) {
-        auto row = ConcatAction(batch[i]->next_enc, legal[j]);
-        std::copy(row.begin(), row.end(), rows.row(j));
+        FillStateAction(batch[i]->next_enc, legal[j], rows.row(j));
       }
       nn::Matrix out = target_->Forward(rows, pool);
       double best = -1e30;
@@ -176,8 +182,7 @@ double DqnAgent::TrainStep(Rng* rng, ThreadPool* pool) {
     nn::Matrix x(batch.size(), static_cast<size_t>(InputDim()));
     nn::Matrix y(batch.size(), 1);
     for (size_t i = 0; i < batch.size(); ++i) {
-      auto row = ConcatAction(batch[i]->state_enc, batch[i]->action_id);
-      std::copy(row.begin(), row.end(), x.row(i));
+      FillStateAction(batch[i]->state_enc, batch[i]->action_id, x.row(i));
       y.at(i, 0) = targets[i];
     }
     loss = q_->TrainMse(x, y, config_.learning_rate, pool);

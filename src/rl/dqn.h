@@ -139,9 +139,13 @@ class DqnAgent {
 
  private:
   int InputDim() const;
-  /// Encoded network input for (state, action) in state-action mode.
-  std::vector<double> ConcatAction(const std::vector<double>& state_enc,
-                                   int action_id) const;
+  /// Write the concatenated (state, action) encoding for state-action mode
+  /// into `dst` (one batch-matrix row of InputDim() doubles). The action
+  /// half copies straight out of the precomputed `action_enc_` row — the
+  /// action space is static, so encodings are computed once at construction
+  /// instead of allocating a fresh vector per legal action per step.
+  void FillStateAction(const std::vector<double>& state_enc, int action_id,
+                       double* dst) const;
 
   const partition::Featurizer* featurizer_;
   const partition::ActionSpace* actions_;
@@ -150,6 +154,8 @@ class DqnAgent {
   std::unique_ptr<nn::Mlp> target_;
   ReplayBuffer replay_;
   double epsilon_;
+  /// Row a = EncodeAction(action a); built only for kStateActionInput.
+  nn::Matrix action_enc_;
 };
 
 }  // namespace lpa::rl

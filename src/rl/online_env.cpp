@@ -88,8 +88,11 @@ double OnlineEnv::QueryCost(int query_index,
     accounting_.repartition_seconds += cluster_->ApplyDesign(state);
   }
 
+  // Engine-internal parallelism only: the pool fans the per-node kernels of
+  // this one query; the RNG of neither context is ever touched here.
+  EvalContext* exec_ctx = exec_ctx_ != nullptr ? exec_ctx_ : wc_ctx_;
   double sample_seconds =
-      cluster_->ExecuteQuery(workload_->query(query_index)).seconds;
+      cluster_->ExecuteQuery(workload_->query(query_index), exec_ctx).seconds;
   ++accounting_.queries_executed;
   OnlineEnvMetrics::Get().queries_executed.Add();
   double scaled = scale_[static_cast<size_t>(query_index)] * sample_seconds;
@@ -121,7 +124,9 @@ double OnlineEnv::WorkloadCost(const partition::PartitioningState& state,
   if (!options_.use_lazy_repartitioning) {
     accounting_.repartition_seconds += cluster_->ApplyDesign(state);
   }
+  wc_ctx_ = ctx;
   double total = PartitioningEnv::WorkloadCost(state, frequencies, ctx);
+  wc_ctx_ = nullptr;
   if (best_cost_ < 0.0 || total < best_cost_) best_cost_ = total;
   return total;
 }
@@ -129,14 +134,14 @@ double OnlineEnv::WorkloadCost(const partition::PartitioningState& state,
 std::vector<double> ComputeScaleFactors(
     engine::ClusterDatabase* full, engine::ClusterDatabase* sample,
     const workload::Workload& workload,
-    const partition::PartitioningState& p_offline) {
+    const partition::PartitioningState& p_offline, EvalContext* ctx) {
   full->ApplyDesign(p_offline);
   sample->ApplyDesign(p_offline);
   std::vector<double> scale;
   scale.reserve(static_cast<size_t>(workload.num_queries()));
   for (const auto& q : workload.queries()) {
-    double c_full = full->ExecuteQuery(q).seconds;
-    double c_sample = sample->ExecuteQuery(q).seconds;
+    double c_full = full->ExecuteQuery(q, ctx).seconds;
+    double c_sample = sample->ExecuteQuery(q, ctx).seconds;
     scale.push_back(c_sample > 0.0 ? c_full / c_sample : 1.0);
   }
   return scale;

@@ -56,8 +56,10 @@ class OnlineEnv : public PartitioningEnv {
   /// \brief WorkloadCost override: without lazy repartitioning the full
   /// design is deployed eagerly before any query runs; it also maintains the
   /// best-known workload cost used by the timeout rule. The online env
-  /// mutates cluster state per query, so it never parallelizes (the base
-  /// class honours SupportsParallelEval() = false and `ctx` is unused).
+  /// mutates cluster state per query, so the per-query loop itself never
+  /// parallelizes (the base class honours SupportsParallelEval() = false) —
+  /// but `ctx`'s thread pool is handed down into `ExecuteQuery`, whose
+  /// per-node kernels fan out deterministically *inside* each query.
   double WorkloadCost(const partition::PartitioningState& state,
                       const std::vector<double>& frequencies,
                       EvalContext* ctx = nullptr) override;
@@ -69,6 +71,14 @@ class OnlineEnv : public PartitioningEnv {
   /// paper computes r_offline before the online phase starts).
   void SetBestKnownCost(double cost) { best_cost_ = cost; }
   double best_known_cost() const { return best_cost_; }
+
+  /// \brief Standing execution context for intra-query engine parallelism.
+  /// Only the context's thread pool is used (never its RNG), so setting it
+  /// speeds up measured execution without touching any training RNG stream —
+  /// results stay bit-identical at every thread count. Must outlive the env
+  /// or be reset to nullptr. Takes precedence over the ctx passed to
+  /// WorkloadCost.
+  void set_exec_context(EvalContext* ctx) { exec_ctx_ = ctx; }
 
  private:
   /// Deploy the parts of `state` needed before executing `query_index`.
@@ -88,13 +98,19 @@ class OnlineEnv : public PartitioningEnv {
   std::unordered_map<uint64_t, double> cache_;
   OnlineAccounting accounting_;
   double best_cost_ = -1.0;  ///< negative = unknown
+  /// Standing context from set_exec_context (pool reused for every query).
+  EvalContext* exec_ctx_ = nullptr;
+  /// Context of the WorkloadCost call in flight, stashed so QueryCost can
+  /// fan the engine kernels out over its pool; cleared on return.
+  EvalContext* wc_ctx_ = nullptr;
 };
 
 /// \brief Measure the per-query scale factors S_i between the full cluster
 /// and the sampled cluster under the design `p_offline` (Sec 4.2, Sampling).
+/// `ctx` (optional) parallelizes the engine kernels inside each measurement.
 std::vector<double> ComputeScaleFactors(
     engine::ClusterDatabase* full, engine::ClusterDatabase* sample,
     const workload::Workload& workload,
-    const partition::PartitioningState& p_offline);
+    const partition::PartitioningState& p_offline, EvalContext* ctx = nullptr);
 
 }  // namespace lpa::rl

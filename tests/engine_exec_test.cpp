@@ -1,0 +1,305 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "costmodel/noisy_model.h"
+#include "engine/cluster.h"
+#include "engine/join_table.h"
+#include "schema/catalogs.h"
+#include "telemetry/registry.h"
+#include "util/eval_context.h"
+#include "workload/benchmarks.h"
+
+namespace lpa::engine {
+namespace {
+
+using costmodel::CostModel;
+using costmodel::HardwareProfile;
+using costmodel::JoinStrategy;
+using costmodel::NoisyOptimizerModel;
+using partition::EdgeSet;
+using partition::PartitioningState;
+
+// Exact-equality helper: the pool-parallel engine promises *bit-identical*
+// QueryRunStats at every thread count, so every double is compared with
+// EXPECT_EQ (no tolerance) on purpose.
+void ExpectIdentical(const QueryRunStats& a, const QueryRunStats& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.seconds, b.seconds) << label;
+  EXPECT_EQ(a.scan_seconds, b.scan_seconds) << label;
+  EXPECT_EQ(a.net_seconds, b.net_seconds) << label;
+  EXPECT_EQ(a.cpu_seconds, b.cpu_seconds) << label;
+  EXPECT_EQ(a.output_seconds, b.output_seconds) << label;
+  EXPECT_EQ(a.rows_out, b.rows_out) << label;
+  EXPECT_EQ(a.bytes_shuffled, b.bytes_shuffled) << label;
+  EXPECT_EQ(a.bytes_broadcast, b.bytes_broadcast) << label;
+}
+
+uint64_t CounterValue(const char* name) {
+  return telemetry::MetricsRegistry::Global().GetCounter(name).value();
+}
+
+storage::GenerationConfig GenConfig(double fraction) {
+  storage::GenerationConfig config;
+  config.fraction = fraction;
+  config.small_table_threshold = 300;
+  config.seed = 5;
+  return config;
+}
+
+class SsbExecTest : public ::testing::Test {
+ protected:
+  SsbExecTest()
+      : schema_(schema::MakeSsbSchema()),
+        workload_(workload::MakeSsbWorkload(schema_)),
+        edges_(EdgeSet::Extract(schema_, workload_)),
+        // A noisy planner (so the stats-epoch cache key is exercised) and a
+        // noisy engine clock (so the noise path is under the bit-identity
+        // microscope too).
+        planner_(&schema_, HardwareProfile::DiskBased10G(), 0.5, 4242, false,
+                 0.8),
+        cluster_(storage::Database::Generate(schema_, workload_,
+                                             GenConfig(5e-4)),
+                 EngineConfig{HardwareProfile::DiskBased10G(), 0.02, 7},
+                 &planner_) {}
+
+  PartitioningState Initial() const {
+    return PartitioningState::Initial(&schema_, &edges_);
+  }
+
+  // Designs spanning the interesting layouts: hash-everywhere, co-located
+  // fact-dim, replicated dimensions, fully replicated, and misaligned keys.
+  std::vector<PartitioningState> Designs() const {
+    std::vector<PartitioningState> designs;
+    schema::TableId lo = schema_.TableIndex("lineorder");
+    schema::TableId cust = schema_.TableIndex("customer");
+    designs.push_back(Initial());
+    {
+      auto s = Initial();
+      EXPECT_TRUE(
+          s.PartitionBy(lo, schema_.table(lo).ColumnIndex("lo_custkey")).ok());
+      EXPECT_TRUE(
+          s.PartitionBy(cust, schema_.table(cust).ColumnIndex("c_custkey"))
+              .ok());
+      designs.push_back(s);
+    }
+    {
+      auto s = Initial();
+      for (schema::TableId t = 0; t < schema_.num_tables(); ++t) {
+        if (t != lo) {
+          EXPECT_TRUE(s.Replicate(t).ok());
+        }
+      }
+      designs.push_back(s);
+    }
+    {
+      auto s = Initial();
+      for (schema::TableId t = 0; t < schema_.num_tables(); ++t) {
+        EXPECT_TRUE(s.Replicate(t).ok());
+      }
+      designs.push_back(s);
+    }
+    {
+      // Misaligned: the fact is partitioned on the date key, so the
+      // customer/supplier/part joins all need an exchange.
+      auto s = Initial();
+      EXPECT_TRUE(
+          s.PartitionBy(lo, schema_.table(lo).ColumnIndex("lo_orderdate"))
+              .ok());
+      designs.push_back(s);
+    }
+    return designs;
+  }
+
+  schema::Schema schema_;
+  workload::Workload workload_;
+  EdgeSet edges_;
+  NoisyOptimizerModel planner_;
+  ClusterDatabase cluster_;
+};
+
+TEST_F(SsbExecTest, StatsBitIdenticalAcrossThreadCounts) {
+  EvalContext ctx2(2, 11);
+  EvalContext ctx8(8, 12);
+  auto designs = Designs();
+  for (size_t d = 0; d < designs.size(); ++d) {
+    cluster_.ApplyDesign(designs[d]);
+    for (const auto& q : workload_.queries()) {
+      auto serial = cluster_.ExecuteQuery(q);
+      auto two = cluster_.ExecuteQuery(q, &ctx2);
+      auto eight = cluster_.ExecuteQuery(q, &ctx8);
+      std::string label = "design " + std::to_string(d) + " " + q.name;
+      ExpectIdentical(serial, two, label + " @2");
+      ExpectIdentical(serial, eight, label + " @8");
+    }
+  }
+}
+
+TEST_F(SsbExecTest, WorkloadBitIdenticalAcrossThreadCounts) {
+  EvalContext ctx2(2, 21);
+  EvalContext ctx8(8, 22);
+  for (const auto& design : Designs()) {
+    cluster_.ApplyDesign(design);
+    double serial = cluster_.ExecuteWorkload(workload_);
+    // EXPECT_EQ on doubles is exact comparison — intentional.
+    EXPECT_EQ(serial, cluster_.ExecuteWorkload(workload_, &ctx2));
+    EXPECT_EQ(serial, cluster_.ExecuteWorkload(workload_, &ctx8));
+  }
+}
+
+TEST_F(SsbExecTest, PlanCacheHitsOnRepeatAndSurvivesDesignSwitch) {
+  auto s0 = Initial();
+  auto co = Designs()[1];
+  cluster_.ApplyDesign(s0);
+  const auto& q = workload_.query(6);
+
+  auto first = cluster_.ExecuteQuery(q);
+  uint64_t hits0 = CounterValue("engine.plan_cache_hits.count");
+  uint64_t misses0 = CounterValue("engine.plan_cache_misses.count");
+  auto second = cluster_.ExecuteQuery(q);
+  EXPECT_EQ(CounterValue("engine.plan_cache_hits.count"), hits0 + 1);
+  EXPECT_EQ(CounterValue("engine.plan_cache_misses.count"), misses0);
+  ExpectIdentical(first, second, "repeat execution");
+
+  // A different design misses (different fingerprint)...
+  cluster_.ApplyDesign(co);
+  cluster_.ExecuteQuery(q);
+  EXPECT_EQ(CounterValue("engine.plan_cache_misses.count"), misses0 + 1);
+  // ...and flipping back hits again: entries are keyed, not wiped, on
+  // ApplyDesign, so A/B design comparisons stay cached.
+  cluster_.ApplyDesign(s0);
+  uint64_t hits1 = CounterValue("engine.plan_cache_hits.count");
+  auto third = cluster_.ExecuteQuery(q);
+  EXPECT_EQ(CounterValue("engine.plan_cache_hits.count"), hits1 + 1);
+  ExpectIdentical(first, third, "design flip round-trip");
+}
+
+TEST_F(SsbExecTest, BulkAppendInvalidatesPlanCache) {
+  cluster_.ApplyDesign(Initial());
+  const auto& q = workload_.query(3);
+  cluster_.ExecuteQuery(q);
+  uint64_t inval0 = CounterValue("engine.plan_cache_invalidations.count");
+  uint64_t misses0 = CounterValue("engine.plan_cache_misses.count");
+  cluster_.BulkAppend(0.25, 3);
+  EXPECT_EQ(CounterValue("engine.plan_cache_invalidations.count"), inval0 + 1);
+  // Re-planning must happen (the data distribution changed even if the
+  // planner's statistics were not refreshed).
+  cluster_.ExecuteQuery(q);
+  EXPECT_EQ(CounterValue("engine.plan_cache_misses.count"), misses0 + 1);
+}
+
+TEST_F(SsbExecTest, StatsEpochRefreshMissesPlanCache) {
+  // Exp 3a's mechanism: after a bulk update the simulated ANALYZE bumps the
+  // optimizer's statistics epoch, which must defeat the plan cache so new
+  // (possibly different) plans are picked up.
+  cluster_.ApplyDesign(Initial());
+  const auto& q = workload_.query(6);
+  cluster_.ExecuteQuery(q);
+  uint64_t hits0 = CounterValue("engine.plan_cache_hits.count");
+  uint64_t misses0 = CounterValue("engine.plan_cache_misses.count");
+  cluster_.ExecuteQuery(q);
+  EXPECT_EQ(CounterValue("engine.plan_cache_hits.count"), hits0 + 1);
+  planner_.set_stats_epoch(planner_.stats_epoch() + 1);
+  cluster_.ExecuteQuery(q);
+  EXPECT_EQ(CounterValue("engine.plan_cache_misses.count"), misses0 + 1);
+}
+
+TEST_F(SsbExecTest, BulkAppendedClusterMatchesFreshClusterBitExactly) {
+  // Appending data and then executing must behave exactly like a fresh
+  // cluster that took the same append — the plan cache must not leak stale
+  // state across the data change.
+  cluster_.ApplyDesign(Initial());
+  for (const auto& q : workload_.queries()) cluster_.ExecuteQuery(q);
+  cluster_.BulkAppend(0.25, 3);
+
+  ClusterDatabase fresh(
+      storage::Database::Generate(schema_, workload_, GenConfig(5e-4)),
+      EngineConfig{HardwareProfile::DiskBased10G(), 0.02, 7}, &planner_);
+  fresh.ApplyDesign(Initial());
+  fresh.BulkAppend(0.25, 3);
+
+  EvalContext ctx8(8, 31);
+  for (const auto& q : workload_.queries()) {
+    ExpectIdentical(cluster_.ExecuteQuery(q), fresh.ExecuteQuery(q),
+                    "appended vs fresh " + q.name);
+    ExpectIdentical(cluster_.ExecuteQuery(q, &ctx8), fresh.ExecuteQuery(q),
+                    "appended@8 vs fresh " + q.name);
+  }
+}
+
+TEST(TpcchExecTest, EveryJoinStrategyBitIdenticalAcrossThreadCounts) {
+  // TPC-CH with order/orderline partitioned on non-join keys makes the
+  // planner use all six join strategies somewhere in the workload (verified
+  // by the coverage assertion below), so the 1/2/8-thread comparison
+  // exercises every execution branch: co-located, one-sided and two-sided
+  // repartitioning, and both broadcast orientations.
+  auto schema = schema::MakeTpcchSchema();
+  auto wl = workload::MakeTpcchWorkload(schema);
+  auto edges = EdgeSet::Extract(schema, wl);
+  CostModel planner(&schema, HardwareProfile::InMemory10G());
+  storage::GenerationConfig config;
+  config.fraction = 1e-3;
+  config.small_table_threshold = 300;
+  config.seed = 13;
+  ClusterDatabase cluster(storage::Database::Generate(schema, wl, config),
+                          EngineConfig{HardwareProfile::InMemory10G(), 0.0, 5},
+                          &planner);
+  auto design = PartitioningState::Initial(&schema, &edges);
+  schema::TableId order = schema.TableIndex("order");
+  schema::TableId ol = schema.TableIndex("orderline");
+  ASSERT_TRUE(
+      design.PartitionBy(order, schema.table(order).ColumnIndex("o_c_id"))
+          .ok());
+  ASSERT_TRUE(
+      design.PartitionBy(ol, schema.table(ol).ColumnIndex("ol_i_id")).ok());
+
+  std::set<JoinStrategy> seen;
+  for (const auto& q : wl.queries()) {
+    for (JoinStrategy s : planner.PlanQuery(q, design).JoinStrategies()) {
+      seen.insert(s);
+    }
+  }
+  EXPECT_EQ(seen.size(), 6u) << "workload no longer covers every strategy";
+
+  cluster.ApplyDesign(design);
+  EvalContext ctx2(2, 41);
+  EvalContext ctx8(8, 42);
+  for (const auto& q : wl.queries()) {
+    auto serial = cluster.ExecuteQuery(q);
+    ExpectIdentical(serial, cluster.ExecuteQuery(q, &ctx2), q.name + " @2");
+    ExpectIdentical(serial, cluster.ExecuteQuery(q, &ctx8), q.name + " @8");
+  }
+}
+
+TEST(JoinTableTest, FindsAllDuplicatesAndCountsProbes) {
+  JoinTable jt;
+  uint64_t probes = 0;
+  jt.Reset(5);
+  EXPECT_GE(jt.capacity(), 16u);  // power-of-two floor
+  // Three keys; key 7 inserted three times, and two keys that collide modulo
+  // any small power of two (high bits differ only).
+  jt.Insert(7, 0, &probes);
+  jt.Insert(7, 1, &probes);
+  jt.Insert(7, 2, &probes);
+  jt.Insert(9, 3, &probes);
+  jt.Insert(7 + (uint64_t{1} << 40), 4, &probes);
+  EXPECT_EQ(jt.size(), 5u);
+
+  std::set<uint32_t> rows;
+  for (uint32_t e = jt.Find(7, &probes); e != JoinTable::kNone;
+       e = jt.entry(e).next) {
+    rows.insert(jt.entry(e).row);
+  }
+  EXPECT_EQ(rows, (std::set<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(jt.Find(12345, &probes), JoinTable::kNone);
+  EXPECT_GT(probes, 0u);
+
+  uint32_t e4 = jt.Find(7 + (uint64_t{1} << 40), &probes);
+  ASSERT_NE(e4, JoinTable::kNone);
+  EXPECT_EQ(jt.entry(e4).row, 4u);
+  EXPECT_EQ(jt.entry(e4).next, JoinTable::kNone);
+}
+
+}  // namespace
+}  // namespace lpa::engine

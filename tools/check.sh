@@ -13,11 +13,12 @@
 # default, runs only the tests that exercise the parallel evaluation engine
 # (TSan slows everything ~10x; the serial tests gain nothing from it).
 #
-# The perf preset builds Release into build-perf and runs the workload-cost
-# kernel of bench_micro_components (google benchmarks filtered out), printing
-# the probes-per-step digest table that shows the full-recompute vs
-# incremental delta-costing ratio. BENCH_micro_components.json lands in
-# $LPA_METRICS_DIR (or build-perf).
+# The perf preset builds Release into build-perf and runs the post-benchmark
+# kernels of bench_micro_components (google benchmarks filtered out): the
+# workload-cost kernel (full recompute vs incremental delta costing) and the
+# engine kernel (pool-parallel ExecuteWorkload at 1/2/8 threads with
+# bit-identity digest checks). BENCH_micro_components.json and
+# BENCH_engine.json land in $LPA_METRICS_DIR (or build-perf).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,10 +31,10 @@ if [[ "${PRESET}" == "perf" ]]; then
   cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
   echo "== build bench_micro_components =="
   cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_micro_components
-  echo "== workload-cost kernel (full recompute vs incremental) =="
+  echo "== perf kernels: workload-cost (full vs incremental) + engine (pool-parallel) =="
   LPA_METRICS_DIR="${LPA_METRICS_DIR:-${BUILD_DIR}}" \
     "${BUILD_DIR}/bench/bench_micro_components" --benchmark_filter='^$'
-  echo "== OK: perf digest above; matching digests = bit-identical totals =="
+  echo "== OK: matching digests above = bit-identical results; see BENCH_engine.json =="
   exit 0
 fi
 if [[ "${PRESET}" == "tsan" ]]; then
