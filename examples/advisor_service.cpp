@@ -1,22 +1,36 @@
-// The production loop of Fig 1: a trained advisor deployed as a service.
-// The workload monitor watches executed queries, maintains the frequency
-// vector, and when the mix drifts it asks the advisor for a new design —
-// weighing the cost of actually moving the data from the current layout.
+// The production loop of Fig 1: a trained advisor deployed as a service —
+// now behind the serving subsystem. The advisor is trained once, snapshotted,
+// and published to a ModelRegistry; an AdvisorServer with a worker pool and
+// cross-request inference batching answers Suggest requests. The workload
+// monitor watches executed queries, and when the mix drifts the service is
+// asked (concurrently, as a real service would be) for a new design. Between
+// the two workload eras a snapshot-reloaded model is hot-swapped in under
+// load — in-flight requests finish on the old version, none are dropped.
 //
-//   $ ./build/examples/advisor_service [--threads N] [--seed N]
-//       [--profile disk|memory] [--metrics] [--metrics-json=out.json]
+//   $ ./build/examples/advisor_service [--threads N] [--batch-window S]
+//       [--seed N] [--profile disk|memory] [--metrics]
+//       [--metrics-json=out.json]
 //
-// --metrics prints the telemetry counters at the end; --metrics-json writes
-// them (plus the run manifest) as JSON. --threads > 1 runs training and
-// inference on the parallel evaluation engine.
+// --threads sets both the training evaluation threads and the server's
+// worker pool; --batch-window bounds how long a batch leader waits for
+// co-batchable requests. --metrics prints the telemetry counters (including
+// serving.* and the batch-size histogram); --metrics-json writes them as
+// JSON.
 
+#include <future>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "advisor/advisor.h"
+#include "advisor/serialization.h"
 #include "advisor/workload_monitor.h"
 #include "engine/cluster.h"
 #include "schema/catalogs.h"
+#include "serving/model_registry.h"
+#include "serving/server.h"
 #include "telemetry/registry.h"
 #include "util/cli.h"
 #include "workload/benchmarks.h"
@@ -26,8 +40,10 @@ int main(int argc, char** argv) {
 
   cli::CommonOptions common;
   common.seed = 9;  // this example's historical fixed seed
+  double batch_window = 200e-6;
   cli::FlagParser parser;
   common.Register(&parser);
+  parser.AddDouble("batch-window", "batching window seconds", &batch_window);
   std::string error;
   if (!parser.Parse(argc, argv, &error) || !common.Validate(&error)) {
     std::cerr << error << "\n" << parser.Usage(argv[0]);
@@ -48,10 +64,43 @@ int main(int argc, char** argv) {
   config.dqn.tmax = 16;
   config.dqn.FitEpsilonSchedule(config.offline_episodes);
   config.seed = common.seed;
-  advisor::PartitioningAdvisor advisor(&schema, workload, config);
+  auto advisor = std::make_unique<advisor::PartitioningAdvisor>(
+      &schema, workload, config);
   EvalContext ctx(common.threads, common.seed);
   std::cout << "training advisor (" << common.threads << " thread(s))...\n";
-  advisor.TrainOffline(&cost_model, nullptr, &ctx);
+  advisor->TrainOffline(&cost_model, nullptr, &ctx);
+
+  // Snapshot the trained agent — the artifact a training pipeline would ship
+  // to serving, and what the era-2 hot swap below reloads.
+  std::stringstream snapshot;
+  if (Status st = advisor::SaveAgentSnapshot(*advisor->agent(), snapshot);
+      !st.ok()) {
+    std::cerr << "snapshot error: " << st.ToString() << "\n";
+    return 1;
+  }
+  const std::string snapshot_bytes = snapshot.str();
+
+  // --- Publish + start the serving layer ---------------------------------
+  serving::InferenceBatcher::Config batch;
+  batch.window_seconds = batch_window;
+  serving::ModelRegistry registry;
+  // Suggested states reference their model's internal edge set, so keep
+  // every published version alive for as long as its designs may be in use.
+  std::vector<std::shared_ptr<serving::ServingModel>> pinned_models;
+  pinned_models.push_back(std::make_shared<serving::ServingModel>(
+      std::move(advisor), &cost_model, batch));
+  uint64_t version = registry.Publish(pinned_models.back());
+  serving::ServerConfig server_config;
+  server_config.worker_threads = common.threads;
+  server_config.batch = batch;
+  serving::AdvisorServer server(&registry, server_config);
+  if (Status st = server.Start(); !st.ok()) {
+    std::cerr << "server start error: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "serving model v" << version << " ("
+            << server_config.worker_threads << " worker(s), batch window "
+            << batch_window * 1e6 << "us)\n";
 
   // --- Deploy on the cluster (Fig 1 step 3) ------------------------------
   storage::GenerationConfig gen;
@@ -69,21 +118,39 @@ int main(int argc, char** argv) {
   monitor_config.retrigger_threshold = 0.6;
   advisor::WorkloadMonitor monitor(&workload, monitor_config);
 
-  auto current = partition::PartitioningState::Initial(&schema, &advisor.edges());
+  partition::EdgeSet edges = partition::EdgeSet::Extract(schema, workload);
+  auto current = partition::PartitioningState::Initial(&schema, &edges);
   cluster.ApplyDesign(current);
 
   // --- Serve two workload eras -------------------------------------------
   // Era 1: flight-1 reporting dominates; era 2: drill-downs over part and
-  // supplier take over.
+  // supplier take over. Before era 2 the registry hot-swaps in a model
+  // reloaded from the snapshot, as a retraining pipeline would.
   struct Era {
     const char* label;
     std::vector<int> hot_queries;
+    bool swap_model;
   };
-  const Era kEras[] = {{"era 1: date-range reporting", {0, 1, 2}},
-                       {"era 2: part/supplier drill-downs", {3, 4, 5, 10, 11, 12}}};
+  const Era kEras[] = {
+      {"era 1: date-range reporting", {0, 1, 2}, false},
+      {"era 2: part/supplier drill-downs", {3, 4, 5, 10, 11, 12}, true}};
   Rng rng(4);
   for (const auto& era : kEras) {
     std::cout << "\n=== " << era.label << " ===\n";
+    if (era.swap_model) {
+      std::istringstream snap(snapshot_bytes);
+      auto reloaded = serving::ServingModel::FromSnapshot(
+          &schema, workload, config, &cost_model, snap, batch);
+      if (!reloaded.ok()) {
+        std::cerr << "hot-swap load error: " << reloaded.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      pinned_models.push_back(*reloaded);
+      version = registry.Publish(pinned_models.back());
+      std::cout << "hot-swapped serving model to v" << version
+                << " (in-flight requests finish on the old version)\n";
+    }
     for (int i = 0; i < 400; ++i) {
       int hot_index = static_cast<int>(rng.UniformInt(
           0, static_cast<int64_t>(era.hot_queries.size()) - 1));
@@ -97,13 +164,29 @@ int main(int argc, char** argv) {
                                             : "mix stable") << "\n";
     if (!monitor.SuggestionStale()) continue;
 
+    // Ask the service. A real deployment has many concurrent callers, so
+    // submit a few jittered variants of the mix alongside the canonical one
+    // — they coalesce into batched Q-network passes on the server.
     auto freqs = monitor.CurrentFrequencies();
-    // Weigh repartitioning cost: this is a live system, moving the fact
-    // table should only happen if the workload gain justifies it.
-    auto suggestion = advisor.SuggestWithTransitionCost(freqs, current, 0.05,
-                                                        &cost_model, &ctx);
-    double move_seconds = cluster.ApplyDesign(suggestion.best_state);
-    current = suggestion.best_state;
+    std::future<serving::SuggestResponse> canonical =
+        server.SubmitAsync(freqs);
+    std::vector<std::future<serving::SuggestResponse>> jittered;
+    for (int i = 0; i < 5; ++i) {
+      std::vector<double> variant = freqs;
+      for (double& f : variant) f *= rng.Uniform(0.9, 1.1);
+      jittered.push_back(server.SubmitAsync(std::move(variant)));
+    }
+    serving::SuggestResponse response = canonical.get();
+    for (auto& future : jittered) future.get();
+    if (!response.status.ok()) {
+      std::cerr << "suggest error: " << response.status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "suggestion served by model v" << response.model_version
+              << " in " << response.latency_seconds * 1e3 << "ms\n";
+
+    double move_seconds = cluster.ApplyDesign(response.result->best_state);
+    current = response.result->best_state;
     monitor.MarkSuggested();
 
     workload::Workload era_workload = workload;
@@ -114,6 +197,13 @@ int main(int argc, char** argv) {
               << cluster.ExecuteWorkload(era_workload) << "s\n";
   }
 
+  server.Stop();
+  auto stats = server.stats();
+  std::cout << "\nserver: " << stats.submitted << " submitted, "
+            << stats.completed << " completed, " << stats.rejected
+            << " rejected, " << stats.shed << " shed, " << stats.failed
+            << " failed\n";
+
   if (common.metrics || !common.metrics_json.empty()) {
     auto manifest = telemetry::RunManifest::Make("advisor_service");
     manifest.seed = common.seed;
@@ -122,10 +212,11 @@ int main(int argc, char** argv) {
                                   : "in-memory";
     manifest.schema = "ssb";
     manifest.Set("threads", std::to_string(common.threads));
-    auto& registry = telemetry::MetricsRegistry::Global();
-    if (common.metrics) std::cout << "\n" << registry.ToTable();
+    manifest.Set("batch_window_seconds", std::to_string(batch_window));
+    auto& registry_metrics = telemetry::MetricsRegistry::Global();
+    if (common.metrics) std::cout << "\n" << registry_metrics.ToTable();
     if (!common.metrics_json.empty()) {
-      Status st = registry.WriteJsonFile(common.metrics_json, manifest);
+      Status st = registry_metrics.WriteJsonFile(common.metrics_json, manifest);
       if (!st.ok()) {
         std::cerr << "metrics write error: " << st.ToString() << "\n";
         return 1;

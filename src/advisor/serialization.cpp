@@ -1,13 +1,41 @@
 #include "advisor/serialization.h"
 
+#include <string>
+
 namespace lpa::advisor {
 
 Status SaveAgentSnapshot(const rl::DqnAgent& agent, std::ostream& os) {
+  os << kSnapshotMagic << ' ' << kSnapshotFormatVersion << '\n';
+  if (!os.good()) return Status::Internal("stream write failed");
   return agent.Save(os);
 }
 
 Status LoadAgentSnapshot(std::istream& is, rl::DqnAgent* agent) {
-  return agent->Load(is);
+  // Peek the first token: versioned snapshots lead with the magic word,
+  // legacy ones start directly with the agent stream's own "dqn-agent".
+  std::string first;
+  if (!(is >> first)) {
+    return Status::InvalidArgument("empty or unreadable agent snapshot");
+  }
+  if (first == kSnapshotMagic) {
+    int version = 0;
+    if (!(is >> version)) {
+      return Status::InvalidArgument(
+          "agent snapshot: truncated header (missing format version)");
+    }
+    if (version < 1 || version > kSnapshotFormatVersion) {
+      return Status::InvalidArgument(
+          "agent snapshot: unsupported format version " +
+          std::to_string(version) + " (this build reads <= " +
+          std::to_string(kSnapshotFormatVersion) + ")");
+    }
+    return agent->Load(is);
+  }
+  if (first != "dqn-agent") {
+    return Status::InvalidArgument(
+        "not an agent snapshot (bad magic '" + first + "')");
+  }
+  return agent->LoadAfterMagic(is);
 }
 
 }  // namespace lpa::advisor

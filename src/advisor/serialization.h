@@ -6,18 +6,29 @@
 
 namespace lpa::advisor {
 
+/// Leading magic word of a versioned agent snapshot. Snapshots written
+/// before format versioning start directly with the agent stream
+/// ("dqn-agent ..."); LoadAgentSnapshot accepts both.
+inline constexpr char kSnapshotMagic[] = "lpa-agent-snapshot";
+/// Current snapshot format version. Bump when the layout after the header
+/// changes; LoadAgentSnapshot rejects versions it does not know.
+inline constexpr int kSnapshotFormatVersion = 1;
+
 /// \brief Persist a trained agent's Q-networks and exploration state so an
 /// advisor can be rebuilt without retraining (the cloud-service deployment
 /// path of Fig 1: train once, then serve suggestions).
 ///
-/// The stream stores the two networks plus the ε value; schema and workload
-/// are NOT stored — the caller reconstructs the advisor with the same schema
-/// and workload (the snapshot aborts loading if the network shapes disagree,
-/// which catches schema/workload mismatches).
+/// The stream leads with `lpa-agent-snapshot <version>` and then stores the
+/// two networks plus the ε value; schema and workload are NOT stored — the
+/// caller reconstructs the advisor with the same schema and workload (the
+/// snapshot aborts loading if the network shapes disagree, which catches
+/// schema/workload mismatches).
 Status SaveAgentSnapshot(const rl::DqnAgent& agent, std::ostream& os);
 
-/// \brief Restore a snapshot into a freshly constructed agent. Fails if the
-/// architecture (featurizer dims / action space) does not match.
+/// \brief Restore a snapshot into a freshly constructed agent. Fails fast
+/// with a clear Status on a garbage or truncated stream, an unsupported
+/// format version, or a mismatched architecture (featurizer dims / action
+/// space). Pre-versioning snapshots (no header) still load.
 Status LoadAgentSnapshot(std::istream& is, rl::DqnAgent* agent);
 
 }  // namespace lpa::advisor

@@ -109,6 +109,33 @@ std::vector<double> DqnAgent::QValues(const std::vector<double>& state_enc,
   return q;
 }
 
+nn::Matrix DqnAgent::QValuesBatch(const nn::Matrix& state_encs) const {
+  LPA_CHECK(static_cast<int>(state_encs.cols()) == featurizer_->state_dim());
+  if (config_.mode == QNetworkMode::kMultiHead) {
+    return q_->Forward(state_encs);
+  }
+  const size_t n = state_encs.rows();
+  const size_t num_actions = static_cast<size_t>(actions_->size());
+  nn::Matrix rows(n * num_actions, static_cast<size_t>(InputDim()));
+  for (size_t r = 0; r < n; ++r) {
+    const double* s = state_encs.row(r);
+    for (size_t a = 0; a < num_actions; ++a) {
+      double* dst = rows.row(r * num_actions + a);
+      std::copy(s, s + state_encs.cols(), dst);
+      const double* enc = action_enc_.row(a);
+      std::copy(enc, enc + action_enc_.cols(), dst + state_encs.cols());
+    }
+  }
+  nn::Matrix out = q_->Forward(rows);
+  nn::Matrix q(n, num_actions);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t a = 0; a < num_actions; ++a) {
+      q.at(r, a) = out.at(r * num_actions + a, 0);
+    }
+  }
+  return q;
+}
+
 int DqnAgent::SelectAction(const std::vector<double>& state_enc,
                            const std::vector<int>& legal, Rng* rng) const {
   LPA_CHECK(!legal.empty());
@@ -204,10 +231,18 @@ Status DqnAgent::Save(std::ostream& os) const {
 
 Status DqnAgent::Load(std::istream& is) {
   std::string magic;
-  double epsilon = 0.0;
-  is >> magic >> epsilon;
+  is >> magic;
   if (magic != "dqn-agent" || !is.good()) {
     return Status::InvalidArgument("not a dqn-agent snapshot");
+  }
+  return LoadAfterMagic(is);
+}
+
+Status DqnAgent::LoadAfterMagic(std::istream& is) {
+  double epsilon = 0.0;
+  is >> epsilon;
+  if (!is.good()) {
+    return Status::InvalidArgument("truncated dqn-agent snapshot");
   }
   auto q = nn::Mlp::Load(is);
   if (!q.ok()) return q.status();

@@ -101,6 +101,16 @@ class DqnAgent {
   std::vector<double> QValues(const std::vector<double>& state_enc,
                               const std::vector<int>& legal) const;
 
+  /// \brief Q-values of ALL actions for a batch of encoded states: row r of
+  /// the result holds Q(state_r, a) for every global action id a. One matrix
+  /// pass over the network (state-action mode expands each state against the
+  /// precomputed action-encoding matrix), so coalescing concurrent inference
+  /// requests into one call amortizes the forward pass. Row r is
+  /// bit-identical to the single-state QValues/GreedyAction path: the GEMM
+  /// accumulates each output element in a fixed order independent of the
+  /// batch's other rows.
+  nn::Matrix QValuesBatch(const nn::Matrix& state_encs) const;
+
   /// \brief ε-greedy action choice among `legal` (Algorithm 1 line 6).
   int SelectAction(const std::vector<double>& state_enc,
                    const std::vector<int>& legal, Rng* rng) const;
@@ -136,6 +146,10 @@ class DqnAgent {
   /// dimensions and action space.
   Status Save(std::ostream& os) const;
   Status Load(std::istream& is);
+  /// \brief Load continuation for callers that already consumed the leading
+  /// "dqn-agent" token (advisor::LoadAgentSnapshot peeks it to distinguish
+  /// versioned snapshot headers from legacy agent streams).
+  Status LoadAfterMagic(std::istream& is);
 
  private:
   int InputDim() const;

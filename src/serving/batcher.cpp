@@ -1,0 +1,110 @@
+#include "serving/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "telemetry/registry.h"
+#include "util/logging.h"
+
+namespace lpa::serving {
+
+namespace {
+
+struct BatcherMetrics {
+  telemetry::Counter& batches;
+  telemetry::Counter& batched_rows;
+  telemetry::Histogram& batch_rows;
+
+  static BatcherMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static BatcherMetrics* m = new BatcherMetrics{
+        reg.GetCounter("serving.batches.count"),
+        reg.GetCounter("serving.batched_rows.count"),
+        reg.GetHistogram("serving.batch_rows.count",
+                         {1.0, 2.0, 4.0, 8.0, 16.0, 32.0})};
+    return *m;
+  }
+};
+
+}  // namespace
+
+InferenceBatcher::InferenceBatcher(const rl::DqnAgent* agent, Config config)
+    : agent_(agent), config_(config) {
+  LPA_CHECK(config_.max_batch >= 1);
+}
+
+void InferenceBatcher::BeginRollout() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++active_rollouts_;
+}
+
+void InferenceBatcher::EndRollout() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_rollouts_;
+  // A leader may be waiting for this rollout to reach its next Q-evaluation;
+  // it never will, so let the leader re-check its fire condition.
+  arrival_cv_.notify_all();
+}
+
+int InferenceBatcher::active_rollouts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_rollouts_;
+}
+
+std::vector<double> InferenceBatcher::AllQValues(
+    const std::vector<double>& state_enc) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (open_ != nullptr) {
+    // Join the open batch as a follower and sleep until the leader publishes.
+    std::shared_ptr<Batch> batch = open_;
+    const size_t my_row = batch->encs.size();
+    batch->encs.push_back(&state_enc);
+    arrival_cv_.notify_all();  // leader re-checks size / fire condition
+    batch->done_cv.wait(lock, [&] { return batch->done; });
+    const double* row = batch->q.row(my_row);
+    return std::vector<double>(row, row + batch->q.cols());
+  }
+
+  // Become the leader of a fresh batch.
+  std::shared_ptr<Batch> batch = std::make_shared<Batch>();
+  batch->encs.push_back(&state_enc);
+  open_ = batch;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::duration<double>(
+                                std::max(0.0, config_.window_seconds)));
+  // Wait for joiners only while some other active rollout is not yet in the
+  // batch; a full batch or an exhausted window fires regardless.
+  while (static_cast<int>(batch->encs.size()) < config_.max_batch &&
+         active_rollouts_ > static_cast<int>(batch->encs.size())) {
+    if (arrival_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
+  open_.reset();  // close: late arrivals open their own batch
+
+  // Stack the rows while still holding the lock (joins mutated encs under
+  // it; followers are asleep and their encodings outlive the wait), then
+  // run the matrix pass unlocked so other batches can form meanwhile.
+  nn::Matrix encs_matrix(batch->encs.size(), state_enc.size());
+  for (size_t i = 0; i < batch->encs.size(); ++i) {
+    std::copy(batch->encs[i]->begin(), batch->encs[i]->end(),
+              encs_matrix.row(i));
+  }
+  lock.unlock();
+  nn::Matrix q = agent_->QValuesBatch(encs_matrix);
+
+  auto& metrics = BatcherMetrics::Get();
+  metrics.batches.Add();
+  metrics.batched_rows.Add(encs_matrix.rows());
+  metrics.batch_rows.Observe(static_cast<double>(encs_matrix.rows()));
+
+  lock.lock();
+  batch->q = std::move(q);
+  batch->done = true;
+  batch->done_cv.notify_all();
+  const double* row = batch->q.row(0);
+  return std::vector<double>(row, row + batch->q.cols());
+}
+
+}  // namespace lpa::serving

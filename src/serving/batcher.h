@@ -1,0 +1,87 @@
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "rl/dqn.h"
+
+namespace lpa::serving {
+
+/// \brief Cross-request inference batching: coalesces the Q-network
+/// evaluations of concurrent Suggest rollouts against ONE model into single
+/// `DqnAgent::QValuesBatch` matrix passes.
+///
+/// Protocol (leader/follower, one mutex): the first rollout to request
+/// Q-values opens a batch and becomes its leader; it waits — bounded by the
+/// time window AND by the number of rollouts currently active on this model
+/// — for other rollouts to join, then closes the batch, runs the matrix
+/// pass outside the lock, and publishes each row to its requester. Rollouts
+/// that arrive while a batch is open join it and sleep until the leader
+/// publishes. A lone rollout never waits: when no other rollout is active
+/// the leader fires immediately, so the window only ever delays requests
+/// that have someone to share a pass with.
+///
+/// Results are bit-identical to unbatched inference: QValuesBatch computes
+/// every row independently with a fixed accumulation order, so membership
+/// and order of a batch cannot change any row's values.
+class InferenceBatcher {
+ public:
+  struct Config {
+    /// Maximum rows per matrix pass; a full batch fires immediately.
+    int max_batch = 8;
+    /// Longest a leader waits for co-batchable rollouts to reach their next
+    /// Q-evaluation. An upper bound, not a fixed delay: joins re-check the
+    /// fire condition, so lockstep rollouts batch with microsecond waits.
+    double window_seconds = 200e-6;
+  };
+
+  InferenceBatcher(const rl::DqnAgent* agent, Config config);
+
+  /// \brief RAII activity marker: a rollout holds one of these for its whole
+  /// suggestion so leaders know how many peers may still show up.
+  class RolloutScope {
+   public:
+    explicit RolloutScope(InferenceBatcher* batcher) : batcher_(batcher) {
+      batcher_->BeginRollout();
+    }
+    ~RolloutScope() { batcher_->EndRollout(); }
+    RolloutScope(const RolloutScope&) = delete;
+    RolloutScope& operator=(const RolloutScope&) = delete;
+
+   private:
+    InferenceBatcher* batcher_;
+  };
+
+  /// \brief Q-values of ALL actions at `state_enc` (indexed by global action
+  /// id). Blocks until the batch containing this row has been evaluated.
+  /// Must be called inside a RolloutScope.
+  std::vector<double> AllQValues(const std::vector<double>& state_enc);
+
+  int active_rollouts() const;
+
+ private:
+  /// One in-flight coalesced evaluation. Guarded by the batcher mutex except
+  /// where noted; participants keep it alive via shared_ptr.
+  struct Batch {
+    std::vector<const std::vector<double>*> encs;
+    nn::Matrix q;  // row i = all-action Q-values of encs[i]; valid once done
+    bool done = false;
+    std::condition_variable done_cv;
+  };
+
+  void BeginRollout();
+  void EndRollout();
+
+  const rl::DqnAgent* agent_;
+  Config config_;
+  mutable std::mutex mu_;
+  /// Leader's wait for joiners; signalled on join and on EndRollout.
+  std::condition_variable arrival_cv_;
+  std::shared_ptr<Batch> open_;
+  int active_rollouts_ = 0;
+};
+
+}  // namespace lpa::serving

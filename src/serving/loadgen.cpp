@@ -1,0 +1,160 @@
+#include "serving/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/workload.h"
+
+namespace lpa::serving {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-thread tally merged under a mutex at the end of the run.
+struct ClientTally {
+  uint64_t submitted = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  std::vector<double> latencies;  // completed only
+  std::map<uint64_t, uint64_t> completed_per_version;
+
+  void Absorb(const SuggestResponse& response) {
+    switch (response.status.code()) {
+      case Status::Code::kOk:
+        latencies.push_back(response.latency_seconds);
+        ++completed_per_version[response.model_version];
+        break;
+      case Status::Code::kDeadlineExceeded:
+        ++shed;
+        break;
+      case Status::Code::kUnavailable:
+        ++rejected;
+        break;
+      default:
+        ++failed;
+        break;
+    }
+  }
+};
+
+void MergeInto(const ClientTally& tally, LoadgenReport* report,
+               std::vector<double>* latencies) {
+  report->submitted += tally.submitted;
+  report->rejected += tally.rejected;
+  report->shed += tally.shed;
+  report->failed += tally.failed;
+  report->completed += tally.latencies.size();
+  for (const auto& [version, count] : tally.completed_per_version) {
+    report->completed_per_version[version] += count;
+  }
+  latencies->insert(latencies->end(), tally.latencies.begin(),
+                    tally.latencies.end());
+}
+
+ClientTally ClosedLoopClient(AdvisorServer* server,
+                             const LoadgenOptions& options, uint64_t seed,
+                             Clock::time_point end) {
+  ClientTally tally;
+  Rng rng(seed);
+  while (Clock::now() < end) {
+    std::vector<double> frequencies =
+        workload::SampleUniformFrequencies(options.num_queries, &rng);
+    ++tally.submitted;
+    tally.Absorb(
+        server->Suggest(std::move(frequencies), options.deadline_seconds));
+  }
+  return tally;
+}
+
+ClientTally OpenLoopDispatch(AdvisorServer* server,
+                             const LoadgenOptions& options,
+                             Clock::time_point start, Clock::time_point end) {
+  LPA_CHECK(options.qps > 0.0);
+  ClientTally tally;
+  Rng rng(options.seed);
+  const auto interarrival = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / options.qps));
+  std::vector<std::future<SuggestResponse>> futures;
+  Clock::time_point next = start;
+  while (next < end) {
+    std::this_thread::sleep_until(next);
+    std::vector<double> frequencies =
+        workload::SampleUniformFrequencies(options.num_queries, &rng);
+    ++tally.submitted;
+    futures.push_back(server->SubmitAsync(std::move(frequencies),
+                                          options.deadline_seconds));
+    next += interarrival;
+  }
+  // Every future resolves: accepted requests are drained by the workers,
+  // rejected ones resolved at submission.
+  for (auto& future : futures) tally.Absorb(future.get());
+  return tally;
+}
+
+}  // namespace
+
+LoadgenReport RunLoadgen(AdvisorServer* server, const LoadgenOptions& options,
+                         const std::function<void()>& at_halftime) {
+  LPA_CHECK(options.num_queries >= 1);
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point end =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_seconds));
+
+  std::thread swapper;
+  if (at_halftime) {
+    Clock::time_point halftime =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        options.duration_seconds / 2.0));
+    swapper = std::thread([at_halftime, halftime] {
+      std::this_thread::sleep_until(halftime);
+      at_halftime();
+    });
+  }
+
+  LoadgenReport report;
+  std::vector<double> latencies;
+  if (options.open_loop) {
+    MergeInto(OpenLoopDispatch(server, options, start, end), &report,
+              &latencies);
+  } else {
+    std::vector<ClientTally> tallies(
+        static_cast<size_t>(std::max(1, options.clients)));
+    std::vector<std::thread> clients;
+    clients.reserve(tallies.size());
+    for (size_t i = 0; i < tallies.size(); ++i) {
+      clients.emplace_back([&, i] {
+        tallies[i] = ClosedLoopClient(server, options,
+                                      HashCombine(options.seed, i), end);
+      });
+    }
+    for (auto& client : clients) client.join();
+    for (const auto& tally : tallies) MergeInto(tally, &report, &latencies);
+  }
+  if (swapper.joinable()) swapper.join();
+
+  report.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  report.throughput_qps =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.completed) / report.wall_seconds
+          : 0.0;
+  report.latency_mean = Mean(latencies);
+  report.latency_p50 = Quantile(latencies, 0.50);
+  report.latency_p95 = Quantile(latencies, 0.95);
+  report.latency_p99 = Quantile(latencies, 0.99);
+  report.latency_max =
+      latencies.empty() ? 0.0
+                        : *std::max_element(latencies.begin(), latencies.end());
+  return report;
+}
+
+}  // namespace lpa::serving

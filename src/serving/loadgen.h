@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "serving/server.h"
+
+namespace lpa::serving {
+
+/// \brief Traffic shape replayed against an AdvisorServer: random
+/// workload-frequency vectors, either closed-loop (a fixed set of clients,
+/// each waiting for its response before sending the next request — models
+/// a capped connection pool) or open-loop (requests fired on a fixed
+/// arrival schedule at a target QPS regardless of completions — models
+/// internet traffic and exposes queueing collapse).
+struct LoadgenOptions {
+  bool open_loop = false;
+  /// Closed-loop concurrent clients.
+  int clients = 4;
+  /// Open-loop target arrival rate (uniform interarrival spacing).
+  double qps = 50.0;
+  double duration_seconds = 2.0;
+  /// Per-request deadline; <= 0 uses the server default.
+  double deadline_seconds = -1.0;
+  /// Seed of the frequency-vector stream (client i forks seed ^ i).
+  uint64_t seed = 42;
+  /// Dimension of the frequency vectors (the workload's query count).
+  int num_queries = 1;
+};
+
+/// \brief Outcome counts and latency distribution of one loadgen run.
+struct LoadgenReport {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  double wall_seconds = 0.0;
+  /// Completed requests per wall-clock second.
+  double throughput_qps = 0.0;
+  /// Latency of completed requests (seconds); NaN when none completed.
+  double latency_p50 = 0.0, latency_p95 = 0.0, latency_p99 = 0.0;
+  double latency_mean = 0.0, latency_max = 0.0;
+  /// Completed requests per model version (hot-swap accounting).
+  std::map<uint64_t, uint64_t> completed_per_version;
+
+  /// \brief Every submitted request was answered exactly once.
+  bool CountersConsistent() const {
+    uint64_t per_version_total = 0;
+    for (const auto& [version, count] : completed_per_version) {
+      per_version_total += count;
+    }
+    return submitted == completed + rejected + shed + failed &&
+           per_version_total == completed;
+  }
+};
+
+/// \brief Replay load against `server` for the configured duration.
+/// `at_halftime` (optional) runs once on a side thread halfway through —
+/// the hook used to hot-swap the model under load.
+LoadgenReport RunLoadgen(AdvisorServer* server, const LoadgenOptions& options,
+                         const std::function<void()>& at_halftime = nullptr);
+
+}  // namespace lpa::serving

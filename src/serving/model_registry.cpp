@@ -1,0 +1,104 @@
+#include "serving/model_registry.h"
+
+#include <utility>
+
+#include "advisor/serialization.h"
+#include "telemetry/registry.h"
+#include "util/logging.h"
+
+namespace lpa::serving {
+
+namespace {
+
+struct RegistryMetrics {
+  telemetry::Counter& hot_swaps;
+
+  static RegistryMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static RegistryMetrics* m = new RegistryMetrics{
+        reg.GetCounter("serving.hot_swaps.count")};
+    return *m;
+  }
+};
+
+}  // namespace
+
+ServingModel::ServingModel(
+    std::unique_ptr<advisor::PartitioningAdvisor> advisor,
+    const costmodel::CostModel* cost_model, InferenceBatcher::Config batch)
+    : advisor_(std::move(advisor)),
+      cost_model_(cost_model),
+      env_(std::make_unique<rl::OfflineEnv>(cost_model_,
+                                            &advisor_->workload())),
+      batcher_(advisor_->agent(), batch) {}
+
+Result<std::shared_ptr<ServingModel>> ServingModel::FromSnapshot(
+    const schema::Schema* schema, workload::Workload workload,
+    advisor::AdvisorConfig config, const costmodel::CostModel* cost_model,
+    std::istream& snapshot, InferenceBatcher::Config batch) {
+  auto advisor = std::make_unique<advisor::PartitioningAdvisor>(
+      schema, std::move(workload), std::move(config));
+  LPA_RETURN_NOT_OK(advisor::LoadAgentSnapshot(snapshot, advisor->agent()));
+  return std::make_shared<ServingModel>(std::move(advisor), cost_model, batch);
+}
+
+rl::InferenceResult ServingModel::Suggest(
+    const std::vector<double>& frequencies) {
+  InferenceBatcher::RolloutScope scope(&batcher_);
+  const partition::Featurizer& featurizer = advisor_->featurizer();
+  const partition::ActionSpace& actions = advisor_->actions();
+  const rl::DqnAgent& agent = *advisor_->agent();
+
+  // Mirror EpisodeTrainer::Infer step for step (tracker-backed objective,
+  // s0 priced first, strict-< best tracking, GreedyAction's first-max
+  // tie-break) so the served result is bit-identical to Advisor::Suggest;
+  // only the Q-evaluation detours through the batcher.
+  rl::EpisodeTrainer::StateObjective objective =
+      rl::MakeEnvObjective(env_.get(), &frequencies, nullptr)();
+  partition::PartitioningState state = partition::PartitioningState::Initial(
+      &advisor_->schema(), &advisor_->edges());
+  rl::InferenceResult result{state, objective(state), {}};
+  const int tmax = agent.config().tmax;
+  for (int t = 0; t < tmax; ++t) {
+    std::vector<double> enc = featurizer.EncodeState(state, frequencies);
+    std::vector<int> legal = actions.LegalActions(state);
+    std::vector<double> q = batcher_.AllQValues(enc);
+    size_t best = 0;
+    for (size_t i = 1; i < legal.size(); ++i) {
+      if (q[static_cast<size_t>(legal[i])] >
+          q[static_cast<size_t>(legal[best])]) {
+        best = i;
+      }
+    }
+    int action = legal[best];
+    LPA_CHECK(actions.Apply(action, &state).ok());
+    result.actions.push_back(action);
+    double cost = objective(state);
+    if (cost < result.best_cost) {
+      result.best_cost = cost;
+      result.best_state = state;
+    }
+  }
+  return result;
+}
+
+uint64_t ModelRegistry::Publish(std::shared_ptr<ServingModel> model) {
+  LPA_CHECK(model != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  model->version_ = next_version_++;
+  if (current_ != nullptr) RegistryMetrics::Get().hot_swaps.Add();
+  current_ = std::move(model);
+  return current_->version_;
+}
+
+std::shared_ptr<ServingModel> ModelRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t ModelRegistry::current_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->version_;
+}
+
+}  // namespace lpa::serving

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <mutex>
+
+#include "advisor/advisor.h"
+#include "costmodel/cost_model.h"
+#include "rl/offline_env.h"
+#include "rl/trainer.h"
+#include "serving/batcher.h"
+
+namespace lpa::serving {
+
+/// \brief One immutable servable model version: a trained (or
+/// snapshot-restored) advisor, its own pricing environment, and the
+/// inference batcher that coalesces concurrent rollouts against it.
+///
+/// Suggest runs the deterministic greedy inference rollout of Sec 6 — the
+/// exact policy `PartitioningAdvisor::Suggest` serves with
+/// `inference_extra_rollouts = 0` — with every Q-network evaluation routed
+/// through the batcher. Results are bit-identical to the unbatched advisor
+/// call for the same model and frequencies, at any batch size or worker
+/// count. Thread-safe: the network weights are only read, the pricing
+/// environment's cost cache is sharded and concurrent, and each request
+/// prices states through its own incremental-cost tracker.
+///
+/// `schema` and `cost_model` are borrowed and must outlive the model.
+class ServingModel {
+ public:
+  /// \brief Wrap an already-trained advisor (takes ownership).
+  ServingModel(std::unique_ptr<advisor::PartitioningAdvisor> advisor,
+               const costmodel::CostModel* cost_model,
+               InferenceBatcher::Config batch = {});
+
+  /// \brief Rebuild an advisor from (schema, workload, config) and restore
+  /// `snapshot` into it — the hot-swap path: load a new training run's
+  /// snapshot without stopping the server.
+  static Result<std::shared_ptr<ServingModel>> FromSnapshot(
+      const schema::Schema* schema, workload::Workload workload,
+      advisor::AdvisorConfig config, const costmodel::CostModel* cost_model,
+      std::istream& snapshot, InferenceBatcher::Config batch = {});
+
+  /// \brief Version assigned by ModelRegistry::Publish (0 = unpublished).
+  uint64_t version() const { return version_; }
+
+  /// \brief Greedy inference rollout for one frequency vector, with batched
+  /// Q-evaluation. Safe to call from any number of threads.
+  rl::InferenceResult Suggest(const std::vector<double>& frequencies);
+
+  const advisor::PartitioningAdvisor& advisor() const { return *advisor_; }
+  InferenceBatcher* batcher() { return &batcher_; }
+
+ private:
+  friend class ModelRegistry;
+
+  std::unique_ptr<advisor::PartitioningAdvisor> advisor_;
+  const costmodel::CostModel* cost_model_;
+  /// Own pricing environment so snapshot-restored advisors (which never ran
+  /// TrainOffline) serve directly.
+  std::unique_ptr<rl::OfflineEnv> env_;
+  InferenceBatcher batcher_;
+  /// Written once by Publish under the registry mutex before the model
+  /// becomes visible; read-only afterwards.
+  uint64_t version_ = 0;
+};
+
+/// \brief Versioned model store with RCU-style atomic hot swap.
+///
+/// Publish assigns the next version and swaps the shared_ptr under a mutex;
+/// readers (server workers) copy the pointer per request, so in-flight
+/// requests finish on the version they started with while new requests see
+/// the new model — zero downtime, zero dropped requests. Old versions are
+/// destroyed when their last in-flight request releases them.
+class ModelRegistry {
+ public:
+  /// \brief Make `model` the serving version; returns its assigned version
+  /// number (1-based, strictly increasing).
+  uint64_t Publish(std::shared_ptr<ServingModel> model);
+
+  /// \brief The current model (null before the first Publish).
+  std::shared_ptr<ServingModel> Current() const;
+
+  uint64_t current_version() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<ServingModel> current_;
+  uint64_t next_version_ = 1;
+};
+
+}  // namespace lpa::serving

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace lpa::serving {
+
+/// \brief Bounded MPMC queue with admission control and clean shutdown.
+///
+/// Producers (request submitters) call TryPush, which never blocks: a full
+/// queue is an admission-control rejection, not backpressure — the caller
+/// turns kFull into an immediate reject-with-status response. Consumers
+/// (server workers) block in Pop until an item arrives or the queue is
+/// closed.
+///
+/// Shutdown protocol: Close() marks the queue closed and wakes every blocked
+/// consumer via the condition variable — there is deliberately no timed wait
+/// anywhere, so workers parked on an empty queue exit immediately on Stop()
+/// instead of spinning on spurious timeouts. After Close(), Pop keeps
+/// returning queued items until the queue is empty (graceful drain) and only
+/// then returns false; DrainRemaining() lets an aborting caller grab the
+/// leftovers instead and fail them explicitly, so no request is ever
+/// silently dropped.
+template <typename T>
+class BoundedQueue {
+ public:
+  enum class PushResult { kOk, kFull, kClosed };
+
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// \brief Enqueue without blocking. Moves from `item` only on kOk.
+  PushResult TryPush(T& item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (items_.size() >= capacity_) return PushResult::kFull;
+    items_.push_back(std::move(item));
+    cv_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// \brief Block until an item is available (true) or the queue is closed
+  /// and drained (false, the consumer should exit).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// \brief Refuse further pushes and wake every blocked consumer. Queued
+  /// items stay poppable (drain); idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+  /// \brief After Close(): take whatever consumers have not popped yet, so
+  /// the caller can fail those requests instead of processing them.
+  std::vector<T> DrainRemaining() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<T> remaining;
+    remaining.reserve(items_.size());
+    while (!items_.empty()) {
+      remaining.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return remaining;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace lpa::serving

@@ -1,0 +1,217 @@
+#include "serving/server.h"
+
+#include <utility>
+
+#include "telemetry/registry.h"
+#include "util/logging.h"
+
+namespace lpa::serving {
+
+namespace {
+
+struct ServerMetrics {
+  telemetry::Counter& submitted;
+  telemetry::Counter& completed;
+  telemetry::Counter& rejected;
+  telemetry::Counter& shed;
+  telemetry::Counter& failed;
+  telemetry::Gauge& queue_depth;
+  telemetry::Histogram& latency;
+  telemetry::Histogram& queue_wait;
+
+  static ServerMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static ServerMetrics* m = new ServerMetrics{
+        reg.GetCounter("serving.submitted.count"),
+        reg.GetCounter("serving.completed.count"),
+        reg.GetCounter("serving.rejected.count"),
+        reg.GetCounter("serving.shed.count"),
+        reg.GetCounter("serving.failed.count"),
+        reg.GetGauge("serving.queue_depth.count"),
+        reg.GetHistogram("serving.latency.seconds",
+                         telemetry::Histogram::LatencyBounds()),
+        reg.GetHistogram("serving.queue_wait.seconds",
+                         telemetry::Histogram::LatencyBounds())};
+    return *m;
+  }
+};
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+AdvisorServer::AdvisorServer(ModelRegistry* registry, ServerConfig config)
+    : registry_(registry), config_(config) {
+  LPA_CHECK(registry_ != nullptr);
+  LPA_CHECK(config_.worker_threads >= 0);
+  LPA_CHECK(config_.queue_capacity >= 1);
+}
+
+AdvisorServer::~AdvisorServer() { Stop(StopMode::kDrain); }
+
+Status AdvisorServer::Start() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (running_) return Status::FailedPrecondition("server already running");
+  queue_ =
+      std::make_unique<BoundedQueue<PendingRequest>>(config_.queue_capacity);
+  running_ = true;
+  workers_.reserve(static_cast<size_t>(config_.worker_threads));
+  for (int i = 0; i < config_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void AdvisorServer::Stop(StopMode mode) {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!running_) return;
+    running_ = false;  // admission now rejects; workers keep draining
+    workers = std::move(workers_);
+    workers_.clear();
+  }
+  queue_->Close();  // wakes workers parked on the empty queue
+  if (mode == StopMode::kAbort) {
+    // Grab what no worker has picked up yet and fail it explicitly; workers
+    // racing us simply serve those requests instead, which is also fine.
+    for (PendingRequest& request : queue_->DrainRemaining()) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::Get().failed.Add();
+      Respond(&request,
+              SuggestResponse{Status::Unavailable("server stopped"), 0, {},
+                              0.0, 0.0});
+    }
+  }
+  for (std::thread& worker : workers) worker.join();
+  if (mode == StopMode::kDrain) {
+    // With zero workers nothing drains the queue; fail leftovers rather
+    // than abandon their futures.
+    for (PendingRequest& request : queue_->DrainRemaining()) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      ServerMetrics::Get().failed.Add();
+      Respond(&request,
+              SuggestResponse{Status::Unavailable("server stopped"), 0, {},
+                              0.0, 0.0});
+    }
+  }
+  ServerMetrics::Get().queue_depth.Set(0.0);
+}
+
+bool AdvisorServer::running() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return running_;
+}
+
+std::future<SuggestResponse> AdvisorServer::SubmitAsync(
+    std::vector<double> frequencies, double deadline_seconds) {
+  auto& metrics = ServerMetrics::Get();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  metrics.submitted.Add();
+
+  PendingRequest request;
+  request.frequencies = std::move(frequencies);
+  request.submitted_at = Clock::now();
+  double deadline =
+      deadline_seconds < 0.0 ? config_.default_deadline_seconds
+                             : deadline_seconds;
+  request.deadline = deadline > 0.0
+                         ? request.submitted_at +
+                               std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(deadline))
+                         : Clock::time_point::max();
+  std::future<SuggestResponse> future = request.promise.get_future();
+
+  std::lock_guard<std::mutex> lock(state_mu_);
+  Status reject;
+  if (!running_) {
+    reject = Status::Unavailable("server not running");
+  } else {
+    switch (queue_->TryPush(request)) {
+      case BoundedQueue<PendingRequest>::PushResult::kOk:
+        metrics.queue_depth.Add(1.0);
+        return future;
+      case BoundedQueue<PendingRequest>::PushResult::kFull:
+        reject = Status::Unavailable("admission control: request queue full");
+        break;
+      case BoundedQueue<PendingRequest>::PushResult::kClosed:
+        reject = Status::Unavailable("server stopping");
+        break;
+    }
+  }
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  metrics.rejected.Add();
+  Respond(&request, SuggestResponse{reject, 0, {}, 0.0, 0.0});
+  return future;
+}
+
+SuggestResponse AdvisorServer::Suggest(std::vector<double> frequencies,
+                                       double deadline_seconds) {
+  return SubmitAsync(std::move(frequencies), deadline_seconds).get();
+}
+
+void AdvisorServer::WorkerLoop() {
+  auto& metrics = ServerMetrics::Get();
+  PendingRequest request;
+  while (queue_->Pop(&request)) {
+    metrics.queue_depth.Add(-1.0);
+    const Clock::time_point picked_up = Clock::now();
+    const double queue_seconds = Seconds(picked_up - request.submitted_at);
+    metrics.queue_wait.Observe(queue_seconds);
+
+    if (picked_up > request.deadline) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      metrics.shed.Add();
+      Respond(&request,
+              SuggestResponse{
+                  Status::DeadlineExceeded("request deadline passed in queue"),
+                  0, {}, Seconds(Clock::now() - request.submitted_at),
+                  queue_seconds});
+      continue;
+    }
+
+    std::shared_ptr<ServingModel> model = registry_->Current();
+    if (model == nullptr) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      metrics.failed.Add();
+      Respond(&request,
+              SuggestResponse{
+                  Status::FailedPrecondition("no model published"), 0, {},
+                  Seconds(Clock::now() - request.submitted_at),
+                  queue_seconds});
+      continue;
+    }
+
+    // The shared_ptr keeps this version alive through the rollout even if
+    // the registry publishes a replacement meanwhile (RCU hot swap).
+    SuggestResponse response;
+    response.status = Status::OK();
+    response.model_version = model->version();
+    response.result = model->Suggest(request.frequencies);
+    response.latency_seconds = Seconds(Clock::now() - request.submitted_at);
+    response.queue_seconds = queue_seconds;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    metrics.completed.Add();
+    metrics.latency.Observe(response.latency_seconds);
+    Respond(&request, std::move(response));
+  }
+}
+
+void AdvisorServer::Respond(PendingRequest* request,
+                            SuggestResponse response) {
+  request->promise.set_value(std::move(response));
+}
+
+AdvisorServer::Stats AdvisorServer::stats() const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace lpa::serving

@@ -22,6 +22,11 @@ void FlagParser::AddUint64(const std::string& name, const std::string& help,
   Add(Flag{name, help, Kind::kUint64, out, false});
 }
 
+void FlagParser::AddDouble(const std::string& name, const std::string& help,
+                           double* out) {
+  Add(Flag{name, help, Kind::kDouble, out, false});
+}
+
 void FlagParser::AddBool(const std::string& name, const std::string& help,
                          bool* out) {
   Add(Flag{name, help, Kind::kBool, out, false});
@@ -98,6 +103,15 @@ bool FlagParser::Parse(int argc, char** argv, std::string* error) {
           return false;
         }
         *static_cast<uint64_t*>(flag->out) = static_cast<uint64_t>(v);
+        break;
+      }
+      case Kind::kDouble: {
+        double v = std::strtod(value.c_str(), &end);
+        if (errno != 0 || end == value.c_str() || *end != '\0') {
+          *error = "--" + name + " expects a number, got '" + value + "'";
+          return false;
+        }
+        *static_cast<double*>(flag->out) = v;
         break;
       }
       case Kind::kBool:

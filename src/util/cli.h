@@ -20,6 +20,8 @@ class FlagParser {
   void AddInt(const std::string& name, const std::string& help, int* out);
   void AddUint64(const std::string& name, const std::string& help,
                  uint64_t* out);
+  void AddDouble(const std::string& name, const std::string& help,
+                 double* out);
   /// Presence flag: `--name` sets *out to true.
   void AddBool(const std::string& name, const std::string& help, bool* out);
 
@@ -34,7 +36,7 @@ class FlagParser {
   std::string Usage(const char* argv0) const;
 
  private:
-  enum class Kind { kString, kInt, kUint64, kBool };
+  enum class Kind { kString, kInt, kUint64, kDouble, kBool };
   struct Flag {
     std::string name;  // without the leading "--"
     std::string help;

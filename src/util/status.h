@@ -22,6 +22,8 @@ class Status {
     kFailedPrecondition,
     kUnimplemented,
     kInternal,
+    kUnavailable,       ///< transient overload / shutdown; retry later
+    kDeadlineExceeded,  ///< request deadline passed before completion
   };
 
   Status() : code_(Code::kOk) {}
@@ -51,6 +53,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -72,6 +80,8 @@ class Status {
       case Code::kFailedPrecondition: return "FailedPrecondition";
       case Code::kUnimplemented: return "Unimplemented";
       case Code::kInternal: return "Internal";
+      case Code::kUnavailable: return "Unavailable";
+      case Code::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }

@@ -90,6 +90,57 @@ TEST_F(FeaturesTest, SnapshotRejectsGarbage) {
   EXPECT_FALSE(LoadAgentSnapshot(garbage, advisor.agent()).ok());
 }
 
+TEST_F(FeaturesTest, SnapshotCarriesVersionedHeader) {
+  PartitioningAdvisor advisor(&schema_, workload_, FastConfig());
+  std::stringstream snapshot;
+  ASSERT_TRUE(SaveAgentSnapshot(*advisor.agent(), snapshot).ok());
+
+  // The stream leads with the magic word and the current format version.
+  std::string magic;
+  int version = -1;
+  snapshot >> magic >> version;
+  EXPECT_EQ(magic, kSnapshotMagic);
+  EXPECT_EQ(version, kSnapshotFormatVersion);
+
+  // And a full rewind still loads.
+  snapshot.seekg(0);
+  PartitioningAdvisor restored(&schema_, workload_, FastConfig());
+  EXPECT_TRUE(LoadAgentSnapshot(snapshot, restored.agent()).ok());
+}
+
+TEST_F(FeaturesTest, SnapshotLoadsLegacyHeaderlessStream) {
+  PartitioningAdvisor advisor(&schema_, workload_, FastConfig());
+  // Pre-versioning snapshots were a bare agent dump ("dqn-agent ...").
+  std::stringstream legacy;
+  ASSERT_TRUE(advisor.agent()->Save(legacy).ok());
+  PartitioningAdvisor restored(&schema_, workload_, FastConfig());
+  EXPECT_TRUE(LoadAgentSnapshot(legacy, restored.agent()).ok());
+}
+
+TEST_F(FeaturesTest, SnapshotRejectsTruncatedStream) {
+  PartitioningAdvisor advisor(&schema_, workload_, FastConfig());
+  std::stringstream snapshot;
+  ASSERT_TRUE(SaveAgentSnapshot(*advisor.agent(), snapshot).ok());
+  std::string bytes = snapshot.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() / 2));
+  PartitioningAdvisor restored(&schema_, workload_, FastConfig());
+  EXPECT_FALSE(LoadAgentSnapshot(truncated, restored.agent()).ok());
+}
+
+TEST_F(FeaturesTest, SnapshotRejectsUnsupportedFormatVersion) {
+  PartitioningAdvisor advisor(&schema_, workload_, FastConfig());
+  std::stringstream future(std::string(kSnapshotMagic) + " 99\nwhatever");
+  Status status = LoadAgentSnapshot(future, advisor.agent());
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+}
+
+TEST_F(FeaturesTest, SnapshotRejectsEmptyStream) {
+  PartitioningAdvisor advisor(&schema_, workload_, FastConfig());
+  std::stringstream empty;
+  EXPECT_FALSE(LoadAgentSnapshot(empty, advisor.agent()).ok());
+}
+
 TEST_F(FeaturesTest, ClassifierMatchesParameterizedInstances) {
   QueryClassifier classifier(&workload_);
   // A re-parameterized q1.1 (different selectivities, same structure) must

@@ -5,13 +5,21 @@
 #   $ tools/check.sh                 # ASan+UBSan (default)
 #   $ tools/check.sh tsan            # ThreadSanitizer on the threaded tests
 #   $ tools/check.sh perf            # Release micro-bench: incremental costing
+#   $ tools/check.sh serve           # TSan serving tests + loadgen smoke
 #   $ LPA_SANITIZE=undefined tools/check.sh
 #   $ BUILD_DIR=build-asan tools/check.sh
 #   $ CTEST_FILTER=advisor tools/check.sh tsan
 #
 # The tsan preset builds with -DLPA_SANITIZE=thread into build-tsan and, by
 # default, runs only the tests that exercise the parallel evaluation engine
-# (TSan slows everything ~10x; the serial tests gain nothing from it).
+# and the serving subsystem (TSan slows everything ~10x; the serial tests
+# gain nothing from it).
+#
+# The serve preset builds serving_test and lpa_loadgen under TSan, runs the
+# serving tests, then drives a ~5-second loadgen smoke (1/2/8 workers with a
+# halftime hot swap). The loadgen asserts its correctness counters — every
+# request completed, rejected, or shed; zero dropped — and exits non-zero on
+# violation; BENCH_serving.json lands in $LPA_METRICS_DIR (or build-tsan).
 #
 # The perf preset builds Release into build-perf and runs the post-benchmark
 # kernels of bench_micro_components (google benchmarks filtered out): the
@@ -37,10 +45,30 @@ if [[ "${PRESET}" == "perf" ]]; then
   echo "== OK: matching digests above = bit-identical results; see BENCH_engine.json =="
   exit 0
 fi
+if [[ "${PRESET}" == "serve" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  echo "== configure (${BUILD_DIR}, -fsanitize=thread) =="
+  cmake -B "${BUILD_DIR}" -S . -DLPA_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "== build serving_test + lpa_loadgen =="
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target serving_test lpa_loadgen
+  echo "== serving tests (TSan) =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure -R serving_test
+  echo "== loadgen smoke: 1/2/8 workers, hot swap at halftime =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  LPA_METRICS_DIR="${LPA_METRICS_DIR:-${BUILD_DIR}}" \
+  LPA_BENCH_SCALE="${LPA_BENCH_SCALE:-4}" \
+    "${BUILD_DIR}/tools/lpa_loadgen" --schema micro --episodes 16 \
+      --workers 1,2,8 --duration 1.5 --hotswap
+  echo "== OK: serving tests TSan-clean, loadgen counters consistent =="
+  exit 0
+fi
 if [[ "${PRESET}" == "tsan" ]]; then
   SANITIZE="${LPA_SANITIZE:-thread}"
   BUILD_DIR="${BUILD_DIR:-build-tsan}"
-  CTEST_FILTER="${CTEST_FILTER:-parallel_eval_test}"
+  CTEST_FILTER="${CTEST_FILTER:-parallel_eval_test|serving_test}"
 else
   SANITIZE="${LPA_SANITIZE:-address,undefined}"
   BUILD_DIR="${BUILD_DIR:-build-sanitize}"

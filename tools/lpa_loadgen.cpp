@@ -1,0 +1,239 @@
+// Load generator for the serving subsystem: trains a small advisor, wraps
+// it as a servable model, and replays workload-frequency traffic against an
+// serving::AdvisorServer at one or more worker-thread counts, reporting
+// p50/p95/p99 latency, throughput, and rejected/shed counts per sweep point
+// (table + BENCH_serving.json via bench::BenchReport).
+//
+//   $ ./build/tools/lpa_loadgen --workers 1,2,8 --duration 5 --hotswap
+//   $ ./build/tools/lpa_loadgen --mode open --qps 200 --deadline 0.05
+//
+// --hotswap publishes a snapshot-restored model version halfway through
+// each run; completed requests are then accounted per model version and the
+// tool verifies none were dropped during the swap. The tool exits non-zero
+// if any correctness counter is violated (submitted != completed + rejected
+// + shed + failed, a non-OK unexpected status, or per-version counts that
+// do not sum to the completed total) — throughput is hardware-dependent and
+// never asserted, so the check is meaningful on 1-CPU hosts too.
+
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "advisor/serialization.h"
+#include "bench/bench_common.h"
+#include "serving/loadgen.h"
+#include "serving/model_registry.h"
+#include "serving/server.h"
+#include "util/cli.h"
+
+namespace {
+
+std::vector<int> ParseWorkerList(const std::string& spec, std::string* error) {
+  std::vector<int> workers;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    try {
+      int w = std::stoi(item);
+      if (w < 1) throw std::invalid_argument("non-positive");
+      workers.push_back(w);
+    } catch (const std::exception&) {
+      *error = "--workers expects a comma-separated list of positive "
+               "integers, got '" + spec + "'";
+      return {};
+    }
+  }
+  if (workers.empty()) *error = "--workers list is empty";
+  return workers;
+}
+
+std::string Ms(double seconds) {
+  return lpa::FormatDouble(seconds * 1e3, 3) + "ms";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lpa;
+
+  cli::CommonOptions common;
+  std::string schema_name = "ssb";
+  std::string workers_spec = "1,2,8";
+  std::string mode = "closed";
+  int episodes = 40;
+  int clients = 4;
+  int max_batch = 8;
+  int queue_capacity = 256;
+  double qps = 100.0;
+  double duration = 5.0;
+  double batch_window = 200e-6;
+  double deadline = 0.0;
+  bool hotswap = false;
+
+  cli::FlagParser parser;
+  common.Register(&parser);
+  parser.AddString("schema", "ssb|tpcds|tpcch|micro", &schema_name);
+  parser.AddInt("episodes", "offline training episodes", &episodes);
+  parser.AddString("workers", "comma list of worker-thread counts",
+                   &workers_spec);
+  parser.AddString("mode", "closed|open", &mode);
+  parser.AddInt("clients", "closed-loop concurrent clients", &clients);
+  parser.AddDouble("qps", "open-loop target arrival rate", &qps);
+  parser.AddDouble("duration", "seconds per sweep point", &duration);
+  parser.AddDouble("batch-window", "batching window seconds", &batch_window);
+  parser.AddInt("max-batch", "max coalesced rows per matrix pass", &max_batch);
+  parser.AddInt("queue-capacity", "bounded request queue size",
+                &queue_capacity);
+  parser.AddDouble("deadline", "per-request deadline seconds (0 = none)",
+                   &deadline);
+  parser.AddBool("hotswap", "publish a new model version at halftime",
+                 &hotswap);
+  std::string error;
+  if (!parser.Parse(argc, argv, &error) || !common.Validate(&error)) {
+    std::cerr << error << "\n" << parser.Usage(argv[0]);
+    return 2;
+  }
+  if (mode != "closed" && mode != "open") {
+    std::cerr << "--mode must be closed or open\n";
+    return 2;
+  }
+  std::vector<int> worker_counts = ParseWorkerList(workers_spec, &error);
+  if (worker_counts.empty()) {
+    std::cerr << error << "\n";
+    return 2;
+  }
+
+  bench::BenchReport report("serving");
+  report.set_seed(common.seed);
+  report.set_schema(schema_name);
+  auto kind = common.profile == "disk" ? bench::EngineKind::kDiskBased
+                                       : bench::EngineKind::kInMemory;
+  report.set_engine_profile(bench::EngineName(kind));
+  report.Note("mode", mode);
+  report.Note("hotswap", hotswap ? "yes" : "no");
+  report.Note("hardware_threads",
+              std::to_string(std::thread::hardware_concurrency()));
+
+  // --- Train once, snapshot, publish (Fig 1: train, then serve) ----------
+  bench::Testbed tb = bench::MakeTestbed(
+      schema_name, kind, bench::DefaultFraction(schema_name), common.seed);
+  const int num_queries = tb.workload->num_queries();
+
+  advisor::AdvisorConfig config;
+  config.offline_episodes = bench::Scaled(episodes);
+  config.dqn.tmax = 16;
+  config.dqn.FitEpsilonSchedule(config.offline_episodes);
+  config.seed = common.seed;
+  std::cerr << "training advisor (" << config.offline_episodes
+            << " episodes, " << common.threads << " thread(s))...\n";
+  auto advisor = std::make_unique<advisor::PartitioningAdvisor>(
+      tb.schema.get(), *tb.workload, config);
+  EvalContext ctx(common.threads, common.seed);
+  advisor->TrainOffline(tb.exact_model.get(), nullptr, &ctx);
+
+  std::stringstream snapshot;
+  if (Status st = advisor::SaveAgentSnapshot(*advisor->agent(), snapshot);
+      !st.ok()) {
+    std::cerr << "snapshot error: " << st.ToString() << "\n";
+    return 1;
+  }
+  const std::string snapshot_bytes = snapshot.str();
+
+  serving::InferenceBatcher::Config batch;
+  batch.max_batch = max_batch;
+  batch.window_seconds = batch_window;
+  serving::ModelRegistry registry;
+  registry.Publish(std::make_shared<serving::ServingModel>(
+      std::move(advisor), tb.exact_model.get(), batch));
+
+  // --- Sweep worker-thread counts ----------------------------------------
+  TablePrinter table({"workers", "submitted", "completed", "rejected", "shed",
+                      "p50", "p95", "p99", "mean", "throughput", "versions"});
+  bool counters_ok = true;
+  for (int workers : worker_counts) {
+    serving::ServerConfig server_config;
+    server_config.worker_threads = workers;
+    server_config.queue_capacity = static_cast<size_t>(queue_capacity);
+    server_config.batch = batch;
+    server_config.default_deadline_seconds = deadline;
+    serving::AdvisorServer server(&registry, server_config);
+    if (Status st = server.Start(); !st.ok()) {
+      std::cerr << "server start failed: " << st.ToString() << "\n";
+      return 1;
+    }
+
+    serving::LoadgenOptions options;
+    options.open_loop = mode == "open";
+    options.clients = clients;
+    options.qps = qps;
+    options.duration_seconds = duration;
+    options.seed = HashCombine(common.seed, static_cast<uint64_t>(workers));
+    options.num_queries = num_queries;
+
+    std::function<void()> at_halftime;
+    if (hotswap) {
+      at_halftime = [&] {
+        std::istringstream snap(snapshot_bytes);
+        auto model = serving::ServingModel::FromSnapshot(
+            tb.schema.get(), *tb.workload, config, tb.exact_model.get(), snap,
+            batch);
+        if (!model.ok()) {
+          std::cerr << "hot-swap load failed: " << model.status().ToString()
+                    << "\n";
+          return;
+        }
+        uint64_t version = registry.Publish(*model);
+        std::cerr << "  hot-swapped to model v" << version << "\n";
+      };
+    }
+
+    std::cerr << "loadgen: " << workers << " worker(s), " << mode
+              << "-loop, " << duration << "s...\n";
+    serving::LoadgenReport run =
+        serving::RunLoadgen(&server, options, at_halftime);
+    server.Stop();
+
+    std::string versions;
+    for (const auto& [version, count] : run.completed_per_version) {
+      if (!versions.empty()) versions += " ";
+      versions += "v" + std::to_string(version) + ":" + std::to_string(count);
+    }
+    table.AddRow({std::to_string(workers), std::to_string(run.submitted),
+                  std::to_string(run.completed), std::to_string(run.rejected),
+                  std::to_string(run.shed), Ms(run.latency_p50),
+                  Ms(run.latency_p95), Ms(run.latency_p99),
+                  Ms(run.latency_mean),
+                  FormatDouble(run.throughput_qps, 1) + "/s",
+                  versions.empty() ? "-" : versions});
+
+    auto stats = server.stats();
+    bool run_ok =
+        run.CountersConsistent() && run.failed == 0 &&
+        stats.submitted == stats.completed + stats.rejected + stats.shed +
+                               stats.failed &&
+        (!hotswap || run.completed_per_version.size() >= 1);
+    if (!run_ok) {
+      std::cerr << "COUNTER VIOLATION at " << workers << " worker(s): "
+                << "submitted=" << run.submitted << " completed="
+                << run.completed << " rejected=" << run.rejected << " shed="
+                << run.shed << " failed=" << run.failed << "\n";
+      counters_ok = false;
+    }
+  }
+
+  report.Table("serving load sweep (latency = submit-to-response)", table);
+  if (common.metrics) {
+    std::cout << "\n" << telemetry::MetricsRegistry::Global().ToTable();
+  }
+  report.Write();
+
+  if (!counters_ok) {
+    std::cerr << "FAILED: correctness counters violated\n";
+    return 1;
+  }
+  std::cout << "OK: every request accounted for (completed + rejected + "
+               "shed, zero dropped)\n";
+  return 0;
+}
