@@ -1,0 +1,54 @@
+#include "fleet/consistent_hash.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace lpa::fleet {
+
+ConsistentHashRing::ConsistentHashRing(int vnodes) : vnodes_(vnodes) {
+  LPA_CHECK(vnodes_ >= 1);
+}
+
+void ConsistentHashRing::AddNode(uint64_t node) {
+  LPA_CHECK(!Contains(node));
+  points_.reserve(points_.size() + static_cast<size_t>(vnodes_));
+  for (int replica = 0; replica < vnodes_; ++replica) {
+    // Point positions depend only on (node, replica), never on ring
+    // membership — the root of the bounded-remap guarantee.
+    uint64_t position =
+        HashCombine(Hash64(node), Hash64(static_cast<uint64_t>(replica)));
+    points_.emplace_back(position, node);
+  }
+  std::sort(points_.begin(), points_.end());
+  nodes_.push_back(node);
+}
+
+void ConsistentHashRing::RemoveNode(uint64_t node) {
+  LPA_CHECK(Contains(node));
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [node](const std::pair<uint64_t, uint64_t>& p) {
+                                 return p.second == node;
+                               }),
+                points_.end());
+  nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node), nodes_.end());
+}
+
+bool ConsistentHashRing::Contains(uint64_t node) const {
+  return std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end();
+}
+
+uint64_t ConsistentHashRing::NodeFor(uint64_t key) const {
+  LPA_CHECK(!points_.empty());
+  uint64_t position = Hash64(key);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), position,
+      [](const std::pair<uint64_t, uint64_t>& point, uint64_t pos) {
+        return point.first < pos;
+      });
+  if (it == points_.end()) it = points_.begin();  // wrap around the ring
+  return it->second;
+}
+
+}  // namespace lpa::fleet

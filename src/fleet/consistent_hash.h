@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lpa::fleet {
+
+/// \brief Consistent-hash ring with virtual nodes: a stable key→node
+/// assignment that survives node add/remove with bounded key movement.
+///
+/// Each node contributes `vnodes` points on a 64-bit ring, hashed from
+/// (node, replica); a key is owned by the first point clockwise of
+/// Hash64(key). Because every node's points are a pure function of its id,
+/// adding a node moves exactly the keys that now land on the new node's
+/// points (expected ~1/(n+1) of them) and removing a node moves exactly the
+/// keys it owned — no assignment between surviving nodes ever changes.
+/// That bounded-remap property is what the fleet tests assert.
+///
+/// Not thread-safe; FleetRouter guards it with its own mutex.
+class ConsistentHashRing {
+ public:
+  /// \brief `vnodes` points per node; more points = smoother balance at the
+  /// cost of a larger sorted array (lookups stay O(log(nodes * vnodes))).
+  explicit ConsistentHashRing(int vnodes = 64);
+
+  /// \brief Add `node`'s points to the ring. Aborts on duplicates.
+  void AddNode(uint64_t node);
+
+  /// \brief Remove `node`'s points. Aborts if the node is absent.
+  void RemoveNode(uint64_t node);
+
+  bool Contains(uint64_t node) const;
+  size_t num_nodes() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  const std::vector<uint64_t>& nodes() const { return nodes_; }
+
+  /// \brief The node owning `key`. The ring must not be empty.
+  uint64_t NodeFor(uint64_t key) const;
+
+ private:
+  int vnodes_;
+  /// Sorted (ring position, node id); NodeFor binary-searches it.
+  std::vector<std::pair<uint64_t, uint64_t>> points_;
+  std::vector<uint64_t> nodes_;  // insertion order
+};
+
+}  // namespace lpa::fleet

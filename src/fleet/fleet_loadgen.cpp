@@ -1,0 +1,185 @@
+#include "fleet/fleet_loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/workload.h"
+
+namespace lpa::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-client, per-tenant tally merged single-threaded after the run.
+struct TenantTally {
+  uint64_t submitted = 0;
+  uint64_t quota_rejected = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  std::vector<double> latencies;  // completed only
+  std::map<uint64_t, uint64_t> completed_per_version;
+
+  void Absorb(const serving::SuggestResponse& response) {
+    switch (response.status.code()) {
+      case Status::Code::kOk:
+        latencies.push_back(response.latency_seconds);
+        ++completed_per_version[response.model_version];
+        break;
+      case Status::Code::kDeadlineExceeded:
+        ++shed;
+        break;
+      case Status::Code::kResourceExhausted:
+        ++quota_rejected;
+        break;
+      case Status::Code::kUnavailable:
+        ++rejected;
+        break;
+      default:
+        ++failed;
+        break;
+    }
+  }
+};
+
+std::vector<TenantTally> ClosedLoopClient(FleetRouter* router,
+                                          const FleetLoadgenOptions& options,
+                                          const ZipfSampler& popularity,
+                                          uint64_t seed,
+                                          Clock::time_point end) {
+  std::vector<TenantTally> tallies(static_cast<size_t>(options.tenants));
+  Rng rng(seed);
+  while (Clock::now() < end) {
+    // Popularity rank 1 (hottest) is tenant index 0.
+    size_t tenant = static_cast<size_t>(popularity.Sample(&rng) - 1);
+    std::vector<double> frequencies =
+        workload::SampleUniformFrequencies(options.num_queries, &rng);
+    ++tallies[tenant].submitted;
+    tallies[tenant].Absorb(router->Suggest(TenantName(static_cast<int>(tenant)),
+                                           std::move(frequencies),
+                                           options.deadline_seconds));
+  }
+  return tallies;
+}
+
+}  // namespace
+
+std::string TenantName(int index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "tenant-%04d", index);
+  return buf;
+}
+
+bool FleetLoadgenReport::CountersConsistent() const {
+  if (submitted !=
+      quota_rejected + completed + rejected + shed + failed) {
+    return false;
+  }
+  for (const TenantOutcome& t : per_tenant) {
+    if (t.submitted !=
+        t.quota_rejected + t.completed + t.rejected + t.shed + t.failed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FleetLoadgenReport RunFleetLoadgen(FleetRouter* router,
+                                   const FleetLoadgenOptions& options,
+                                   const std::function<void()>& at_halftime) {
+  LPA_CHECK(options.tenants >= 1);
+  LPA_CHECK(options.num_queries >= 1);
+  const ZipfSampler popularity(options.tenants,
+                               std::max(0.0, options.zipf_theta));
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point end =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(options.duration_seconds));
+
+  std::thread swapper;
+  if (at_halftime) {
+    Clock::time_point halftime =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        options.duration_seconds / 2.0));
+    swapper = std::thread([at_halftime, halftime] {
+      std::this_thread::sleep_until(halftime);
+      at_halftime();
+    });
+  }
+
+  std::vector<std::vector<TenantTally>> per_client(
+      static_cast<size_t>(std::max(1, options.clients)));
+  std::vector<std::thread> clients;
+  clients.reserve(per_client.size());
+  for (size_t i = 0; i < per_client.size(); ++i) {
+    clients.emplace_back([&, i] {
+      per_client[i] = ClosedLoopClient(router, options, popularity,
+                                       HashCombine(options.seed, i), end);
+    });
+  }
+  for (auto& client : clients) client.join();
+  if (swapper.joinable()) swapper.join();
+
+  FleetLoadgenReport report;
+  report.per_tenant.resize(static_cast<size_t>(options.tenants));
+  std::vector<double> all_latencies;
+  std::vector<std::vector<double>> tenant_latencies(
+      static_cast<size_t>(options.tenants));
+  for (const auto& tallies : per_client) {
+    for (size_t t = 0; t < tallies.size(); ++t) {
+      const TenantTally& tally = tallies[t];
+      TenantOutcome& outcome = report.per_tenant[t];
+      outcome.submitted += tally.submitted;
+      outcome.quota_rejected += tally.quota_rejected;
+      outcome.completed += tally.latencies.size();
+      outcome.rejected += tally.rejected;
+      outcome.shed += tally.shed;
+      outcome.failed += tally.failed;
+      tenant_latencies[t].insert(tenant_latencies[t].end(),
+                                 tally.latencies.begin(),
+                                 tally.latencies.end());
+      for (const auto& [version, count] : tally.completed_per_version) {
+        report.completed_per_version[version] += count;
+      }
+    }
+  }
+  for (size_t t = 0; t < report.per_tenant.size(); ++t) {
+    TenantOutcome& outcome = report.per_tenant[t];
+    outcome.tenant = TenantName(static_cast<int>(t));
+    outcome.p50 = Quantile(tenant_latencies[t], 0.50);
+    outcome.p95 = Quantile(tenant_latencies[t], 0.95);
+    outcome.p99 = Quantile(tenant_latencies[t], 0.99);
+    report.submitted += outcome.submitted;
+    report.quota_rejected += outcome.quota_rejected;
+    report.completed += outcome.completed;
+    report.rejected += outcome.rejected;
+    report.shed += outcome.shed;
+    report.failed += outcome.failed;
+    all_latencies.insert(all_latencies.end(), tenant_latencies[t].begin(),
+                         tenant_latencies[t].end());
+  }
+
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  report.throughput_qps =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.completed) / report.wall_seconds
+          : 0.0;
+  report.latency_mean = Mean(all_latencies);
+  report.latency_p50 = Quantile(all_latencies, 0.50);
+  report.latency_p95 = Quantile(all_latencies, 0.95);
+  report.latency_p99 = Quantile(all_latencies, 0.99);
+  report.quota_violations = router->quota_violations();
+  return report;
+}
+
+}  // namespace lpa::fleet

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fleet/router.h"
+
+namespace lpa::fleet {
+
+/// \brief Multi-tenant traffic shape replayed against a FleetRouter:
+/// closed-loop client threads that pick a tenant per request from a
+/// Zipf-distributed popularity ranking (tenant 0 hottest), so a few hot
+/// tenants dominate while a long tail trickles — the mix that makes
+/// per-tenant quotas and fairness observable.
+struct FleetLoadgenOptions {
+  int tenants = 100;
+  /// Zipf exponent of the tenant-popularity distribution (0 = uniform).
+  double zipf_theta = 1.2;
+  /// Closed-loop concurrent clients (each waits for its response).
+  int clients = 4;
+  double duration_seconds = 2.0;
+  /// Per-request deadline; <= 0 uses the shard-server default.
+  double deadline_seconds = -1.0;
+  /// Seed of the tenant/frequency stream (client i forks seed ^ i).
+  uint64_t seed = 42;
+  /// Dimension of the frequency vectors (the workload's query count).
+  int num_queries = 1;
+};
+
+/// \brief Canonical tenant naming shared by the loadgen and its callers:
+/// "tenant-0000", "tenant-0001", ... (index = popularity rank, 0 hottest).
+std::string TenantName(int index);
+
+/// \brief Outcomes and latency quantiles of one tenant.
+struct TenantOutcome {
+  std::string tenant;
+  uint64_t submitted = 0;
+  uint64_t quota_rejected = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  /// Latency of completed requests (seconds); NaN when none completed.
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+/// \brief Aggregate + per-tenant outcome of one fleet loadgen run.
+struct FleetLoadgenReport {
+  uint64_t submitted = 0;
+  uint64_t quota_rejected = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  double wall_seconds = 0.0;
+  double throughput_qps = 0.0;
+  double latency_p50 = 0.0, latency_p95 = 0.0, latency_p99 = 0.0;
+  double latency_mean = 0.0;
+  /// Completed requests per (tenant-local) model version.
+  std::map<uint64_t, uint64_t> completed_per_version;
+  /// Indexed by tenant popularity rank (same order as TenantName).
+  std::vector<TenantOutcome> per_tenant;
+  /// Router-reported token-bucket violations after the run; must be 0.
+  uint64_t quota_violations = 0;
+
+  /// \brief Every submitted request resolved into exactly one bucket, in
+  /// the aggregate and per tenant.
+  bool CountersConsistent() const;
+};
+
+/// \brief Replay Zipf-popular multi-tenant load against `router` for the
+/// configured duration. `at_halftime` (optional) runs once on a side thread
+/// halfway through — the hook used to hot-swap tenant models or resize the
+/// shard fleet under load.
+FleetLoadgenReport RunFleetLoadgen(
+    FleetRouter* router, const FleetLoadgenOptions& options,
+    const std::function<void()>& at_halftime = nullptr);
+
+}  // namespace lpa::fleet

@@ -1,0 +1,47 @@
+#include "fleet/quota.h"
+
+#include <algorithm>
+
+namespace lpa::fleet {
+
+TokenBucket::TokenBucket(QuotaConfig config, Clock::time_point now)
+    : config_(config), tokens_(config.burst), last_refill_(now) {}
+
+bool TokenBucket::TryAcquire(Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.unlimited()) return true;
+  if (now > last_refill_ && config_.rate_per_second > 0.0) {
+    double elapsed = std::chrono::duration<double>(now - last_refill_).count();
+    tokens_ = std::min(config_.burst,
+                       tokens_ + elapsed * config_.rate_per_second);
+  }
+  last_refill_ = now;
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  if (tokens_ < 0.0) ++violations_;  // unreachable unless enforcement breaks
+  return true;
+}
+
+void TokenBucket::Reconfigure(QuotaConfig config, Clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  tokens_ = config.burst;
+  last_refill_ = now;
+}
+
+QuotaConfig TokenBucket::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+double TokenBucket::tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tokens_;
+}
+
+uint64_t TokenBucket::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+}  // namespace lpa::fleet

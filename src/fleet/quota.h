@@ -1,0 +1,55 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace lpa::fleet {
+
+/// \brief Admission quota of one tenant: a token bucket with `burst`
+/// capacity refilled at `rate_per_second`. `burst <= 0` means unlimited.
+/// `rate_per_second == 0` with a positive burst grants exactly `burst`
+/// admissions ever — the deterministic configuration the fairness tests
+/// use to assert a hot tenant is capped at a precise count.
+struct QuotaConfig {
+  double rate_per_second = 0.0;
+  double burst = 0.0;
+
+  bool unlimited() const { return burst <= 0.0; }
+};
+
+/// \brief Token-bucket admission meter (one per tenant in the fleet
+/// router). Thread-safe; one mutex per bucket, so tenants never contend
+/// with each other on admission.
+///
+/// The bucket self-checks its enforcement: a grant that drives the balance
+/// negative is counted as a violation. By construction that cannot happen —
+/// `violations()` (exported as the `fleet.quota_violation.count` gauge) must
+/// stay 0, and the loadgen exits non-zero if it ever does not.
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit TokenBucket(QuotaConfig config,
+                       Clock::time_point now = Clock::now());
+
+  /// \brief Take one token (refilling for the time since the last call
+  /// first). False = over quota, the caller must reject the request.
+  bool TryAcquire(Clock::time_point now = Clock::now());
+
+  /// \brief Replace the quota and reset the balance to the new burst.
+  void Reconfigure(QuotaConfig config, Clock::time_point now = Clock::now());
+
+  QuotaConfig config() const;
+  double tokens() const;
+  uint64_t violations() const;
+
+ private:
+  mutable std::mutex mu_;
+  QuotaConfig config_;
+  double tokens_;
+  Clock::time_point last_refill_;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace lpa::fleet

@@ -1,0 +1,269 @@
+#include "fleet/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "telemetry/registry.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace lpa::fleet {
+
+namespace {
+
+struct FleetMetrics {
+  telemetry::Counter& submitted;
+  telemetry::Counter& accepted;
+  telemetry::Counter& quota_rejected;
+  telemetry::Counter& shard_adds;
+  telemetry::Counter& shard_removes;
+  telemetry::Gauge& shards;
+  /// Enforcement self-check; must stay 0 (asserted by tests and loadgen).
+  telemetry::Gauge& quota_violation;
+
+  static FleetMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static FleetMetrics* m = new FleetMetrics{
+        reg.GetCounter("fleet.submitted.count"),
+        reg.GetCounter("fleet.accepted.count"),
+        reg.GetCounter("fleet.quota_rejected.count"),
+        reg.GetCounter("fleet.shard_adds.count"),
+        reg.GetCounter("fleet.shard_removes.count"),
+        reg.GetGauge("fleet.shards.count"),
+        reg.GetGauge("fleet.quota_violation.count")};
+    return *m;
+  }
+};
+
+/// A future already resolved with `response` (quota / routing rejections
+/// never reach a shard queue).
+std::future<serving::SuggestResponse> ResolvedFuture(
+    serving::SuggestResponse response) {
+  std::promise<serving::SuggestResponse> promise;
+  std::future<serving::SuggestResponse> future = promise.get_future();
+  promise.set_value(std::move(response));
+  return future;
+}
+
+}  // namespace
+
+FleetRouter::FleetRouter(TenantDirectory* directory, FleetConfig config)
+    : directory_(directory),
+      config_(config),
+      ring_(config.vnodes_per_shard) {
+  LPA_CHECK(directory_ != nullptr);
+  LPA_CHECK(config_.shards >= 1);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int i = 0; i < config_.shards; ++i) {
+    uint64_t id = next_shard_id_++;
+    shards_.push_back(Shard{
+        id, std::make_shared<serving::AdvisorServer>(nullptr, config_.server)});
+    ring_.AddNode(id);
+  }
+  FleetMetrics::Get().shards.Set(static_cast<double>(shards_.size()));
+}
+
+FleetRouter::~FleetRouter() { Stop(serving::AdvisorServer::StopMode::kDrain); }
+
+Status FleetRouter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::FailedPrecondition("fleet already running");
+  for (Shard& shard : shards_) {
+    LPA_RETURN_NOT_OK(shard.server->Start());
+  }
+  running_ = true;
+  return Status::OK();
+}
+
+void FleetRouter::Stop(serving::AdvisorServer::StopMode mode) {
+  std::vector<Shard> shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    shards = shards_;  // copies of the shared_ptrs; shards_ keeps them
+  }
+  for (Shard& shard : shards) shard.server->Stop(mode);
+}
+
+bool FleetRouter::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+FleetRouter::TenantEntry* FleetRouter::GetOrCreateEntryLocked(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    auto entry = std::make_unique<TenantEntry>(config_.default_quota);
+    entry->registry = directory_->GetOrCreate(tenant);
+    it = tenants_.emplace(tenant, std::move(entry)).first;
+  }
+  return it->second.get();
+}
+
+std::shared_ptr<serving::AdvisorServer> FleetRouter::ShardServerLocked(
+    const std::string& tenant) const {
+  if (ring_.empty()) return nullptr;
+  uint64_t id = ring_.NodeFor(HashString(tenant));
+  for (const Shard& shard : shards_) {
+    if (shard.id == id) return shard.server;
+  }
+  return nullptr;
+}
+
+std::future<serving::SuggestResponse> FleetRouter::SubmitAsync(
+    const std::string& tenant, std::vector<double> frequencies,
+    double deadline_seconds) {
+  auto& metrics = FleetMetrics::Get();
+  TenantEntry* entry;
+  std::shared_ptr<serving::AdvisorServer> server;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry = GetOrCreateEntryLocked(tenant);
+    if (running_) server = ShardServerLocked(tenant);
+  }
+  entry->submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics.submitted.Add();
+
+  if (server == nullptr) {
+    entry->sink.rejected.fetch_add(1, std::memory_order_relaxed);
+    return ResolvedFuture(serving::SuggestResponse{
+        Status::Unavailable("fleet not running"), 0, {}, 0.0, 0.0});
+  }
+  if (!entry->bucket.TryAcquire()) {
+    entry->quota_rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics.quota_rejected.Add();
+    return ResolvedFuture(serving::SuggestResponse{
+        Status::ResourceExhausted("tenant '" + tenant + "' over quota"), 0,
+        {}, 0.0, 0.0});
+  }
+  metrics.accepted.Add();
+  // A shard racing Stop/RemoveShard rejects at its own admission gate; the
+  // shared_ptr keeps the server alive for the call either way.
+  return server->SubmitAsync(entry->registry, std::move(frequencies),
+                             deadline_seconds, &entry->sink);
+}
+
+serving::SuggestResponse FleetRouter::Suggest(const std::string& tenant,
+                                              std::vector<double> frequencies,
+                                              double deadline_seconds) {
+  return SubmitAsync(tenant, std::move(frequencies), deadline_seconds).get();
+}
+
+uint64_t FleetRouter::AddShard() {
+  auto& metrics = FleetMetrics::Get();
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_shard_id_++;
+    Shard shard{
+        id, std::make_shared<serving::AdvisorServer>(nullptr, config_.server)};
+    if (running_) LPA_CHECK(shard.server->Start().ok());
+    shards_.push_back(std::move(shard));
+    ring_.AddNode(id);  // only keys landing on the new points move
+    metrics.shards.Set(static_cast<double>(shards_.size()));
+  }
+  metrics.shard_adds.Add();
+  return id;
+}
+
+Status FleetRouter::RemoveShard(uint64_t shard_id) {
+  auto& metrics = FleetMetrics::Get();
+  std::shared_ptr<serving::AdvisorServer> leaving;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shards_.size() <= 1) {
+      return Status::FailedPrecondition("cannot remove the last shard");
+    }
+    auto it = std::find_if(shards_.begin(), shards_.end(),
+                           [shard_id](const Shard& s) {
+                             return s.id == shard_id;
+                           });
+    if (it == shards_.end()) {
+      return Status::NotFound("no shard " + std::to_string(shard_id));
+    }
+    leaving = it->server;
+    shards_.erase(it);
+    ring_.RemoveNode(shard_id);  // only this shard's tenants remap
+    metrics.shards.Set(static_cast<double>(shards_.size()));
+  }
+  // Drain outside the lock: new submits already route to survivors, and
+  // every request the leaving shard had queued completes — zero drops.
+  leaving->Stop(serving::AdvisorServer::StopMode::kDrain);
+  metrics.shard_removes.Add();
+  return Status::OK();
+}
+
+std::vector<uint64_t> FleetRouter::shard_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> ids;
+  ids.reserve(shards_.size());
+  for (const Shard& shard : shards_) ids.push_back(shard.id);
+  return ids;
+}
+
+size_t FleetRouter::num_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+uint64_t FleetRouter::ShardOf(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LPA_CHECK(!ring_.empty());
+  return ring_.NodeFor(HashString(tenant));
+}
+
+void FleetRouter::SetQuota(const std::string& tenant, QuotaConfig quota) {
+  TenantEntry* entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry = GetOrCreateEntryLocked(tenant);
+  }
+  entry->bucket.Reconfigure(quota);
+}
+
+TenantStats FleetRouter::tenant_stats(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return TenantStats{};
+  const TenantEntry& entry = *it->second;
+  TenantStats stats;
+  stats.submitted = entry.submitted.load(std::memory_order_relaxed);
+  stats.quota_rejected =
+      entry.quota_rejected.load(std::memory_order_relaxed);
+  stats.completed = entry.sink.completed.load(std::memory_order_relaxed);
+  stats.rejected = entry.sink.rejected.load(std::memory_order_relaxed);
+  stats.shed = entry.sink.shed.load(std::memory_order_relaxed);
+  stats.failed = entry.sink.failed.load(std::memory_order_relaxed);
+  return stats;
+}
+
+TenantStats FleetRouter::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantStats totals;
+  for (const auto& [name, entry] : tenants_) {
+    totals.submitted += entry->submitted.load(std::memory_order_relaxed);
+    totals.quota_rejected +=
+        entry->quota_rejected.load(std::memory_order_relaxed);
+    totals.completed += entry->sink.completed.load(std::memory_order_relaxed);
+    totals.rejected += entry->sink.rejected.load(std::memory_order_relaxed);
+    totals.shed += entry->sink.shed.load(std::memory_order_relaxed);
+    totals.failed += entry->sink.failed.load(std::memory_order_relaxed);
+  }
+  return totals;
+}
+
+uint64_t FleetRouter::quota_violations() const {
+  uint64_t violations = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, entry] : tenants_) {
+      violations += entry->bucket.violations();
+    }
+  }
+  FleetMetrics::Get().quota_violation.Set(static_cast<double>(violations));
+  return violations;
+}
+
+}  // namespace lpa::fleet

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serving/model_registry.h"
+
+namespace lpa::fleet {
+
+/// \brief Per-tenant namespaces of versioned serving models: each tenant
+/// (one managed database in the paper's cloud framing) owns its own
+/// `serving::ModelRegistry`, so tenants hot-swap independently — publishing
+/// v3 for tenant A never touches tenant B's current version.
+///
+/// Registry pointers are stable for the directory's lifetime (tenants are
+/// never erased), so the router and server workers may cache them.
+///
+/// Cross-tenant batching falls out of `PublishShared`: tenants whose models
+/// share one `ServingModel` instance (a shared base model — the common
+/// fleet pattern for tenants on the same architecture and weights) also
+/// share its `InferenceBatcher`, so their concurrent rollouts coalesce into
+/// joint Q-network passes. Results stay bit-identical to serial per-tenant
+/// inference because `QValuesBatch` computes every row independently.
+class TenantDirectory {
+ public:
+  /// \brief The tenant's registry, created empty on first sight.
+  serving::ModelRegistry* GetOrCreate(const std::string& tenant);
+
+  /// \brief The tenant's registry, or null if it was never created.
+  serving::ModelRegistry* Find(const std::string& tenant) const;
+
+  /// \brief Publish one shared servable into every named tenant's
+  /// namespace; each tenant assigns its own version number to it.
+  void PublishShared(const std::vector<std::string>& tenants,
+                     std::shared_ptr<serving::ServingModel> model);
+
+  std::vector<std::string> Tenants() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<serving::ModelRegistry>> tenants_;
+};
+
+}  // namespace lpa::fleet

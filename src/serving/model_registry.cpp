@@ -1,5 +1,6 @@
 #include "serving/model_registry.h"
 
+#include <chrono>
 #include <utility>
 
 #include "advisor/serialization.h"
@@ -12,11 +13,19 @@ namespace {
 
 struct RegistryMetrics {
   telemetry::Counter& hot_swaps;
+  telemetry::Counter& snapshot_load_failures;
+  /// Publish latency in microseconds: how long a tenant's hot swap held the
+  /// registry (fleet-wide swap observability).
+  telemetry::Histogram& swap_micros;
 
   static RegistryMetrics& Get() {
     auto& reg = telemetry::MetricsRegistry::Global();
     static RegistryMetrics* m = new RegistryMetrics{
-        reg.GetCounter("serving.hot_swaps.count")};
+        reg.GetCounter("serving.hot_swaps.count"),
+        reg.GetCounter("serving.snapshot_load_failures.count"),
+        reg.GetHistogram("serving.swap_micros",
+                         telemetry::Histogram::ExponentialBounds(1.0, 2.0,
+                                                                 20))};
     return *m;
   }
 };
@@ -38,7 +47,11 @@ Result<std::shared_ptr<ServingModel>> ServingModel::FromSnapshot(
     std::istream& snapshot, InferenceBatcher::Config batch) {
   auto advisor = std::make_unique<advisor::PartitioningAdvisor>(
       schema, std::move(workload), std::move(config));
-  LPA_RETURN_NOT_OK(advisor::LoadAgentSnapshot(snapshot, advisor->agent()));
+  if (Status st = advisor::LoadAgentSnapshot(snapshot, advisor->agent());
+      !st.ok()) {
+    RegistryMetrics::Get().snapshot_load_failures.Add();
+    return st;
+  }
   return std::make_shared<ServingModel>(std::move(advisor), cost_model, batch);
 }
 
@@ -84,21 +97,31 @@ rl::InferenceResult ServingModel::Suggest(
 
 uint64_t ModelRegistry::Publish(std::shared_ptr<ServingModel> model) {
   LPA_CHECK(model != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
-  model->version_ = next_version_++;
-  if (current_ != nullptr) RegistryMetrics::Get().hot_swaps.Add();
-  current_ = std::move(model);
-  return current_->version_;
+  const auto started = std::chrono::steady_clock::now();
+  uint64_t version;
+  bool swapped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    version = next_version_++;
+    swapped = current_.model != nullptr;
+    current_ = PublishedModel{std::move(model), version};
+  }
+  auto& metrics = RegistryMetrics::Get();
+  if (swapped) metrics.hot_swaps.Add();
+  metrics.swap_micros.Observe(std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - started)
+                                  .count());
+  return version;
 }
 
-std::shared_ptr<ServingModel> ModelRegistry::Current() const {
+PublishedModel ModelRegistry::Current() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_;
 }
 
 uint64_t ModelRegistry::current_version() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return current_ == nullptr ? 0 : current_->version_;
+  return current_.model == nullptr ? 0 : current_.version;
 }
 
 }  // namespace lpa::serving

@@ -41,9 +41,6 @@ class ServingModel {
       advisor::AdvisorConfig config, const costmodel::CostModel* cost_model,
       std::istream& snapshot, InferenceBatcher::Config batch = {});
 
-  /// \brief Version assigned by ModelRegistry::Publish (0 = unpublished).
-  uint64_t version() const { return version_; }
-
   /// \brief Greedy inference rollout for one frequency vector, with batched
   /// Q-evaluation. Safe to call from any number of threads.
   rl::InferenceResult Suggest(const std::vector<double>& frequencies);
@@ -52,17 +49,22 @@ class ServingModel {
   InferenceBatcher* batcher() { return &batcher_; }
 
  private:
-  friend class ModelRegistry;
-
   std::unique_ptr<advisor::PartitioningAdvisor> advisor_;
   const costmodel::CostModel* cost_model_;
   /// Own pricing environment so snapshot-restored advisors (which never ran
   /// TrainOffline) serve directly.
   std::unique_ptr<rl::OfflineEnv> env_;
   InferenceBatcher batcher_;
-  /// Written once by Publish under the registry mutex before the model
-  /// becomes visible; read-only afterwards.
-  uint64_t version_ = 0;
+};
+
+/// \brief A servable model together with the version its registry assigned.
+/// The version lives in the registry entry, not the model, so one
+/// ServingModel instance can be published into many registries — the
+/// multi-tenant shared-base-model case, where each tenant namespace assigns
+/// its own version numbers to the same underlying weights.
+struct PublishedModel {
+  std::shared_ptr<ServingModel> model;  ///< null before the first Publish
+  uint64_t version = 0;
 };
 
 /// \brief Versioned model store with RCU-style atomic hot swap.
@@ -75,17 +77,18 @@ class ServingModel {
 class ModelRegistry {
  public:
   /// \brief Make `model` the serving version; returns its assigned version
-  /// number (1-based, strictly increasing).
+  /// number (1-based, strictly increasing per registry).
   uint64_t Publish(std::shared_ptr<ServingModel> model);
 
-  /// \brief The current model (null before the first Publish).
-  std::shared_ptr<ServingModel> Current() const;
+  /// \brief The current model and its version (null model before the first
+  /// Publish).
+  PublishedModel Current() const;
 
   uint64_t current_version() const;
 
  private:
   mutable std::mutex mu_;
-  std::shared_ptr<ServingModel> current_;
+  PublishedModel current_;
   uint64_t next_version_ = 1;
 };
 

@@ -44,7 +44,6 @@ double Seconds(std::chrono::steady_clock::duration d) {
 
 AdvisorServer::AdvisorServer(ModelRegistry* registry, ServerConfig config)
     : registry_(registry), config_(config) {
-  LPA_CHECK(registry_ != nullptr);
   LPA_CHECK(config_.worker_threads >= 0);
   LPA_CHECK(config_.queue_capacity >= 1);
 }
@@ -107,12 +106,21 @@ bool AdvisorServer::running() const {
 
 std::future<SuggestResponse> AdvisorServer::SubmitAsync(
     std::vector<double> frequencies, double deadline_seconds) {
+  return SubmitAsync(nullptr, std::move(frequencies), deadline_seconds,
+                     nullptr);
+}
+
+std::future<SuggestResponse> AdvisorServer::SubmitAsync(
+    ModelRegistry* registry, std::vector<double> frequencies,
+    double deadline_seconds, RequestSink* sink) {
   auto& metrics = ServerMetrics::Get();
   submitted_.fetch_add(1, std::memory_order_relaxed);
   metrics.submitted.Add();
 
   PendingRequest request;
   request.frequencies = std::move(frequencies);
+  request.registry = registry;
+  request.sink = sink;
   request.submitted_at = Clock::now();
   double deadline =
       deadline_seconds < 0.0 ? config_.default_deadline_seconds
@@ -172,8 +180,11 @@ void AdvisorServer::WorkerLoop() {
       continue;
     }
 
-    std::shared_ptr<ServingModel> model = registry_->Current();
-    if (model == nullptr) {
+    ModelRegistry* registry =
+        request.registry != nullptr ? request.registry : registry_;
+    PublishedModel published =
+        registry != nullptr ? registry->Current() : PublishedModel{};
+    if (published.model == nullptr) {
       failed_.fetch_add(1, std::memory_order_relaxed);
       metrics.failed.Add();
       Respond(&request,
@@ -188,8 +199,8 @@ void AdvisorServer::WorkerLoop() {
     // the registry publishes a replacement meanwhile (RCU hot swap).
     SuggestResponse response;
     response.status = Status::OK();
-    response.model_version = model->version();
-    response.result = model->Suggest(request.frequencies);
+    response.model_version = published.version;
+    response.result = published.model->Suggest(request.frequencies);
     response.latency_seconds = Seconds(Clock::now() - request.submitted_at);
     response.queue_seconds = queue_seconds;
     completed_.fetch_add(1, std::memory_order_relaxed);
@@ -201,6 +212,25 @@ void AdvisorServer::WorkerLoop() {
 
 void AdvisorServer::Respond(PendingRequest* request,
                             SuggestResponse response) {
+  if (request->sink != nullptr) {
+    // Classify by the status the caller sees — the same buckets the loadgen
+    // tallies client-side — so per-tenant sinks and client counts agree.
+    switch (response.status.code()) {
+      case Status::Code::kOk:
+        request->sink->completed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Status::Code::kDeadlineExceeded:
+        request->sink->shed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Status::Code::kUnavailable:
+      case Status::Code::kResourceExhausted:
+        request->sink->rejected.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        request->sink->failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
   request->promise.set_value(std::move(response));
 }
 

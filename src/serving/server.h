@@ -44,6 +44,18 @@ struct SuggestResponse {
   double queue_seconds = 0.0;
 };
 
+/// \brief Per-caller outcome accounting, written by the server when each
+/// request resolves (classified by the response status the caller sees).
+/// The fleet router attaches one sink per tenant so per-tenant fairness is
+/// observable without wrapping every future. Must outlive every request
+/// submitted against it.
+struct RequestSink {
+  std::atomic<uint64_t> completed{0};
+  std::atomic<uint64_t> rejected{0};  ///< Unavailable / ResourceExhausted
+  std::atomic<uint64_t> shed{0};      ///< DeadlineExceeded
+  std::atomic<uint64_t> failed{0};    ///< everything else non-OK
+};
+
 /// \brief The advisor serving layer: worker threads pull Suggest requests
 /// from a bounded MPMC queue, resolve the current model from the registry
 /// (RCU hot swap), and run batched inference rollouts.
@@ -56,6 +68,10 @@ struct SuggestResponse {
 /// The server is restartable: Start after Stop begins a fresh queue.
 class AdvisorServer {
  public:
+  /// \brief `registry` is the default model namespace for requests that do
+  /// not carry their own; it may be null when every request routes to an
+  /// explicit registry (fleet shards), in which case registry-less requests
+  /// fail with FailedPrecondition.
   AdvisorServer(ModelRegistry* registry, ServerConfig config);
   ~AdvisorServer();  // Stop(kDrain)
 
@@ -79,6 +95,15 @@ class AdvisorServer {
   /// resolves — immediately (with a rejection) when admission fails.
   std::future<SuggestResponse> SubmitAsync(std::vector<double> frequencies,
                                            double deadline_seconds = -1.0);
+
+  /// \brief Multi-tenant submit: resolve the model from `registry` (the
+  /// tenant's namespace) instead of the server default, and record the
+  /// outcome into `sink` (optional). Both pointers must outlive the
+  /// response. Null `registry` falls back to the server default.
+  std::future<SuggestResponse> SubmitAsync(ModelRegistry* registry,
+                                           std::vector<double> frequencies,
+                                           double deadline_seconds,
+                                           RequestSink* sink);
 
   /// \brief Blocking convenience wrapper around SubmitAsync.
   SuggestResponse Suggest(std::vector<double> frequencies,
@@ -105,6 +130,10 @@ class AdvisorServer {
     Clock::time_point submitted_at;
     Clock::time_point deadline;  // time_point::max() = none
     std::promise<SuggestResponse> promise;
+    /// Tenant namespace to serve from; null = the server's default registry.
+    ModelRegistry* registry = nullptr;
+    /// Per-tenant outcome accounting; null = none.
+    RequestSink* sink = nullptr;
   };
 
   void WorkerLoop();

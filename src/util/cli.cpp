@@ -2,10 +2,18 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <iostream>
 
 namespace lpa::cli {
 
-void FlagParser::Add(Flag flag) { flags_.push_back(std::move(flag)); }
+void FlagParser::Add(Flag flag) {
+  if (Find(flag.name) != nullptr) {
+    std::cerr << "FlagParser: duplicate registration of --" << flag.name
+              << "\n";
+    std::abort();
+  }
+  flags_.push_back(std::move(flag));
+}
 
 void FlagParser::AddString(const std::string& name, const std::string& help,
                            std::string* out) {
@@ -34,7 +42,11 @@ void FlagParser::AddBool(const std::string& name, const std::string& help,
 
 void FlagParser::AddAlias(const std::string& alias, const std::string& name) {
   Flag* target = Find(name);
-  if (target == nullptr) return;
+  if (target == nullptr) {
+    std::cerr << "FlagParser: alias --" << alias << " targets unregistered --"
+              << name << "\n";
+    std::abort();
+  }
   Add(Flag{alias, target->help, target->kind, target->out, true});
 }
 
@@ -119,6 +131,14 @@ bool FlagParser::Parse(int argc, char** argv, std::string* error) {
     }
   }
   return true;
+}
+
+void FlagParser::ParseOrExit(int argc, char** argv) {
+  std::string error;
+  if (!Parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << Usage(argv[0]);
+    std::exit(2);
+  }
 }
 
 std::string FlagParser::Usage(const char* argv0) const {

@@ -12,7 +12,9 @@ namespace lpa::cli {
 /// Flags are registered as pointers to caller-owned storage that already
 /// holds the default; `Parse` accepts both `--name value` and `--name=value`
 /// (bool flags take no value). Unknown flags, missing values, and malformed
-/// numbers fail with a message suitable for stderr.
+/// numbers fail with a message suitable for stderr. Registering the same
+/// flag name twice is a programmer error and aborts — a silently shadowed
+/// flag would make one of the two registrations dead.
 class FlagParser {
  public:
   void AddString(const std::string& name, const std::string& help,
@@ -31,6 +33,11 @@ class FlagParser {
 
   /// \brief Parse argv[1..). On failure returns false and sets *error.
   bool Parse(int argc, char** argv, std::string* error);
+
+  /// \brief Parse or die: any parse failure (unknown flag, missing value,
+  /// malformed number) prints the error plus Usage to stderr and exits 2,
+  /// so a typo'd flag can never silently skew a run.
+  void ParseOrExit(int argc, char** argv);
 
   /// \brief One-line usage string: `usage: argv0 [--flag ...] ...`.
   std::string Usage(const char* argv0) const;

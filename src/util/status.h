@@ -22,8 +22,9 @@ class Status {
     kFailedPrecondition,
     kUnimplemented,
     kInternal,
-    kUnavailable,       ///< transient overload / shutdown; retry later
-    kDeadlineExceeded,  ///< request deadline passed before completion
+    kUnavailable,        ///< transient overload / shutdown; retry later
+    kDeadlineExceeded,   ///< request deadline passed before completion
+    kResourceExhausted,  ///< per-tenant quota spent; retry after refill
   };
 
   Status() : code_(Code::kOk) {}
@@ -59,6 +60,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -82,6 +86,7 @@ class Status {
       case Code::kInternal: return "Internal";
       case Code::kUnavailable: return "Unavailable";
       case Code::kDeadlineExceeded: return "DeadlineExceeded";
+      case Code::kResourceExhausted: return "ResourceExhausted";
     }
     return "Unknown";
   }

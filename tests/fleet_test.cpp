@@ -1,0 +1,619 @@
+// Tests of the multi-tenant serving fleet: consistent-hash ring determinism
+// and bounded remap under shard add/remove, per-tenant model namespaces with
+// independent hot swaps, token-bucket quota fairness (hot tenant capped while
+// cold tenants progress, zero enforcement violations), cross-tenant batched
+// inference bit-identical to the serial advisor, 100+ tenants served
+// concurrently, and live fleet resizing with zero dropped requests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/serialization.h"
+#include "fleet/consistent_hash.h"
+#include "fleet/fleet_loadgen.h"
+#include "fleet/quota.h"
+#include "fleet/router.h"
+#include "fleet/tenant_directory.h"
+#include "schema/catalogs.h"
+#include "serving/model_registry.h"
+#include "workload/benchmarks.h"
+
+namespace lpa::fleet {
+namespace {
+
+using advisor::AdvisorConfig;
+using advisor::PartitioningAdvisor;
+using costmodel::HardwareProfile;
+using serving::InferenceBatcher;
+using serving::ModelRegistry;
+using serving::ServingModel;
+using serving::SuggestResponse;
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring
+
+TEST(ConsistentHashRingTest, DeterministicAcrossInstances) {
+  ConsistentHashRing a(32), b(32);
+  for (uint64_t node = 0; node < 5; ++node) {
+    a.AddNode(node);
+    b.AddNode(node);
+  }
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_EQ(a.NodeFor(key), b.NodeFor(key));
+  }
+}
+
+TEST(ConsistentHashRingTest, AddNodeOnlyMovesKeysOntoTheNewNode) {
+  constexpr uint64_t kKeys = 10000;
+  ConsistentHashRing ring(64);
+  for (uint64_t node = 0; node < 5; ++node) ring.AddNode(node);
+
+  std::vector<uint64_t> before(kKeys);
+  for (uint64_t key = 0; key < kKeys; ++key) before[key] = ring.NodeFor(key);
+
+  ring.AddNode(5);
+  uint64_t moved = 0;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    uint64_t after = ring.NodeFor(key);
+    if (after != before[key]) {
+      // The bounded-remap property: a key either stays put or lands on the
+      // new node. No assignment between surviving nodes ever changes.
+      EXPECT_EQ(after, 5u) << "key " << key << " moved between survivors";
+      ++moved;
+    }
+  }
+  // Expected movement ~ kKeys/6; assert it is in a generous band (the point
+  // is "a bounded fraction", not the exact expectation).
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, kKeys / 3);
+}
+
+TEST(ConsistentHashRingTest, RemoveNodeOnlyMovesItsOwnKeys) {
+  constexpr uint64_t kKeys = 10000;
+  ConsistentHashRing ring(64);
+  for (uint64_t node = 0; node < 6; ++node) ring.AddNode(node);
+
+  std::vector<uint64_t> before(kKeys);
+  for (uint64_t key = 0; key < kKeys; ++key) before[key] = ring.NodeFor(key);
+
+  ring.RemoveNode(2);
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    uint64_t after = ring.NodeFor(key);
+    if (before[key] != 2) {
+      // Keys the removed node did not own must not move at all.
+      EXPECT_EQ(after, before[key]) << "key " << key;
+    } else {
+      EXPECT_NE(after, 2u);
+    }
+  }
+
+  // Re-adding the node restores the exact original assignment (positions are
+  // a pure function of the node id).
+  ring.AddNode(2);
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    EXPECT_EQ(ring.NodeFor(key), before[key]);
+  }
+}
+
+TEST(ConsistentHashRingTest, SpreadsKeysAcrossNodes) {
+  ConsistentHashRing ring(64);
+  for (uint64_t node = 0; node < 4; ++node) ring.AddNode(node);
+  std::map<uint64_t, int> owned;
+  for (uint64_t key = 0; key < 4000; ++key) ++owned[ring.NodeFor(key)];
+  EXPECT_EQ(owned.size(), 4u);  // every node owns something
+  for (const auto& [node, count] : owned) {
+    EXPECT_GT(count, 100) << "node " << node << " nearly starved";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Token bucket (explicit time points: fully deterministic)
+
+TEST(TokenBucketTest, BurstThenRefillAtRate) {
+  using Clock = TokenBucket::Clock;
+  const Clock::time_point t0 = Clock::now();
+  TokenBucket bucket({/*rate_per_second=*/10.0, /*burst=*/2.0}, t0);
+
+  EXPECT_TRUE(bucket.TryAcquire(t0));
+  EXPECT_TRUE(bucket.TryAcquire(t0));
+  EXPECT_FALSE(bucket.TryAcquire(t0));  // burst spent
+
+  // 100ms at 10/s refills exactly one token.
+  const Clock::time_point t1 = t0 + std::chrono::milliseconds(100);
+  EXPECT_TRUE(bucket.TryAcquire(t1));
+  EXPECT_FALSE(bucket.TryAcquire(t1));
+
+  // A long idle period refills to the burst cap, not beyond.
+  const Clock::time_point t2 = t1 + std::chrono::seconds(60);
+  EXPECT_TRUE(bucket.TryAcquire(t2));
+  EXPECT_TRUE(bucket.TryAcquire(t2));
+  EXPECT_FALSE(bucket.TryAcquire(t2));
+
+  EXPECT_EQ(bucket.violations(), 0u);
+}
+
+TEST(TokenBucketTest, ZeroRateGrantsExactlyBurstEver) {
+  using Clock = TokenBucket::Clock;
+  const Clock::time_point t0 = Clock::now();
+  TokenBucket bucket({/*rate_per_second=*/0.0, /*burst=*/3.0}, t0);
+  int granted = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (bucket.TryAcquire(t0 + std::chrono::seconds(i))) ++granted;
+  }
+  EXPECT_EQ(granted, 3);  // no refill, ever — the deterministic test quota
+  EXPECT_EQ(bucket.violations(), 0u);
+}
+
+TEST(TokenBucketTest, NonPositiveBurstMeansUnlimited) {
+  TokenBucket bucket({/*rate_per_second=*/0.0, /*burst=*/0.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_EQ(bucket.violations(), 0u);
+}
+
+TEST(TokenBucketTest, ReconfigureResetsToNewBurst) {
+  using Clock = TokenBucket::Clock;
+  const Clock::time_point t0 = Clock::now();
+  TokenBucket bucket({0.0, 1.0}, t0);
+  EXPECT_TRUE(bucket.TryAcquire(t0));
+  EXPECT_FALSE(bucket.TryAcquire(t0));
+  bucket.Reconfigure({0.0, 2.0}, t0);
+  EXPECT_TRUE(bucket.TryAcquire(t0));
+  EXPECT_TRUE(bucket.TryAcquire(t0));
+  EXPECT_FALSE(bucket.TryAcquire(t0));
+}
+
+// ---------------------------------------------------------------------------
+// Shared micro testbed (one tiny trained agent snapshot per suite)
+
+class FleetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    schema_ = new schema::Schema(schema::MakeMicroSchema());
+    workload_ = new workload::Workload(workload::MakeMicroWorkload(*schema_));
+    model_ = new costmodel::CostModel(schema_, HardwareProfile::DiskBased10G());
+    PartitioningAdvisor advisor(schema_, *workload_, FastConfig());
+    advisor.TrainOffline(model_);
+    std::stringstream snapshot;
+    ASSERT_TRUE(advisor::SaveAgentSnapshot(*advisor.agent(), snapshot).ok());
+    snapshot_ = new std::string(snapshot.str());
+  }
+
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    delete model_;
+    delete workload_;
+    delete schema_;
+  }
+
+  static AdvisorConfig FastConfig() {
+    AdvisorConfig config;
+    config.dqn.tmax = 8;
+    config.offline_episodes = 8;
+    config.dqn.FitEpsilonSchedule(config.offline_episodes);
+    config.inference_extra_rollouts = 0;
+    config.seed = 7;
+    return config;
+  }
+
+  static std::shared_ptr<ServingModel> MakeModel(
+      InferenceBatcher::Config batch = {}) {
+    std::istringstream snapshot(*snapshot_);
+    auto model = ServingModel::FromSnapshot(schema_, *workload_, FastConfig(),
+                                            model_, snapshot, batch);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    return *model;
+  }
+
+  static rl::InferenceResult SerialSuggest(
+      const std::vector<double>& frequencies) {
+    PartitioningAdvisor advisor(schema_, *workload_, FastConfig());
+    std::istringstream snapshot(*snapshot_);
+    EXPECT_TRUE(advisor::LoadAgentSnapshot(snapshot, advisor.agent()).ok());
+    rl::OfflineEnv env(model_, &advisor.workload());
+    return advisor.Suggest(frequencies, &env);
+  }
+
+  static std::vector<double> Mix(int hot) {
+    std::vector<double> frequencies(
+        static_cast<size_t>(workload_->num_queries()), 1.0);
+    frequencies[static_cast<size_t>(hot) % frequencies.size()] = 5.0;
+    return frequencies;
+  }
+
+  static schema::Schema* schema_;
+  static workload::Workload* workload_;
+  static costmodel::CostModel* model_;
+  static std::string* snapshot_;
+};
+
+schema::Schema* FleetTest::schema_ = nullptr;
+workload::Workload* FleetTest::workload_ = nullptr;
+costmodel::CostModel* FleetTest::model_ = nullptr;
+std::string* FleetTest::snapshot_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Tenant directory
+
+TEST_F(FleetTest, TenantNamespacesHotSwapIndependently) {
+  TenantDirectory directory;
+  ModelRegistry* a = directory.GetOrCreate("tenant-a");
+  ModelRegistry* b = directory.GetOrCreate("tenant-b");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(directory.GetOrCreate("tenant-a"), a);  // stable pointer
+  EXPECT_EQ(directory.Find("tenant-a"), a);
+  EXPECT_EQ(directory.Find("never-created"), nullptr);
+
+  auto model = MakeModel();
+  EXPECT_EQ(a->Publish(model), 1u);
+  EXPECT_EQ(a->Publish(MakeModel()), 2u);
+  // Tenant B's namespace is untouched by A's swaps.
+  EXPECT_EQ(b->current_version(), 0u);
+  EXPECT_EQ(b->Current().model, nullptr);
+  EXPECT_EQ(b->Publish(model), 1u);  // B assigns its own version numbers
+  EXPECT_EQ(a->current_version(), 2u);
+  EXPECT_EQ(directory.size(), 2u);
+}
+
+TEST_F(FleetTest, PublishSharedInstallsOneInstanceEverywhere) {
+  TenantDirectory directory;
+  auto shared = MakeModel();
+  directory.PublishShared({"t0", "t1", "t2"}, shared);
+  ASSERT_EQ(directory.size(), 3u);
+  for (const std::string& tenant : directory.Tenants()) {
+    serving::PublishedModel published = directory.Find(tenant)->Current();
+    EXPECT_EQ(published.model.get(), shared.get());  // same instance
+    EXPECT_EQ(published.version, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Router: routing, quotas, fairness
+
+TEST_F(FleetTest, QuotaCapsHotTenantWhileColdTenantsProgress) {
+  TenantDirectory directory;
+  directory.PublishShared({"hot", "cold-a", "cold-b"}, MakeModel());
+
+  FleetConfig config;
+  config.shards = 2;
+  config.server.worker_threads = 2;
+  FleetRouter router(&directory, config);
+  // rate = 0, burst = 4: exactly 4 grants ever — deterministic fairness.
+  router.SetQuota("hot", {/*rate_per_second=*/0.0, /*burst=*/4.0});
+  ASSERT_TRUE(router.Start().ok());
+
+  constexpr int kHotRequests = 12;
+  int hot_ok = 0, hot_over_quota = 0;
+  for (int i = 0; i < kHotRequests; ++i) {
+    SuggestResponse response = router.Suggest("hot", Mix(i));
+    if (response.status.ok()) {
+      ++hot_ok;
+    } else {
+      ASSERT_EQ(response.status.code(), Status::Code::kResourceExhausted)
+          << response.status.ToString();
+      ++hot_over_quota;
+    }
+    // Cold tenants keep completing while the hot tenant is throttled.
+    EXPECT_TRUE(router.Suggest(i % 2 == 0 ? "cold-a" : "cold-b", Mix(i))
+                    .status.ok());
+  }
+  router.Stop();
+
+  EXPECT_EQ(hot_ok, 4);
+  EXPECT_EQ(hot_over_quota, kHotRequests - 4);
+  TenantStats hot = router.tenant_stats("hot");
+  EXPECT_EQ(hot.submitted, static_cast<uint64_t>(kHotRequests));
+  EXPECT_EQ(hot.quota_rejected, static_cast<uint64_t>(kHotRequests - 4));
+  EXPECT_EQ(hot.completed, 4u);
+  EXPECT_TRUE(hot.Settled());
+  TenantStats cold_a = router.tenant_stats("cold-a");
+  EXPECT_EQ(cold_a.completed, cold_a.submitted);
+  EXPECT_EQ(router.quota_violations(), 0u);
+  EXPECT_TRUE(router.totals().Settled());
+}
+
+TEST_F(FleetTest, UnknownTenantFailsCleanlyAndStoppedFleetRejects) {
+  TenantDirectory directory;
+  FleetConfig config;
+  config.shards = 2;
+  config.server.worker_threads = 1;
+  FleetRouter router(&directory, config);
+
+  // Before Start: rejected, not crashed.
+  EXPECT_EQ(router.Suggest("nobody", Mix(0)).status.code(),
+            Status::Code::kUnavailable);
+
+  ASSERT_TRUE(router.Start().ok());
+  EXPECT_FALSE(router.Start().ok());  // double start refused
+  // Tenant exists (auto-created) but has no model published.
+  SuggestResponse response = router.Suggest("nobody", Mix(0));
+  EXPECT_EQ(response.status.code(), Status::Code::kFailedPrecondition);
+  EXPECT_NE(directory.Find("nobody"), nullptr);
+  router.Stop();
+  EXPECT_FALSE(router.running());
+  TenantStats stats = router.tenant_stats("nobody");
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_TRUE(stats.Settled());
+}
+
+TEST_F(FleetTest, CrossTenantBatchingBitIdenticalToSerial) {
+  // Tenants sharing one ServingModel instance share its InferenceBatcher:
+  // concurrent rollouts from different tenants coalesce into joint Q-passes.
+  // The answers must still be bit-identical to the serial advisor.
+  constexpr int kRequests = 8;
+  std::vector<rl::InferenceResult> expected;
+  for (int i = 0; i < kRequests; ++i) expected.push_back(SerialSuggest(Mix(i)));
+
+  InferenceBatcher::Config batch;
+  batch.max_batch = 4;
+  batch.window_seconds = 0.2;
+  TenantDirectory directory;
+  std::vector<std::string> tenants;
+  for (int t = 0; t < 4; ++t) tenants.push_back(TenantName(t));
+  directory.PublishShared(tenants, MakeModel(batch));
+
+  FleetConfig config;
+  config.shards = 2;
+  config.server.worker_threads = 4;
+  config.server.batch = batch;
+  FleetRouter router(&directory, config);
+  ASSERT_TRUE(router.Start().ok());
+
+  std::vector<std::future<SuggestResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(
+        router.SubmitAsync(tenants[static_cast<size_t>(i) % tenants.size()],
+                           Mix(i)));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    SuggestResponse response = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(response.model_version, 1u);
+    EXPECT_EQ(response.result->actions, expected[static_cast<size_t>(i)].actions);
+    EXPECT_EQ(response.result->best_cost,
+              expected[static_cast<size_t>(i)].best_cost);
+    EXPECT_EQ(response.result->best_state.PhysicalDesignKey(),
+              expected[static_cast<size_t>(i)].best_state.PhysicalDesignKey());
+  }
+  router.Stop();
+  EXPECT_TRUE(router.totals().Settled());
+  EXPECT_EQ(router.totals().failed, 0u);
+}
+
+TEST_F(FleetTest, TenantHotSwapUnderLoadDropsNothingAndStaysScoped) {
+  TenantDirectory directory;
+  directory.PublishShared({"swapper", "bystander"}, MakeModel());
+
+  FleetConfig config;
+  config.shards = 2;
+  config.server.worker_threads = 2;
+  FleetRouter router(&directory, config);
+  ASSERT_TRUE(router.Start().ok());
+
+  constexpr int kBurst = 10;
+  std::vector<std::future<SuggestResponse>> swapper_futures;
+  std::vector<std::future<SuggestResponse>> bystander_futures;
+  for (int i = 0; i < kBurst; ++i) {
+    swapper_futures.push_back(router.SubmitAsync("swapper", Mix(i)));
+    bystander_futures.push_back(router.SubmitAsync("bystander", Mix(i)));
+  }
+  // Swap only "swapper" while the burst is in flight.
+  EXPECT_EQ(directory.Find("swapper")->Publish(MakeModel()), 2u);
+
+  std::set<uint64_t> swapper_versions;
+  for (auto& future : swapper_futures) {
+    SuggestResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    swapper_versions.insert(response.model_version);
+  }
+  for (auto& future : bystander_futures) {
+    SuggestResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    // The bystander tenant never sees the swap.
+    EXPECT_EQ(response.model_version, 1u);
+  }
+  // Every swapper response came from v1 or v2 — nothing dropped, nothing
+  // served by a version that never existed.
+  for (uint64_t version : swapper_versions) {
+    EXPECT_TRUE(version == 1u || version == 2u) << "version " << version;
+  }
+
+  // Post-swap requests serve v2 for swapper, still v1 for bystander.
+  EXPECT_EQ(router.Suggest("swapper", Mix(0)).model_version, 2u);
+  EXPECT_EQ(router.Suggest("bystander", Mix(0)).model_version, 1u);
+  router.Stop();
+
+  TenantStats totals = router.totals();
+  EXPECT_TRUE(totals.Settled());
+  EXPECT_EQ(totals.failed, 0u);
+  EXPECT_EQ(totals.completed, totals.submitted);
+}
+
+// ---------------------------------------------------------------------------
+// Shard add / remove while serving
+
+TEST_F(FleetTest, ShardAddRemoveWhileServingResolvesEverything) {
+  TenantDirectory directory;
+  std::vector<std::string> tenants;
+  for (int t = 0; t < 12; ++t) tenants.push_back(TenantName(t));
+  directory.PublishShared(tenants, MakeModel());
+
+  FleetConfig config;
+  config.shards = 2;
+  config.server.worker_threads = 2;
+  FleetRouter router(&directory, config);
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_EQ(router.num_shards(), 2u);
+
+  std::map<std::string, uint64_t> owner_before;
+  for (const std::string& tenant : tenants) {
+    owner_before[tenant] = router.ShardOf(tenant);
+  }
+
+  std::vector<std::future<SuggestResponse>> futures;
+  for (int round = 0; round < 2; ++round) {
+    for (const std::string& tenant : tenants) {
+      futures.push_back(router.SubmitAsync(tenant, Mix(round)));
+    }
+  }
+
+  // Grow the fleet under load: only remaps onto the new shard.
+  uint64_t added = router.AddShard();
+  EXPECT_EQ(router.num_shards(), 3u);
+  for (const std::string& tenant : tenants) {
+    uint64_t owner = router.ShardOf(tenant);
+    EXPECT_TRUE(owner == owner_before[tenant] || owner == added)
+        << tenant << " moved between surviving shards";
+  }
+  for (const std::string& tenant : tenants) {
+    futures.push_back(router.SubmitAsync(tenant, Mix(2)));
+  }
+
+  // Shrink again under load: the leaving shard drains (zero drops) and its
+  // tenants return to exactly their original owners.
+  ASSERT_TRUE(router.RemoveShard(added).ok());
+  EXPECT_EQ(router.num_shards(), 2u);
+  for (const std::string& tenant : tenants) {
+    EXPECT_EQ(router.ShardOf(tenant), owner_before[tenant]);
+  }
+  for (const std::string& tenant : tenants) {
+    futures.push_back(router.SubmitAsync(tenant, Mix(3)));
+  }
+
+  for (auto& future : futures) {
+    SuggestResponse response = future.get();
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  router.Stop();
+
+  TenantStats totals = router.totals();
+  EXPECT_EQ(totals.submitted, static_cast<uint64_t>(futures.size()));
+  EXPECT_EQ(totals.completed, totals.submitted);  // zero dropped
+  EXPECT_TRUE(totals.Settled());
+
+  // Guardrails: the last shard cannot be removed; unknown ids are NotFound.
+  EXPECT_EQ(router.RemoveShard(99).code(), Status::Code::kNotFound);
+  std::vector<uint64_t> ids = router.shard_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  ASSERT_TRUE(router.RemoveShard(ids[0]).ok());
+  EXPECT_EQ(router.RemoveShard(ids[1]).code(),
+            Status::Code::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet at tenant scale (the acceptance bar: 100+ tenants, full accounting)
+
+TEST_F(FleetTest, HundredTenantsServeConcurrentlyWithFullAccounting) {
+  constexpr int kTenants = 120;
+  TenantDirectory directory;
+  std::vector<std::string> tenants;
+  for (int t = 0; t < kTenants; ++t) tenants.push_back(TenantName(t));
+  // One shared base model: the realistic fleet shape, and the one that
+  // exercises cross-tenant batching at scale.
+  directory.PublishShared(tenants, MakeModel());
+
+  FleetConfig config;
+  config.shards = 4;
+  config.server.worker_threads = 2;
+  FleetRouter router(&directory, config);
+  ASSERT_TRUE(router.Start().ok());
+
+  FleetLoadgenOptions options;
+  options.tenants = kTenants;
+  options.zipf_theta = 1.2;
+  options.clients = 3;
+  options.duration_seconds = 0.4;
+  options.num_queries = workload_->num_queries();
+  options.seed = 13;
+  FleetLoadgenReport report = RunFleetLoadgen(&router, options);
+  router.Stop();
+
+  EXPECT_TRUE(report.CountersConsistent());
+  EXPECT_GT(report.completed, 0u);
+  EXPECT_EQ(report.failed, 0u);       // zero dropped / unserved
+  EXPECT_EQ(report.quota_violations, 0u);
+  ASSERT_EQ(report.per_tenant.size(), static_cast<size_t>(kTenants));
+  // Zipf head: the hottest tenant saw the most traffic.
+  EXPECT_GE(report.per_tenant[0].submitted, report.per_tenant[50].submitted);
+
+  // The router's own per-tenant accounting agrees with the client view.
+  TenantStats totals = router.totals();
+  EXPECT_EQ(totals.submitted, report.submitted);
+  EXPECT_EQ(totals.completed, report.completed);
+  EXPECT_TRUE(totals.Settled());
+  EXPECT_EQ(directory.size(), static_cast<size_t>(kTenants));
+}
+
+TEST_F(FleetTest, LoadgenFairnessUnderQuotaAndMidRunSwap) {
+  constexpr int kTenants = 16;
+  TenantDirectory directory;
+  std::vector<std::string> tenants;
+  for (int t = 0; t < kTenants; ++t) tenants.push_back(TenantName(t));
+  directory.PublishShared(tenants, MakeModel());
+
+  FleetConfig config;
+  config.shards = 2;
+  config.server.worker_threads = 2;
+  FleetRouter router(&directory, config);
+  // Throttle the hottest tenant hard; everyone else is unlimited.
+  router.SetQuota(TenantName(0), {/*rate_per_second=*/20.0, /*burst=*/5.0});
+  ASSERT_TRUE(router.Start().ok());
+
+  FleetLoadgenOptions options;
+  options.tenants = kTenants;
+  options.zipf_theta = 1.5;
+  options.clients = 3;
+  options.duration_seconds = 0.5;
+  options.num_queries = workload_->num_queries();
+  options.seed = 29;
+  std::atomic<bool> swapped{false};
+  FleetLoadgenReport report = RunFleetLoadgen(&router, options, [&] {
+    // Mid-run, hot-swap the hottest tenant only.
+    directory.Find(TenantName(0))->Publish(MakeModel());
+    swapped.store(true);
+  });
+  EXPECT_TRUE(swapped.load());
+  EXPECT_TRUE(report.CountersConsistent());
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.quota_violations, 0u);
+  // The throttled hot tenant was actually throttled...
+  EXPECT_GT(report.per_tenant[0].quota_rejected, 0u);
+  // ...but kept progressing within its budget.
+  EXPECT_GT(report.per_tenant[0].completed, 0u);
+  // Its hot swap happened and landed only on it. The loadgen may or may not
+  // have squeezed a post-swap grant through the throttle (under TSan the run
+  // completes few requests), so observe v2 directly: retry until the bucket
+  // refills a token (20/s), then the granted request must serve version 2.
+  SuggestResponse post_swap;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    post_swap = router.Suggest(TenantName(0), Mix(0));
+    if (post_swap.status.code() != Status::Code::kResourceExhausted) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  router.Stop();
+  ASSERT_TRUE(post_swap.status.ok()) << post_swap.status.message();
+  EXPECT_EQ(post_swap.model_version, 2u);
+  // Only tenant 0 was republished, so any v2 completions in the report were
+  // its; every version the fleet served is 1 or 2.
+  for (const auto& [version, count] : report.completed_per_version) {
+    EXPECT_TRUE(version == 1 || version == 2) << "version " << version;
+  }
+  for (int t = 1; t < kTenants; ++t) {
+    EXPECT_EQ(directory.Find(TenantName(t))->current_version(), 1u);
+  }
+  EXPECT_EQ(directory.Find(TenantName(0))->current_version(), 2u);
+}
+
+}  // namespace
+}  // namespace lpa::fleet

@@ -297,6 +297,47 @@ TEST(CliTest, RejectsUnknownFlagMissingValueAndBadNumber) {
   EXPECT_FALSE(parser.Parse(3, const_cast<char**>(bad), &error));
 }
 
+void RegisterThreadsFlagTwice() {
+  cli::FlagParser parser;
+  int a = 0;
+  int b = 0;
+  parser.AddInt("threads", "", &a);
+  parser.AddInt("threads", "", &b);
+}
+
+void RegisterAliasWithoutTarget() {
+  cli::FlagParser parser;
+  parser.AddAlias("engine", "profile");  // target never registered
+}
+
+void ParseOrExitUnknownFlag() {
+  cli::FlagParser parser;
+  int threads = 1;
+  parser.AddInt("threads", "", &threads);
+  const char* argv[] = {"bin", "--bogus"};
+  parser.ParseOrExit(2, const_cast<char**>(argv));
+}
+
+TEST(CliTest, DuplicateFlagRegistrationAborts) {
+  // A silently shadowed flag would leave one registration dead; the parser
+  // treats it as a programmer error and aborts at registration time.
+  EXPECT_DEATH(RegisterThreadsFlagTwice(), "duplicate registration");
+  EXPECT_DEATH(RegisterAliasWithoutTarget(), "targets unregistered");
+}
+
+TEST(CliTest, ParseOrExitPrintsUsageAndExitsNonZeroOnUnknownFlag) {
+  EXPECT_EXIT(ParseOrExitUnknownFlag(), ::testing::ExitedWithCode(2),
+              "usage: bin");
+
+  // The happy path neither exits nor prints.
+  cli::FlagParser parser;
+  int threads = 1;
+  parser.AddInt("threads", "", &threads);
+  const char* argv[] = {"bin", "--threads", "6"};
+  parser.ParseOrExit(3, const_cast<char**>(argv));
+  EXPECT_EQ(threads, 6);
+}
+
 TEST(CliTest, CommonOptionsValidate) {
   cli::CommonOptions common;
   std::string error;

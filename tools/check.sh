@@ -6,6 +6,7 @@
 #   $ tools/check.sh tsan            # ThreadSanitizer on the threaded tests
 #   $ tools/check.sh perf            # Release micro-bench: incremental costing
 #   $ tools/check.sh serve           # TSan serving tests + loadgen smoke
+#   $ tools/check.sh fleet           # TSan fleet tests + 100-tenant smoke
 #   $ LPA_SANITIZE=undefined tools/check.sh
 #   $ BUILD_DIR=build-asan tools/check.sh
 #   $ CTEST_FILTER=advisor tools/check.sh tsan
@@ -20,6 +21,15 @@
 # halftime hot swap). The loadgen asserts its correctness counters — every
 # request completed, rejected, or shed; zero dropped — and exits non-zero on
 # violation; BENCH_serving.json lands in $LPA_METRICS_DIR (or build-tsan).
+#
+# The fleet preset builds the multi-tenant fleet tests and lpa_loadgen under
+# TSan, runs the fleet + serving tests, then drives a 100-tenant loadgen
+# smoke (Zipf tenant popularity, 4 shards, per-tenant quotas, halftime hot
+# swap of the hottest tenants). The loadgen exits non-zero on any dropped
+# request, counter inconsistency, or token-bucket quota violation. Note on
+# few-core hosts the worker sweep cannot show throughput scaling — the smoke
+# asserts the correctness counters instead (waiver recorded in
+# BENCH_serving.json metadata as scaling_waiver).
 #
 # The perf preset builds Release into build-perf and runs the post-benchmark
 # kernels of bench_micro_components (google benchmarks filtered out): the
@@ -65,10 +75,33 @@ if [[ "${PRESET}" == "serve" ]]; then
   echo "== OK: serving tests TSan-clean, loadgen counters consistent =="
   exit 0
 fi
+if [[ "${PRESET}" == "fleet" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  echo "== configure (${BUILD_DIR}, -fsanitize=thread) =="
+  cmake -B "${BUILD_DIR}" -S . -DLPA_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "== build fleet_test + serving_test + lpa_loadgen =="
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target fleet_test serving_test \
+    lpa_loadgen
+  echo "== fleet + serving tests (TSan) =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+      -R 'fleet_test|serving_test'
+  echo "== fleet smoke: 100 tenants, 4 shards, quotas, halftime hot swap =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  LPA_METRICS_DIR="${LPA_METRICS_DIR:-${BUILD_DIR}}" \
+  LPA_BENCH_SCALE="${LPA_BENCH_SCALE:-4}" \
+    "${BUILD_DIR}/tools/lpa_loadgen" --schema micro --episodes 16 \
+      --tenants 100 --shards 4 --workers 2 --clients 3 --duration 2 \
+      --hotswap --quota-rate 200 --quota-burst 50
+  echo "== OK: fleet TSan-clean; zero drops, zero quota violations =="
+  exit 0
+fi
 if [[ "${PRESET}" == "tsan" ]]; then
   SANITIZE="${LPA_SANITIZE:-thread}"
   BUILD_DIR="${BUILD_DIR:-build-tsan}"
-  CTEST_FILTER="${CTEST_FILTER:-parallel_eval_test|serving_test}"
+  CTEST_FILTER="${CTEST_FILTER:-parallel_eval_test|serving_test|fleet_test}"
 else
   SANITIZE="${LPA_SANITIZE:-address,undefined}"
   BUILD_DIR="${BUILD_DIR:-build-sanitize}"

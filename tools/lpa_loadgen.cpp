@@ -7,14 +7,28 @@
 //   $ ./build/tools/lpa_loadgen --workers 1,2,8 --duration 5 --hotswap
 //   $ ./build/tools/lpa_loadgen --mode open --qps 200 --deadline 0.05
 //
+// --tenants N (> 0) switches to multi-tenant fleet mode: N tenants with
+// Zipf-distributed popularity are sharded across --shards AdvisorServer
+// instances behind a fleet::FleetRouter, sharing --model-pool base models
+// (tenant i serves pool model i mod K, so cross-tenant batching engages).
+// --quota-rate/--quota-burst meter every tenant's admission with a token
+// bucket; --hotswap republishes the hottest tenants' models at halftime.
+// Per-tenant p50/p95/p99 and fairness counters go to BENCH_serving.json;
+// stdout shows the aggregate sweep plus the hottest tenants.
+//
+//   $ ./build/tools/lpa_loadgen --schema micro --tenants 100 --shards 4 \
+//       --quota-rate 200 --quota-burst 50 --hotswap
+//
 // --hotswap publishes a snapshot-restored model version halfway through
 // each run; completed requests are then accounted per model version and the
 // tool verifies none were dropped during the swap. The tool exits non-zero
 // if any correctness counter is violated (submitted != completed + rejected
-// + shed + failed, a non-OK unexpected status, or per-version counts that
-// do not sum to the completed total) — throughput is hardware-dependent and
-// never asserted, so the check is meaningful on 1-CPU hosts too.
+// + shed + failed, a non-OK unexpected status, per-version counts that do
+// not sum to the completed total, or a token-bucket quota violation) —
+// throughput is hardware-dependent and never asserted, so the check is
+// meaningful on 1-CPU hosts too.
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -23,6 +37,9 @@
 
 #include "advisor/serialization.h"
 #include "bench/bench_common.h"
+#include "fleet/fleet_loadgen.h"
+#include "fleet/router.h"
+#include "fleet/tenant_directory.h"
 #include "serving/loadgen.h"
 #include "serving/model_registry.h"
 #include "serving/server.h"
@@ -71,6 +88,12 @@ int main(int argc, char** argv) {
   double batch_window = 200e-6;
   double deadline = 0.0;
   bool hotswap = false;
+  int tenants = 0;
+  double zipf = 1.2;
+  int shards = 4;
+  int model_pool = 1;
+  double quota_rate = 0.0;
+  double quota_burst = 0.0;
 
   cli::FlagParser parser;
   common.Register(&parser);
@@ -90,13 +113,29 @@ int main(int argc, char** argv) {
                    &deadline);
   parser.AddBool("hotswap", "publish a new model version at halftime",
                  &hotswap);
+  parser.AddInt("tenants", "multi-tenant fleet mode: tenant count (0 = off)",
+                &tenants);
+  parser.AddDouble("zipf", "tenant-popularity Zipf exponent", &zipf);
+  parser.AddInt("shards", "fleet mode: AdvisorServer shard count", &shards);
+  parser.AddInt("model-pool", "fleet mode: distinct shared base models",
+                &model_pool);
+  parser.AddDouble("quota-rate", "fleet mode: per-tenant tokens per second",
+                   &quota_rate);
+  parser.AddDouble("quota-burst",
+                   "fleet mode: per-tenant burst (0 = unlimited)",
+                   &quota_burst);
+  parser.ParseOrExit(argc, argv);
   std::string error;
-  if (!parser.Parse(argc, argv, &error) || !common.Validate(&error)) {
+  if (!common.Validate(&error)) {
     std::cerr << error << "\n" << parser.Usage(argv[0]);
     return 2;
   }
   if (mode != "closed" && mode != "open") {
     std::cerr << "--mode must be closed or open\n";
+    return 2;
+  }
+  if (tenants > 0 && (shards < 1 || model_pool < 1)) {
+    std::cerr << "--shards and --model-pool must be >= 1\n";
     return 2;
   }
   std::vector<int> worker_counts = ParseWorkerList(workers_spec, &error);
@@ -111,10 +150,26 @@ int main(int argc, char** argv) {
   auto kind = common.profile == "disk" ? bench::EngineKind::kDiskBased
                                        : bench::EngineKind::kInMemory;
   report.set_engine_profile(bench::EngineName(kind));
-  report.Note("mode", mode);
+  report.Note("mode", tenants > 0 ? "fleet" : mode);
   report.Note("hotswap", hotswap ? "yes" : "no");
   report.Note("hardware_threads",
               std::to_string(std::thread::hardware_concurrency()));
+  if (tenants > 0) {
+    report.Note("tenants", std::to_string(tenants));
+    report.Note("shards", std::to_string(shards));
+    report.Note("model_pool", std::to_string(model_pool));
+    report.Note("zipf_theta", FormatDouble(zipf, 2));
+    report.Note("quota_rate", FormatDouble(quota_rate, 1));
+    report.Note("quota_burst", FormatDouble(quota_burst, 1));
+  }
+  // Worker-count sweeps on few-core hosts cannot show throughput scaling;
+  // the sweep is kept for its correctness counters (zero drops, quota
+  // enforcement, per-version accounting), which hold at any core count.
+  report.Note("scaling_waiver",
+              "throughput scaling not asserted: " +
+                  std::to_string(std::thread::hardware_concurrency()) +
+                  " hardware thread(s); correctness counters asserted "
+                  "instead");
 
   // --- Train once, snapshot, publish (Fig 1: train, then serve) ----------
   bench::Testbed tb = bench::MakeTestbed(
@@ -144,6 +199,172 @@ int main(int argc, char** argv) {
   serving::InferenceBatcher::Config batch;
   batch.max_batch = max_batch;
   batch.window_seconds = batch_window;
+
+  // --- Multi-tenant fleet sweep -------------------------------------------
+  if (tenants > 0) {
+    auto load_model = [&]() -> std::shared_ptr<serving::ServingModel> {
+      std::istringstream snap(snapshot_bytes);
+      auto model = serving::ServingModel::FromSnapshot(
+          tb.schema.get(), *tb.workload, config, tb.exact_model.get(), snap,
+          batch);
+      if (!model.ok()) {
+        std::cerr << "model load failed: " << model.status().ToString()
+                  << "\n";
+        return nullptr;
+      }
+      return *model;
+    };
+
+    // K distinct base models; tenant i serves pool model i mod K, so each
+    // pool group shares one ServingModel instance and its batcher —
+    // cross-tenant batching at fleet scale.
+    std::vector<std::shared_ptr<serving::ServingModel>> pool;
+    for (int k = 0; k < model_pool; ++k) {
+      auto model = load_model();
+      if (model == nullptr) return 1;
+      pool.push_back(std::move(model));
+    }
+
+    TablePrinter table({"workers", "submitted", "quota_rej", "completed",
+                        "rejected", "shed", "p50", "p95", "p99", "throughput",
+                        "versions"});
+    bool counters_ok = true;
+    for (int workers : worker_counts) {
+      fleet::TenantDirectory directory;
+      std::vector<std::vector<std::string>> groups(pool.size());
+      for (int t = 0; t < tenants; ++t) {
+        groups[static_cast<size_t>(t) % pool.size()].push_back(
+            fleet::TenantName(t));
+      }
+      for (size_t k = 0; k < pool.size(); ++k) {
+        directory.PublishShared(groups[k], pool[k]);
+      }
+
+      fleet::FleetConfig fleet_config;
+      fleet_config.shards = shards;
+      fleet_config.vnodes_per_shard = 64;
+      fleet_config.server.worker_threads = workers;
+      fleet_config.server.queue_capacity =
+          static_cast<size_t>(queue_capacity);
+      fleet_config.server.batch = batch;
+      fleet_config.server.default_deadline_seconds = deadline;
+      fleet_config.default_quota = {quota_rate, quota_burst};
+      fleet::FleetRouter router(&directory, fleet_config);
+      if (Status st = router.Start(); !st.ok()) {
+        std::cerr << "fleet start failed: " << st.ToString() << "\n";
+        return 1;
+      }
+
+      fleet::FleetLoadgenOptions options;
+      options.tenants = tenants;
+      options.zipf_theta = zipf;
+      options.clients = clients;
+      options.duration_seconds = duration;
+      options.seed = HashCombine(common.seed, static_cast<uint64_t>(workers));
+      options.num_queries = num_queries;
+
+      std::function<void()> at_halftime;
+      if (hotswap) {
+        at_halftime = [&] {
+          // Republish the hottest tenants only: tenant-scoped hot swaps
+          // under the heaviest traffic, while the long tail keeps serving
+          // its original version.
+          int n = std::min(5, tenants);
+          for (int t = 0; t < n; ++t) {
+            auto model = load_model();
+            if (model == nullptr) return;
+            directory.Find(fleet::TenantName(t))->Publish(std::move(model));
+          }
+          std::cerr << "  hot-swapped the " << n << " hottest tenant(s)\n";
+        };
+      }
+
+      std::cerr << "fleet loadgen: " << tenants << " tenant(s), " << shards
+                << " shard(s), " << workers << " worker(s)/shard, "
+                << duration << "s...\n";
+      fleet::FleetLoadgenReport run =
+          fleet::RunFleetLoadgen(&router, options, at_halftime);
+      router.Stop();
+
+      std::string versions;
+      for (const auto& [version, count] : run.completed_per_version) {
+        if (!versions.empty()) versions += " ";
+        versions +=
+            "v" + std::to_string(version) + ":" + std::to_string(count);
+      }
+      table.AddRow({std::to_string(workers), std::to_string(run.submitted),
+                    std::to_string(run.quota_rejected),
+                    std::to_string(run.completed),
+                    std::to_string(run.rejected), std::to_string(run.shed),
+                    Ms(run.latency_p50), Ms(run.latency_p95),
+                    Ms(run.latency_p99),
+                    FormatDouble(run.throughput_qps, 1) + "/s",
+                    versions.empty() ? "-" : versions});
+
+      // Full per-tenant fairness table into BENCH_serving.json; stdout only
+      // shows the Zipf head below.
+      TablePrinter per_tenant({"tenant", "submitted", "quota_rej",
+                               "completed", "rejected", "shed", "failed",
+                               "p50", "p95", "p99"});
+      for (const fleet::TenantOutcome& t : run.per_tenant) {
+        per_tenant.AddRow(
+            {t.tenant, std::to_string(t.submitted),
+             std::to_string(t.quota_rejected), std::to_string(t.completed),
+             std::to_string(t.rejected), std::to_string(t.shed),
+             std::to_string(t.failed), t.completed > 0 ? Ms(t.p50) : "-",
+             t.completed > 0 ? Ms(t.p95) : "-",
+             t.completed > 0 ? Ms(t.p99) : "-"});
+      }
+      report.Record("fleet per-tenant outcomes (workers=" +
+                        std::to_string(workers) + ")",
+                    per_tenant);
+
+      std::cout << "\nhottest tenants (workers=" << workers << "):\n";
+      TablePrinter head({"tenant", "submitted", "quota_rej", "completed",
+                         "p50", "p99"});
+      for (int t = 0; t < std::min(5, tenants); ++t) {
+        const fleet::TenantOutcome& outcome =
+            run.per_tenant[static_cast<size_t>(t)];
+        head.AddRow({outcome.tenant, std::to_string(outcome.submitted),
+                     std::to_string(outcome.quota_rejected),
+                     std::to_string(outcome.completed),
+                     outcome.completed > 0 ? Ms(outcome.p50) : "-",
+                     outcome.completed > 0 ? Ms(outcome.p99) : "-"});
+      }
+      head.Print();
+
+      fleet::TenantStats totals = router.totals();
+      bool run_ok = run.CountersConsistent() && run.failed == 0 &&
+                    run.quota_violations == 0 && totals.Settled() &&
+                    totals.submitted == run.submitted;
+      if (!run_ok) {
+        std::cerr << "COUNTER VIOLATION at " << workers << " worker(s): "
+                  << "submitted=" << run.submitted
+                  << " quota_rejected=" << run.quota_rejected
+                  << " completed=" << run.completed
+                  << " rejected=" << run.rejected << " shed=" << run.shed
+                  << " failed=" << run.failed
+                  << " quota_violations=" << run.quota_violations << "\n";
+        counters_ok = false;
+      }
+    }
+
+    report.Table("fleet load sweep (latency = submit-to-response)", table);
+    if (common.metrics) {
+      std::cout << "\n" << telemetry::MetricsRegistry::Global().ToTable();
+    }
+    report.Write();
+
+    if (!counters_ok) {
+      std::cerr << "FAILED: fleet correctness counters violated\n";
+      return 1;
+    }
+    std::cout << "OK: every request accounted for across " << tenants
+              << " tenant(s), zero quota violations, zero dropped\n";
+    return 0;
+  }
+
+  // --- Single-tenant sweep ------------------------------------------------
   serving::ModelRegistry registry;
   registry.Publish(std::make_shared<serving::ServingModel>(
       std::move(advisor), tb.exact_model.get(), batch));
