@@ -19,6 +19,14 @@
 // co-batchable requests. --metrics prints the telemetry counters (including
 // serving.* and the batch-size histogram); --metrics-json writes them as
 // JSON.
+//
+// --autopilot inserts a third act between the eras and the fleet: a
+// snapshot-restored standby becomes the incumbent of the closed-loop
+// autopilot, which takes over the live registry. While concurrent callers
+// keep hitting the running server, the loop ticks through the scripted
+// --drift-scenario — detects the drift, retrains in the background,
+// validates, hot-swaps, and (in the forced-regression drill) rolls back —
+// with every in-flight request finishing on the version it started with.
 
 #include <algorithm>
 #include <future>
@@ -29,8 +37,12 @@
 #include <vector>
 
 #include "advisor/advisor.h"
+#include "advisor/advisor_handle.h"
 #include "advisor/serialization.h"
 #include "advisor/workload_monitor.h"
+#include "autopilot/autopilot.h"
+#include "autopilot/scenario_driver.h"
+#include "autopilot/scenarios.h"
 #include "engine/cluster.h"
 #include "fleet/router.h"
 #include "fleet/tenant_directory.h"
@@ -46,13 +58,15 @@ int main(int argc, char** argv) {
 
   cli::CommonOptions common;
   common.seed = 9;  // this example's historical fixed seed
+  autopilot::AutopilotOptions autopilot_options;
   double batch_window = 200e-6;
   cli::FlagParser parser;
   common.Register(&parser);
+  autopilot_options.Register(&parser);
   parser.AddDouble("batch-window", "batching window seconds", &batch_window);
   parser.ParseOrExit(argc, argv);
   std::string error;
-  if (!common.Validate(&error)) {
+  if (!common.Validate(&error) || !autopilot_options.Validate(&error)) {
     std::cerr << error << "\n" << parser.Usage(argv[0]);
     return 2;
   }
@@ -202,6 +216,85 @@ int main(int argc, char** argv) {
     std::cout << "data movement took " << move_seconds
               << "s (simulated); workload now runs in "
               << cluster.ExecuteWorkload(era_workload) << "s\n";
+  }
+
+  // --- Autopilot act (--autopilot): the closed loop takes over ------------
+  // A snapshot-restored standby becomes the incumbent; the autopilot
+  // publishes into the SAME registry the running server serves, so every
+  // detector-driven swap below lands under live concurrent traffic.
+  if (autopilot_options.autopilot) {
+    autopilot::ScenarioKind kind = *autopilot_options.Kind();  // validated
+    std::cout << "\n=== autopilot: scenario "
+              << autopilot::ScenarioName(kind) << " ===\n";
+    AdvisorHandle standby(&schema, workload, config);
+    if (Status st = standby.Restore(snapshot_bytes); !st.ok()) {
+      std::cerr << "standby restore error: " << st.ToString() << "\n";
+      return 1;
+    }
+    if (Status st = standby.BindCostModel(&cost_model); !st.ok()) {
+      std::cerr << "standby bind error: " << st.ToString() << "\n";
+      return 1;
+    }
+
+    autopilot::AutopilotConfig loop;
+    // Synchronous retrain: the verdict tick blocks until the candidate is
+    // trained, validated, and swapped — while the requests submitted just
+    // below are in flight on the server (lpa_loadgen --autopilot exercises
+    // the async flavor under sustained traffic).
+    loop.retrain.async = false;
+    loop.retrain.episodes = 24;  // snappy demo-scale retrains
+    loop.retrain.batch = batch;
+    loop.retrain.seed = common.seed + 17;
+    autopilot::ApplyScenarioOverrides(kind, &loop);
+    autopilot::Autopilot pilot(std::move(standby), &cost_model, loop);
+    pilot.AddTarget(&registry);
+    if (Status st = pilot.Start(monitor.CurrentFrequencies()); !st.ok()) {
+      std::cerr << "autopilot start error: " << st.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "autopilot deployed its incumbent as v"
+              << registry.current_version() << "\n";
+
+    autopilot::ScenarioDriver driver(&pilot, kind, common.seed + 23);
+    const int ticks = autopilot_options.autopilot_ticks > 0
+                          ? autopilot_options.autopilot_ticks
+                          : driver.default_ticks();
+    const std::vector<double> base_mix = monitor.CurrentFrequencies();
+    auto tick_once = [&]() -> bool {
+      // Concurrent callers during the control tick: they coalesce in the
+      // server's batcher and ride any swap on the RCU guarantee.
+      std::vector<std::future<serving::SuggestResponse>> inflight;
+      for (int i = 0; i < 3; ++i) {
+        std::vector<double> variant = base_mix;
+        for (double& f : variant) f *= rng.Uniform(0.9, 1.1);
+        inflight.push_back(server.SubmitAsync(std::move(variant)));
+      }
+      auto outcome = driver.Step(&std::cout);
+      for (auto& future : inflight) {
+        serving::SuggestResponse response = future.get();
+        if (!response.status.ok()) {
+          std::cerr << "suggest error during autopilot: "
+                    << response.status.ToString() << "\n";
+          return false;
+        }
+      }
+      return outcome.ok();
+    };
+    for (int t = 0; t < ticks; ++t) {
+      if (!tick_once()) return 1;
+    }
+    // Let a still-running background retrain land before the curtain.
+    for (int t = 0; t < 30 && (pilot.controller().busy() ||
+                               pilot.controller().in_probation());
+         ++t) {
+      if (!tick_once()) return 1;
+    }
+    const auto& counters = pilot.counters();
+    std::cout << "autopilot: " << driver.drift_events()
+              << " drift event(s), " << counters.retrains << " retrain(s), "
+              << counters.swaps << " swap(s), " << counters.rollbacks
+              << " rollback(s); serving model now v"
+              << registry.current_version() << "\n";
   }
 
   server.Stop();

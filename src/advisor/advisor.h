@@ -60,10 +60,14 @@ class PartitioningAdvisor {
   /// constructor consumed — `dqn.*`, `seed`, `reserve_query_slots` — are not
   /// re-read by later phases; changing them here has no effect.
   AdvisorConfig& mutable_config() { return config_; }
-  /// \brief Adjust the online-phase episode budget before TrainOnline.
-  /// DEPRECATED: use `mutable_config().online_episodes` instead; this
-  /// one-field setter predates mutable_config() and will be removed.
-  void set_online_episodes(int episodes) { config_.online_episodes = episodes; }
+
+  // ------------------------------------------------------------------
+  // Training entry points. DEPRECATED as direct calls: new code should
+  // drive training through `advisor::AdvisorHandle` (advisor_handle.h),
+  // whose Status-returning Train(TrainSpec) subsumes all three phases and
+  // never aborts on misuse. These remain as thin shims for one release;
+  // the handle forwards to them internally.
+  // ------------------------------------------------------------------
 
   /// \brief Phase 1 (Sec 4.1): bootstrap against the cost-model simulation.
   /// `sampler` defaults to uniformly sampled workload mixes. `ctx` supplies

@@ -1,0 +1,87 @@
+#include "autopilot/autopilot.h"
+
+#include <utility>
+
+namespace lpa::autopilot {
+
+Autopilot::Autopilot(advisor::AdvisorHandle incumbent,
+                     const costmodel::CostModel* model, AutopilotConfig config)
+    : monitor_(config.monitor),
+      controller_(std::move(incumbent), model, std::move(config.retrain)) {}
+
+void Autopilot::AddTarget(serving::ModelRegistry* target) {
+  controller_.AddTarget(target);
+}
+
+Status Autopilot::Start(const std::vector<double>& initial_mix) {
+  return controller_.Deploy(initial_mix);
+}
+
+void Autopilot::UpdateCostModel(const costmodel::CostModel* model) {
+  controller_.UpdateCostModel(model);
+}
+
+Result<TickOutcome> Autopilot::Tick(const WorkloadSample& sample) {
+  // 1. Absorb structurally new queries into the incumbent first: the slots
+  //    are zero-initialized, so serving behaviour is unchanged until the
+  //    schema-change verdict triggers the incremental retrain. Queries that
+  //    arrive mid-retrain are buffered until the worker finishes.
+  for (const auto& q : sample.new_queries) pending_queries_.push_back(q);
+  if (!pending_queries_.empty() && !controller_.busy()) {
+    auto absorbed = controller_.AbsorbQueries(std::move(pending_queries_));
+    pending_queries_.clear();
+    if (!absorbed.ok()) return absorbed.status();
+  }
+
+  // 2. Detectors observe the tick (schema changes accumulate as pending
+  //    until out of cooldown, so nothing is lost while adapting).
+  DriftVerdict verdict = monitor_.Observe(sample);
+
+  // 3. Probation advances under the observed mix; a closing window may
+  //    roll the previous incumbent back.
+  if (auto outcome = controller_.StepProbation(monitor_.smoothed_mix())) {
+    if (verdict.triggered()) deferred_ = verdict;
+    if (outcome->action != TickOutcome::Action::kNone) {
+      monitor_.MarkAdapted();
+    }
+    return *outcome;
+  }
+
+  // 4. Harvest a finished background retrain.
+  if (auto outcome = controller_.Poll()) {
+    if (verdict.triggered()) deferred_ = verdict;
+    monitor_.MarkAdapted();
+    return *outcome;
+  }
+
+  // 5. Launch on a fresh (or deferred) verdict when the controller is free.
+  if (!verdict.triggered() && deferred_.has_value() && !controller_.busy() &&
+      !controller_.in_probation() && !monitor_.in_cooldown()) {
+    verdict = *deferred_;
+    deferred_.reset();
+  }
+  if (verdict.triggered()) {
+    if (controller_.busy() || controller_.in_probation()) {
+      deferred_ = verdict;
+      TickOutcome out;
+      out.verdict = verdict;
+      out.detail = "deferred: controller busy";
+      return out;
+    }
+    auto outcome = controller_.HandleDrift(
+        verdict, monitor_.RecentMixes(/*k=*/8), monitor_.smoothed_mix());
+    if (!outcome.ok()) return outcome.status();
+    if (outcome->action != TickOutcome::Action::kRetrainStarted) {
+      // Synchronous retrain finished within the tick (swap or rejection
+      // both count as "adapted": the incumbent is the best known design).
+      monitor_.MarkAdapted();
+    }
+    return *outcome;
+  }
+
+  TickOutcome out;
+  out.verdict = verdict;
+  return out;
+}
+
+}  // namespace lpa::autopilot

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "autopilot/drift_monitor.h"
+#include "autopilot/retrain_controller.h"
+
+namespace lpa::autopilot {
+
+struct AutopilotConfig {
+  DriftMonitorConfig monitor;
+  RetrainConfig retrain;
+};
+
+/// \brief The closed loop: feed one `WorkloadSample` per tick and the
+/// autopilot watches for drift (`DriftMonitor`), retrains + validates a
+/// candidate on drift (`RetrainController`), hot-swaps it through every
+/// registered `serving::ModelRegistry` / tenant namespace, and rolls back
+/// automatically when the fresh deployment regresses. No manual step
+/// anywhere: `Start` once, then `Tick` forever.
+///
+/// Single-threaded control plane: call Tick/UpdateCostModel/AddTarget from
+/// one thread. With `retrain.async = true` the training itself runs on a
+/// background thread and Tick stays cheap — serving traffic against the
+/// published registries continues concurrently throughout (the RCU swap
+/// guarantees in-flight requests finish on the version they started with).
+class Autopilot {
+ public:
+  Autopilot(advisor::AdvisorHandle incumbent,
+            const costmodel::CostModel* model, AutopilotConfig config = {});
+
+  /// \brief Register a hot-swap target (a tenant's registry from
+  /// `fleet::TenantDirectory::GetOrCreate`, or a standalone registry).
+  /// Call before `Start`.
+  void AddTarget(serving::ModelRegistry* target);
+
+  /// \brief Initial rollout: suggest + publish for the starting mix.
+  Status Start(const std::vector<double>& initial_mix);
+
+  /// \brief One control-loop tick. Absorbs structurally new queries, runs
+  /// the detectors, advances probation, harvests finished background
+  /// retrains, and launches a retrain on a fresh verdict.
+  Result<TickOutcome> Tick(const WorkloadSample& sample);
+
+  /// \brief Cost-model recalibration (hardware telemetry changed — e.g. a
+  /// noisy neighbor now contends for the interconnect).
+  void UpdateCostModel(const costmodel::CostModel* model);
+
+  const partition::PartitioningState& deployed_design() const {
+    return controller_.deployed_design();
+  }
+  const RetrainController::Counters& counters() const {
+    return controller_.counters();
+  }
+  DriftMonitor& monitor() { return monitor_; }
+  RetrainController& controller() { return controller_; }
+
+ private:
+  DriftMonitor monitor_;
+  RetrainController controller_;
+  /// Verdict that fired while the controller was busy/probating; replayed
+  /// as soon as it frees up so no drift event is ever dropped.
+  std::optional<DriftVerdict> deferred_;
+  /// New queries that arrived while a retrain was in flight.
+  std::vector<workload::QuerySpec> pending_queries_;
+};
+
+}  // namespace lpa::autopilot

@@ -1,0 +1,176 @@
+#include "autopilot/drift_monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/registry.h"
+
+namespace lpa::autopilot {
+
+namespace {
+
+struct MonitorMetrics {
+  telemetry::Counter& triggers;
+  telemetry::Gauge& mix_distance;
+  telemetry::Gauge& cusum;
+
+  static MonitorMetrics& Get() {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static MonitorMetrics* m = new MonitorMetrics{
+        reg.GetCounter("autopilot.triggers.count"),
+        reg.GetGauge("autopilot.mix_distance"),
+        reg.GetGauge("autopilot.cusum")};
+    return *m;
+  }
+};
+
+/// L1-normalize to a probability vector (all-zero stays all-zero).
+std::vector<double> NormalizeL1(std::vector<double> v) {
+  double sum = 0.0;
+  for (double x : v) sum += std::max(0.0, x);
+  if (sum <= 0.0) return v;
+  for (double& x : v) x = std::max(0.0, x) / sum;
+  return v;
+}
+
+/// Total-variation distance between two probability vectors, padding the
+/// shorter with zeros. In [0, 1].
+double TotalVariation(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  size_t n = std::max(a.size(), b.size());
+  double l1 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double x = i < a.size() ? a[i] : 0.0;
+    double y = i < b.size() ? b[i] : 0.0;
+    l1 += std::abs(x - y);
+  }
+  return 0.5 * l1;
+}
+
+}  // namespace
+
+const char* DriftKindName(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kNone: return "none";
+    case DriftKind::kMixShift: return "mix_shift";
+    case DriftKind::kCostInflation: return "cost_inflation";
+    case DriftKind::kSchemaChange: return "schema_change";
+  }
+  return "unknown";
+}
+
+DriftMonitor::DriftMonitor(DriftMonitorConfig config) : config_(config) {}
+
+void DriftMonitor::GrowTo(size_t width) {
+  if (smoothed_.size() < width) smoothed_.resize(width, 0.0);
+  if (baseline_mix_.size() < width) baseline_mix_.resize(width, 0.0);
+}
+
+DriftVerdict DriftMonitor::Observe(const WorkloadSample& sample) {
+  ++ticks_;
+  const bool first = smoothed_.empty() && baseline_mix_.empty();
+
+  // --- Mix smoothing + history -------------------------------------------
+  std::vector<double> mix = NormalizeL1(sample.frequencies);
+  GrowTo(mix.size());
+  if (first) {
+    smoothed_ = mix;
+    baseline_mix_ = mix;
+  } else {
+    const double a = config_.mix_smoothing;
+    for (size_t i = 0; i < smoothed_.size(); ++i) {
+      double x = i < mix.size() ? mix[i] : 0.0;
+      smoothed_[i] = (1.0 - a) * smoothed_[i] + a * x;
+    }
+  }
+  history_.push_back(std::move(mix));
+  while (static_cast<int>(history_.size()) > std::max(1, config_.history)) {
+    history_.pop_front();
+  }
+
+  // --- Schema-change signal (pending until out of cooldown) --------------
+  pending_new_queries_ += static_cast<int>(sample.new_queries.size());
+
+  // --- Cost-inflation CUSUM ----------------------------------------------
+  if (sample.observed_cost >= 0.0) {
+    if (cost_baseline_count_ < config_.cost_baseline_ticks) {
+      cost_baseline_sum_ += sample.observed_cost;
+      ++cost_baseline_count_;
+    } else if (cost_baseline_sum_ > 0.0) {
+      double baseline = cost_baseline_sum_ / cost_baseline_count_;
+      double ratio = sample.observed_cost / baseline;
+      cusum_ = std::max(0.0, cusum_ + ratio - 1.0 - config_.cusum_slack);
+    }
+  }
+
+  auto& metrics = MonitorMetrics::Get();
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    // The EWMA is still settling toward the post-adaptation mix: keep the
+    // baseline tracking it so the tail of that convergence is not mistaken
+    // for a second drift once the cooldown expires.
+    baseline_mix_ = smoothed_;
+    mix_distance_ = 0.0;
+    mix_armed_ticks_ = 0;
+    metrics.mix_distance.Set(mix_distance_);
+    metrics.cusum.Set(cusum_);
+    return {};
+  }
+
+  // --- Mix-shift statistic with hysteresis + patience --------------------
+  mix_distance_ = TotalVariation(smoothed_, baseline_mix_);
+  if (mix_distance_ > config_.mix_trigger) {
+    ++mix_armed_ticks_;
+  } else if (mix_distance_ < config_.mix_clear) {
+    mix_armed_ticks_ = 0;
+  }  // inside the hysteresis band: hold the armed count.
+
+  metrics.mix_distance.Set(mix_distance_);
+  metrics.cusum.Set(cusum_);
+
+  DriftVerdict verdict;
+  if (pending_new_queries_ > 0) {
+    verdict.kind = DriftKind::kSchemaChange;
+    verdict.magnitude = pending_new_queries_;
+    verdict.reason = std::to_string(pending_new_queries_) +
+                     " structurally new queries since last adaptation";
+    pending_new_queries_ = 0;
+  } else if (cusum_ > config_.cusum_threshold) {
+    verdict.kind = DriftKind::kCostInflation;
+    verdict.magnitude = cusum_;
+    verdict.reason = "cost CUSUM " + std::to_string(cusum_) + " > " +
+                     std::to_string(config_.cusum_threshold);
+  } else if (mix_armed_ticks_ >= config_.mix_patience) {
+    verdict.kind = DriftKind::kMixShift;
+    verdict.magnitude = mix_distance_;
+    verdict.reason =
+        "mix TV distance " + std::to_string(mix_distance_) + " > " +
+        std::to_string(config_.mix_trigger) + " for " +
+        std::to_string(mix_armed_ticks_) + " ticks";
+  }
+  if (verdict.triggered()) metrics.triggers.Add();
+  return verdict;
+}
+
+void DriftMonitor::MarkAdapted() {
+  baseline_mix_ = smoothed_;
+  cusum_ = 0.0;
+  cost_baseline_sum_ = 0.0;
+  cost_baseline_count_ = 0;
+  mix_armed_ticks_ = 0;
+  mix_distance_ = 0.0;
+  cooldown_left_ = config_.cooldown_ticks;
+}
+
+std::vector<std::vector<double>> DriftMonitor::RecentMixes(int k) const {
+  std::vector<std::vector<double>> out;
+  int start = std::max(0, static_cast<int>(history_.size()) - k);
+  for (size_t i = static_cast<size_t>(start); i < history_.size(); ++i) {
+    std::vector<double> mix = history_[i];
+    mix.resize(smoothed_.size(), 0.0);
+    out.push_back(std::move(mix));
+  }
+  return out;
+}
+
+}  // namespace lpa::autopilot

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "workload/query.h"
+
+namespace lpa::autopilot {
+
+/// \brief Tuning of the three drift detectors. Defaults are chosen so a
+/// stable workload with realistic frequency jitter and cost noise NEVER
+/// triggers (asserted by tests/autopilot_test.cpp and the bench's
+/// stable-control run), while genuine drift fires within a few ticks.
+struct DriftMonitorConfig {
+  /// EWMA weight of the newest mix sample (higher = snappier, noisier).
+  double mix_smoothing = 0.35;
+  /// Total-variation distance (in [0, 1]) between the smoothed mix and the
+  /// baseline-at-last-adaptation that arms the mix-shift detector...
+  double mix_trigger = 0.22;
+  /// ...and the hysteresis level that disarms it. Between clear and trigger
+  /// the armed counter holds — an oscillating distance cannot re-accumulate
+  /// patience from zero each tick, nor fire on one spike.
+  double mix_clear = 0.10;
+  /// Consecutive above-trigger ticks before a mix-shift verdict.
+  int mix_patience = 3;
+  /// CUSUM slack k: relative cost inflation tolerated per tick (absorbs
+  /// engine noise and borderline plan flips).
+  double cusum_slack = 0.08;
+  /// CUSUM threshold h: accumulated excess inflation that fires the
+  /// bulk-update / noisy-neighbor cost detector.
+  double cusum_threshold = 0.75;
+  /// Ticks of observed cost averaged into the post-adaptation baseline.
+  int cost_baseline_ticks = 3;
+  /// Ticks after MarkAdapted() during which no verdict fires (the retrain/
+  /// swap settling window; also when the cost baseline re-accumulates).
+  int cooldown_ticks = 4;
+  /// Raw mixes retained for the holdout-validation window.
+  int history = 8;
+};
+
+enum class DriftKind {
+  kNone = 0,
+  kMixShift,      ///< the query-mix moved away from the adapted baseline
+  kCostInflation, ///< sustained workload-cost inflation at a similar mix
+  kSchemaChange,  ///< structurally new queries appeared
+};
+
+const char* DriftKindName(DriftKind kind);
+
+/// \brief One detector decision. `magnitude` is detector-specific: the TV
+/// distance for mix shift, the CUSUM statistic for cost inflation, the
+/// number of pending new queries for schema change.
+struct DriftVerdict {
+  DriftKind kind = DriftKind::kNone;
+  double magnitude = 0.0;
+  std::string reason;
+
+  bool triggered() const { return kind != DriftKind::kNone; }
+};
+
+/// \brief One observation tick: what the telemetry/monitoring plane saw
+/// since the last tick.
+struct WorkloadSample {
+  /// Observed query-mix frequencies (any non-negative scale; normalized
+  /// internally). May be wider than previous samples after a schema change.
+  std::vector<double> frequencies;
+  /// Measured frequency-weighted workload cost of the deployed design under
+  /// this mix (simulated seconds); < 0 when not measured this tick.
+  double observed_cost = -1.0;
+  /// Structurally new query templates the classifier could not map to any
+  /// known slot (`WorkloadMonitor::unknown_queries` in production).
+  std::vector<workload::QuerySpec> new_queries;
+};
+
+/// \brief Watches workload samples for the three drift families with
+/// hysteresis + patience + cooldown so that stable workloads never trigger.
+///
+/// Detector math (INTERNALS §10):
+///  - Mix shift: the observed mix is L1-normalized and EWMA-smoothed; the
+///    statistic is the total-variation distance `TV(smoothed, baseline)`,
+///    fired after `mix_patience` consecutive ticks above `mix_trigger`,
+///    disarmed only below `mix_clear` (hysteresis band).
+///  - Cost inflation: one-sided CUSUM on the relative cost ratio
+///    `x_t = cost_t / baseline`, `S_t = max(0, S_{t-1} + x_t - 1 - k)`,
+///    fired at `S_t > h`. The baseline is the mean of the first
+///    `cost_baseline_ticks` measured ticks after the last adaptation.
+///  - Schema change: new query templates accumulate in a pending counter
+///    and fire as soon as the monitor is out of cooldown (never lost, never
+///    thrashing a mid-swap controller).
+///
+/// Exactly one verdict fires per tick (schema > cost > mix priority); the
+/// controller calls `MarkAdapted()` after a swap/rejection/rollback, which
+/// re-baselines both detectors and starts the cooldown.
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftMonitorConfig config = {});
+
+  DriftVerdict Observe(const WorkloadSample& sample);
+
+  /// \brief Re-baseline after the controller adapted (swap, validated
+  /// rejection, rollback): the current smoothed mix becomes the reference,
+  /// the CUSUM resets, the cost baseline re-accumulates, cooldown starts.
+  void MarkAdapted();
+
+  /// \brief Up to `k` most recent raw (L1-normalized) mixes, oldest first,
+  /// zero-padded to the current width — the holdout-validation window.
+  std::vector<std::vector<double>> RecentMixes(int k) const;
+
+  const std::vector<double>& smoothed_mix() const { return smoothed_; }
+  double mix_distance() const { return mix_distance_; }
+  double cusum() const { return cusum_; }
+  bool in_cooldown() const { return cooldown_left_ > 0; }
+  int64_t ticks() const { return ticks_; }
+
+ private:
+  void GrowTo(size_t width);
+
+  DriftMonitorConfig config_;
+  int64_t ticks_ = 0;
+  std::vector<double> smoothed_;
+  std::vector<double> baseline_mix_;
+  std::deque<std::vector<double>> history_;
+  double mix_distance_ = 0.0;
+  int mix_armed_ticks_ = 0;
+  double cusum_ = 0.0;
+  double cost_baseline_sum_ = 0.0;
+  int cost_baseline_count_ = 0;
+  int pending_new_queries_ = 0;
+  int cooldown_left_ = 0;
+};
+
+}  // namespace lpa::autopilot

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "autopilot/autopilot.h"
+#include "autopilot/scenarios.h"
+#include "costmodel/cost_model.h"
+
+namespace lpa::autopilot {
+
+/// \brief Frequency-weighted cost of `design` over `workload` under the
+/// L1-normalized `mix` (resized to the workload width), priced by `model` —
+/// the `observed_cost` telemetry a production monitoring plane would feed
+/// the autopilot.
+double ObservedMixCost(const costmodel::CostModel* model,
+                       const workload::Workload* workload,
+                       const partition::PartitioningState& design,
+                       std::vector<double> mix);
+
+/// \brief The noisy neighbor's hardware profile: contention for compute and
+/// IO, not just the wire, so the slowdown reaches co-located designs too.
+costmodel::HardwareProfile ContendedProfile(costmodel::HardwareProfile profile);
+
+/// \brief Scenario-specific retrain overrides. Forced-regression disables
+/// the holdout gate and sabotages every candidate with the unpartitioned
+/// initial design, so the probation window's automatic rollback is drilled
+/// end to end; every other scenario leaves the config untouched.
+void ApplyScenarioOverrides(ScenarioKind kind, AutopilotConfig* config);
+
+/// \brief Drives a borrowed `Autopilot` through one scripted `DriftScenario`,
+/// tick by tick: prices the deployed design under each tick's mix with the
+/// controller's current cost model, switches to a contended pricing model
+/// when the scenario's noisy neighbor arrives (the contended model is owned
+/// here and outlives the loop), and tracks ground truth for the recovery
+/// report (drift events, detection latency). Shared by the `--autopilot`
+/// modes of `lpa_advise`, `advisor_service`, and `lpa_loadgen`.
+class ScenarioDriver {
+ public:
+  ScenarioDriver(Autopilot* pilot, ScenarioKind kind, uint64_t seed);
+
+  /// \brief One scenario tick through the autopilot. When `log` is non-null,
+  /// ticks where a detector or the controller acted get a one-line trace.
+  Result<TickOutcome> Step(std::ostream* log = nullptr);
+
+  int default_ticks() const { return scenario_.default_ticks(); }
+  int ticks() const { return tick_; }
+  int drift_events() const { return scenario_.drift_events(); }
+  /// Ticks from the first drift onset to the first detector verdict
+  /// (-1: no drift injected yet / never detected).
+  int detection_latency() const { return detection_latency_; }
+  /// Deployed-design cost under the most recent tick's mix.
+  double deployed_cost() const { return last_cost_; }
+  /// The most recent tick's (jittered) mix.
+  const std::vector<double>& last_mix() const { return last_mix_; }
+
+ private:
+  Autopilot* pilot_;
+  DriftScenario scenario_;
+  std::optional<costmodel::CostModel> contended_;
+  int tick_ = 0;
+  int first_onset_ = -1;
+  int detection_latency_ = -1;
+  double last_cost_ = 0.0;
+  std::vector<double> last_mix_;
+};
+
+}  // namespace lpa::autopilot

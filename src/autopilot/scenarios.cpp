@@ -1,0 +1,184 @@
+#include "autopilot/scenarios.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lpa::autopilot {
+
+namespace {
+
+// Tick at which the non-stable scenarios inject their drift event. Late
+// enough that the monitor's cost baseline and EWMA have settled.
+constexpr int kOnsetTick = 15;
+// Half-period of the diurnal square wave.
+constexpr int kDiurnalPeriod = 20;
+
+}  // namespace
+
+const char* ScenarioName(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kStable:
+      return "stable";
+    case ScenarioKind::kDiurnal:
+      return "diurnal";
+    case ScenarioKind::kFlashCrowd:
+      return "flash-crowd";
+    case ScenarioKind::kSchemaChange:
+      return "schema-change";
+    case ScenarioKind::kNoisyNeighbor:
+      return "noisy-neighbor";
+    case ScenarioKind::kForcedRegression:
+      return "forced-regression";
+  }
+  return "unknown";
+}
+
+Result<ScenarioKind> ParseScenario(const std::string& name) {
+  for (ScenarioKind kind : AllScenarios()) {
+    if (name == ScenarioName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown drift scenario '" + name +
+                                 "' (expected one of: stable, diurnal, "
+                                 "flash-crowd, schema-change, noisy-neighbor, "
+                                 "forced-regression)");
+}
+
+std::vector<ScenarioKind> AllScenarios() {
+  return {ScenarioKind::kStable,        ScenarioKind::kDiurnal,
+          ScenarioKind::kFlashCrowd,    ScenarioKind::kSchemaChange,
+          ScenarioKind::kNoisyNeighbor, ScenarioKind::kForcedRegression};
+}
+
+DriftScenario::DriftScenario(ScenarioKind kind, const schema::Schema* schema,
+                             const workload::Workload* workload, uint64_t seed)
+    : kind_(kind),
+      schema_(schema),
+      workload_(workload),
+      base_m_(workload->num_queries()),
+      m_(workload->num_queries()),
+      rng_(seed) {}
+
+int DriftScenario::default_ticks() const {
+  switch (kind_) {
+    case ScenarioKind::kStable:
+      return 60;
+    case ScenarioKind::kDiurnal:
+      return 2 * kDiurnalPeriod + kDiurnalPeriod / 2;  // two transitions
+    default:
+      return 40;
+  }
+}
+
+std::vector<double> DriftScenario::DayMix() const {
+  // Day traffic concentrates on the first half of the templates; absorbed
+  // (post-schema-change) slots ride along hot so the new queries matter.
+  std::vector<double> mix(static_cast<size_t>(m_), 0.08);
+  for (int i = 0; i < base_m_ / 2; ++i) mix[static_cast<size_t>(i)] = 1.0;
+  for (int i = base_m_; i < m_; ++i) mix[static_cast<size_t>(i)] = 1.0;
+  return mix;
+}
+
+std::vector<double> DriftScenario::NightMix() const {
+  std::vector<double> mix(static_cast<size_t>(m_), 0.08);
+  for (int i = base_m_ / 2; i < base_m_; ++i) mix[static_cast<size_t>(i)] = 1.0;
+  for (int i = base_m_; i < m_; ++i) mix[static_cast<size_t>(i)] = 1.0;
+  return mix;
+}
+
+std::vector<double> DriftScenario::Jitter(std::vector<double> mix) {
+  for (double& f : mix) f = std::max(0.0, f * rng_.Uniform(0.95, 1.05));
+  return mix;
+}
+
+workload::QuerySpec DriftScenario::NovelQuery(int slot, int serial) const {
+  // Clone an existing template into a fresh selectivity bucket with halved
+  // scan selectivities: a distinct workload-state entry (Sec 3.2 parameter
+  // bucketing) that still validates against the schema.
+  workload::QuerySpec q = workload_->query(slot);
+  q.name += "_novel" + std::to_string(serial);
+  q.selectivity_bucket += 100 + serial;
+  for (auto& scan : q.scans) {
+    scan.selectivity = std::max(0.001, scan.selectivity * 0.5);
+  }
+  q.output_fraction = std::min(1.0, q.output_fraction * 2.0);
+  return q;
+}
+
+ScenarioTick DriftScenario::Next() {
+  ScenarioTick out;
+  const int t = tick_++;
+  switch (kind_) {
+    case ScenarioKind::kStable:
+      out.mix = Jitter(DayMix());
+      break;
+
+    case ScenarioKind::kDiurnal: {
+      const bool night = (t / kDiurnalPeriod) % 2 == 1;
+      out.mix = Jitter(night ? NightMix() : DayMix());
+      out.drift_onset = t > 0 && t % kDiurnalPeriod == 0;
+      break;
+    }
+
+    case ScenarioKind::kFlashCrowd:
+    case ScenarioKind::kForcedRegression: {
+      // A single template suddenly dominates (forced-regression uses the
+      // same traffic shape; the sabotage happens in the retrain config).
+      std::vector<double> mix = DayMix();
+      if (t >= kOnsetTick) {
+        for (double& f : mix) f = 0.05;
+        mix[static_cast<size_t>(base_m_ - 1)] = 1.0;
+        out.drift_onset = t == kOnsetTick;
+      }
+      out.mix = Jitter(std::move(mix));
+      break;
+    }
+
+    case ScenarioKind::kSchemaChange: {
+      if (t == kOnsetTick) {
+        out.new_queries.push_back(NovelQuery(0, 1));
+        out.new_queries.push_back(NovelQuery(base_m_ / 2, 2));
+        m_ += static_cast<int>(out.new_queries.size());
+        out.drift_onset = true;
+      }
+      out.mix = Jitter(DayMix());
+      break;
+    }
+
+    case ScenarioKind::kNoisyNeighbor: {
+      out.mix = Jitter(DayMix());
+      out.contention_begins = t == kOnsetTick;
+      out.drift_onset = t == kOnsetTick;
+      break;
+    }
+  }
+  if (out.drift_onset) ++drift_events_;
+  return out;
+}
+
+void AutopilotOptions::Register(cli::FlagParser* parser) {
+  parser->AddBool("autopilot",
+                  "run the closed-loop autopilot against a drift scenario",
+                  &autopilot);
+  parser->AddString("drift-scenario",
+                    "drift scenario: stable|diurnal|flash-crowd|schema-change|"
+                    "noisy-neighbor|forced-regression",
+                    &drift_scenario);
+  parser->AddInt("autopilot-ticks",
+                 "scenario ticks to simulate (0 = scenario default)",
+                 &autopilot_ticks);
+}
+
+bool AutopilotOptions::Validate(std::string* error) const {
+  if (autopilot_ticks < 0) {
+    *error = "--autopilot-ticks must be >= 0";
+    return false;
+  }
+  auto kind = Kind();
+  if (!kind.ok()) {
+    *error = kind.status().message();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace lpa::autopilot

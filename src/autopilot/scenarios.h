@@ -1,0 +1,93 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace lpa::autopilot {
+
+/// \brief The injected drift scenarios of the bench sweep (and the tools'
+/// `--drift-scenario` flag).
+enum class ScenarioKind {
+  kStable,            ///< control run: jittered but stationary mix
+  kDiurnal,           ///< square-wave day/night mix oscillation
+  kFlashCrowd,        ///< one query suddenly dominates the mix
+  kSchemaChange,      ///< structurally new queries appear mid-run
+  kNoisyNeighbor,     ///< interconnect contention inflates costs
+  kForcedRegression,  ///< drift + sabotaged candidate: drills rollback
+};
+
+const char* ScenarioName(ScenarioKind kind);
+Result<ScenarioKind> ParseScenario(const std::string& name);
+std::vector<ScenarioKind> AllScenarios();
+
+/// \brief What the simulated environment does this tick.
+struct ScenarioTick {
+  /// Query-mix frequencies (width grows after a schema change).
+  std::vector<double> mix;
+  /// Structurally new query templates appearing this tick.
+  std::vector<workload::QuerySpec> new_queries;
+  /// The interconnect becomes contended from this tick on (the driver
+  /// switches to its contended cost model / engine profile).
+  bool contention_begins = false;
+  /// Ground-truth marker: a drift event starts here (for recovery curves).
+  bool drift_onset = false;
+};
+
+/// \brief Deterministic scripted workload evolution: emits one
+/// `ScenarioTick` per call. The "day" mix boosts the first half of the
+/// queries, the "night" mix the second half; every tick adds multiplicative
+/// jitter so stable phases still look like production traffic.
+class DriftScenario {
+ public:
+  DriftScenario(ScenarioKind kind, const schema::Schema* schema,
+                const workload::Workload* workload, uint64_t seed);
+
+  ScenarioKind kind() const { return kind_; }
+  int default_ticks() const;
+  /// Ground-truth drift events emitted so far.
+  int drift_events() const { return drift_events_; }
+
+  ScenarioTick Next();
+
+ private:
+  std::vector<double> DayMix() const;
+  std::vector<double> NightMix() const;
+  std::vector<double> Jitter(std::vector<double> mix);
+  /// A structurally new query: a clone of template `slot` in a fresh
+  /// selectivity bucket with halved scan selectivities.
+  workload::QuerySpec NovelQuery(int slot, int serial) const;
+
+  ScenarioKind kind_;
+  const schema::Schema* schema_;
+  const workload::Workload* workload_;
+  int base_m_;
+  int m_;  ///< current mix width (grows on schema change)
+  int tick_ = 0;
+  int drift_events_ = 0;
+  Rng rng_;
+};
+
+/// \brief The shared `--autopilot` flag group of `lpa_advise`,
+/// `advisor_service`, and `lpa_loadgen` — one spelling everywhere.
+struct AutopilotOptions {
+  bool autopilot = false;
+  std::string drift_scenario = "diurnal";
+  /// Scenario ticks to simulate; 0 picks the scenario default.
+  int autopilot_ticks = 0;
+
+  /// \brief Register --autopilot, --drift-scenario and --autopilot-ticks.
+  void Register(cli::FlagParser* parser);
+
+  /// \brief Post-parse validation (known scenario, non-negative ticks).
+  bool Validate(std::string* error) const;
+
+  Result<ScenarioKind> Kind() const { return ParseScenario(drift_scenario); }
+};
+
+}  // namespace lpa::autopilot

@@ -25,6 +25,8 @@ class Status {
     kUnavailable,        ///< transient overload / shutdown; retry later
     kDeadlineExceeded,   ///< request deadline passed before completion
     kResourceExhausted,  ///< per-tenant quota spent; retry after refill
+    kCancelled,          ///< work abandoned before completion (superseded
+                         ///< retrain, controller shutdown mid-job)
   };
 
   Status() : code_(Code::kOk) {}
@@ -63,6 +65,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -87,6 +92,7 @@ class Status {
       case Code::kUnavailable: return "Unavailable";
       case Code::kDeadlineExceeded: return "DeadlineExceeded";
       case Code::kResourceExhausted: return "ResourceExhausted";
+      case Code::kCancelled: return "Cancelled";
     }
     return "Unknown";
   }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "advisor/advisor_handle.h"
 #include "advisor/committee.h"
 #include "schema/catalogs.h"
 #include "workload/benchmarks.h"
@@ -49,10 +50,14 @@ TEST_F(AdvisorTest, EndToEndOfflineSuggest) {
   EXPECT_LT(suggestion.best_cost, model_.WorkloadCost(w, s0));
 }
 
-TEST_F(AdvisorTest, SuggestWithoutTrainingAborts) {
-  PartitioningAdvisor advisor(&schema_, workload_, FastConfig());
-  std::vector<double> uniform(13, 1.0);
-  EXPECT_DEATH(advisor.Suggest(uniform), "offline_env_");
+TEST_F(AdvisorTest, SuggestWithoutTrainingFailsWithStatus) {
+  // Through the lifecycle API this is a recoverable error, not an abort.
+  AdvisorHandle handle(&schema_, workload_, FastConfig());
+  SuggestRequest request;
+  request.frequencies = std::vector<double>(13, 1.0);
+  auto suggestion = handle.Suggest(request);
+  ASSERT_FALSE(suggestion.ok());
+  EXPECT_EQ(suggestion.status().code(), Status::Code::kFailedPrecondition);
 }
 
 TEST_F(AdvisorTest, TmaxIsRaisedToTableCount) {

@@ -7,6 +7,7 @@
 #   $ tools/check.sh perf            # Release micro-bench: incremental costing
 #   $ tools/check.sh serve           # TSan serving tests + loadgen smoke
 #   $ tools/check.sh fleet           # TSan fleet tests + 100-tenant smoke
+#   $ tools/check.sh autopilot       # TSan autopilot tests + bench smoke
 #   $ LPA_SANITIZE=undefined tools/check.sh
 #   $ BUILD_DIR=build-asan tools/check.sh
 #   $ CTEST_FILTER=advisor tools/check.sh tsan
@@ -30,6 +31,17 @@
 # few-core hosts the worker sweep cannot show throughput scaling — the smoke
 # asserts the correctness counters instead (waiver recorded in
 # BENCH_serving.json metadata as scaling_waiver).
+#
+# The autopilot preset builds autopilot_test + serving_test + bench_autopilot
+# under TSan (the closed loop hot-swaps models while servers serve, and the
+# async retrain trains on a background thread — exactly the interleavings
+# TSan exists for), runs both test suites, then drives the bench_autopilot
+# scenario sweep at LPA_BENCH_SCALE=4. The bench enforces its own acceptance
+# gates (zero false swaps on stable, detection + recovery on every drift
+# event, >= 1 automatic rollback in the forced-regression drill) and exits
+# non-zero on violation; BENCH_autopilot.json lands in $LPA_METRICS_DIR (or
+# build-tsan). Same few-core waiver as the fleet preset: correctness
+# counters and recovery ratios are asserted, never wall-clock throughput.
 #
 # The perf preset builds Release into build-perf and runs the post-benchmark
 # kernels of bench_micro_components (google benchmarks filtered out): the
@@ -96,6 +108,27 @@ if [[ "${PRESET}" == "fleet" ]]; then
       --tenants 100 --shards 4 --workers 2 --clients 3 --duration 2 \
       --hotswap --quota-rate 200 --quota-burst 50
   echo "== OK: fleet TSan-clean; zero drops, zero quota violations =="
+  exit 0
+fi
+if [[ "${PRESET}" == "autopilot" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  echo "== configure (${BUILD_DIR}, -fsanitize=thread) =="
+  cmake -B "${BUILD_DIR}" -S . -DLPA_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "== build autopilot_test + serving_test + bench_autopilot =="
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target autopilot_test \
+    serving_test bench_autopilot
+  echo "== autopilot + serving tests (TSan) =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+      -R 'autopilot_test|serving_test'
+  echo "== autopilot smoke: scenario sweep with acceptance gates =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  LPA_METRICS_DIR="${LPA_METRICS_DIR:-${BUILD_DIR}}" \
+  LPA_BENCH_SCALE="${LPA_BENCH_SCALE:-4}" \
+    "${BUILD_DIR}/bench/bench_autopilot" --schema micro
+  echo "== OK: autopilot TSan-clean; zero false swaps, recovery + rollback verified =="
   exit 0
 fi
 if [[ "${PRESET}" == "tsan" ]]; then

@@ -18,14 +18,26 @@
 // additionally materializes a small cluster, measures the suggested design
 // on it (so engine counters are populated), and writes metrics + manifest
 // + the suggestion as JSON.
+//
+// --autopilot keeps going after the one-shot advice: the trained advisor
+// becomes the incumbent of a closed-loop autopilot driven through the
+// scripted --drift-scenario (see src/autopilot/scenarios.h), and the tool
+// reports detections, retrains, hot swaps, rollbacks, and the final deployed
+// design.
+//
+//   $ lpa_advise --ddl schema.sql --workload workload.sql \
+//       --autopilot --drift-scenario flash-crowd
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "advisor/advisor.h"
-#include "advisor/serialization.h"
+#include "advisor/advisor_handle.h"
+#include "autopilot/autopilot.h"
+#include "autopilot/scenario_driver.h"
+#include "autopilot/scenarios.h"
 #include "engine/cluster.h"
+#include "serving/model_registry.h"
 #include "sql/ddl.h"
 #include "sql/parser.h"
 #include "storage/database.h"
@@ -38,6 +50,7 @@ struct Options {
   std::string ddl_path;
   std::string workload_path;
   lpa::cli::CommonOptions common;
+  lpa::autopilot::AutopilotOptions autopilot;
   int nodes = 6;
   int episodes = 400;
   std::string mix;
@@ -63,6 +76,21 @@ std::vector<double> ParseMix(const std::string& mix, int m) {
   return freqs;
 }
 
+void PrintDesign(const lpa::schema::Schema& schema,
+                 const lpa::partition::PartitioningState& state) {
+  for (lpa::schema::TableId t = 0; t < schema.num_tables(); ++t) {
+    const auto& tp = state.table_partition(t);
+    std::cout << "ALTER TABLE " << schema.table(t).name;
+    if (tp.replicated) {
+      std::cout << " REPLICATE;\n";
+    } else {
+      std::cout << " DISTRIBUTE BY HASH("
+                << schema.table(t).columns[static_cast<size_t>(tp.column)].name
+                << ");\n";
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -78,9 +106,11 @@ int main(int argc, char** argv) {
   parser.AddString("save", "agent snapshot out", &options.save_path);
   parser.AddString("load", "agent snapshot in", &options.load_path);
   options.common.Register(&parser);
+  options.autopilot.Register(&parser);
   parser.AddAlias("engine", "profile");  // historical spelling
   std::string error;
-  if (!parser.Parse(argc, argv, &error) || !options.common.Validate(&error)) {
+  if (!parser.Parse(argc, argv, &error) || !options.common.Validate(&error) ||
+      !options.autopilot.Validate(&error)) {
     std::cerr << error << "\n" << parser.Usage(argv[0]);
     return 2;
   }
@@ -126,21 +156,34 @@ int main(int argc, char** argv) {
   config.dqn.tmax = std::max(schema->num_tables() + 4, 12);
   config.dqn.FitEpsilonSchedule(config.offline_episodes);
   config.seed = options.common.seed;
-  advisor::PartitioningAdvisor advisor(&*schema, workload, config);
+  AdvisorHandle advisor(&*schema, workload, config);
   EvalContext ctx(options.common.threads, options.common.seed);
 
   if (!options.load_path.empty()) {
-    std::ifstream in(options.load_path);
-    Status st = advisor::LoadAgentSnapshot(in, advisor.agent());
-    if (!st.ok()) {
+    std::string snapshot_bytes;
+    if (!ReadFile(options.load_path, &snapshot_bytes)) {
+      std::cerr << "cannot read " << options.load_path << "\n";
+      return 1;
+    }
+    if (Status st = advisor.Restore(snapshot_bytes); !st.ok()) {
       std::cerr << "snapshot error: " << st.ToString() << "\n";
+      return 1;
+    }
+    // The restored standby has no training environment yet: bind the pricing
+    // model so Suggest (and any autopilot retrain) can run.
+    if (Status st = advisor.BindCostModel(&cost_model); !st.ok()) {
+      std::cerr << "bind error: " << st.ToString() << "\n";
       return 1;
     }
     std::cerr << "loaded agent snapshot from " << options.load_path << "\n";
   } else {
     std::cerr << "training (" << config.offline_episodes << " episodes, "
               << options.common.threads << " thread(s))...\n";
-    advisor.TrainOffline(&cost_model, nullptr, &ctx);
+    auto trained = advisor.Train(TrainSpec::Offline(&cost_model), &ctx);
+    if (!trained.ok()) {
+      std::cerr << "training error: " << trained.status().ToString() << "\n";
+      return 1;
+    }
   }
 
   std::vector<double> mix =
@@ -148,21 +191,16 @@ int main(int argc, char** argv) {
           ? std::vector<double>(static_cast<size_t>(workload.num_queries()), 1.0)
           : ParseMix(options.mix, workload.num_queries());
 
-  // Suggest against the simulation (build one if we skipped training).
-  rl::OfflineEnv env(&cost_model, &advisor.workload());
-  auto result = advisor.Suggest(mix, &env, &ctx);
-
-  for (schema::TableId t = 0; t < schema->num_tables(); ++t) {
-    const auto& tp = result.best_state.table_partition(t);
-    std::cout << "ALTER TABLE " << schema->table(t).name;
-    if (tp.replicated) {
-      std::cout << " REPLICATE;\n";
-    } else {
-      std::cout << " DISTRIBUTE BY HASH("
-                << schema->table(t).columns[static_cast<size_t>(tp.column)].name
-                << ");\n";
-    }
+  SuggestRequest request;
+  request.frequencies = mix;
+  auto suggested = advisor.Suggest(request, &ctx);
+  if (!suggested.ok()) {
+    std::cerr << "suggest error: " << suggested.status().ToString() << "\n";
+    return 1;
   }
+  rl::InferenceResult result = *suggested;
+
+  PrintDesign(*schema, result.best_state);
   std::cerr << "estimated workload cost: " << result.best_cost << "s\n";
 
   double measured_seconds = -1.0;
@@ -229,13 +267,60 @@ int main(int argc, char** argv) {
   }
 
   if (!options.save_path.empty()) {
+    auto snapshot = advisor.Snapshot();
+    if (!snapshot.ok()) {
+      std::cerr << "snapshot save error: " << snapshot.status().ToString()
+                << "\n";
+      return 1;
+    }
     std::ofstream out(options.save_path);
-    Status st = advisor::SaveAgentSnapshot(*advisor.agent(), out);
-    if (!st.ok()) {
-      std::cerr << "snapshot save error: " << st.ToString() << "\n";
+    out << *snapshot;
+    if (!out.good()) {
+      std::cerr << "cannot write " << options.save_path << "\n";
       return 1;
     }
     std::cerr << "saved agent snapshot to " << options.save_path << "\n";
+  }
+
+  // --- Closed-loop autopilot against the scripted drift scenario ----------
+  if (options.autopilot.autopilot) {
+    auto kind = options.autopilot.Kind();  // validated above
+    autopilot::AutopilotConfig loop;
+    loop.retrain.threads = options.common.threads;
+    loop.retrain.seed = options.common.seed + 17;
+    autopilot::ApplyScenarioOverrides(*kind, &loop);
+
+    autopilot::Autopilot pilot(std::move(advisor), &cost_model, loop);
+    serving::ModelRegistry registry;
+    pilot.AddTarget(&registry);
+    if (Status st = pilot.Start(mix); !st.ok()) {
+      std::cerr << "autopilot start error: " << st.ToString() << "\n";
+      return 1;
+    }
+
+    autopilot::ScenarioDriver driver(&pilot, *kind,
+                                     options.common.seed + 23);
+    const int ticks = options.autopilot.autopilot_ticks > 0
+                          ? options.autopilot.autopilot_ticks
+                          : driver.default_ticks();
+    std::cerr << "autopilot: scenario " << autopilot::ScenarioName(*kind)
+              << ", " << ticks << " tick(s)...\n";
+    for (int t = 0; t < ticks; ++t) {
+      auto outcome = driver.Step(&std::cerr);
+      if (!outcome.ok()) {
+        std::cerr << "autopilot tick error: " << outcome.status().ToString()
+                  << "\n";
+        return 1;
+      }
+    }
+    const auto& counters = pilot.counters();
+    std::cerr << "autopilot: " << driver.drift_events() << " drift event(s), "
+              << counters.retrains << " retrain(s), " << counters.swaps
+              << " swap(s), " << counters.rollbacks
+              << " rollback(s); serving model v" << registry.current_version()
+              << "; final deployed cost " << driver.deployed_cost() << "s\n";
+    std::cout << "\n-- autopilot final deployed design --\n";
+    PrintDesign(*schema, pilot.deployed_design());
   }
   return 0;
 }

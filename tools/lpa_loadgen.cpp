@@ -27,15 +27,30 @@
 // not sum to the completed total, or a token-bucket quota violation) —
 // throughput is hardware-dependent and never asserted, so the check is
 // meaningful on 1-CPU hosts too.
+//
+// --autopilot (single-tenant mode only; supersedes --hotswap) hands the
+// registry to the closed-loop autopilot instead: a control thread ticks the
+// scripted --drift-scenario while the load generator hammers the server, so
+// every hot swap is detector-driven — trained, validated, and published
+// live under traffic. The per-version completion counts then show requests
+// migrating across autopilot-published versions with zero drops; a stable
+// scenario that swaps fails the run (false positive).
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "advisor/advisor_handle.h"
 #include "advisor/serialization.h"
+#include "autopilot/autopilot.h"
+#include "autopilot/scenario_driver.h"
+#include "autopilot/scenarios.h"
 #include "bench/bench_common.h"
 #include "fleet/fleet_loadgen.h"
 #include "fleet/router.h"
@@ -95,8 +110,11 @@ int main(int argc, char** argv) {
   double quota_rate = 0.0;
   double quota_burst = 0.0;
 
+  autopilot::AutopilotOptions autopilot_options;
+
   cli::FlagParser parser;
   common.Register(&parser);
+  autopilot_options.Register(&parser);
   parser.AddString("schema", "ssb|tpcds|tpcch|micro", &schema_name);
   parser.AddInt("episodes", "offline training episodes", &episodes);
   parser.AddString("workers", "comma list of worker-thread counts",
@@ -126,7 +144,7 @@ int main(int argc, char** argv) {
                    &quota_burst);
   parser.ParseOrExit(argc, argv);
   std::string error;
-  if (!common.Validate(&error)) {
+  if (!common.Validate(&error) || !autopilot_options.Validate(&error)) {
     std::cerr << error << "\n" << parser.Usage(argv[0]);
     return 2;
   }
@@ -136,6 +154,15 @@ int main(int argc, char** argv) {
   }
   if (tenants > 0 && (shards < 1 || model_pool < 1)) {
     std::cerr << "--shards and --model-pool must be >= 1\n";
+    return 2;
+  }
+  if (autopilot_options.autopilot && tenants > 0) {
+    std::cerr << "--autopilot runs single-tenant (drop --tenants)\n";
+    return 2;
+  }
+  if (autopilot_options.autopilot && hotswap) {
+    std::cerr << "--autopilot supersedes --hotswap: the autopilot decides "
+                 "when to publish\n";
     return 2;
   }
   std::vector<int> worker_counts = ParseWorkerList(workers_spec, &error);
@@ -365,9 +392,37 @@ int main(int argc, char** argv) {
   }
 
   // --- Single-tenant sweep ------------------------------------------------
+  // With --autopilot the registry belongs to the closed loop: the trained
+  // advisor becomes the incumbent (the AdvisorHandle migration-path
+  // constructor), Start publishes v1, and every later version is a
+  // detector-driven swap published while the loadgen below is running.
   serving::ModelRegistry registry;
-  registry.Publish(std::make_shared<serving::ServingModel>(
-      std::move(advisor), tb.exact_model.get(), batch));
+  std::unique_ptr<autopilot::Autopilot> pilot;
+  std::unique_ptr<autopilot::ScenarioDriver> driver;
+  autopilot::ScenarioKind scenario_kind = autopilot::ScenarioKind::kStable;
+  if (autopilot_options.autopilot) {
+    scenario_kind = *autopilot_options.Kind();  // validated above
+    autopilot::AutopilotConfig loop;
+    loop.retrain.async = true;  // Tick stays cheap; training off-thread
+    loop.retrain.batch = batch;
+    loop.retrain.seed = common.seed + 17;
+    autopilot::ApplyScenarioOverrides(scenario_kind, &loop);
+    pilot = std::make_unique<autopilot::Autopilot>(
+        AdvisorHandle(std::move(advisor)), tb.exact_model.get(), loop);
+    pilot->AddTarget(&registry);
+    if (Status st = pilot->Start(std::vector<double>(
+            static_cast<size_t>(num_queries), 1.0));
+        !st.ok()) {
+      std::cerr << "autopilot start failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    driver = std::make_unique<autopilot::ScenarioDriver>(
+        pilot.get(), scenario_kind, common.seed + 23);
+    report.Note("autopilot", autopilot::ScenarioName(scenario_kind));
+  } else {
+    registry.Publish(std::make_shared<serving::ServingModel>(
+        std::move(advisor), tb.exact_model.get(), batch));
+  }
 
   // --- Sweep worker-thread counts ----------------------------------------
   TablePrinter table({"workers", "submitted", "completed", "rejected", "shed",
@@ -412,8 +467,30 @@ int main(int argc, char** argv) {
 
     std::cerr << "loadgen: " << workers << " worker(s), " << mode
               << "-loop, " << duration << "s...\n";
+
+    // The autopilot control plane ticks on its own thread while the loadgen
+    // saturates the server — the swaps land mid-traffic, which is the point.
+    std::atomic<bool> control_stop{false};
+    std::thread control;
+    if (pilot != nullptr) {
+      control = std::thread([&] {
+        while (!control_stop.load(std::memory_order_acquire)) {
+          auto outcome = driver->Step(&std::cerr);
+          if (!outcome.ok()) {
+            std::cerr << "autopilot tick failed: "
+                      << outcome.status().ToString() << "\n";
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      });
+    }
     serving::LoadgenReport run =
         serving::RunLoadgen(&server, options, at_halftime);
+    if (control.joinable()) {
+      control_stop.store(true, std::memory_order_release);
+      control.join();
+    }
     server.Stop();
 
     std::string versions;
@@ -445,6 +522,24 @@ int main(int argc, char** argv) {
   }
 
   report.Table("serving load sweep (latency = submit-to-response)", table);
+  if (pilot != nullptr) {
+    const auto& c = pilot->counters();
+    std::cout << "autopilot (" << autopilot::ScenarioName(scenario_kind)
+              << "): " << driver->ticks() << " tick(s), "
+              << driver->drift_events() << " drift event(s), " << c.retrains
+              << " retrain(s), " << c.swaps << " swap(s), " << c.rollbacks
+              << " rollback(s); registry at v" << registry.current_version()
+              << "\n";
+    report.Note("autopilot_ticks", std::to_string(driver->ticks()));
+    report.Note("autopilot_swaps", std::to_string(c.swaps));
+    report.Note("autopilot_rollbacks", std::to_string(c.rollbacks));
+    // Timing-independent correctness: a stable workload must never swap.
+    if (scenario_kind == autopilot::ScenarioKind::kStable && c.swaps > 0) {
+      std::cerr << "COUNTER VIOLATION: " << c.swaps
+                << " swap(s) on a stable workload (false positive)\n";
+      counters_ok = false;
+    }
+  }
   if (common.metrics) {
     std::cout << "\n" << telemetry::MetricsRegistry::Global().ToTable();
   }
