@@ -83,7 +83,9 @@ struct Testbed {
 /// \param name "ssb", "tpcds", "tpcch", or "micro".
 inline Testbed MakeTestbed(const std::string& name, EngineKind kind,
                            double fraction, uint64_t seed = 42,
-                           double noise_stddev = 0.02) {
+                           double noise_stddev = 0.02,
+                           bool encode_storage = true,
+                           bool price_encoded_bytes = false) {
   Testbed tb;
   if (name == "ssb") {
     tb.schema = std::make_unique<schema::Schema>(schema::MakeSsbSchema());
@@ -121,6 +123,8 @@ inline Testbed MakeTestbed(const std::string& name, EngineKind kind,
   engine_config.hardware = profile;
   engine_config.noise_stddev = noise_stddev;
   engine_config.seed = seed;
+  engine_config.encode_storage = encode_storage;
+  engine_config.price_encoded_bytes = price_encoded_bytes;
   tb.cluster = std::make_unique<engine::ClusterDatabase>(
       storage::Database::Generate(*tb.schema, *tb.workload, gen),
       engine_config, tb.planner_model.get());

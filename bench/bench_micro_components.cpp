@@ -1,10 +1,12 @@
 // Component microbenchmarks (google-benchmark): throughput guardrails for
 // the library's hot paths — cost-model planning, featurization, NN forward/
-// train, engine execution, and data generation — plus two kernels run after
-// the google benchmarks: a workload-cost kernel comparing full recompute
-// against incremental delta costing (BENCH_micro_components.json) and an
-// engine kernel measuring pool-parallel ExecuteWorkload scaling with
-// bit-identity checks (BENCH_engine.json).
+// train, engine execution, and data generation — plus three kernels run
+// after the google benchmarks: a workload-cost kernel comparing full
+// recompute against incremental delta costing (BENCH_micro_components.json),
+// a storage kernel measuring encode/decode throughput and per-column
+// compression (BENCH_storage.json), and an engine kernel measuring
+// pool-parallel ExecuteWorkload scaling with bit-identity checks plus the
+// compressed-storage footprint (BENCH_engine.json).
 
 #include <benchmark/benchmark.h>
 
@@ -23,6 +25,8 @@
 #include "rl/offline_env.h"
 #include "schema/catalogs.h"
 #include "storage/database.h"
+#include "storage/encoded_column.h"
+#include "util/rng.h"
 #include "workload/benchmarks.h"
 
 namespace lpa {
@@ -301,6 +305,124 @@ void RunWorkloadCostKernel() {
 }
 
 // ---------------------------------------------------------------------------
+// Storage kernel: encoding throughput and per-column compression.
+//
+// Part 1 times EncodedColumn encode/decode on synthetic columns shaped for
+// each encoding (constant -> RLE, sorted -> FOR, low-cardinality -> Dict,
+// random -> Plain) and reports MB/s over the *raw* byte volume plus the
+// achieved compression ratio. Part 2 encodes every column of the SSB and
+// TPC-CH testbed databases with the stats-driven chooser and reports the
+// pick and ratio per column. Emits BENCH_storage.json.
+
+void RunStorageKernel() {
+  using storage::EncodedColumn;
+  bench::BenchReport report("storage");
+  report.set_seed(42);
+  const size_t n =
+      static_cast<size_t>(4 << 20) / static_cast<size_t>(bench::BenchScale());
+  report.Note("storage_kernel_values", std::to_string(n));
+
+  std::vector<std::pair<std::string, std::vector<int64_t>>> shapes;
+  shapes.emplace_back("constant", std::vector<int64_t>(n, 42));
+  {
+    std::vector<int64_t> sorted(n);
+    for (size_t i = 0; i < n; ++i) sorted[i] = 1000 + 3 * static_cast<int64_t>(i);
+    shapes.emplace_back("sorted", std::move(sorted));
+  }
+  {
+    Rng rng(42);
+    std::vector<int64_t> lowcard(n);
+    for (auto& v : lowcard) v = rng.UniformInt(0, 199) * 1'000'003;
+    shapes.emplace_back("low-card", std::move(lowcard));
+  }
+  {
+    std::vector<int64_t> random(n);
+    for (size_t i = 0; i < n; ++i) {
+      random[i] = static_cast<int64_t>(Hash64(i ^ 0xabcdef12345ULL));
+    }
+    shapes.emplace_back("random", std::move(random));
+  }
+
+  const double raw_mb = static_cast<double>(n) * 8.0 / (1024.0 * 1024.0);
+  const int reps = 3;
+  TablePrinter tput(
+      {"shape", "encoding", "encode MB/s", "decode MB/s", "ratio"});
+  for (const auto& [label, values] : shapes) {
+    EncodedColumn col;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      col = EncodedColumn::Encode(values);
+      benchmark::DoNotOptimize(col);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    std::vector<int64_t> decoded;
+    for (int r = 0; r < reps; ++r) {
+      decoded = col.Decode();
+      benchmark::DoNotOptimize(decoded);
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    LPA_CHECK(decoded == values);  // lossless, always
+    auto mbps = [&](std::chrono::steady_clock::duration d) {
+      double secs = std::chrono::duration<double>(d).count() / reps;
+      return FormatDouble(raw_mb / secs, 0);
+    };
+    tput.AddRow({label, storage::EncodingName(col.encoding()), mbps(t1 - t0),
+                 mbps(t2 - t1),
+                 FormatDouble(static_cast<double>(col.raw_bytes()) /
+                                  static_cast<double>(col.encoded_bytes()),
+                              1) +
+                     "x"});
+  }
+  report.Table("Encoding throughput (over raw bytes) and compression ratio",
+               tput);
+
+  TablePrinter cols({"column", "rows", "encoding", "raw KB", "enc KB", "ratio"});
+  for (const std::string& name : {std::string("ssb"), std::string("tpcch")}) {
+    const auto schema = name == "ssb" ? schema::MakeSsbSchema()
+                                      : schema::MakeTpcchSchema();
+    const auto wl = name == "ssb" ? workload::MakeSsbWorkload(schema)
+                                  : workload::MakeTpcchWorkload(schema);
+    storage::GenerationConfig gen;
+    gen.fraction = bench::DefaultFraction(name);
+    gen.small_table_threshold = 64;
+    gen.seed = 42;
+    auto db = storage::Database::Generate(schema, wl, gen);
+    size_t total_raw = 0, total_enc = 0;
+    for (schema::TableId t = 0; t < schema.num_tables(); ++t) {
+      const auto& table = schema.table(t);
+      const auto& data = db.table(t);
+      for (schema::ColumnId c = 0;
+           c < static_cast<schema::ColumnId>(table.columns.size()); ++c) {
+        auto col = EncodedColumn::Encode(data.column(c));
+        total_raw += col.raw_bytes();
+        total_enc += col.encoded_bytes();
+        cols.AddRow(
+            {name + "." + table.name + "." + table.columns[c].name,
+             std::to_string(col.size()),
+             storage::EncodingName(col.encoding()),
+             FormatDouble(static_cast<double>(col.raw_bytes()) / 1024.0, 1),
+             FormatDouble(static_cast<double>(col.encoded_bytes()) / 1024.0, 1),
+             FormatDouble(static_cast<double>(col.raw_bytes()) /
+                              static_cast<double>(col.encoded_bytes()),
+                          1) +
+                 "x"});
+      }
+      auto rid_col = EncodedColumn::Encode(data.rids());
+      total_raw += rid_col.raw_bytes();
+      total_enc += rid_col.encoded_bytes();
+    }
+    double ratio =
+        static_cast<double>(total_raw) / static_cast<double>(total_enc);
+    cols.AddRow({name + " TOTAL (incl. rids)", "",
+                 "", FormatDouble(static_cast<double>(total_raw) / 1024.0, 1),
+                 FormatDouble(static_cast<double>(total_enc) / 1024.0, 1),
+                 FormatDouble(ratio, 2) + "x"});
+    report.Note(name + "_compression_ratio", FormatDouble(ratio, 3));
+  }
+  report.Table("Per-column compression (chooser picks, testbed data)", cols);
+}
+
+// ---------------------------------------------------------------------------
 // Engine kernel: pool-parallel ExecuteWorkload vs the serial path.
 //
 // Runs the full SSB workload on the materialized cluster at 1/2/8 threads,
@@ -319,6 +441,18 @@ void RunEngineKernel() {
   tb.cluster->ApplyDesign(tb.Initial());
   const int reps = std::max(2, 16 / bench::BenchScale());
   report.Note("engine_kernel_reps", std::to_string(reps));
+
+  // Compressed-storage footprint of the deployed testbed (docs/INTERNALS.md
+  // §11). The pre-compression engine measured 268.433 ms/workload serial on
+  // this kernel (ROADMAP.md); the encoded engine must not regress it.
+  {
+    double resident = static_cast<double>(tb.cluster->storage_resident_bytes());
+    double raw = static_cast<double>(tb.cluster->storage_raw_bytes());
+    report.Note("storage_bytes_resident", FormatDouble(resident, 0));
+    report.Note("storage_bytes_raw", FormatDouble(raw, 0));
+    report.Note("storage_compression_ratio", FormatDouble(raw / resident, 3));
+    report.Note("serial_ms_pre_compression_baseline", "268.433");
+  }
 
   auto& reg = telemetry::MetricsRegistry::Global();
   uint64_t probes0 = reg.GetCounter("engine.join_probes.count").value();
@@ -367,6 +501,74 @@ void RunEngineKernel() {
   report.Note(
       "plan_cache_hits",
       std::to_string(reg.GetCounter("engine.plan_cache_hits.count").value()));
+
+  // Exchange-pricing sweep: the same testbed with price_encoded_bytes ships
+  // measured encoded bytes instead of logical row widths. This intentionally
+  // re-prices net_seconds / bytes_shuffled, so its digest is a *fresh
+  // baseline* (recorded here), never compared against the raw-priced one.
+  {
+    auto priced = bench::MakeTestbed("ssb", bench::EngineKind::kDiskBased,
+                                     bench::DefaultFraction("ssb"), 42, 0.02,
+                                     /*encode_storage=*/true,
+                                     /*price_encoded_bytes=*/true);
+    priced.cluster->ApplyDesign(priced.Initial());
+    TablePrinter pricing(
+        {"pricing", "bytes shuffled", "simulated s", "per-query digest"});
+    auto sweep = [&](engine::ClusterDatabase& cluster, const char* label) {
+      uint64_t bytes = 0;
+      double secs = 0.0;
+      std::vector<double> per_query;
+      for (int i = 0; i < tb.workload->num_queries(); ++i) {
+        auto stats = cluster.ExecuteQuery(tb.workload->query(i));
+        bytes += stats.bytes_shuffled;
+        secs += stats.seconds;
+        per_query.push_back(stats.seconds);
+      }
+      pricing.AddRow({label, std::to_string(bytes), FormatDouble(secs, 4),
+                      bench::RewardDigest(per_query)});
+      return bytes;
+    };
+    uint64_t raw_priced = sweep(*tb.cluster, "logical widths");
+    uint64_t enc_priced = sweep(*priced.cluster, "encoded bytes");
+    LPA_CHECK(enc_priced < raw_priced);  // compression must shrink exchanges
+    report.Table(
+        "Exchange pricing: logical row widths vs measured encoded bytes",
+        pricing);
+  }
+
+  // Compression headroom: an encoded testbed materialized at 3x the fraction
+  // still fits under the *uncompressed* testbed's resident footprint — the
+  // same memory budget now holds a larger scale-factor slice.
+  {
+    auto plain = bench::MakeTestbed("ssb", bench::EngineKind::kDiskBased,
+                                    bench::DefaultFraction("ssb"), 42, 0.02,
+                                    /*encode_storage=*/false);
+    auto big = bench::MakeTestbed("ssb", bench::EngineKind::kDiskBased,
+                                  3.0 * bench::DefaultFraction("ssb"));
+    plain.cluster->ApplyDesign(plain.Initial());
+    big.cluster->ApplyDesign(big.Initial());
+    schema::TableId lo = tb.schema->TableIndex("lineorder");
+    auto mb = [](size_t bytes) {
+      return FormatDouble(static_cast<double>(bytes) / (1024.0 * 1024.0), 2);
+    };
+    TablePrinter headroom(
+        {"testbed", "fraction", "lineorder rows", "resident MB", "raw MB"});
+    headroom.AddRow({"plain", FormatDouble(bench::DefaultFraction("ssb"), 4),
+                     std::to_string(plain.cluster->TableRows(lo)),
+                     mb(plain.cluster->storage_resident_bytes()),
+                     mb(plain.cluster->storage_raw_bytes())});
+    headroom.AddRow({"encoded 3x",
+                     FormatDouble(3.0 * bench::DefaultFraction("ssb"), 4),
+                     std::to_string(big.cluster->TableRows(lo)),
+                     mb(big.cluster->storage_resident_bytes()),
+                     mb(big.cluster->storage_raw_bytes())});
+    LPA_CHECK(big.cluster->storage_resident_bytes() <
+              plain.cluster->storage_resident_bytes());
+    report.Note("headroom_3x_fits", "true");
+    report.Table(
+        "Compression headroom: 3x materialized fraction vs plain footprint",
+        headroom);
+  }
 }
 
 }  // namespace lpa
@@ -377,6 +579,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   lpa::RunWorkloadCostKernel();
+  lpa::RunStorageKernel();
   lpa::RunEngineKernel();
   return 0;
 }

@@ -75,6 +75,10 @@ struct Entry {
   double cost = 0.0;   // accumulated net + cpu seconds (scans added later)
   double card = 0.0;   // estimated output rows
   double width = 0.0;  // output row width in bytes
+  /// Exchange-priced row width: encoded bytes/row when the model carries
+  /// measured compression ratios, else equal to `width`. Shipping costs use
+  /// this; output costs keep the logical `width` (results are decoded).
+  double xwidth = 0.0;
   /// Bytes multiplier when this subplan is shipped over an exchange. For a
   /// base table under an engine without predicate pushdown below exchanges
   /// (Postgres-XL-like), the *unfiltered* table is shipped: factor = 1/sel.
@@ -210,6 +214,7 @@ class PlanSearch {
     Entry e;
     e.card = static_cast<double>(table.row_count) * scan.selectivity;
     e.width = static_cast<double>(table.row_width_bytes());
+    e.xwidth = model_.ExchangeRowBytes(scan.table);
     if (!hw_.pushdown_filters && scan.selectivity < 1.0) {
       e.ship = 1.0 / scan.selectivity;
     }
@@ -273,8 +278,9 @@ class PlanSearch {
     }
     card = std::max(card, 1.0);
     double width = L.width + R.width;
-    double bytes_l = L.card * L.width * L.ship;
-    double bytes_r = R.card * R.width * R.ship;
+    double xwidth = L.xwidth + R.xwidth;
+    double bytes_l = L.card * L.xwidth * L.ship;
+    double bytes_r = R.card * R.xwidth * R.ship;
     // The primary predicate drives alignment decisions; extra connecting
     // predicates (cyclic join graphs) only tighten cardinality.
     const PredicateInfo& prime = connecting.front();
@@ -289,6 +295,7 @@ class PlanSearch {
       e.cost = L.cost + R.cost + net_s + cpu_s;
       e.card = card;
       e.width = width;
+      e.xwidth = xwidth;
       prop.Canonicalize();
       e.prop = std::move(prop);
       e.lset = sub;
@@ -593,13 +600,20 @@ double CostModel::RepartitioningCost(
   const int n = hardware_.num_nodes;
   const double bw = hardware_.network_bytes_per_sec;
   for (schema::TableId t : from.DiffTables(to)) {
-    double bytes = static_cast<double>(schema_->table(t).total_bytes());
+    const auto& table = schema_->table(t);
+    double bytes = static_cast<double>(table.total_bytes());
+    // Shipped bytes are encoded when the model carries compression ratios;
+    // the disk rewrite below always works on decoded tuples.
+    double ship_bytes =
+        encoded_row_bytes_.empty()
+            ? bytes
+            : static_cast<double>(table.row_count) * ExchangeRowBytes(t);
     const auto& target = to.table_partition(t);
     if (target.replicated) {
       // Every node must receive the full table.
-      total += bytes * (n - 1) / (n * bw);
+      total += ship_bytes * (n - 1) / (n * bw);
     } else {
-      total += bytes * (n - 1) / (static_cast<double>(n) * n * bw);
+      total += ship_bytes * (n - 1) / (static_cast<double>(n) * n * bw);
     }
     // Rewrite cost on the receiving side.
     total += bytes * hardware_.disk_scan_factor / (n * hardware_.scan_bytes_per_sec);

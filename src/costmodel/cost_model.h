@@ -124,9 +124,33 @@ class CostModel {
   /// must fold this into their keys so a statistics refresh re-plans.
   virtual int StatsEpoch() const { return 0; }
 
+  /// \brief Re-price exchanges (broadcast/repartition shipping and
+  /// RepartitioningCost) in measured *encoded* bytes per row, one entry per
+  /// table — typically `ClusterDatabase::EncodedRowBytes(t)` so the planner
+  /// prices transfers the same way a `price_encoded_bytes` engine measures
+  /// them. Set before planning (callers own the synchronization; the engine
+  /// holds the model const). Unset (the default) keeps logical-width
+  /// pricing, bit-identical to the pre-compression model. Scan and output
+  /// costs always use logical widths: scans read decoded tuples.
+  void set_encoded_row_bytes(std::vector<double> bytes_per_row) {
+    encoded_row_bytes_ = std::move(bytes_per_row);
+  }
+  const std::vector<double>& encoded_row_bytes() const {
+    return encoded_row_bytes_;
+  }
+  /// \brief Bytes/row table `t` ships over an exchange: the encoded width
+  /// when set, the logical row width otherwise.
+  double ExchangeRowBytes(schema::TableId t) const {
+    if (!encoded_row_bytes_.empty()) {
+      return encoded_row_bytes_.at(static_cast<size_t>(t));
+    }
+    return static_cast<double>(schema_->table(t).row_width_bytes());
+  }
+
  protected:
   const schema::Schema* schema_;
   HardwareProfile hardware_;
+  std::vector<double> encoded_row_bytes_;
 };
 
 /// \brief Expected max-shard / average-shard imbalance when hashing a column

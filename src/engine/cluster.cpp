@@ -32,6 +32,9 @@ struct EngineMetrics {
   telemetry::Counter& plan_cache_invalidations;
   telemetry::Counter& join_probes;
   telemetry::Counter& parallel_chunks;
+  telemetry::Counter& encoded_bytes_exchanged;
+  telemetry::Gauge& bytes_resident;
+  telemetry::Gauge& bytes_raw;
   telemetry::Histogram& query_seconds;
 
   static EngineMetrics& Get() {
@@ -50,6 +53,9 @@ struct EngineMetrics {
         reg.GetCounter("engine.plan_cache_invalidations.count"),
         reg.GetCounter("engine.join_probes.count"),
         reg.GetCounter("engine.parallel_chunks.count"),
+        reg.GetCounter("engine.encoded_bytes_exchanged.bytes"),
+        reg.GetGauge("storage.bytes_resident.bytes"),
+        reg.GetGauge("storage.bytes_raw.bytes"),
         reg.GetHistogram("engine.query_elapsed.seconds",
                          telemetry::Histogram::LatencyBounds())};
     return *m;
@@ -72,6 +78,9 @@ struct DistRelation {
   std::vector<std::vector<std::vector<int64_t>>> data;  // [node][slot][row]
   std::vector<size_t> rows;                             // [node] row counts
   double width = 0.0;                                   // logical bytes/row
+  /// Encoded bytes/row (the logical width scaled by the source tables'
+  /// measured compression ratios; sums across joins like `width`).
+  double enc_width = 0.0;
   /// Bytes multiplier when this relation crosses an exchange. Engines
   /// without predicate pushdown below exchanges (Postgres-XL-like) ship the
   /// unfiltered base table even though only the filtered rows join.
@@ -141,19 +150,97 @@ uint64_t QuerySpecHash(const workload::QuerySpec& q) {
   return h;
 }
 
+/// Hash-route every row of `data` by `column`: dst_of[r] = Hash64(v_r) % n.
+/// Works on sealed and unsealed tables. Dictionary columns route in code
+/// space — each distinct value is hashed once and rows map decoded codes
+/// through the per-code destination table, never materializing the values.
+void RouteAll(const storage::TableData& data, schema::ColumnId column, int n,
+              std::vector<uint32_t>* dst_of) {
+  const size_t rows = data.num_rows();
+  dst_of->resize(rows);
+  storage::ColumnView view = data.view(column);
+  const storage::EncodedColumn* enc = view.encoded();
+  if (enc != nullptr && enc->encoding() == storage::Encoding::kDict) {
+    const auto& dict = enc->dict();
+    std::vector<uint32_t> dest(dict.size());
+    for (size_t c = 0; c < dict.size(); ++c) {
+      dest[c] = static_cast<uint32_t>(Hash64(static_cast<uint64_t>(dict[c])) %
+                                      static_cast<uint64_t>(n));
+    }
+    std::vector<uint32_t> codes(storage::EncodedColumn::kBlock);
+    for (size_t start = 0; start < rows;
+         start += storage::EncodedColumn::kBlock) {
+      size_t count = std::min(rows - start, storage::EncodedColumn::kBlock);
+      enc->DecodeCodes(start, count, codes.data());
+      for (size_t j = 0; j < count; ++j) {
+        (*dst_of)[start + j] = dest[codes[j]];
+      }
+    }
+    return;
+  }
+  std::vector<int64_t> scratch;
+  view.ForEachBlock(&scratch, [&](size_t start, size_t count,
+                                  const int64_t* v) {
+    for (size_t j = 0; j < count; ++j) {
+      (*dst_of)[start + j] = static_cast<uint32_t>(
+          Hash64(static_cast<uint64_t>(v[j])) % static_cast<uint64_t>(n));
+    }
+  });
+}
+
 }  // namespace
 
 ClusterDatabase::ClusterDatabase(storage::Database data, EngineConfig config,
                                  const costmodel::CostModel* planner)
     : data_(std::move(data)), config_(config), planner_(planner) {
   placements_.resize(static_cast<size_t>(schema().num_tables()));
+  table_enc_width_.assign(static_cast<size_t>(schema().num_tables()), 0.0);
+  SealMastersAndRefresh();
 }
 
-int ClusterDatabase::RouteRow(const storage::TableData& data,
-                              schema::ColumnId column, size_t row) const {
-  uint64_t h = Hash64(
-      static_cast<uint64_t>(data.column(column)[row]));
-  return static_cast<int>(h % static_cast<uint64_t>(num_nodes()));
+void ClusterDatabase::SealMastersAndRefresh() {
+  for (schema::TableId t = 0; t < schema().num_tables(); ++t) {
+    if (config_.encode_storage) data_.mutable_table(t).Seal();
+    const storage::TableData& master = data_.table(t);
+    double ratio = 1.0;
+    if (master.sealed() && master.raw_bytes() > 0) {
+      ratio = static_cast<double>(master.resident_bytes()) /
+              static_cast<double>(master.raw_bytes());
+    }
+    table_enc_width_[static_cast<size_t>(t)] =
+        schema().table(t).row_width_bytes() * ratio;
+  }
+  auto& em = EngineMetrics::Get();
+  em.bytes_resident.Set(static_cast<double>(storage_resident_bytes()));
+  em.bytes_raw.Set(static_cast<double>(storage_raw_bytes()));
+}
+
+double ClusterDatabase::PricedRowWidth(schema::TableId t) const {
+  return config_.price_encoded_bytes
+             ? table_enc_width_[static_cast<size_t>(t)]
+             : schema().table(t).row_width_bytes();
+}
+
+size_t ClusterDatabase::storage_resident_bytes() const {
+  size_t bytes = 0;
+  for (schema::TableId t = 0; t < schema().num_tables(); ++t) {
+    bytes += data_.table(t).resident_bytes();
+    for (const auto& shard : placements_[static_cast<size_t>(t)].shards) {
+      bytes += shard.resident_bytes();
+    }
+  }
+  return bytes;
+}
+
+size_t ClusterDatabase::storage_raw_bytes() const {
+  size_t bytes = 0;
+  for (schema::TableId t = 0; t < schema().num_tables(); ++t) {
+    bytes += data_.table(t).raw_bytes();
+    for (const auto& shard : placements_[static_cast<size_t>(t)].shards) {
+      bytes += shard.raw_bytes();
+    }
+  }
+  return bytes;
 }
 
 void ClusterDatabase::PlaceTable(schema::TableId t,
@@ -163,7 +250,10 @@ void ClusterDatabase::PlaceTable(schema::TableId t,
   const storage::TableData& master = data_.table(t);
   const auto& hw = config_.hardware;
   const double width = schema().table(t).row_width_bytes();
+  const double pwidth = PricedRowWidth(t);
+  const double enc_w = table_enc_width_[static_cast<size_t>(t)];
   const int n = num_nodes();
+  auto& em = EngineMetrics::Get();
 
   if (target.replicated) {
     if (!placement.replicated) {
@@ -171,13 +261,16 @@ void ClusterDatabase::PlaceTable(schema::TableId t,
       // shard to n-1 peers in parallel; elapsed is the largest shard.
       double max_shard_bytes = 0.0;
       double total_shard_bytes = 0.0;
+      size_t total_shard_rows = 0;
       for (const auto& shard : placement.shards) {
-        double shard_bytes = static_cast<double>(shard.num_rows()) * width;
+        double shard_bytes = static_cast<double>(shard.num_rows()) * pwidth;
         max_shard_bytes = std::max(max_shard_bytes, shard_bytes);
         total_shard_bytes += shard_bytes;
+        total_shard_rows += shard.num_rows();
       }
-      EngineMetrics::Get().bytes_moved.Add(
-          static_cast<uint64_t>(total_shard_bytes * (n - 1)));
+      em.bytes_moved.Add(static_cast<uint64_t>(total_shard_bytes * (n - 1)));
+      em.encoded_bytes_exchanged.Add(static_cast<uint64_t>(
+          static_cast<double>(total_shard_rows) * enc_w * (n - 1)));
       *move_seconds += max_shard_bytes * (n - 1) / hw.exchange_bytes_per_sec();
       *move_seconds += static_cast<double>(master.num_rows()) * width *
                        hw.disk_scan_factor / hw.scan_bytes_per_sec;
@@ -189,42 +282,76 @@ void ClusterDatabase::PlaceTable(schema::TableId t,
   }
 
   // Hash-partition by target.column, counting actual row movement. Routing
-  // pass first so every shard is reserved to its exact final size before the
-  // materialize pass appends (no per-row vector growth).
+  // pass first (dictionary-aware: see RouteAll) so every shard is sized to
+  // its exact final row count, then a column-wise materialize pass that
+  // block-decodes the master once per column and scatters through
+  // precomputed per-row write positions — reproducing the row order the old
+  // row-at-a-time AppendRowFrom loop produced.
+  const size_t nn = static_cast<size_t>(n);
   const size_t rows = master.num_rows();
-  std::vector<uint32_t> dst_of(rows);
-  std::vector<size_t> shard_rows(static_cast<size_t>(n), 0);
-  for (size_t r = 0; r < rows; ++r) {
-    uint32_t dst = static_cast<uint32_t>(RouteRow(master, target.column, r));
-    dst_of[r] = dst;
-    ++shard_rows[dst];
+  std::vector<uint32_t> dst_of;
+  RouteAll(master, target.column, n, &dst_of);
+  std::vector<size_t> shard_rows(nn, 0);
+  for (size_t r = 0; r < rows; ++r) ++shard_rows[dst_of[r]];
+  std::vector<uint32_t> pos(rows);
+  {
+    std::vector<size_t> cursor(nn, 0);
+    for (size_t r = 0; r < rows; ++r) {
+      pos[r] = static_cast<uint32_t>(cursor[dst_of[r]]++);
+    }
   }
-  std::vector<storage::TableData> shards(
-      static_cast<size_t>(n),
-      storage::TableData(master.num_columns()));
-  for (int d = 0; d < n; ++d) {
-    shards[static_cast<size_t>(d)].Reserve(shard_rows[static_cast<size_t>(d)]);
+  const int cols = master.num_columns();
+  std::vector<storage::TableData> shards(nn, storage::TableData(cols));
+  for (size_t d = 0; d < nn; ++d) {
+    for (int c = 0; c < cols; ++c) shards[d].column(c).resize(shard_rows[d]);
+    shards[d].rids().resize(shard_rows[d]);
   }
-  std::vector<double> out_bytes(static_cast<size_t>(n), 0.0);
+  std::vector<int64_t> scratch;
+  std::vector<int64_t*> ptrs(nn);
+  for (int c = 0; c <= cols; ++c) {  // slot `cols` scatters the rid column
+    storage::ColumnView view = c < cols ? master.view(c) : master.rid_view();
+    for (size_t d = 0; d < nn; ++d) {
+      ptrs[d] = (c < cols ? shards[d].column(c) : shards[d].rids()).data();
+    }
+    view.ForEachBlock(&scratch, [&](size_t start, size_t count,
+                                    const int64_t* v) {
+      for (size_t j = 0; j < count; ++j) {
+        size_t r = start + j;
+        ptrs[dst_of[r]][pos[r]] = v[j];
+      }
+    });
+  }
+
+  std::vector<double> out_bytes(nn, 0.0);
+  size_t moved_rows = 0;
   bool was_partitioned = !placement.replicated && placement.column >= 0;
-  for (size_t r = 0; r < rows; ++r) {
-    shards[dst_of[r]].AppendRowFrom(master, r);
-    if (was_partitioned) {
-      int src = RouteRow(master, placement.column, r);
-      if (src != static_cast<int>(dst_of[r])) {
-        out_bytes[static_cast<size_t>(src)] += width;
+  if (was_partitioned) {
+    std::vector<uint32_t> src_of;
+    RouteAll(master, placement.column, n, &src_of);
+    // Per-row repeated additions in row order: the exact addition sequence
+    // of the old interleaved loop, so default-priced seconds are
+    // bit-identical.
+    for (size_t r = 0; r < rows; ++r) {
+      if (src_of[r] != dst_of[r]) {
+        out_bytes[src_of[r]] += pwidth;
+        ++moved_rows;
       }
     }
-    // From a replicated state every node already holds every row: the new
-    // shards can be carved out locally with zero network traffic.
   }
+  // From a replicated state every node already holds every row: the new
+  // shards can be carved out locally with zero network traffic.
   double max_out = *std::max_element(out_bytes.begin(), out_bytes.end());
   double total_out_bytes = 0.0;
   for (double b : out_bytes) total_out_bytes += b;
-  EngineMetrics::Get().bytes_moved.Add(static_cast<uint64_t>(total_out_bytes));
+  em.bytes_moved.Add(static_cast<uint64_t>(total_out_bytes));
+  em.encoded_bytes_exchanged.Add(
+      static_cast<uint64_t>(static_cast<double>(moved_rows) * enc_w));
   *move_seconds += max_out / hw.exchange_bytes_per_sec();
   *move_seconds += static_cast<double>(master.num_rows()) * width *
                    hw.disk_scan_factor / (n * hw.scan_bytes_per_sec);
+  if (config_.encode_storage) {
+    for (auto& shard : shards) shard.Seal();
+  }
   placement.replicated = false;
   placement.column = target.column;
   placement.shards = std::move(shards);
@@ -245,12 +372,17 @@ double ClusterDatabase::ApplyDesign(const partition::PartitioningState& design) 
   auto& em = EngineMetrics::Get();
   em.designs_applied.Add();
   em.repartition_seconds.AddSeconds(move_seconds);
+  em.bytes_resident.Set(static_cast<double>(storage_resident_bytes()));
+  em.bytes_raw.Set(static_cast<double>(storage_raw_bytes()));
   return move_seconds;
 }
 
 void ClusterDatabase::BulkAppend(double fraction, uint64_t seed) {
   LPA_CHECK(deployed_.has_value());
+  // Appending auto-thaws sealed masters (storage::TableData); everything is
+  // re-sealed below once the data stops changing.
   data_.BulkAppend(fraction, seed);
+  SealMastersAndRefresh();
   // Redistribute from scratch according to the deployed design (the update
   // path itself is not part of any measured experiment).
   for (schema::TableId t = 0; t < schema().num_tables(); ++t) {
@@ -262,6 +394,9 @@ void ClusterDatabase::BulkAppend(double fraction, uint64_t seed) {
     placement.replicated = true;  // force rebuild without movement accounting
     PlaceTable(t, target, &ignored);
   }
+  auto& em = EngineMetrics::Get();
+  em.bytes_resident.Set(static_cast<double>(storage_resident_bytes()));
+  em.bytes_raw.Set(static_cast<double>(storage_raw_bytes()));
   // The data (and thus anything a statistics refresh feeds the optimizer)
   // changed; cached plans for this deployment may no longer be the ones the
   // optimizer would pick.
@@ -328,6 +463,8 @@ QueryRunStats ClusterDatabase::ExecuteQuery(const workload::QuerySpec& query,
   ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
   uint64_t join_probes = 0;
   uint64_t parallel_chunks = 0;
+  uint64_t encoded_exchanged = 0;
+  const bool price_encoded = config_.price_encoded_bytes;
   // Run fn(0..count) on the pool when one is available; chunks must write
   // disjoint state. Serial fallback preserves index order.
   auto fan_out = [&](size_t count, const std::function<void(size_t)>& fn) {
@@ -373,10 +510,14 @@ QueryRunStats ClusterDatabase::ExecuteQuery(const workload::QuerySpec& query,
       DistRelation rel;
       rel.cols = needed_columns(t);
       rel.width = width;
+      rel.enc_width = table_enc_width_[static_cast<size_t>(t)];
 
-      // Two passes: select row indices first, then one exact resize per slot
-      // and a tight gather loop per column. Unfiltered scans copy the needed
-      // columns wholesale.
+      // Two passes: select row indices first (block-decoding the rid column
+      // through the reusable scratch), then one exact resize per slot and an
+      // encoding-aware gather per column. Unfiltered scans decode the needed
+      // columns wholesale. Sources may be sealed (encoded) or plain; either
+      // way the materialized chunks are identical, so everything downstream
+      // (joins, exchanges, stats) is bit-identical.
       auto scan_chunk = [&](const storage::TableData& src,
                             std::vector<std::vector<int64_t>>* out,
                             size_t* out_rows) {
@@ -384,26 +525,30 @@ QueryRunStats ClusterDatabase::ExecuteQuery(const workload::QuerySpec& query,
         if (threshold == UINT64_MAX) {
           out->assign(slots, {});
           for (size_t s = 0; s < slots; ++s) {
-            (*out)[s] = src.column(rel.cols[s].column);
+            src.view(rel.cols[s].column).CopyTo(&(*out)[s]);
           }
           *out_rows = src.num_rows();
           return;
         }
-        const auto& rids = src.rids();
+        std::vector<int64_t> scratch;
         std::vector<uint32_t> selected;
         selected.reserve(src.num_rows());
-        for (size_t r = 0; r < src.num_rows(); ++r) {
-          if (Hash64(static_cast<uint64_t>(rids[r]) ^ qseed) <= threshold) {
-            selected.push_back(static_cast<uint32_t>(r));
-          }
-        }
+        src.rid_view().ForEachBlock(
+            &scratch, [&](size_t start, size_t count, const int64_t* rids) {
+              for (size_t j = 0; j < count; ++j) {
+                if (Hash64(static_cast<uint64_t>(rids[j]) ^ qseed) <=
+                    threshold) {
+                  selected.push_back(static_cast<uint32_t>(start + j));
+                }
+              }
+            });
         const size_t count = selected.size();
         out->assign(slots, {});
         for (size_t s = 0; s < slots; ++s) {
           auto& dst = (*out)[s];
-          const auto& col = src.column(rel.cols[s].column);
           dst.resize(count);
-          for (size_t k = 0; k < count; ++k) dst[k] = col[selected[k]];
+          src.view(rel.cols[s].column)
+              .Gather(selected.data(), count, dst.data(), &scratch);
         }
         *out_rows = count;
       };
@@ -502,7 +647,10 @@ QueryRunStats ClusterDatabase::ExecuteQuery(const workload::QuerySpec& query,
         for (size_t s = 0; s < slots; ++s) fresh[dst][s].resize(fresh_rows[dst]);
       }
       std::vector<double> out_bytes(nn, 0.0);
-      const double row_bytes = rel->width * rel->byte_inflation;
+      std::vector<double> enc_out(nn, 0.0);
+      const double row_bytes =
+          (price_encoded ? rel->enc_width : rel->width) * rel->byte_inflation;
+      const double enc_row_bytes = rel->enc_width * rel->byte_inflation;
       fan_out(nn, [&](size_t src) {
         const auto& chunk = rel->data[src];
         const size_t rows = rel->rows[src];
@@ -520,12 +668,19 @@ QueryRunStats ClusterDatabase::ExecuteQuery(const workload::QuerySpec& query,
         double bytes = 0.0;
         for (size_t i = 0; i < crossing; ++i) bytes += row_bytes;
         out_bytes[src] = bytes;
+        // Counter-only (never feeds seconds), so a product is fine here.
+        enc_out[src] = static_cast<double>(crossing) * enc_row_bytes;
       });
       double max_out = *std::max_element(out_bytes.begin(), out_bytes.end());
       stats.net_seconds += max_out / hw.exchange_bytes_per_sec();
       double total_out = 0.0;
-      for (double b : out_bytes) total_out += b;
+      double total_enc = 0.0;
+      for (size_t src = 0; src < nn; ++src) {
+        total_out += out_bytes[src];
+        total_enc += enc_out[src];
+      }
       stats.bytes_shuffled += static_cast<uint64_t>(total_out);
+      encoded_exchanged += static_cast<uint64_t>(total_enc);
       rel->data = std::move(fresh);
       rel->rows = std::move(fresh_rows);
     };
@@ -536,16 +691,20 @@ QueryRunStats ClusterDatabase::ExecuteQuery(const workload::QuerySpec& query,
                          size_t* full_rows) {
       Gather(rel, full, full_rows);
       if (!rel.replicated) {
-        double max_chunk = 0.0, total = 0.0;
+        const double bw = price_encoded ? rel.enc_width : rel.width;
+        double max_chunk = 0.0, total = 0.0, total_enc = 0.0;
         for (size_t node = 0; node < rel.data.size(); ++node) {
-          double bytes = static_cast<double>(rel.rows[node]) * rel.width *
-                         rel.byte_inflation;
+          double bytes =
+              static_cast<double>(rel.rows[node]) * bw * rel.byte_inflation;
           max_chunk = std::max(max_chunk, bytes);
           total += bytes;
+          total_enc += static_cast<double>(rel.rows[node]) * rel.enc_width *
+                       rel.byte_inflation;
         }
         stats.net_seconds += max_chunk * (n - 1) / hw.exchange_bytes_per_sec();
         stats.bytes_shuffled += static_cast<uint64_t>(total * (n - 1));
         stats.bytes_broadcast += static_cast<uint64_t>(total * (n - 1));
+        encoded_exchanged += static_cast<uint64_t>(total_enc * (n - 1));
       }
     };
 
@@ -572,6 +731,7 @@ QueryRunStats ClusterDatabase::ExecuteQuery(const workload::QuerySpec& query,
       if (out.SlotOf(c) < 0) out.cols.push_back(c);
     }
     out.width = left.width + right.width;
+    out.enc_width = left.enc_width + right.enc_width;
 
     // Output slots fed from the right side (slots < left.cols.size() carry
     // left columns; right columns equal to a left column reuse its slot).
@@ -751,6 +911,7 @@ QueryRunStats ClusterDatabase::ExecuteQuery(const workload::QuerySpec& query,
   em.cpu_seconds.AddSeconds(stats.cpu_seconds);
   em.join_probes.Add(join_probes);
   if (parallel_chunks > 0) em.parallel_chunks.Add(parallel_chunks);
+  if (encoded_exchanged > 0) em.encoded_bytes_exchanged.Add(encoded_exchanged);
   em.query_seconds.Observe(stats.seconds);
   return stats;
 }

@@ -24,6 +24,16 @@ struct EngineConfig {
   /// jitter; the noise is deterministic per (query, physical design)).
   double noise_stddev = 0.02;
   uint64_t seed = 42;
+  /// Seal master tables and shards into compressed EncodedColumns
+  /// (docs/INTERNALS.md §11). Encoding is lossless, so query results and
+  /// QueryRunStats are bit-identical either way; only memory changes.
+  bool encode_storage = true;
+  /// Price exchanges, broadcasts and data movement in *encoded* bytes (the
+  /// measured per-table compression ratio) instead of logical row widths.
+  /// This intentionally changes net_seconds / bytes_shuffled — benches that
+  /// flip it record fresh baselines. Off by default so the default engine
+  /// stays bit-identical to the uncompressed accounting.
+  bool price_encoded_bytes = false;
 };
 
 /// \brief Cost/measurement breakdown of one executed query.
@@ -102,6 +112,21 @@ class ClusterDatabase {
   /// \brief Rows currently materialized in a table (across shards).
   size_t TableRows(schema::TableId t) const;
 
+  /// \brief Heap bytes currently resident across master tables and shards
+  /// (encoded bytes when `encode_storage`; plain bytes otherwise).
+  size_t storage_resident_bytes() const;
+  /// \brief Bytes the same data occupies in the plain representation.
+  size_t storage_raw_bytes() const;
+
+  /// \brief Measured encoded bytes per row of table `t`: the logical row
+  /// width scaled by the master's compression ratio (equals the logical
+  /// width when encoding is off). Feed these to
+  /// `CostModel::set_encoded_row_bytes` to re-price the planner the same way
+  /// `price_encoded_bytes` re-prices the engine.
+  double EncodedRowBytes(schema::TableId t) const {
+    return table_enc_width_.at(static_cast<size_t>(t));
+  }
+
  private:
   /// Physical placement of one table.
   struct Placement {
@@ -114,8 +139,13 @@ class ClusterDatabase {
 
   void PlaceTable(schema::TableId t, const partition::TablePartition& target,
                   double* move_seconds);
-  int RouteRow(const storage::TableData& data, schema::ColumnId column,
-               size_t row) const;
+
+  /// \brief Seal every master table (no-op unless `encode_storage`), then
+  /// refresh the per-table encoded widths and the storage gauges.
+  void SealMastersAndRefresh();
+  /// \brief Exchange-priced bytes per row of table `t`: encoded width when
+  /// `price_encoded_bytes`, logical width otherwise.
+  double PricedRowWidth(schema::TableId t) const;
 
   /// \brief Plan `query` through the plan cache: keyed by (structural query
   /// hash, deployed design fingerprint of the query's tables, planner stats
@@ -130,6 +160,8 @@ class ClusterDatabase {
   const costmodel::CostModel* planner_;
   std::vector<Placement> placements_;
   std::optional<partition::PartitioningState> deployed_;
+  /// Per-table encoded bytes/row, refreshed whenever masters are re-sealed.
+  std::vector<double> table_enc_width_;
 
   /// Bounded plan cache; mutable because planning is a pure function of
   /// (query, deployed design, planner statistics) and ExecuteQuery is const.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <span>
 
 #include "util/hash.h"
 #include "util/logging.h"
@@ -150,10 +151,12 @@ void Database::GenerateRows(schema::TableId t, size_t count, Rng* rng) {
       size_t pidx = static_cast<size_t>(
           rng->UniformInt(0, static_cast<int64_t>(parent.num_rows()) - 1));
       for (const auto& [cc, pc] : group.mappings) {
-        values[static_cast<size_t>(cc)] = parent.column(pc)[pidx];
+        // view() instead of column(): a parent may be sealed when the engine
+        // bulk-appends into an already compressed cluster (Exp 3a).
+        values[static_cast<size_t>(cc)] = parent.view(pc).At(pidx);
       }
     }
-    data.AppendRow(values, next_rid_++);
+    data.AppendRow(std::span<const int64_t>(values), next_rid_++);
   }
 }
 

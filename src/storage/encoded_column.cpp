@@ -1,0 +1,387 @@
+#include "storage/encoded_column.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace lpa::storage {
+
+namespace {
+
+/// Deltas are computed in uint64 space so that min == INT64_MIN and friends
+/// round-trip without signed overflow (two's complement wraparound is exact).
+uint64_t DeltaOf(int64_t value, int64_t base) {
+  return static_cast<uint64_t>(value) - static_cast<uint64_t>(base);
+}
+
+int64_t Rebase(int64_t base, uint64_t delta) {
+  return static_cast<int64_t>(static_cast<uint64_t>(base) + delta);
+}
+
+size_t WordsFor(uint64_t bits) { return static_cast<size_t>((bits + 63) / 64); }
+
+}  // namespace
+
+const char* EncodingName(Encoding e) {
+  switch (e) {
+    case Encoding::kPlain: return "plain";
+    case Encoding::kRle: return "rle";
+    case Encoding::kDict: return "dict";
+    case Encoding::kFor: return "for";
+  }
+  return "?";
+}
+
+uint64_t EncodedColumn::ReadBits(const uint64_t* words, uint64_t bit_pos,
+                                 int width) {
+  if (width == 0) return 0;
+  size_t word = static_cast<size_t>(bit_pos >> 6);
+  int off = static_cast<int>(bit_pos & 63);
+  uint64_t v = words[word] >> off;
+  if (off + width > 64) v |= words[word + 1] << (64 - off);
+  if (width >= 64) return v;
+  return v & ((uint64_t{1} << width) - 1);
+}
+
+void EncodedColumn::WriteBits(std::vector<uint64_t>* words, uint64_t bit_pos,
+                              int width, uint64_t value) {
+  if (width == 0) return;
+  size_t word = static_cast<size_t>(bit_pos >> 6);
+  int off = static_cast<int>(bit_pos & 63);
+  (*words)[word] |= value << off;
+  if (off + width > 64) (*words)[word + 1] |= value >> (64 - off);
+}
+
+ColumnStats EncodedColumn::Analyze(const std::vector<int64_t>& values) {
+  ColumnStats stats;
+  stats.values = values.size();
+  if (values.empty()) return stats;
+  stats.min = stats.max = values[0];
+  stats.runs = 1;
+  std::unordered_set<int64_t> distinct;
+  distinct.reserve(1024);
+  bool capped = false;
+  distinct.insert(values[0]);
+  for (size_t i = 1; i < values.size(); ++i) {
+    int64_t v = values[i];
+    if (v != values[i - 1]) ++stats.runs;
+    if (v < values[i - 1]) stats.sorted = false;
+    stats.min = std::min(stats.min, v);
+    stats.max = std::max(stats.max, v);
+    if (!capped) {
+      distinct.insert(v);
+      if (distinct.size() > kDictMaxCard) capped = true;
+    }
+  }
+  stats.distinct = capped ? kDictMaxCard + 1 : distinct.size();
+  return stats;
+}
+
+EncodedColumn EncodedColumn::EncodePlain(const std::vector<int64_t>& values) {
+  EncodedColumn c;
+  c.encoding_ = Encoding::kPlain;
+  c.size_ = values.size();
+  c.plain_ = values;
+  c.plain_.shrink_to_fit();
+  return c;
+}
+
+EncodedColumn EncodedColumn::EncodeRle(const std::vector<int64_t>& values) {
+  EncodedColumn c;
+  c.encoding_ = Encoding::kRle;
+  c.size_ = values.size();
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (c.rle_values_.empty() || values[i] != c.rle_values_.back()) {
+      c.rle_values_.push_back(values[i]);
+      c.rle_ends_.push_back(i + 1);
+    } else {
+      c.rle_ends_.back() = i + 1;
+    }
+  }
+  c.rle_values_.shrink_to_fit();
+  c.rle_ends_.shrink_to_fit();
+  return c;
+}
+
+EncodedColumn EncodedColumn::EncodeDict(const std::vector<int64_t>& values) {
+  EncodedColumn c;
+  c.encoding_ = Encoding::kDict;
+  c.size_ = values.size();
+  c.dict_ = values;
+  std::sort(c.dict_.begin(), c.dict_.end());
+  c.dict_.erase(std::unique(c.dict_.begin(), c.dict_.end()), c.dict_.end());
+  c.dict_.shrink_to_fit();
+  LPA_CHECK(c.dict_.size() <= kDictMaxCard);
+  c.code_width_ = c.dict_.empty()
+                      ? 1
+                      : std::max(1, static_cast<int>(std::bit_width(c.dict_.size() - 1)));
+  c.bits_.assign(WordsFor(static_cast<uint64_t>(values.size()) *
+                          static_cast<uint64_t>(c.code_width_)),
+                 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    auto it = std::lower_bound(c.dict_.begin(), c.dict_.end(), values[i]);
+    uint64_t code = static_cast<uint64_t>(it - c.dict_.begin());
+    WriteBits(&c.bits_, static_cast<uint64_t>(i) * c.code_width_,
+              c.code_width_, code);
+  }
+  return c;
+}
+
+EncodedColumn EncodedColumn::EncodeFor(const std::vector<int64_t>& values) {
+  EncodedColumn c;
+  c.encoding_ = Encoding::kFor;
+  c.size_ = values.size();
+  const size_t blocks = (values.size() + kBlock - 1) / kBlock;
+  c.for_bases_.resize(blocks);
+  c.for_offsets_.resize(blocks);
+  c.for_widths_.resize(blocks);
+  uint64_t bit = 0;
+  for (size_t b = 0; b < blocks; ++b) {
+    size_t lo = b * kBlock;
+    size_t hi = std::min(values.size(), lo + kBlock);
+    int64_t mn = values[lo], mx = values[lo];
+    for (size_t i = lo + 1; i < hi; ++i) {
+      mn = std::min(mn, values[i]);
+      mx = std::max(mx, values[i]);
+    }
+    uint64_t range = DeltaOf(mx, mn);
+    int width = range == 0 ? 0 : static_cast<int>(std::bit_width(range));
+    c.for_bases_[b] = mn;
+    c.for_offsets_[b] = bit;
+    c.for_widths_[b] = static_cast<uint8_t>(width);
+    bit += static_cast<uint64_t>(width) * (hi - lo);
+  }
+  c.bits_.assign(WordsFor(bit), 0);
+  for (size_t b = 0; b < blocks; ++b) {
+    size_t lo = b * kBlock;
+    size_t hi = std::min(values.size(), lo + kBlock);
+    int width = c.for_widths_[b];
+    uint64_t pos = c.for_offsets_[b];
+    for (size_t i = lo; i < hi; ++i) {
+      WriteBits(&c.bits_, pos, width, DeltaOf(values[i], c.for_bases_[b]));
+      pos += static_cast<uint64_t>(width);
+    }
+  }
+  return c;
+}
+
+EncodedColumn EncodedColumn::EncodeAs(Encoding encoding,
+                                      const std::vector<int64_t>& values) {
+  switch (encoding) {
+    case Encoding::kPlain: return EncodePlain(values);
+    case Encoding::kRle: return EncodeRle(values);
+    case Encoding::kDict: return EncodeDict(values);
+    case Encoding::kFor: return EncodeFor(values);
+  }
+  return EncodePlain(values);
+}
+
+EncodedColumn EncodedColumn::Encode(const std::vector<int64_t>& values) {
+  if (values.empty()) return EncodePlain(values);
+  ColumnStats stats = Analyze(values);
+
+  const size_t plain_bytes = values.size() * sizeof(int64_t);
+  const size_t rle_bytes = stats.runs * (sizeof(int64_t) + sizeof(uint64_t));
+  size_t dict_bytes = SIZE_MAX;
+  if (stats.distinct <= kDictMaxCard) {
+    int cw = std::max(1, static_cast<int>(std::bit_width(stats.distinct - 1)));
+    dict_bytes = stats.distinct * sizeof(int64_t) +
+                 WordsFor(static_cast<uint64_t>(values.size()) * cw) * 8;
+  }
+  // Exact FOR size from per-block ranges (one extra cheap pass).
+  uint64_t for_bits = 0;
+  const size_t blocks = (values.size() + kBlock - 1) / kBlock;
+  for (size_t b = 0; b < blocks; ++b) {
+    size_t lo = b * kBlock;
+    size_t hi = std::min(values.size(), lo + kBlock);
+    int64_t mn = values[lo], mx = values[lo];
+    for (size_t i = lo + 1; i < hi; ++i) {
+      mn = std::min(mn, values[i]);
+      mx = std::max(mx, values[i]);
+    }
+    uint64_t range = DeltaOf(mx, mn);
+    for_bits += static_cast<uint64_t>(range == 0 ? 0 : std::bit_width(range)) *
+                (hi - lo);
+  }
+  const size_t for_bytes =
+      blocks * (sizeof(int64_t) + sizeof(uint64_t) + 1) + WordsFor(for_bits) * 8;
+
+  // Smallest representation wins; ties break toward the cheaper decoder
+  // (RLE < dict < FOR < plain). Deterministic by construction.
+  Encoding best = Encoding::kRle;
+  size_t best_bytes = rle_bytes;
+  if (dict_bytes < best_bytes) {
+    best = Encoding::kDict;
+    best_bytes = dict_bytes;
+  }
+  if (for_bytes < best_bytes) {
+    best = Encoding::kFor;
+    best_bytes = for_bytes;
+  }
+  if (plain_bytes < best_bytes) best = Encoding::kPlain;
+  return EncodeAs(best, values);
+}
+
+size_t EncodedColumn::encoded_bytes() const {
+  switch (encoding_) {
+    case Encoding::kPlain:
+      return plain_.size() * sizeof(int64_t);
+    case Encoding::kRle:
+      return rle_values_.size() * sizeof(int64_t) +
+             rle_ends_.size() * sizeof(uint64_t);
+    case Encoding::kDict:
+      return dict_.size() * sizeof(int64_t) + bits_.size() * sizeof(uint64_t);
+    case Encoding::kFor:
+      return for_bases_.size() * sizeof(int64_t) +
+             for_offsets_.size() * sizeof(uint64_t) + for_widths_.size() +
+             bits_.size() * sizeof(uint64_t);
+  }
+  return 0;
+}
+
+int64_t EncodedColumn::At(size_t i) const {
+  LPA_CHECK(i < size_);
+  switch (encoding_) {
+    case Encoding::kPlain:
+      return plain_[i];
+    case Encoding::kRle: {
+      size_t run = static_cast<size_t>(
+          std::upper_bound(rle_ends_.begin(), rle_ends_.end(), i) -
+          rle_ends_.begin());
+      return rle_values_[run];
+    }
+    case Encoding::kDict: {
+      uint64_t code = ReadBits(bits_.data(),
+                               static_cast<uint64_t>(i) * code_width_,
+                               code_width_);
+      return dict_[static_cast<size_t>(code)];
+    }
+    case Encoding::kFor: {
+      size_t b = i / kBlock;
+      int width = for_widths_[b];
+      uint64_t pos = for_offsets_[b] +
+                     static_cast<uint64_t>(i - b * kBlock) * width;
+      return Rebase(for_bases_[b], ReadBits(bits_.data(), pos, width));
+    }
+  }
+  return 0;
+}
+
+void EncodedColumn::DecodeRange(size_t start, size_t count,
+                                int64_t* out) const {
+  if (count == 0) return;
+  LPA_CHECK(start + count <= size_);
+  switch (encoding_) {
+    case Encoding::kPlain:
+      std::copy(plain_.begin() + static_cast<ptrdiff_t>(start),
+                plain_.begin() + static_cast<ptrdiff_t>(start + count), out);
+      return;
+    case Encoding::kRle: {
+      size_t run = static_cast<size_t>(
+          std::upper_bound(rle_ends_.begin(), rle_ends_.end(), start) -
+          rle_ends_.begin());
+      size_t i = start;
+      size_t k = 0;
+      while (k < count) {
+        size_t run_end = static_cast<size_t>(rle_ends_[run]);
+        size_t take = std::min(run_end - i, count - k);
+        std::fill(out + k, out + k + take, rle_values_[run]);
+        k += take;
+        i += take;
+        ++run;
+      }
+      return;
+    }
+    case Encoding::kDict: {
+      uint64_t pos = static_cast<uint64_t>(start) * code_width_;
+      for (size_t k = 0; k < count; ++k, pos += code_width_) {
+        out[k] = dict_[static_cast<size_t>(
+            ReadBits(bits_.data(), pos, code_width_))];
+      }
+      return;
+    }
+    case Encoding::kFor: {
+      size_t i = start;
+      size_t k = 0;
+      while (k < count) {
+        size_t b = i / kBlock;
+        size_t block_end = std::min(size_, (b + 1) * kBlock);
+        size_t take = std::min(block_end - i, count - k);
+        int width = for_widths_[b];
+        int64_t base = for_bases_[b];
+        uint64_t pos =
+            for_offsets_[b] + static_cast<uint64_t>(i - b * kBlock) * width;
+        for (size_t j = 0; j < take; ++j, pos += width) {
+          out[k + j] = Rebase(base, ReadBits(bits_.data(), pos, width));
+        }
+        k += take;
+        i += take;
+      }
+      return;
+    }
+  }
+}
+
+std::vector<int64_t> EncodedColumn::Decode() const {
+  std::vector<int64_t> out(size_);
+  DecodeRange(0, size_, out.data());
+  return out;
+}
+
+void EncodedColumn::Gather(const uint32_t* idx, size_t count, int64_t* out,
+                           std::vector<int64_t>* scratch) const {
+  switch (encoding_) {
+    case Encoding::kPlain:
+      for (size_t k = 0; k < count; ++k) out[k] = plain_[idx[k]];
+      return;
+    case Encoding::kDict:
+      // Codes are O(1) random access; no block decode needed.
+      for (size_t k = 0; k < count; ++k) {
+        out[k] = dict_[static_cast<size_t>(
+            ReadBits(bits_.data(),
+                     static_cast<uint64_t>(idx[k]) * code_width_,
+                     code_width_))];
+      }
+      return;
+    case Encoding::kRle: {
+      // Ascending indices: a forward run cursor never rewinds.
+      size_t run = 0;
+      for (size_t k = 0; k < count; ++k) {
+        while (rle_ends_[run] <= idx[k]) ++run;
+        out[k] = rle_values_[run];
+      }
+      return;
+    }
+    case Encoding::kFor: {
+      // Block-at-a-time: decode each touched block once into the reusable
+      // scratch buffer (ascending indices touch each block once).
+      size_t cur = SIZE_MAX;
+      for (size_t k = 0; k < count; ++k) {
+        size_t b = idx[k] / kBlock;
+        if (b != cur) {
+          size_t lo = b * kBlock;
+          size_t len = std::min(size_, lo + kBlock) - lo;
+          scratch->resize(kBlock);
+          DecodeRange(lo, len, scratch->data());
+          cur = b;
+        }
+        out[k] = (*scratch)[idx[k] - cur * kBlock];
+      }
+      return;
+    }
+  }
+}
+
+void EncodedColumn::DecodeCodes(size_t start, size_t count,
+                                uint32_t* out) const {
+  LPA_CHECK(encoding_ == Encoding::kDict);
+  LPA_CHECK(start + count <= size_);
+  uint64_t pos = static_cast<uint64_t>(start) * code_width_;
+  for (size_t k = 0; k < count; ++k, pos += code_width_) {
+    out[k] = static_cast<uint32_t>(ReadBits(bits_.data(), pos, code_width_));
+  }
+}
+
+}  // namespace lpa::storage

@@ -1,17 +1,92 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "storage/encoded_column.h"
 #include "util/logging.h"
 
 namespace lpa::storage {
+
+/// \brief Read-only view of one column that works on both representations of
+/// a TableData: a plain `std::vector<int64_t>` (unsealed) or an
+/// `EncodedColumn` (sealed). Kernels written against ColumnView are
+/// bit-identical across representations because encoding is lossless.
+class ColumnView {
+ public:
+  explicit ColumnView(const std::vector<int64_t>* plain) : plain_(plain) {}
+  explicit ColumnView(const EncodedColumn* enc) : enc_(enc) {}
+
+  size_t size() const { return plain_ ? plain_->size() : enc_->size(); }
+
+  int64_t At(size_t i) const { return plain_ ? (*plain_)[i] : enc_->At(i); }
+
+  /// The encoded representation, or nullptr when viewing a plain vector.
+  /// Encoding-aware kernels (dictionary-code routing) branch on this.
+  const EncodedColumn* encoded() const { return enc_; }
+
+  /// \brief Assign the full column into `out` (the unfiltered-scan path).
+  void CopyTo(std::vector<int64_t>* out) const {
+    if (plain_) {
+      *out = *plain_;
+    } else {
+      out->resize(enc_->size());
+      enc_->DecodeRange(0, enc_->size(), out->data());
+    }
+  }
+
+  /// \brief out[k] = value(idx[k]) for ascending `idx`; `scratch` is the
+  /// reusable block-decode buffer (see EncodedColumn::Gather).
+  void Gather(const uint32_t* idx, size_t count, int64_t* out,
+              std::vector<int64_t>* scratch) const {
+    if (plain_) {
+      for (size_t k = 0; k < count; ++k) out[k] = (*plain_)[idx[k]];
+    } else {
+      enc_->Gather(idx, count, out, scratch);
+    }
+  }
+
+  /// \brief Call `fn(start, count, data)` over the column in blocks of at
+  /// most EncodedColumn::kBlock values. Plain columns pass pointers into the
+  /// vector (no copy); encoded columns decode block-at-a-time into `scratch`.
+  template <typename Fn>
+  void ForEachBlock(std::vector<int64_t>* scratch, Fn&& fn) const {
+    const size_t n = size();
+    if (plain_) {
+      const int64_t* base = plain_->data();
+      for (size_t start = 0; start < n; start += EncodedColumn::kBlock) {
+        size_t count = std::min(n - start, EncodedColumn::kBlock);
+        fn(start, count, base + start);
+      }
+    } else {
+      scratch->resize(EncodedColumn::kBlock);
+      for (size_t start = 0; start < n; start += EncodedColumn::kBlock) {
+        size_t count = std::min(n - start, EncodedColumn::kBlock);
+        enc_->DecodeRange(start, count, scratch->data());
+        fn(start, count, scratch->data());
+      }
+    }
+  }
+
+ private:
+  const std::vector<int64_t>* plain_ = nullptr;
+  const EncodedColumn* enc_ = nullptr;
+};
 
 /// \brief Columnar in-memory data of one table.
 ///
 /// All values are int64 surrogates (see schema::Column::width_bytes for the
 /// modeled byte widths). Every row additionally carries a hidden, unique,
 /// stable row id (`rid`) used for deterministic pseudo-filters and sampling.
+///
+/// A TableData has two states (see docs/INTERNALS.md §11):
+///  - *unsealed* (the default): plain per-column vectors, appendable.
+///  - *sealed*: every column (and the rid column) is compressed into an
+///    EncodedColumn chosen by the stats-driven chooser and the plain vectors
+///    are released. Reads go through `view()` / `rid_view()`, which work in
+///    both states. Any append auto-thaws (decodes back to plain vectors and
+///    drops the encoding) — the caller re-seals when loading is done.
 class TableData {
  public:
   TableData() = default;
@@ -19,30 +94,80 @@ class TableData {
       : columns_(static_cast<size_t>(num_columns)) {}
 
   int num_columns() const { return static_cast<int>(columns_.size()); }
-  size_t num_rows() const { return rids_.size(); }
+  size_t num_rows() const {
+    return sealed_ ? encoded_.back().size() : rids_.size();
+  }
 
-  std::vector<int64_t>& column(int c) { return columns_.at(static_cast<size_t>(c)); }
-  const std::vector<int64_t>& column(int c) const {
+  bool sealed() const { return sealed_; }
+
+  /// \brief Compress every column (and the rids) with the encoding chooser
+  /// and release the plain vectors. Idempotent.
+  void Seal();
+
+  /// \brief Decode back to plain vectors and drop the encodings. Idempotent.
+  void Thaw();
+
+  /// Direct mutable/plain access requires the unsealed representation; use
+  /// `view()` for reads that must work in either state.
+  std::vector<int64_t>& column(int c) {
+    LPA_CHECK(!sealed_);
     return columns_.at(static_cast<size_t>(c));
   }
-  std::vector<int64_t>& rids() { return rids_; }
-  const std::vector<int64_t>& rids() const { return rids_; }
+  const std::vector<int64_t>& column(int c) const {
+    LPA_CHECK(!sealed_);
+    return columns_.at(static_cast<size_t>(c));
+  }
+  std::vector<int64_t>& rids() {
+    LPA_CHECK(!sealed_);
+    return rids_;
+  }
+  const std::vector<int64_t>& rids() const {
+    LPA_CHECK(!sealed_);
+    return rids_;
+  }
+
+  /// \brief Representation-independent read access (column `c` / the rids).
+  ColumnView view(int c) const {
+    return sealed_ ? ColumnView(&encoded_.at(static_cast<size_t>(c)))
+                   : ColumnView(&columns_.at(static_cast<size_t>(c)));
+  }
+  ColumnView rid_view() const {
+    return sealed_ ? ColumnView(&encoded_.back()) : ColumnView(&rids_);
+  }
+
+  /// \brief Heap bytes of the current representation (encoded when sealed).
+  size_t resident_bytes() const;
+  /// \brief Heap bytes the plain representation occupies / would occupy.
+  size_t raw_bytes() const {
+    return (columns_.size() + 1) * num_rows() * sizeof(int64_t);
+  }
 
   void Reserve(size_t n) {
+    if (sealed_) Thaw();
     for (auto& col : columns_) col.reserve(n);
     rids_.reserve(n);
   }
 
   /// \brief Append one row; `values` must have one entry per column.
-  void AppendRow(const std::vector<int64_t>& values, int64_t rid) {
+  /// Auto-thaws a sealed table.
+  void AppendRow(std::span<const int64_t> values, int64_t rid) {
     LPA_CHECK(values.size() == columns_.size());
-    for (size_t c = 0; c < columns_.size(); ++c) columns_[c].push_back(values[c]);
+    if (sealed_) Thaw();
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].push_back(values[c]);
+    }
     rids_.push_back(rid);
+  }
+  void AppendRow(const std::vector<int64_t>& values, int64_t rid) {
+    AppendRow(std::span<const int64_t>(values.data(), values.size()), rid);
   }
 
   /// \brief Copy row `row` of `src` into this table (same column count).
+  /// `src` must be unsealed (the bulk paths thaw once, not per row).
   void AppendRowFrom(const TableData& src, size_t row) {
     LPA_CHECK(src.columns_.size() == columns_.size());
+    LPA_CHECK(!src.sealed_);
+    if (sealed_) Thaw();
     for (size_t c = 0; c < columns_.size(); ++c) {
       columns_[c].push_back(src.columns_[c][row]);
     }
@@ -52,6 +177,10 @@ class TableData {
  private:
   std::vector<std::vector<int64_t>> columns_;
   std::vector<int64_t> rids_;
+
+  /// Sealed representation: one EncodedColumn per column, then the rids.
+  bool sealed_ = false;
+  std::vector<EncodedColumn> encoded_;
 };
 
 }  // namespace lpa::storage

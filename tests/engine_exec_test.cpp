@@ -272,6 +272,136 @@ TEST(TpcchExecTest, EveryJoinStrategyBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Compressed storage (docs/INTERNALS.md §11): the encoded engine must be
+// bit-identical to the uncompressed engine, while resident memory shrinks.
+// ---------------------------------------------------------------------------
+
+class EncodedExecTest : public SsbExecTest {
+ protected:
+  ClusterDatabase MakeCluster(bool encode, bool price_encoded) {
+    EngineConfig config{HardwareProfile::DiskBased10G(), 0.02, 7, encode,
+                        price_encoded};
+    return ClusterDatabase(
+        storage::Database::Generate(schema_, workload_, GenConfig(5e-4)),
+        config, &planner_);
+  }
+};
+
+TEST_F(EncodedExecTest, EncodedMatchesUncompressedBitExactly) {
+  // The compression smoke: encode, query, compare against the uncompressed
+  // cluster with exact EXPECT_EQ on every QueryRunStats field, serial and
+  // pooled. Any lossy encoding, wrong gather order, or accounting drift
+  // fails here.
+  ClusterDatabase encoded = MakeCluster(/*encode=*/true, false);
+  ClusterDatabase plain = MakeCluster(/*encode=*/false, false);
+  EvalContext ctx2(2, 51);
+  EvalContext ctx8(8, 52);
+  for (const auto& design : Designs()) {
+    encoded.ApplyDesign(design);
+    plain.ApplyDesign(design);
+    for (const auto& q : workload_.queries()) {
+      auto want = plain.ExecuteQuery(q);
+      ExpectIdentical(want, encoded.ExecuteQuery(q), "encoded " + q.name);
+      ExpectIdentical(want, encoded.ExecuteQuery(q, &ctx2),
+                      "encoded@2 " + q.name);
+      ExpectIdentical(want, encoded.ExecuteQuery(q, &ctx8),
+                      "encoded@8 " + q.name);
+    }
+  }
+}
+
+TEST_F(EncodedExecTest, ResidentMemoryShrinksAtLeast2x) {
+  ClusterDatabase encoded = MakeCluster(true, false);
+  ClusterDatabase plain = MakeCluster(false, false);
+  encoded.ApplyDesign(Initial());
+  plain.ApplyDesign(Initial());
+  EXPECT_EQ(encoded.storage_raw_bytes(), plain.storage_raw_bytes());
+  EXPECT_GE(static_cast<double>(encoded.storage_raw_bytes()),
+            2.0 * static_cast<double>(encoded.storage_resident_bytes()));
+  // The uncompressed cluster holds (at least) its raw bytes.
+  EXPECT_GE(plain.storage_resident_bytes(), plain.storage_raw_bytes());
+  // Encoded widths reflect the measured ratio; the big fact table must
+  // compress well below its logical width.
+  schema::TableId lo = schema_.TableIndex("lineorder");
+  EXPECT_LT(encoded.EncodedRowBytes(lo),
+            0.5 * schema_.table(lo).row_width_bytes());
+  EXPECT_EQ(plain.EncodedRowBytes(lo), schema_.table(lo).row_width_bytes());
+}
+
+TEST_F(EncodedExecTest, EncodedPricingShrinksExchangeAccounting) {
+  // price_encoded_bytes is the intentional re-pricing: shuffles and
+  // broadcasts ship measured encoded bytes, so bytes_shuffled and
+  // net_seconds drop versus logical-width pricing. Results (rows_out) are
+  // unchanged — only the cost landscape moves.
+  ClusterDatabase priced = MakeCluster(true, /*price_encoded=*/true);
+  ClusterDatabase unpriced = MakeCluster(true, false);
+  auto misaligned = Designs()[4];  // fact on date key: exchanges everywhere
+  priced.ApplyDesign(misaligned);
+  unpriced.ApplyDesign(misaligned);
+  uint64_t enc0 = CounterValue("engine.encoded_bytes_exchanged.bytes");
+  bool saw_exchange = false;
+  for (const auto& q : workload_.queries()) {
+    auto cheap = priced.ExecuteQuery(q);
+    auto full = unpriced.ExecuteQuery(q);
+    EXPECT_EQ(cheap.rows_out, full.rows_out) << q.name;
+    if (full.bytes_shuffled > 0) {
+      saw_exchange = true;
+      EXPECT_LT(cheap.bytes_shuffled, full.bytes_shuffled) << q.name;
+      EXPECT_LT(cheap.net_seconds, full.net_seconds) << q.name;
+    }
+  }
+  EXPECT_TRUE(saw_exchange);
+  EXPECT_GT(CounterValue("engine.encoded_bytes_exchanged.bytes"), enc0);
+}
+
+TEST_F(EncodedExecTest, CostModelEncodedPricingFollowsEngine) {
+  // Feeding ClusterDatabase::EncodedRowBytes into the cost model re-prices
+  // the planner's exchanges the same direction as the engine's.
+  ClusterDatabase encoded = MakeCluster(true, false);
+  encoded.ApplyDesign(Initial());
+  CostModel raw_model(&schema_, HardwareProfile::DiskBased10G());
+  CostModel enc_model(&schema_, HardwareProfile::DiskBased10G());
+  std::vector<double> widths;
+  for (schema::TableId t = 0; t < schema_.num_tables(); ++t) {
+    widths.push_back(encoded.EncodedRowBytes(t));
+  }
+  enc_model.set_encoded_row_bytes(widths);
+  auto misaligned = Designs()[4];
+  double raw_cost = raw_model.WorkloadCost(workload_, misaligned);
+  double enc_cost = enc_model.WorkloadCost(workload_, misaligned);
+  EXPECT_LT(enc_cost, raw_cost);
+  // Repartitioning ships encoded bytes too.
+  EXPECT_LT(enc_model.RepartitioningCost(Initial(), misaligned),
+            raw_model.RepartitioningCost(Initial(), misaligned));
+  // An unset model is untouched by the new field (bit-identical pricing).
+  CostModel raw_model2(&schema_, HardwareProfile::DiskBased10G());
+  EXPECT_EQ(raw_model2.WorkloadCost(workload_, misaligned), raw_cost);
+}
+
+TEST_F(EncodedExecTest, BulkAppendReencodesAndKeepsPlanFlipBehavior) {
+  // Exp 3a's sequence on a compressed cluster: BulkAppend thaws, appends,
+  // redistributes, re-seals — the plan cache invalidation (plan-flip
+  // mechanism) and the >=2x compression must both survive.
+  ClusterDatabase encoded = MakeCluster(true, false);
+  encoded.ApplyDesign(Initial());
+  const auto& q = workload_.query(3);
+  encoded.ExecuteQuery(q);
+  uint64_t inval0 = CounterValue("engine.plan_cache_invalidations.count");
+  encoded.BulkAppend(0.25, 3);
+  EXPECT_EQ(CounterValue("engine.plan_cache_invalidations.count"), inval0 + 1);
+  EXPECT_GE(static_cast<double>(encoded.storage_raw_bytes()),
+            2.0 * static_cast<double>(encoded.storage_resident_bytes()));
+  // And the appended encoded cluster still matches an appended plain one.
+  ClusterDatabase plain = MakeCluster(false, false);
+  plain.ApplyDesign(Initial());
+  plain.BulkAppend(0.25, 3);
+  for (const auto& qq : workload_.queries()) {
+    ExpectIdentical(plain.ExecuteQuery(qq), encoded.ExecuteQuery(qq),
+                    "post-append " + qq.name);
+  }
+}
+
 TEST(JoinTableTest, FindsAllDuplicatesAndCountsProbes) {
   JoinTable jt;
   uint64_t probes = 0;

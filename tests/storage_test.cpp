@@ -7,6 +7,10 @@
 #include <set>
 
 #include "schema/catalogs.h"
+#include "storage/encoded_column.h"
+#include "storage/table_data.h"
+#include "util/hash.h"
+#include "util/rng.h"
 #include "workload/benchmarks.h"
 
 namespace lpa::storage {
@@ -157,6 +161,233 @@ TEST(TpcchDatabaseTest, StockItemChainIsConsistent) {
   for (int64_t v : db.table(ol_id).column(ol_i)) {
     EXPECT_TRUE(item_keys.count(v)) << "orderline item " << v << " not in item";
   }
+}
+
+// ---------------------------------------------------------------------------
+// EncodedColumn: every encoding must round-trip every input losslessly.
+// ---------------------------------------------------------------------------
+
+/// Exhaustive round-trip property check: full Decode, spot At, a
+/// block-crossing DecodeRange window, an ascending Gather, and the chooser's
+/// never-worse-than-plain guarantee.
+void ExpectRoundTrip(const std::vector<int64_t>& values) {
+  ColumnStats stats = EncodedColumn::Analyze(values);
+  std::vector<Encoding> encodings = {Encoding::kPlain, Encoding::kRle,
+                                     Encoding::kFor};
+  if (stats.distinct <= EncodedColumn::kDictMaxCard) {
+    encodings.push_back(Encoding::kDict);
+  }
+  for (Encoding e : encodings) {
+    SCOPED_TRACE(EncodingName(e));
+    EncodedColumn col = EncodedColumn::EncodeAs(e, values);
+    EXPECT_EQ(col.encoding(), e);
+    EXPECT_EQ(col.size(), values.size());
+    EXPECT_EQ(col.Decode(), values);
+    const size_t stride = std::max<size_t>(1, values.size() / 17);
+    for (size_t i = 0; i < values.size(); i += stride) {
+      EXPECT_EQ(col.At(i), values[i]);
+    }
+    if (values.size() > 3) {
+      size_t start = values.size() / 3;
+      size_t count = std::min(values.size() - start, values.size() / 2 + 1);
+      std::vector<int64_t> window(count);
+      col.DecodeRange(start, count, window.data());
+      for (size_t k = 0; k < count; ++k) EXPECT_EQ(window[k], values[start + k]);
+    }
+    std::vector<uint32_t> idx;
+    for (size_t i = 0; i < values.size(); i += 3) {
+      idx.push_back(static_cast<uint32_t>(i));
+    }
+    std::vector<int64_t> out(idx.size());
+    std::vector<int64_t> scratch;
+    col.Gather(idx.data(), idx.size(), out.data(), &scratch);
+    for (size_t k = 0; k < idx.size(); ++k) {
+      EXPECT_EQ(out[k], values[idx[k]]);
+    }
+  }
+  EncodedColumn chosen = EncodedColumn::Encode(values);
+  EXPECT_EQ(chosen.Decode(), values);
+  EXPECT_LE(chosen.encoded_bytes(), chosen.raw_bytes());
+}
+
+TEST(EncodedColumnTest, RoundTripEmptyAndTiny) {
+  ExpectRoundTrip({});
+  ExpectRoundTrip({42});
+  ExpectRoundTrip({-1});
+  ExpectRoundTrip({7, 7});
+  ExpectRoundTrip({1, 2});
+}
+
+TEST(EncodedColumnTest, RoundTripConstant) {
+  ExpectRoundTrip(std::vector<int64_t>(5000, 7));
+}
+
+TEST(EncodedColumnTest, RoundTripSorted) {
+  std::vector<int64_t> v;
+  for (int64_t i = 0; i < 2500; ++i) v.push_back(1000 + i * 3);
+  ExpectRoundTrip(v);
+}
+
+TEST(EncodedColumnTest, RoundTripRandom) {
+  Rng rng(123);
+  std::vector<int64_t> v;
+  for (int i = 0; i < 3000; ++i) v.push_back(rng.UniformInt(1, 1'000'000'000));
+  ExpectRoundTrip(v);
+}
+
+TEST(EncodedColumnTest, RoundTripLowCardinality) {
+  Rng rng(99);
+  std::vector<int64_t> v;
+  for (int i = 0; i < 4000; ++i) v.push_back(rng.UniformInt(0, 49));
+  ExpectRoundTrip(v);
+}
+
+TEST(EncodedColumnTest, RoundTripAdversarialSingleRunAndAlternating) {
+  // One long run plus a tail value (two runs).
+  std::vector<int64_t> single(3000, 5);
+  single.push_back(6);
+  ExpectRoundTrip(single);
+  // Alternating values: RLE's worst case (one run per value).
+  std::vector<int64_t> alt;
+  for (int i = 0; i < 2049; ++i) alt.push_back(i % 2 == 0 ? -3 : 12);
+  ExpectRoundTrip(alt);
+}
+
+TEST(EncodedColumnTest, RoundTripInt64Extremes) {
+  // FOR deltas span the full uint64 range; two's-complement wraparound must
+  // round-trip exactly (64-bit ReadBits path).
+  std::vector<int64_t> v = {INT64_MIN, INT64_MAX, 0, -1, 1, INT64_MIN + 1};
+  for (int i = 0; i < 1500; ++i) v.push_back(i % 2 == 0 ? INT64_MIN : INT64_MAX);
+  ExpectRoundTrip(v);
+}
+
+TEST(EncodedColumnTest, ChooserPicksExpectedEncodings) {
+  // Long constant runs -> RLE.
+  EXPECT_EQ(EncodedColumn::Encode(std::vector<int64_t>(4096, 9)).encoding(),
+            Encoding::kRle);
+  // Dense sorted keys -> frame-of-reference.
+  std::vector<int64_t> sorted;
+  for (int64_t i = 0; i < 4096; ++i) sorted.push_back(i);
+  EXPECT_EQ(EncodedColumn::Encode(sorted).encoding(), Encoding::kFor);
+  // Low-cardinality shuffled values -> dictionary.
+  Rng rng(5);
+  std::vector<int64_t> lowcard;
+  for (int i = 0; i < 4096; ++i) {
+    lowcard.push_back(rng.UniformInt(0, 9) * 1'000'000'007);
+  }
+  EXPECT_EQ(EncodedColumn::Encode(lowcard).encoding(), Encoding::kDict);
+  // Full-entropy 64-bit values -> plain fallback (nothing smaller exists).
+  std::vector<int64_t> noise;
+  for (int i = 0; i < 4096; ++i) {
+    noise.push_back(static_cast<int64_t>(Hash64(static_cast<uint64_t>(i))));
+  }
+  EXPECT_EQ(EncodedColumn::Encode(noise).encoding(), Encoding::kPlain);
+}
+
+TEST(EncodedColumnTest, AnalyzeStats) {
+  ColumnStats s = EncodedColumn::Analyze({1, 1, 2, 2, 2, 3});
+  EXPECT_EQ(s.values, 6u);
+  EXPECT_EQ(s.runs, 3u);
+  EXPECT_EQ(s.distinct, 3u);
+  EXPECT_TRUE(s.sorted);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 3);
+  EXPECT_FALSE(EncodedColumn::Analyze({2, 1}).sorted);
+}
+
+// ---------------------------------------------------------------------------
+// TableData seal/thaw lifecycle.
+// ---------------------------------------------------------------------------
+
+TEST(TableDataSealTest, SealedViewsMatchPlainReads) {
+  TableData td(2);
+  Rng rng(17);
+  for (int64_t r = 0; r < 3000; ++r) {
+    td.AppendRow({rng.UniformInt(0, 9), r * 2}, r);
+  }
+  std::vector<int64_t> col0 = td.column(0), col1 = td.column(1);
+  std::vector<int64_t> rids = td.rids();
+  size_t raw = td.resident_bytes();
+  td.Seal();
+  ASSERT_TRUE(td.sealed());
+  EXPECT_LT(td.resident_bytes(), raw);
+  EXPECT_EQ(td.num_rows(), 3000u);
+  std::vector<int64_t> out;
+  td.view(0).CopyTo(&out);
+  EXPECT_EQ(out, col0);
+  td.view(1).CopyTo(&out);
+  EXPECT_EQ(out, col1);
+  td.rid_view().CopyTo(&out);
+  EXPECT_EQ(out, rids);
+  EXPECT_EQ(td.view(0).At(1234), col0[1234]);
+  td.Thaw();
+  ASSERT_FALSE(td.sealed());
+  EXPECT_EQ(td.column(0), col0);
+  EXPECT_EQ(td.column(1), col1);
+  EXPECT_EQ(td.rids(), rids);
+}
+
+TEST(TableDataSealTest, AppendAutoThaws) {
+  TableData td(1);
+  for (int64_t r = 0; r < 100; ++r) td.AppendRow({r}, r);
+  td.Seal();
+  ASSERT_TRUE(td.sealed());
+  td.AppendRow({100}, 100);  // any append invalidates the encoding
+  EXPECT_FALSE(td.sealed());
+  EXPECT_EQ(td.num_rows(), 101u);
+  EXPECT_EQ(td.column(0)[100], 100);
+
+  TableData src(1);
+  src.AppendRow({7}, 200);
+  td.Seal();
+  td.AppendRowFrom(src, 0);
+  EXPECT_FALSE(td.sealed());
+  EXPECT_EQ(td.num_rows(), 102u);
+}
+
+TEST(TableDataSealTest, DatabaseBulkAppendThawsSealedTables) {
+  auto schema = schema::MakeSsbSchema();
+  auto wl = workload::MakeSsbWorkload(schema);
+  Database db = Database::Generate(schema, wl, SmallConfig());
+  for (schema::TableId t = 0; t < schema.num_tables(); ++t) {
+    db.mutable_table(t).Seal();
+  }
+  schema::TableId lo = schema.TableIndex("lineorder");
+  size_t before = db.table(lo).num_rows();
+  db.BulkAppend(0.1, 3);  // must auto-thaw every table it touches
+  EXPECT_GT(db.table(lo).num_rows(), before);
+  EXPECT_FALSE(db.table(lo).sealed());
+}
+
+/// Measured compression ratio of a generated testbed: sum of encoded bytes
+/// vs plain bytes across all tables. The >=2x bound is this PR's acceptance
+/// criterion.
+double SealedCompressionRatio(Database* db, const schema::Schema& schema) {
+  size_t resident = 0, raw = 0;
+  for (schema::TableId t = 0; t < schema.num_tables(); ++t) {
+    db->mutable_table(t).Seal();
+    resident += db->table(t).resident_bytes();
+    raw += db->table(t).raw_bytes();
+  }
+  return static_cast<double>(raw) / static_cast<double>(resident);
+}
+
+TEST(TableDataSealTest, SsbTestbedCompressesAtLeast2x) {
+  auto schema = schema::MakeSsbSchema();
+  auto wl = workload::MakeSsbWorkload(schema);
+  GenerationConfig config;
+  config.fraction = 5e-4;
+  Database db = Database::Generate(schema, wl, config);
+  EXPECT_GE(SealedCompressionRatio(&db, schema), 2.0);
+}
+
+TEST(TableDataSealTest, TpcchTestbedCompressesAtLeast2x) {
+  auto schema = schema::MakeTpcchSchema();
+  auto wl = workload::MakeTpcchWorkload(schema);
+  GenerationConfig config;
+  config.fraction = 5e-4;
+  Database db = Database::Generate(schema, wl, config);
+  EXPECT_GE(SealedCompressionRatio(&db, schema), 2.0);
 }
 
 TEST(DatabaseScaleTest, MaterializedFraction) {

@@ -8,6 +8,7 @@
 #   $ tools/check.sh serve           # TSan serving tests + loadgen smoke
 #   $ tools/check.sh fleet           # TSan fleet tests + 100-tenant smoke
 #   $ tools/check.sh autopilot       # TSan autopilot tests + bench smoke
+#   $ tools/check.sh storage         # ASan+UBSan storage/engine + compression smoke
 #   $ LPA_SANITIZE=undefined tools/check.sh
 #   $ BUILD_DIR=build-asan tools/check.sh
 #   $ CTEST_FILTER=advisor tools/check.sh tsan
@@ -42,6 +43,14 @@
 # non-zero on violation; BENCH_autopilot.json lands in $LPA_METRICS_DIR (or
 # build-tsan). Same few-core waiver as the fleet preset: correctness
 # counters and recovery ratios are asserted, never wall-clock throughput.
+#
+# The storage preset builds the compressed-storage surface under ASan+UBSan
+# and runs storage_test + engine_exec_test — together they are the
+# compression smoke: every encoding round-trips property-tested inputs, the
+# testbeds compress >= 2x, and EncodedExecTest compares the encoded engine
+# against an uncompressed cluster with exact equality on every QueryRunStats
+# field at 1/2/8 threads (plus the encoded-pricing and BulkAppend re-seal
+# paths). Bit-packing is exactly the kind of code UBSan exists for.
 #
 # The perf preset builds Release into build-perf and runs the post-benchmark
 # kernels of bench_micro_components (google benchmarks filtered out): the
@@ -129,6 +138,23 @@ if [[ "${PRESET}" == "autopilot" ]]; then
   LPA_BENCH_SCALE="${LPA_BENCH_SCALE:-4}" \
     "${BUILD_DIR}/bench/bench_autopilot" --schema micro
   echo "== OK: autopilot TSan-clean; zero false swaps, recovery + rollback verified =="
+  exit 0
+fi
+if [[ "${PRESET}" == "storage" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  echo "== configure (${BUILD_DIR}, -fsanitize=address,undefined) =="
+  cmake -B "${BUILD_DIR}" -S . -DLPA_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "== build storage_test + engine_exec_test =="
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target storage_test \
+    engine_exec_test
+  echo "== storage + engine tests (ASan+UBSan), incl. compression smoke =="
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+      -R 'storage_test|engine_exec_test'
+  echo "== OK: encodings round-trip, >=2x compression, encoded engine bit-identical =="
   exit 0
 fi
 if [[ "${PRESET}" == "tsan" ]]; then
