@@ -72,6 +72,18 @@ rl::TrainingResult PartitioningAdvisor::TrainOffline(
                          config_.offline_episodes, ResolveCtx(ctx));
 }
 
+rl::TrainingResult PartitioningAdvisor::TrainOffline(
+    const costmodel::CostModel* model,
+    const rl::ActorLearnerConfig& actor_learner, rl::FrequencySampler sampler,
+    EvalContext* ctx) {
+  telemetry::Span span("advisor.train_offline");
+  offline_env_ = std::make_unique<rl::OfflineEnv>(model, &workload_);
+  if (!sampler) sampler = DefaultSampler();
+  return trainer_->TrainActorLearner(agent_.get(), offline_env_.get(), sampler,
+                                     config_.offline_episodes, actor_learner,
+                                     ResolveCtx(ctx));
+}
+
 rl::TrainingResult PartitioningAdvisor::TrainOnline(
     rl::OnlineEnv* env, rl::FrequencySampler sampler, EvalContext* ctx) {
   telemetry::Span span("advisor.train_online");

@@ -37,6 +37,18 @@ class TenantDirectory {
   void PublishShared(const std::vector<std::string>& tenants,
                      std::shared_ptr<serving::ServingModel> model);
 
+  /// \brief Build one shared servable from an agent snapshot — optionally
+  /// with the quantized fast path (`quantize.enabled`; ServingModel's
+  /// calibration gate decides whether the integer path actually serves) —
+  /// and publish it into every named tenant's namespace. Returns the shared
+  /// model, or the snapshot-restore error.
+  Result<std::shared_ptr<serving::ServingModel>> PublishSharedSnapshot(
+      const std::vector<std::string>& tenants, const schema::Schema* schema,
+      workload::Workload workload, advisor::AdvisorConfig config,
+      const costmodel::CostModel* cost_model, std::istream& snapshot,
+      serving::InferenceBatcher::Config batch = {},
+      serving::QuantizeSpec quantize = {});
+
   std::vector<std::string> Tenants() const;
   size_t size() const;
 

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+#include "util/status.h"
+
+namespace lpa::nn {
+
+/// \brief Integer width of a quantized network's weights and activations.
+enum class QuantPrecision { kInt8, kInt16 };
+
+/// \brief Post-training symmetric quantization of a ReLU Mlp — the serving
+/// fast path behind ServingModel's quantized snapshots.
+///
+/// Format, per layer l (w [in x out], bias [1 x out]):
+///
+///  * weight scale  s_w = max|w| / qmax   (qmax = 127 or 32767; 1.0 when the
+///    layer is all-zero), weights stored as round(w / s_w) in int8/int16;
+///  * activation scale s_a = max|a| / qmax, where max|a| ranges over the
+///    layer's fp64 INPUT activations on the calibration sample (the network
+///    is run forward in fp64 layer by layer at quantization time);
+///  * bias kept in fp64.
+///
+/// Forward pass: activations are quantized with s_a (nearest-even round,
+/// clamp to [-qmax, qmax] — calibration outliers saturate), the integer GEMM
+/// accumulates in int32 (int8) / int64 (int16), and each pre-activation
+/// dequantizes as acc * (s_a * s_w) + bias in fp64. Hidden layers apply ReLU
+/// in fp64 and requantize against the next layer's s_a; the output layer
+/// returns fp64. Zero quantized activations skip their whole weight row,
+/// mirroring the fp64 Gemm's zero-skip on the sparse one-hot-ish state
+/// encodings.
+///
+/// Like every nn/ primitive the forward pass computes each output row
+/// independently in a fixed accumulation order: batched and single-row calls
+/// are bit-identical, at any batch composition.
+///
+/// This is a lossy approximation of the source network. Callers that need a
+/// behavioral guarantee must gate on their own acceptance check — see
+/// serving::ServingModel's calibration gate, which rejects a quantized
+/// network unless its argmax action matches fp64 on the entire calibration
+/// set.
+class QuantizedMlp {
+ public:
+  /// \brief Quantize `mlp` against a calibration sample (rows of fp64 inputs
+  /// drawn from the serving distribution). Fails on an empty sample or a
+  /// width mismatch.
+  static Result<QuantizedMlp> Quantize(const Mlp& mlp,
+                                       const Matrix& calibration,
+                                       QuantPrecision precision);
+
+  /// \brief Batched forward: x is [n x input_dim] fp64, result
+  /// [n x output_dim] fp64. Row r equals Forward(row r).
+  Matrix Forward(const Matrix& x) const;
+
+  /// \brief Single-row forward.
+  std::vector<double> Forward(const std::vector<double>& x) const;
+
+  QuantPrecision precision() const { return precision_; }
+  int input_dim() const { return input_dim_; }
+  int output_dim() const { return output_dim_; }
+  /// \brief Bytes of quantized weight storage (int8: 1/8 of the fp64
+  /// network's weight bytes; int16: 1/4).
+  size_t weight_bytes() const;
+
+ private:
+  struct QLayer {
+    size_t in = 0;
+    size_t out = 0;
+    std::vector<int8_t> w8;    // [in x out] row-major; kInt8 only
+    std::vector<int16_t> w16;  // [in x out] row-major; kInt16 only
+    double w_scale = 1.0;      // w ≈ q * w_scale
+    double in_scale = 1.0;     // qa = round(a * inv_in_scale)
+    double inv_in_scale = 1.0; // hot-path reciprocal of in_scale
+    std::vector<double> bias;  // fp64, size out
+  };
+
+  QuantizedMlp() = default;
+
+  /// Reusable per-call buffers so the hot path never allocates per row or
+  /// per layer (capacities persist across `resize`).
+  struct Scratch {
+    std::vector<double> a;      // current fp64 activation row
+    std::vector<double> z;      // dequantized pre-activation row
+    std::vector<int32_t> qa;    // quantized activation row
+    std::vector<int32_t> acc32; // int8 accumulators
+    std::vector<int64_t> acc64; // int16 accumulators
+  };
+
+  /// Full forward pass for one input row of `input_dim_` doubles; writes
+  /// `output_dim_` doubles into `out`. Both public Forward overloads route
+  /// here, so batched and single-row results are identical by construction.
+  void ForwardRow(const double* x, double* out, Scratch* scratch) const;
+
+  /// Dequantized pre-activation row of layer `l` for quantized input `qa`;
+  /// writes `out` doubles into `z` using `scratch`'s accumulators.
+  void LayerForward(size_t l, const std::vector<int32_t>& qa, double* z,
+                    Scratch* scratch) const;
+
+  QuantPrecision precision_ = QuantPrecision::kInt8;
+  int input_dim_ = 0;
+  int output_dim_ = 0;
+  std::vector<QLayer> layers_;
+};
+
+}  // namespace lpa::nn

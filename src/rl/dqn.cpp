@@ -26,26 +26,48 @@ struct DqnMetrics {
 
 }  // namespace
 
-void ReplayBuffer::Add(Transition t) {
-  if (buffer_.size() < capacity_) {
-    buffer_.push_back(std::move(t));
+std::vector<double> DqnPolicy::QValues(const std::vector<double>& state_enc,
+                                       const std::vector<int>& legal) const {
+  std::vector<double> q(legal.size());
+  if (mode_ == QNetworkMode::kMultiHead) {
+    auto all = q_.Forward(state_enc);
+    for (size_t i = 0; i < legal.size(); ++i) {
+      q[i] = all[static_cast<size_t>(legal[i])];
+    }
   } else {
-    buffer_[next_] = std::move(t);
-    next_ = (next_ + 1) % capacity_;
+    const size_t input_dim = static_cast<size_t>(q_.input_dim());
+    nn::Matrix batch(legal.size(), input_dim);
+    for (size_t i = 0; i < legal.size(); ++i) {
+      double* dst = batch.row(i);
+      std::copy(state_enc.begin(), state_enc.end(), dst);
+      const double* a = action_enc_->row(static_cast<size_t>(legal[i]));
+      std::copy(a, a + action_enc_->cols(), dst + state_dim_);
+    }
+    nn::Matrix out = q_.Forward(batch);
+    for (size_t i = 0; i < legal.size(); ++i) q[i] = out.at(i, 0);
   }
+  return q;
 }
 
-std::vector<const Transition*> ReplayBuffer::Sample(size_t count,
-                                                    Rng* rng) const {
-  LPA_CHECK(!buffer_.empty());
-  std::vector<const Transition*> result;
-  result.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    size_t idx = static_cast<size_t>(
-        rng->UniformInt(0, static_cast<int64_t>(buffer_.size()) - 1));
-    result.push_back(&buffer_[idx]);
+int DqnPolicy::SelectAction(const std::vector<double>& state_enc,
+                            const std::vector<int>& legal, double epsilon,
+                            Rng* rng) const {
+  LPA_CHECK(!legal.empty());
+  if (rng->Uniform() < epsilon) {
+    return legal[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(legal.size()) - 1))];
   }
-  return result;
+  return GreedyAction(state_enc, legal);
+}
+
+int DqnPolicy::GreedyAction(const std::vector<double>& state_enc,
+                            const std::vector<int>& legal) const {
+  auto q = QValues(state_enc, legal);
+  size_t best = 0;
+  for (size_t i = 1; i < q.size(); ++i) {
+    if (q[i] > q[best]) best = i;
+  }
+  return legal[best];
 }
 
 DqnAgent::DqnAgent(const partition::Featurizer* featurizer,
@@ -156,6 +178,14 @@ int DqnAgent::GreedyAction(const std::vector<double>& state_enc,
   return legal[best];
 }
 
+DqnPolicy DqnAgent::SnapshotPolicy() const {
+  return DqnPolicy(*q_, config_.mode,
+                   config_.mode == QNetworkMode::kStateActionInput
+                       ? &action_enc_
+                       : nullptr,
+                   featurizer_->state_dim());
+}
+
 void DqnAgent::DecayEpsilon() {
   epsilon_ = std::max(epsilon_ * config_.epsilon_decay, config_.epsilon_min);
 }
@@ -163,10 +193,16 @@ void DqnAgent::DecayEpsilon() {
 void DqnAgent::Observe(Transition t) { replay_.Add(std::move(t)); }
 
 double DqnAgent::TrainStep(Rng* rng, ThreadPool* pool) {
-  if (replay_.size() < static_cast<size_t>(config_.batch_size)) return 0.0;
-  auto batch = replay_.Sample(static_cast<size_t>(config_.batch_size), rng);
+  return TrainStepFrom(replay_, rng, pool);
+}
 
-  // Compute TD targets r + gamma * max_a' Q_target(s', a').
+double DqnAgent::TrainStepFrom(const ReplayBuffer& replay, Rng* rng,
+                               ThreadPool* pool) {
+  if (replay.size() < static_cast<size_t>(config_.batch_size)) return 0.0;
+  auto batch = replay.Sample(static_cast<size_t>(config_.batch_size), rng);
+
+  // Compute TD targets r + gamma * max_a' Q_target(s', a') — one stacked
+  // matrix pass per minibatch in either network mode.
   std::vector<double> targets(batch.size());
   if (config_.mode == QNetworkMode::kMultiHead) {
     nn::Matrix next(batch.size(), static_cast<size_t>(featurizer_->state_dim()));
@@ -183,15 +219,28 @@ double DqnAgent::TrainStep(Rng* rng, ThreadPool* pool) {
       targets[i] = batch[i]->reward + config_.gamma * best;
     }
   } else {
+    // Stack every transition's legal next-actions into ONE GEMM instead of a
+    // forward pass per transition. Row r of the stacked output is
+    // bit-identical to the per-transition forward (the GEMM accumulates each
+    // row independently in a fixed order), so the targets are unchanged.
+    std::vector<size_t> offset(batch.size() + 1, 0);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      offset[i + 1] = offset[i] + batch[i]->next_legal.size();
+    }
+    nn::Matrix rows(offset.back(), static_cast<size_t>(InputDim()));
     for (size_t i = 0; i < batch.size(); ++i) {
       const auto& legal = batch[i]->next_legal;
-      nn::Matrix rows(legal.size(), static_cast<size_t>(InputDim()));
       for (size_t j = 0; j < legal.size(); ++j) {
-        FillStateAction(batch[i]->next_enc, legal[j], rows.row(j));
+        FillStateAction(batch[i]->next_enc, legal[j],
+                        rows.row(offset[i] + j));
       }
-      nn::Matrix out = target_->Forward(rows, pool);
+    }
+    nn::Matrix out = target_->Forward(rows, pool);
+    for (size_t i = 0; i < batch.size(); ++i) {
       double best = -1e30;
-      for (size_t j = 0; j < legal.size(); ++j) best = std::max(best, out.at(j, 0));
+      for (size_t j = offset[i]; j < offset[i + 1]; ++j) {
+        best = std::max(best, out.at(j, 0));
+      }
       targets[i] = batch[i]->reward + config_.gamma * best;
     }
   }
@@ -218,7 +267,7 @@ double DqnAgent::TrainStep(Rng* rng, ThreadPool* pool) {
   auto& dm = DqnMetrics::Get();
   dm.train_steps.Add();
   dm.loss.Set(loss);
-  dm.replay_size.Set(static_cast<double>(replay_.size()));
+  dm.replay_size.Set(static_cast<double>(replay.size()));
   return loss;
 }
 

@@ -5,37 +5,40 @@
 #include <memory>
 
 #include "costmodel/workload_cost_tracker.h"
+#include "rl/trainer_metrics.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 #include "util/logging.h"
 
 namespace lpa::rl {
 
+namespace internal {
+
+TrainerMetrics& TrainerMetrics::Get() {
+  auto& reg = telemetry::MetricsRegistry::Global();
+  static TrainerMetrics* m = new TrainerMetrics{
+      reg.GetCounter("rl.episodes.count"),
+      reg.GetCounter("rl.env_evals.count"),
+      reg.GetCounter("rl.inference_rollouts.count"),
+      reg.GetGauge("rl.epsilon.value"),
+      reg.GetGauge("rl.env_evals_per_sec.value"),
+      reg.GetGauge("rl.train_steps_per_sec.value"),
+      reg.GetGauge("rl.actor_utilization.value"),
+      // Rewards are 1 - cost/normalization, i.e. bounded above by 1.
+      reg.GetHistogram("rl.episode_reward.value",
+                       {-8.0, -4.0, -2.0, -1.0, -0.5, -0.25, 0.0, 0.125,
+                        0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0}),
+      reg.GetHistogram("rl.replay_shard_depth",
+                       {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
+                        256.0, 512.0, 1024.0})};
+  return *m;
+}
+
+}  // namespace internal
+
 namespace {
 
-struct TrainerMetrics {
-  telemetry::Counter& episodes;
-  telemetry::Counter& env_evals;
-  telemetry::Counter& inference_rollouts;
-  telemetry::Gauge& epsilon;
-  telemetry::Gauge& env_evals_per_sec;
-  telemetry::Histogram& episode_reward;
-
-  static TrainerMetrics& Get() {
-    auto& reg = telemetry::MetricsRegistry::Global();
-    static TrainerMetrics* m = new TrainerMetrics{
-        reg.GetCounter("rl.episodes.count"),
-        reg.GetCounter("rl.env_evals.count"),
-        reg.GetCounter("rl.inference_rollouts.count"),
-        reg.GetGauge("rl.epsilon.value"),
-        reg.GetGauge("rl.env_evals_per_sec.value"),
-        // Rewards are 1 - cost/normalization, i.e. bounded above by 1.
-        reg.GetHistogram("rl.episode_reward.value",
-                         {-8.0, -4.0, -2.0, -1.0, -0.5, -0.25, 0.0, 0.125,
-                          0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0})};
-    return *m;
-  }
-};
+using internal::TrainerMetrics;
 
 }  // namespace
 
@@ -92,6 +95,9 @@ TrainingResult EpisodeTrainer::Train(DqnAgent* agent, PartitioningEnv* env,
   }
   const int tmax = agent->config().tmax;
   LPA_CHECK(tmax >= schema_->num_tables());
+  auto& sgd_steps = telemetry::MetricsRegistry::Global().GetCounter(
+      "rl.train_steps.count");
+  const uint64_t sgd_steps_before = sgd_steps.value();
 
   for (int e = 0; e < episodes; ++e) {
     std::vector<double> freqs = sampler(rng);
@@ -134,9 +140,13 @@ TrainingResult EpisodeTrainer::Train(DqnAgent* agent, PartitioningEnv* env,
     tm.epsilon.Set(agent->epsilon());
   }
   tm.env_evals.Add(result.steps);
+  result.train_steps =
+      static_cast<size_t>(sgd_steps.value() - sgd_steps_before);
   double elapsed = span.elapsed_seconds();
   if (elapsed > 0.0) {
     tm.env_evals_per_sec.Set(static_cast<double>(result.steps) / elapsed);
+    tm.train_steps_per_sec.Set(static_cast<double>(result.train_steps) /
+                               elapsed);
   }
   return result;
 }

@@ -74,9 +74,12 @@ std::vector<double> InferenceBatcher::AllQValues(
                             std::chrono::duration<double>(
                                 std::max(0.0, config_.window_seconds)));
   // Wait for joiners only while some other active rollout is not yet in the
-  // batch; a full batch or an exhausted window fires regardless.
+  // batch (or, with wait_for_window, unconditionally — open-loop arrivals
+  // are invisible until they land); a full batch or an exhausted window
+  // fires regardless.
   while (static_cast<int>(batch->encs.size()) < config_.max_batch &&
-         active_rollouts_ > static_cast<int>(batch->encs.size())) {
+         (config_.wait_for_window ||
+          active_rollouts_ > static_cast<int>(batch->encs.size()))) {
     if (arrival_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       break;
     }
@@ -92,7 +95,8 @@ std::vector<double> InferenceBatcher::AllQValues(
               encs_matrix.row(i));
   }
   lock.unlock();
-  nn::Matrix q = agent_->QValuesBatch(encs_matrix);
+  nn::Matrix q = quantized_ != nullptr ? quantized_->Forward(encs_matrix)
+                                       : agent_->QValuesBatch(encs_matrix);
 
   auto& metrics = BatcherMetrics::Get();
   metrics.batches.Add();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "nn/matrix.h"
+#include "nn/quantized.h"
 #include "rl/dqn.h"
 
 namespace lpa::serving {
@@ -36,6 +37,12 @@ class InferenceBatcher {
     /// Q-evaluation. An upper bound, not a fixed delay: joins re-check the
     /// fire condition, so lockstep rollouts batch with microsecond waits.
     double window_seconds = 200e-6;
+    /// When true the leader holds the batch for the FULL window (or until it
+    /// fills) even while no other rollout is active — the bounded micro-batch
+    /// wait for open-loop arrivals, where the next request is in flight on
+    /// the network rather than visible in active_rollouts_. The default
+    /// (false) keeps the closed-loop behavior: a lone rollout never waits.
+    bool wait_for_window = false;
   };
 
   InferenceBatcher(const rl::DqnAgent* agent, Config config);
@@ -62,6 +69,16 @@ class InferenceBatcher {
 
   int active_rollouts() const;
 
+  /// \brief Route matrix passes through a quantized network instead of the
+  /// agent (multi-head agents only — the quantized output row must already
+  /// be indexed by global action id). Pass nullptr to restore the fp64 path.
+  /// The pointer is borrowed and must outlive the batcher; ServingModel owns
+  /// both and only flips this after its calibration gate passes.
+  void set_quantized(const nn::QuantizedMlp* quantized) {
+    quantized_ = quantized;
+  }
+  bool quantized() const { return quantized_ != nullptr; }
+
  private:
   /// One in-flight coalesced evaluation. Guarded by the batcher mutex except
   /// where noted; participants keep it alive via shared_ptr.
@@ -76,6 +93,7 @@ class InferenceBatcher {
   void EndRollout();
 
   const rl::DqnAgent* agent_;
+  const nn::QuantizedMlp* quantized_ = nullptr;
   Config config_;
   mutable std::mutex mu_;
   /// Leader's wait for joiners; signalled on join and on EndRollout.

@@ -1,0 +1,389 @@
+// Tests for the quantized inference fast path (PR 9):
+//  - nn::QuantizedMlp round-trip error bounds and batched/single-row
+//    bit-identity.
+//  - Quantize input validation and weight_bytes accounting.
+//  - ServingModel calibration gate: rejection on an adversarial network
+//    whose fp64 action margins sit below the int8 quantization resolution,
+//    rejection of state-action-input agents, and 100% agreement (with
+//    bit-identical Suggest results) on trained seed agents.
+//  - InferenceBatcher wait-for-window mode stays bit-identical to serial.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/serialization.h"
+#include "costmodel/cost_model.h"
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+#include "nn/quantized.h"
+#include "schema/catalogs.h"
+#include "serving/model_registry.h"
+#include "util/rng.h"
+#include "workload/benchmarks.h"
+
+namespace lpa::nn {
+namespace {
+
+Mlp MakeRandomMlp(int input, std::vector<int> hidden, int output,
+                  uint64_t seed) {
+  MlpConfig config;
+  config.input_dim = input;
+  config.hidden = std::move(hidden);
+  config.output_dim = output;
+  config.seed = seed;
+  return Mlp(config);
+}
+
+Matrix RandomInputs(size_t rows, size_t cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (double& v : m.data()) v = rng.Uniform();
+  return m;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.cols(), b.cols());
+  double worst = 0.0;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+double MaxAbs(const Matrix& m) {
+  double worst = 0.0;
+  for (double v : m.data()) worst = std::max(worst, std::abs(v));
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip error bounds
+
+TEST(QuantizedMlpTest, Int8RoundTripWithinResolutionBound) {
+  Mlp mlp = MakeRandomMlp(6, {16, 8}, 4, 3);
+  Matrix calibration = RandomInputs(32, 6, 17);
+  auto quantized =
+      QuantizedMlp::Quantize(mlp, calibration, QuantPrecision::kInt8);
+  ASSERT_TRUE(quantized.ok()) << quantized.status().ToString();
+
+  Matrix fp = mlp.Forward(calibration);
+  Matrix q = quantized->Forward(calibration);
+  // Per-value error of symmetric int8 is ~0.5/127 relative to each tensor's
+  // max; accumulated over three small layers a few percent of the output
+  // scale is a safely loose bound.
+  double bound = 0.05 * (MaxAbs(fp) + 1.0);
+  EXPECT_LE(MaxAbsDiff(fp, q), bound);
+}
+
+TEST(QuantizedMlpTest, Int16RoundTripMuchTighterThanInt8) {
+  Mlp mlp = MakeRandomMlp(6, {16, 8}, 4, 3);
+  Matrix calibration = RandomInputs(32, 6, 17);
+  auto q8 = QuantizedMlp::Quantize(mlp, calibration, QuantPrecision::kInt8);
+  auto q16 = QuantizedMlp::Quantize(mlp, calibration, QuantPrecision::kInt16);
+  ASSERT_TRUE(q8.ok());
+  ASSERT_TRUE(q16.ok());
+
+  Matrix fp = mlp.Forward(calibration);
+  double err8 = MaxAbsDiff(fp, q8->Forward(calibration));
+  double err16 = MaxAbsDiff(fp, q16->Forward(calibration));
+  EXPECT_LE(err16, 0.001 * (MaxAbs(fp) + 1.0));
+  // 256x finer grid; insist on at least an order of magnitude in practice.
+  EXPECT_LT(err16, err8 / 10.0 + 1e-12);
+}
+
+TEST(QuantizedMlpTest, BatchedForwardBitIdenticalToSingleRow) {
+  Mlp mlp = MakeRandomMlp(5, {12}, 3, 9);
+  Matrix calibration = RandomInputs(16, 5, 23);
+  auto quantized =
+      QuantizedMlp::Quantize(mlp, calibration, QuantPrecision::kInt8);
+  ASSERT_TRUE(quantized.ok());
+
+  Matrix inputs = RandomInputs(7, 5, 31);
+  Matrix batched = quantized->Forward(inputs);
+  for (size_t r = 0; r < inputs.rows(); ++r) {
+    std::vector<double> row(inputs.row(r), inputs.row(r) + inputs.cols());
+    std::vector<double> single = quantized->Forward(row);
+    ASSERT_EQ(single.size(), batched.cols());
+    for (size_t c = 0; c < single.size(); ++c) {
+      EXPECT_EQ(single[c], batched.at(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(QuantizedMlpTest, ZeroInputsProduceBiasExactly) {
+  // All-zero activations skip every weight row, so the output is exactly the
+  // fp64 bias chain — no quantization error on the sparse-encoding fast path.
+  Mlp mlp = MakeRandomMlp(4, {6}, 2, 5);
+  Matrix calibration = RandomInputs(8, 4, 11);
+  auto quantized =
+      QuantizedMlp::Quantize(mlp, calibration, QuantPrecision::kInt8);
+  ASSERT_TRUE(quantized.ok());
+
+  std::vector<double> zeros(4, 0.0);
+  std::vector<double> fp = mlp.Forward(zeros);
+  std::vector<double> q = quantized->Forward(zeros);
+  ASSERT_EQ(fp.size(), q.size());
+  // ReLU'd bias chains stay in fp64 on both paths; only the (skipped)
+  // integer GEMM could have differed.
+  for (size_t i = 0; i < fp.size(); ++i) EXPECT_EQ(fp[i], q[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Validation and accounting
+
+TEST(QuantizedMlpTest, RejectsEmptyCalibration) {
+  Mlp mlp = MakeRandomMlp(4, {6}, 2, 5);
+  Matrix empty;
+  auto quantized = QuantizedMlp::Quantize(mlp, empty, QuantPrecision::kInt8);
+  EXPECT_FALSE(quantized.ok());
+}
+
+TEST(QuantizedMlpTest, RejectsCalibrationWidthMismatch) {
+  Mlp mlp = MakeRandomMlp(4, {6}, 2, 5);
+  Matrix wrong = RandomInputs(8, 3, 11);
+  auto quantized = QuantizedMlp::Quantize(mlp, wrong, QuantPrecision::kInt8);
+  EXPECT_FALSE(quantized.ok());
+}
+
+TEST(QuantizedMlpTest, WeightBytesMatchPrecision) {
+  Mlp mlp = MakeRandomMlp(4, {6}, 2, 5);
+  Matrix calibration = RandomInputs(8, 4, 11);
+  size_t weight_params = 4 * 6 + 6 * 2;  // biases stay fp64, not counted
+  auto q8 = QuantizedMlp::Quantize(mlp, calibration, QuantPrecision::kInt8);
+  auto q16 = QuantizedMlp::Quantize(mlp, calibration, QuantPrecision::kInt16);
+  ASSERT_TRUE(q8.ok());
+  ASSERT_TRUE(q16.ok());
+  EXPECT_EQ(q8->weight_bytes(), weight_params * sizeof(int8_t));
+  EXPECT_EQ(q16->weight_bytes(), weight_params * sizeof(int16_t));
+  EXPECT_EQ(q8->input_dim(), 4);
+  EXPECT_EQ(q8->output_dim(), 2);
+}
+
+}  // namespace
+}  // namespace lpa::nn
+
+namespace lpa::serving {
+namespace {
+
+using advisor::AdvisorConfig;
+using advisor::PartitioningAdvisor;
+using costmodel::HardwareProfile;
+
+AdvisorConfig FastConfig() {
+  AdvisorConfig config;
+  config.dqn.tmax = 8;
+  config.offline_episodes = 8;
+  config.dqn.FitEpsilonSchedule(config.offline_episodes);
+  config.inference_extra_rollouts = 0;
+  config.seed = 7;
+  return config;
+}
+
+/// Shared micro testbed with one trained seed-agent snapshot per suite.
+class QuantizedServingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    schema_ = new schema::Schema(schema::MakeMicroSchema());
+    workload_ = new workload::Workload(workload::MakeMicroWorkload(*schema_));
+    model_ = new costmodel::CostModel(schema_, HardwareProfile::DiskBased10G());
+    PartitioningAdvisor advisor(schema_, *workload_, FastConfig());
+    advisor.TrainOffline(model_);
+    std::stringstream snapshot;
+    ASSERT_TRUE(advisor::SaveAgentSnapshot(*advisor.agent(), snapshot).ok());
+    snapshot_ = new std::string(snapshot.str());
+  }
+
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    delete model_;
+    delete workload_;
+    delete schema_;
+  }
+
+  static std::shared_ptr<ServingModel> MakeModel(QuantizeSpec quantize = {},
+                                                 InferenceBatcher::Config
+                                                     batch = {}) {
+    std::istringstream snapshot(*snapshot_);
+    auto model = ServingModel::FromSnapshot(schema_, *workload_, FastConfig(),
+                                            model_, snapshot, batch, quantize);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    return *model;
+  }
+
+  /// A frequency mix inside the calibration range: the gate certifies
+  /// argmax agreement against uniform draws over [0, 1), and the symmetric
+  /// activation scale saturates anything beyond the calibration maximum, so
+  /// serving mixes are expected in the same range (the caveat is documented
+  /// in INTERNALS §12).
+  static std::vector<double> Mix(int hot) {
+    std::vector<double> frequencies(
+        static_cast<size_t>(workload_->num_queries()), 0.2);
+    frequencies[static_cast<size_t>(hot) % frequencies.size()] = 0.9;
+    return frequencies;
+  }
+
+  /// An agent snapshot whose fp64 Q-values strictly increase across actions
+  /// by margins far below the int8 resolution. The hidden layer ignores the
+  /// state (zero weights, bias 1), so both hidden activations are exactly
+  /// 1.0; the output row for hidden unit 0 carries per-action offsets inside
+  /// one int8 quantization step (all rounding to the same integer) while
+  /// hidden unit 1 pins the weight scale at 127. fp64 argmax therefore picks
+  /// the highest legal action id, the quantized network ties every action
+  /// and picks the lowest — guaranteed disagreement at any state with two or
+  /// more legal actions.
+  static std::string AdversarialSnapshot() {
+    PartitioningAdvisor probe(schema_, *workload_, FastConfig());
+    const int input = probe.featurizer().state_dim();
+    const int num_actions = probe.actions().size();
+    std::ostringstream os;
+    os.precision(17);
+    os << advisor::kSnapshotMagic << ' ' << advisor::kSnapshotFormatVersion
+       << "\ndqn-agent 0\n";
+    for (int copy = 0; copy < 2; ++copy) {  // q network, then target
+      os << "mlp " << input << " 1 2 " << num_actions << " 0\n";
+      // Hidden layer: [input x 2] zeros, bias (1, 1).
+      for (int i = 0; i < input * 2; ++i) os << "0 ";
+      os << "1 1\n";
+      // Output layer, row-major [2 x num_actions]: hidden unit 0 row holds
+      // the sub-resolution margins, hidden unit 1 row pins max|w| = 127.
+      for (int a = 0; a < num_actions; ++a) {
+        os << 100.0 + 0.05 + 0.4 * a / num_actions << ' ';
+      }
+      for (int a = 0; a < num_actions; ++a) os << "127 ";
+      for (int a = 0; a < num_actions; ++a) os << "0 ";  // output bias
+      os << '\n';
+    }
+    return os.str();
+  }
+
+  static schema::Schema* schema_;
+  static workload::Workload* workload_;
+  static costmodel::CostModel* model_;
+  static std::string* snapshot_;
+};
+
+schema::Schema* QuantizedServingTest::schema_ = nullptr;
+workload::Workload* QuantizedServingTest::workload_ = nullptr;
+costmodel::CostModel* QuantizedServingTest::model_ = nullptr;
+std::string* QuantizedServingTest::snapshot_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Calibration gate
+
+TEST_F(QuantizedServingTest, GateOffByDefault) {
+  auto model = MakeModel();
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->quant_state(), ServingModel::QuantState::kOff);
+  EXPECT_FALSE(model->quantized());
+  EXPECT_EQ(model->calibration_agreement(), 0.0);
+}
+
+TEST_F(QuantizedServingTest, SeedAgentPassesGateAtFullAgreement) {
+  for (nn::QuantPrecision precision :
+       {nn::QuantPrecision::kInt8, nn::QuantPrecision::kInt16}) {
+    QuantizeSpec spec;
+    spec.enabled = true;
+    spec.precision = precision;
+    auto model = MakeModel(spec);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->quant_state(), ServingModel::QuantState::kActive);
+    EXPECT_TRUE(model->quantized());
+    EXPECT_EQ(model->calibration_agreement(), 1.0);
+  }
+}
+
+TEST_F(QuantizedServingTest, ActiveQuantizedSuggestMatchesFp64Suggest) {
+  QuantizeSpec spec;
+  spec.enabled = true;
+  auto fp64 = MakeModel();
+  auto quant = MakeModel(spec);
+  ASSERT_NE(fp64, nullptr);
+  ASSERT_NE(quant, nullptr);
+  ASSERT_TRUE(quant->quantized());
+  for (int hot = 0; hot < 3; ++hot) {
+    rl::InferenceResult a = fp64->Suggest(Mix(hot));
+    rl::InferenceResult b = quant->Suggest(Mix(hot));
+    // The gate certified argmax agreement on the calibration distribution;
+    // for these mixes the greedy rollouts must coincide exactly.
+    EXPECT_EQ(a.actions, b.actions) << "mix " << hot;
+    EXPECT_EQ(a.best_cost, b.best_cost) << "mix " << hot;
+    EXPECT_TRUE(a.best_state == b.best_state) << "mix " << hot;
+  }
+}
+
+TEST_F(QuantizedServingTest, AdversarialModelRejectedByGate) {
+  std::string adversarial = AdversarialSnapshot();
+  std::istringstream snapshot(adversarial);
+  QuantizeSpec spec;
+  spec.enabled = true;
+  auto model = ServingModel::FromSnapshot(schema_, *workload_, FastConfig(),
+                                          model_, snapshot, {}, spec);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ((*model)->quant_state(), ServingModel::QuantState::kRejected);
+  EXPECT_FALSE((*model)->quantized());
+  EXPECT_LT((*model)->calibration_agreement(), 1.0);
+  // Rejection falls back to fp64 serving, which still works.
+  rl::InferenceResult result = (*model)->Suggest(Mix(0));
+  EXPECT_FALSE(result.actions.empty());
+}
+
+TEST_F(QuantizedServingTest, StateActionAgentRejected) {
+  // State-action-input networks emit one scalar per (state, action) row, so
+  // the quantized output rows would not be action-indexed; the gate refuses
+  // without evaluating anything.
+  AdvisorConfig config = FastConfig();
+  config.dqn.mode = rl::QNetworkMode::kStateActionInput;
+  PartitioningAdvisor advisor(schema_, *workload_, config);
+  std::stringstream snapshot;
+  ASSERT_TRUE(advisor::SaveAgentSnapshot(*advisor.agent(), snapshot).ok());
+  QuantizeSpec spec;
+  spec.enabled = true;
+  auto model = ServingModel::FromSnapshot(schema_, *workload_, config, model_,
+                                          snapshot, {}, spec);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ((*model)->quant_state(), ServingModel::QuantState::kRejected);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded micro-batch wait window
+
+TEST_F(QuantizedServingTest, WaitForWindowStaysBitIdentical) {
+  InferenceBatcher::Config batch;
+  batch.window_seconds = 200e-6;
+  batch.wait_for_window = true;
+  auto windowed = MakeModel({}, batch);
+  auto serial = MakeModel();
+  ASSERT_NE(windowed, nullptr);
+  ASSERT_NE(serial, nullptr);
+  for (int hot = 0; hot < 3; ++hot) {
+    rl::InferenceResult a = serial->Suggest(Mix(hot));
+    rl::InferenceResult b = windowed->Suggest(Mix(hot));
+    EXPECT_EQ(a.actions, b.actions) << "mix " << hot;
+    EXPECT_EQ(a.best_cost, b.best_cost) << "mix " << hot;
+  }
+}
+
+TEST_F(QuantizedServingTest, WaitForWindowComposesWithQuantizedPath) {
+  InferenceBatcher::Config batch;
+  batch.window_seconds = 200e-6;
+  batch.wait_for_window = true;
+  QuantizeSpec spec;
+  spec.enabled = true;
+  auto model = MakeModel(spec, batch);
+  ASSERT_NE(model, nullptr);
+  ASSERT_TRUE(model->quantized());
+  auto fp64 = MakeModel();
+  rl::InferenceResult a = fp64->Suggest(Mix(1));
+  rl::InferenceResult b = model->Suggest(Mix(1));
+  EXPECT_EQ(a.actions, b.actions);
+}
+
+}  // namespace
+}  // namespace lpa::serving

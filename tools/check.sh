@@ -9,6 +9,7 @@
 #   $ tools/check.sh fleet           # TSan fleet tests + 100-tenant smoke
 #   $ tools/check.sh autopilot       # TSan autopilot tests + bench smoke
 #   $ tools/check.sh storage         # ASan+UBSan storage/engine + compression smoke
+#   $ tools/check.sh train           # TSan actor/learner tests + training kernel
 #   $ LPA_SANITIZE=undefined tools/check.sh
 #   $ BUILD_DIR=build-asan tools/check.sh
 #   $ CTEST_FILTER=advisor tools/check.sh tsan
@@ -51,6 +52,17 @@
 # against an uncompressed cluster with exact equality on every QueryRunStats
 # field at 1/2/8 threads (plus the encoded-pricing and BulkAppend re-seal
 # paths). Bit-packing is exactly the kind of code UBSan exists for.
+#
+# The train preset builds the actor/learner pipeline tests (actor_learner_test
+# runs the deterministic digest checks at 1, 2, and 8 actor threads plus the
+# SPSC shard and fast-mode interleavings TSan exists for), rl_test, and
+# quantized_test under TSan, runs them, then drives the training kernel of
+# bench_micro_components, which re-asserts bit-identical reward and weight
+# digests at 1/2/8 threads and writes BENCH_training.json to $LPA_METRICS_DIR
+# (or build-tsan). Standing waiver: on few-core hosts (this container pins 1
+# CPU) the >= 3x steps/sec speedup at 8 threads cannot manifest, so the
+# preset asserts digest equality instead and the bench records the waiver in
+# BENCH_training.json metadata as scaling_waiver.
 #
 # The perf preset builds Release into build-perf and runs the post-benchmark
 # kernels of bench_micro_components (google benchmarks filtered out): the
@@ -155,6 +167,28 @@ if [[ "${PRESET}" == "storage" ]]; then
     ctest --test-dir "${BUILD_DIR}" --output-on-failure \
       -R 'storage_test|engine_exec_test'
   echo "== OK: encodings round-trip, >=2x compression, encoded engine bit-identical =="
+  exit 0
+fi
+if [[ "${PRESET}" == "train" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  echo "== configure (${BUILD_DIR}, -fsanitize=thread) =="
+  cmake -B "${BUILD_DIR}" -S . -DLPA_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "== build actor_learner_test + rl_test + quantized_test + bench =="
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target actor_learner_test \
+    rl_test quantized_test bench_micro_components
+  echo "== actor/learner + rl + quantized tests (TSan, 1/2/8 actor threads) =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+      -R 'actor_learner_test|rl_test|quantized_test'
+  echo "== training kernel: digest equality at 1/2/8 threads + fast mode =="
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  LPA_METRICS_DIR="${LPA_METRICS_DIR:-${BUILD_DIR}}" \
+  LPA_BENCH_SCALE="${LPA_BENCH_SCALE:-4}" \
+    "${BUILD_DIR}/bench/bench_micro_components" --benchmark_filter='^$'
+  echo "== OK: actor/learner TSan-clean, deterministic digests bit-identical =="
+  echo "   (scaling_waiver: 1-CPU container; speedup asserted on multi-core hosts only)"
   exit 0
 fi
 if [[ "${PRESET}" == "tsan" ]]; then
