@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "search/action_pruner.h"
 #include "telemetry/registry.h"
 #include "telemetry/trace.h"
 #include "util/hash.h"
@@ -46,6 +47,8 @@ PartitioningAdvisor::PartitioningAdvisor(const schema::Schema* schema,
                                                   featurizers_.back().get());
 }
 
+PartitioningAdvisor::~PartitioningAdvisor() = default;
+
 rl::FrequencySampler PartitioningAdvisor::DefaultSampler() const {
   int m = workload_.num_queries();
   return [m](Rng* rng) { return workload::SampleUniformFrequencies(m, rng); };
@@ -67,6 +70,7 @@ rl::TrainingResult PartitioningAdvisor::TrainOffline(
     EvalContext* ctx) {
   telemetry::Span span("advisor.train_offline");
   offline_env_ = std::make_unique<rl::OfflineEnv>(model, &workload_);
+  pruner_.reset();  // bound to the previous environment's cost function
   if (!sampler) sampler = DefaultSampler();
   return trainer_->Train(agent_.get(), offline_env_.get(), sampler,
                          config_.offline_episodes, ResolveCtx(ctx));
@@ -78,6 +82,7 @@ rl::TrainingResult PartitioningAdvisor::TrainOffline(
     EvalContext* ctx) {
   telemetry::Span span("advisor.train_offline");
   offline_env_ = std::make_unique<rl::OfflineEnv>(model, &workload_);
+  pruner_.reset();  // bound to the previous environment's cost function
   if (!sampler) sampler = DefaultSampler();
   return trainer_->TrainActorLearner(agent_.get(), offline_env_.get(), sampler,
                                      config_.offline_episodes, actor_learner,
@@ -123,6 +128,34 @@ rl::InferenceResult PartitioningAdvisor::Suggest(
                              config_.inference_epsilon, ResolveCtx(ctx));
 }
 
+rl::InferenceResult PartitioningAdvisor::Suggest(
+    const std::vector<double>& frequencies, const SuggestOptions& options,
+    EvalContext* ctx) {
+  LPA_CHECK(offline_env_ != nullptr);  // inference reuses the simulation
+  if (!options.prune_rollouts) {
+    return Suggest(frequencies, offline_env_.get(), ctx);
+  }
+  telemetry::Span span("advisor.suggest");
+  AdvisorMetrics::Get().suggestions.Add();
+  LPA_CHECK(options.prune_epsilon >= 0.0);
+  if (pruner_ == nullptr || pruner_epsilon_ != options.prune_epsilon) {
+    search::ActionPrunerConfig pc;
+    pc.prune_epsilon = options.prune_epsilon;
+    rl::OfflineEnv* env = offline_env_.get();
+    pruner_ = std::make_unique<search::ActionPruner>(
+        schema_, &workload_, &edges_,
+        [env](int j, const partition::PartitioningState& s) {
+          return env->QueryCost(j, s, 1.0);
+        },
+        pc);
+    pruner_epsilon_ = options.prune_epsilon;
+  }
+  return trainer_->InferBestPruned(
+      *agent_, offline_env_.get(), frequencies,
+      config_.inference_extra_rollouts, config_.inference_epsilon, *pruner_,
+      ResolveCtx(ctx));
+}
+
 rl::InferenceResult PartitioningAdvisor::SuggestWithTransitionCost(
     const std::vector<double>& frequencies,
     const partition::PartitioningState& current_design, double weight,
@@ -158,6 +191,9 @@ std::vector<int> PartitioningAdvisor::AddQueries(
   // The offline env precomputes per-query table lists; extend them to cover
   // the appended queries before any further evaluation.
   if (offline_env_ != nullptr) offline_env_->SyncWorkload();
+  // The pruner's per-query floors do not cover the new queries; rebuild it
+  // lazily on the next pruned Suggest.
+  pruner_.reset();
   int slots = featurizers_.back()->num_query_slots();
   if (workload_.num_queries() > slots) {
     int extra = workload_.num_queries() - slots;

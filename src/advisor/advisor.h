@@ -29,6 +29,22 @@ struct AdvisorConfig {
   uint64_t seed = 42;
 };
 
+/// \brief Per-call inference options (see `PartitioningAdvisor::Suggest`).
+struct SuggestOptions {
+  /// Route the inference rollouts through `search::ActionPruner`: states
+  /// whose admissible lower bound clears the incumbent are never priced,
+  /// extra rollouts replay the shared greedy prefix without Q-network
+  /// forward passes, and rollout tails that provably cannot improve the
+  /// incumbent are cut. Default OFF — the unpruned path stays bit-for-bit
+  /// untouched. Only engaged against the offline simulation (environments
+  /// with the pure query-cost contract); otherwise silently unpruned.
+  bool prune_rollouts = false;
+  /// Pruning slack ε ≥ 0. At 0 the pruned suggestion (design, cost, and
+  /// greedy trajectory) is bit-identical to the unpruned one at every
+  /// thread count; at ε > 0 its cost is within (1+ε) of it.
+  double prune_epsilon = 0.0;
+};
+
 /// \brief The learned partitioning advisor: the paper's primary contribution
 /// wrapped behind one facade (Fig 1).
 ///
@@ -42,6 +58,7 @@ class PartitioningAdvisor {
  public:
   PartitioningAdvisor(const schema::Schema* schema,
                       workload::Workload workload, AdvisorConfig config);
+  ~PartitioningAdvisor();
 
   const schema::Schema& schema() const { return *schema_; }
   const workload::Workload& workload() const { return workload_; }
@@ -109,6 +126,16 @@ class PartitioningAdvisor {
                               rl::PartitioningEnv* env,
                               EvalContext* ctx = nullptr);
 
+  /// \brief Inference with per-call options. With
+  /// `options.prune_rollouts` the rollouts consult a lazily built
+  /// `search::ActionPruner` over the offline simulation's query costs —
+  /// fewer Q-network forward passes and exact pricings, the identical
+  /// suggested design at `prune_epsilon = 0` (see SuggestOptions). Requires
+  /// TrainOffline to have run.
+  rl::InferenceResult Suggest(const std::vector<double>& frequencies,
+                              const SuggestOptions& options,
+                              EvalContext* ctx = nullptr);
+
   /// \brief Repartitioning-cost-aware inference (the reward extension the
   /// paper sketches at the end of Sec 3.2, for setups where repartitionings
   /// are frequent): ranks candidate states by
@@ -156,6 +183,11 @@ class PartitioningAdvisor {
   std::unique_ptr<rl::DqnAgent> agent_;
   std::unique_ptr<rl::EpisodeTrainer> trainer_;
   std::unique_ptr<rl::OfflineEnv> offline_env_;
+  /// Lazily built bound machinery for pruned Suggest calls; invalidated
+  /// whenever the workload gains queries (the per-query floors are stale)
+  /// and rebuilt when the requested prune ε changes.
+  std::unique_ptr<search::ActionPruner> pruner_;
+  double pruner_epsilon_ = -1.0;
   /// Serial fallback context; its RNG stream matches the pre-EvalContext
   /// advisor (same derived seed), so default-configured runs are unchanged.
   EvalContext own_ctx_;

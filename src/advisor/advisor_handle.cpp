@@ -153,6 +153,30 @@ Result<rl::InferenceResult> AdvisorHandle::Suggest(
         "no environment can price states: train offline or BindCostModel "
         "before Suggest");
   }
+  if (request.prune_rollouts) {
+    if (request.prune_epsilon < 0.0) {
+      return Status::InvalidArgument("prune_epsilon must be >= 0");
+    }
+    if (request.transition_cost_weight > 0.0) {
+      return Status::InvalidArgument(
+          "prune_rollouts is unsound with transition-cost objectives: the "
+          "bounds cover the workload cost only");
+    }
+    if (request.env != nullptr) {
+      return Status::InvalidArgument(
+          "prune_rollouts requires the advisor's own offline simulation; "
+          "leave SuggestRequest::env unset");
+    }
+    if (env != advisor_->offline_env()) {
+      return Status::FailedPrecondition(
+          "prune_rollouts requires a trained offline simulation (bound "
+          "environments lack the advisor's pruner); train offline first");
+    }
+    SuggestOptions options;
+    options.prune_rollouts = true;
+    options.prune_epsilon = request.prune_epsilon;
+    return advisor_->Suggest(request.frequencies, options, ctx);
+  }
   if (request.transition_cost_weight == 0.0) {
     return advisor_->Suggest(request.frequencies, env, ctx);
   }

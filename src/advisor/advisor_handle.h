@@ -87,6 +87,15 @@ struct SuggestRequest {
   /// Model pricing the data movement; null falls back to the handle's bound
   /// cost model.
   const costmodel::CostModel* transition_model = nullptr;
+  /// Prune inference rollouts with admissible bounds (src/search/): fewer
+  /// Q-network forward passes and exact pricings, the identical suggested
+  /// design at `prune_epsilon = 0` (see advisor::SuggestOptions). Only valid
+  /// against the advisor's own offline simulation with a plain workload-cost
+  /// objective — combining it with `transition_cost_weight > 0` or a custom
+  /// `env` is rejected (the bounds would be unsound there).
+  bool prune_rollouts = false;
+  /// Pruning slack ε ≥ 0 (see advisor::SuggestOptions::prune_epsilon).
+  double prune_epsilon = 0.0;
 };
 
 /// \brief The advisor lifecycle API: a Status-returning facade over

@@ -70,6 +70,41 @@ void WorkloadCostTracker::InvalidateTables(
   for (schema::TableId t : tables) MarkTableDirty(t);
 }
 
+const std::vector<int>& WorkloadCostTracker::QueriesOf(
+    schema::TableId table) const {
+  static const std::vector<int> kEmpty;
+  if (table < 0 || static_cast<size_t>(table) >= table_to_queries_.size()) {
+    return kEmpty;
+  }
+  return table_to_queries_[static_cast<size_t>(table)];
+}
+
+double WorkloadCostTracker::DeltaLowerBound(
+    const std::vector<schema::TableId>& tables,
+    const std::vector<double>& query_lb,
+    const std::vector<double>& frequencies) const {
+  // Mark the queries whose cost may have dropped relative to the vector.
+  std::vector<char> touched(costs_.size(), 0);
+  for (schema::TableId t : tables) {
+    if (t < 0 || static_cast<size_t>(t) >= table_to_queries_.size()) continue;
+    for (int j : table_to_queries_[static_cast<size_t>(t)]) {
+      touched[static_cast<size_t>(j)] = 1;
+    }
+  }
+  double total = 0.0;
+  const int n = static_cast<int>(costs_.size());
+  for (int j = 0; j < n; ++j) {
+    double f = j < static_cast<int>(frequencies.size())
+                   ? frequencies[static_cast<size_t>(j)]
+                   : 0.0;
+    if (f <= 0.0) continue;
+    size_t sj = static_cast<size_t>(j);
+    double lb = sj < query_lb.size() ? query_lb[sj] : 0.0;
+    total += f * (touched[sj] || !priced_[sj] ? lb : costs_[sj]);
+  }
+  return total;
+}
+
 double WorkloadCostTracker::Evaluate(const partition::PartitioningState& state,
                                      const std::vector<double>& frequencies,
                                      EvalContext* ctx) {

@@ -103,6 +103,44 @@ class WorkloadCostTracker {
   };
   const Stats& stats() const { return stats_; }
 
+  // ------------------------------------------------------------------
+  // Bound-query API (src/search/): read-only access to the priced cost
+  // vector, so admissible lower bounds can be formed without re-pricing.
+  // ------------------------------------------------------------------
+
+  /// \brief Queries currently tracked (the workload size at the last sync).
+  int num_queries() const { return static_cast<int>(costs_.size()); }
+
+  /// \brief True when query `j` holds a priced cost slot.
+  bool Priced(int j) const {
+    return j >= 0 && static_cast<size_t>(j) < priced_.size() &&
+           priced_[static_cast<size_t>(j)] != 0;
+  }
+
+  /// \brief Query `j`'s last priced cost. Meaningful iff `Priced(j)`.
+  double QueryCostAt(int j) const { return costs_.at(static_cast<size_t>(j)); }
+
+  /// \brief Indices of the queries referencing `table` (empty for unknown
+  /// tables). The inverted index the dirty marks walk.
+  const std::vector<int>& QueriesOf(schema::TableId table) const;
+
+  /// \brief The state the cost vector is synced to, or null before the
+  /// first evaluation / after Reset().
+  const partition::PartitioningState* synced_state() const {
+    return synced_.has_value() ? &*synced_ : nullptr;
+  }
+
+  /// \brief Admissible lower bound on the weighted workload cost of ANY
+  /// state whose design differs from the synced state only on `tables`:
+  /// queries touching those tables (and unpriced queries) contribute their
+  /// caller-supplied per-query lower bound `query_lb[j]`, every other
+  /// priced query its exact cost from the vector. Sound as long as each
+  /// `query_lb[j]` lower-bounds query j's cost under every design (e.g.
+  /// `search::ComputeQueryLowerBounds`). Never prices anything.
+  double DeltaLowerBound(const std::vector<schema::TableId>& tables,
+                         const std::vector<double>& query_lb,
+                         const std::vector<double>& frequencies) const;
+
  private:
   /// Mark every query referencing table `t` possibly-stale.
   void MarkTableDirty(schema::TableId t);

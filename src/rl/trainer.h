@@ -5,6 +5,10 @@
 #include "rl/dqn.h"
 #include "rl/environment.h"
 
+namespace lpa::search {
+class ActionPruner;
+}  // namespace lpa::search
+
 namespace lpa::rl {
 
 /// \brief Draws a workload frequency vector for the next episode. The naive
@@ -136,6 +140,34 @@ class EpisodeTrainer {
                             const std::vector<double>& frequencies,
                             int extra_rollouts, double epsilon,
                             EvalContext* ctx) const;
+
+  /// \brief InferBest with admissible-bound pruning (src/search/): `pruner`
+  /// supplies per-query cost floors built from the SAME pure query-cost
+  /// function the environment prices with. Three sound savings:
+  ///
+  ///  - eval-pruning: a visited state whose lower bound already clears the
+  ///    incumbent is never priced exactly (rl.eval_prunes.count);
+  ///  - greedy-prefix reuse: the extra rollouts replay the greedy rollout's
+  ///    cached trajectory until their first exploration step, skipping the
+  ///    Q-network forward passes entirely (rl.actions_pruned.count);
+  ///  - horizon cutoff: an extra rollout stops early when no state reachable
+  ///    within the remaining steps can improve the incumbent
+  ///    (rl.rollout_cutoffs.count).
+  ///
+  /// With `pruner.prune_epsilon() == 0` the returned result — best state,
+  /// best cost, AND the greedy action trajectory — is bit-identical to
+  /// `InferBest` at every thread count: trajectories are Q-driven (costs
+  /// only tighten the incumbent through a strict `<`), each rollout draws
+  /// from its own forked RNG in the same order, and only updates that
+  /// provably cannot fire are skipped. With ε > 0 the result's cost is
+  /// within (1+ε) of the unpruned one. Falls back to plain InferBest when
+  /// the environment does not support incremental costing (the bounds rely
+  /// on the pure query-cost contract).
+  InferenceResult InferBestPruned(const DqnAgent& agent, PartitioningEnv* env,
+                                  const std::vector<double>& frequencies,
+                                  int extra_rollouts, double epsilon,
+                                  const search::ActionPruner& pruner,
+                                  EvalContext* ctx) const;
 
   /// \brief Like InferBest, but states are ranked by a caller-supplied
   /// objective instead of the plain environment cost — e.g. workload cost

@@ -1,6 +1,7 @@
 #include "util/cli.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 
@@ -119,8 +120,14 @@ bool FlagParser::Parse(int argc, char** argv, std::string* error) {
       }
       case Kind::kDouble: {
         double v = std::strtod(value.c_str(), &end);
-        if (errno != 0 || end == value.c_str() || *end != '\0') {
-          *error = "--" + name + " expects a number, got '" + value + "'";
+        // Every double flag in the tool suite is a rate, fraction, or slack;
+        // NaN, infinities, and negatives silently poison downstream math
+        // (e.g. a NaN epsilon disables every pruning comparison), so reject
+        // them here rather than in each binary.
+        if (errno != 0 || end == value.c_str() || *end != '\0' ||
+            !std::isfinite(v) || v < 0.0) {
+          *error = "--" + name + " expects a finite non-negative number, got '" +
+                   value + "'";
           return false;
         }
         *static_cast<double*>(flag->out) = v;

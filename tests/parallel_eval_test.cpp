@@ -297,6 +297,25 @@ TEST(CliTest, RejectsUnknownFlagMissingValueAndBadNumber) {
   EXPECT_FALSE(parser.Parse(3, const_cast<char**>(bad), &error));
 }
 
+TEST(CliTest, DoubleFlagRejectsNaNInfinityAndNegative) {
+  cli::FlagParser parser;
+  double epsilon = 0.25;
+  parser.AddDouble("epsilon", "", &epsilon);
+  std::string error;
+
+  for (const char* value : {"nan", "NaN", "inf", "-inf", "-0.5", "1e999"}) {
+    const char* argv[] = {"bin", "--epsilon", value};
+    EXPECT_FALSE(parser.Parse(3, const_cast<char**>(argv), &error))
+        << "accepted --epsilon " << value;
+    EXPECT_NE(error.find("finite non-negative"), std::string::npos) << error;
+    EXPECT_EQ(epsilon, 0.25) << "rejected parse must not clobber the output";
+  }
+
+  const char* ok[] = {"bin", "--epsilon", "0.125"};
+  ASSERT_TRUE(parser.Parse(3, const_cast<char**>(ok), &error)) << error;
+  EXPECT_EQ(epsilon, 0.125);
+}
+
 void RegisterThreadsFlagTwice() {
   cli::FlagParser parser;
   int a = 0;

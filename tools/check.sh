@@ -10,6 +10,7 @@
 #   $ tools/check.sh autopilot       # TSan autopilot tests + bench smoke
 #   $ tools/check.sh storage         # ASan+UBSan storage/engine + compression smoke
 #   $ tools/check.sh train           # TSan actor/learner tests + training kernel
+#   $ tools/check.sh search          # ASan+UBSan search/pruning tests + DP bench smoke
 #   $ LPA_SANITIZE=undefined tools/check.sh
 #   $ BUILD_DIR=build-asan tools/check.sh
 #   $ CTEST_FILTER=advisor tools/check.sh tsan
@@ -63,6 +64,15 @@
 # CPU) the >= 3x steps/sec speedup at 8 threads cannot manifest, so the
 # preset asserts digest equality instead and the bench records the waiver in
 # BENCH_training.json metadata as scaling_waiver.
+#
+# The search preset builds the design-search subsystem (src/search/) under
+# ASan+UBSan and runs search_test (DP (1+ε) certificate vs exhaustive
+# enumeration, admissible floors, pruned-Suggest bit-identity at 1/2/8
+# threads) plus parallel_eval_test, then drives the bench_exp1_offline
+# verification sections (--baseline dp): the micro exhaustive gate and the
+# pruned-vs-unpruned Suggest counter checks, exiting non-zero on violation.
+# Same 1-CPU waiver as the other presets: wall-clock columns are
+# informational, the gates assert digests and counters only.
 #
 # The perf preset builds Release into build-perf and runs the post-benchmark
 # kernels of bench_micro_components (google benchmarks filtered out): the
@@ -189,6 +199,30 @@ if [[ "${PRESET}" == "train" ]]; then
     "${BUILD_DIR}/bench/bench_micro_components" --benchmark_filter='^$'
   echo "== OK: actor/learner TSan-clean, deterministic digests bit-identical =="
   echo "   (scaling_waiver: 1-CPU container; speedup asserted on multi-core hosts only)"
+  exit 0
+fi
+if [[ "${PRESET}" == "search" ]]; then
+  BUILD_DIR="${BUILD_DIR:-build-sanitize}"
+  JOBS="$(nproc 2>/dev/null || echo 4)"
+  echo "== configure (${BUILD_DIR}, -fsanitize=address,undefined) =="
+  cmake -B "${BUILD_DIR}" -S . -DLPA_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  echo "== build search_test + parallel_eval_test + bench_exp1_offline =="
+  cmake --build "${BUILD_DIR}" -j "${JOBS}" --target search_test \
+    parallel_eval_test bench_exp1_offline
+  echo "== search + pruning tests (ASan+UBSan) =="
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+    ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+      -R 'search_test|parallel_eval_test'
+  echo "== bench smoke: DP (1+eps) certificate + pruned-Suggest bit-identity =="
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  LPA_METRICS_DIR="${LPA_METRICS_DIR:-${BUILD_DIR}}" \
+  LPA_BENCH_SCALE="${LPA_BENCH_SCALE:-4}" \
+    "${BUILD_DIR}/bench/bench_exp1_offline" --baseline dp --epsilon 0.1
+  echo "== OK: DP within (1+eps) of exhaustive, pruned Suggest bit-identical at 1/2/8 threads =="
+  echo "   (scaling_waiver: 1-CPU container; wall-clock informational, digests asserted)"
   exit 0
 fi
 if [[ "${PRESET}" == "tsan" ]]; then
